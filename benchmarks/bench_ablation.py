@@ -1,0 +1,123 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not part of the paper's exhibits, but each isolates one knob:
+
+1. **Stride refinement** (related work, [WL95]): plain Offsets vs
+   StridedOffsets on array-walking code — how much precision the stride
+   buys at dereferences of arithmetic-derived pointers.
+2. **Assumption 1** (paper §4.2.1): optimistic vs pessimistic pointer
+   arithmetic — how many dereferences get flagged as possibly corrupted,
+   and what the precision cost of pessimism is.
+3. **ABI choice** (the portability argument): Offsets under ILP32 vs
+   LP64 — the portable strategies are invariant by construction, the
+   offsets strategy is not.
+4. **Library summaries**: with the stock summary table vs with the
+   default-only fallback, measuring how much dedicated summaries tighten
+   results on string/memory-heavy programs.
+"""
+
+import pytest
+
+from conftest import cached_program
+
+from repro.clients import deref_stats
+from repro.core import (
+    CommonInitialSequence,
+    Offsets,
+    StridedOffsets,
+    analyze,
+)
+from repro.core.engine import Engine
+from repro.core.interproc import SummaryRegistry, _default
+from repro.ctype.layout import ILP32, LP64, Layout
+from repro.suite.registry import SUITE, casting_programs
+
+
+ARRAY_HEAVY = [p for p in SUITE if p.name in ("less177", "compress", "ul", "gzip")]
+
+
+class TestStrideAblation:
+    @pytest.mark.parametrize("bp", ARRAY_HEAVY, ids=lambda b: b.name)
+    def test_stride_never_hurts(self, benchmark, bp):
+        program = cached_program(bp.name)
+
+        def once():
+            plain = deref_stats(analyze(program, Offsets())).average
+            strided = deref_stats(analyze(program, StridedOffsets())).average
+            return plain, strided
+
+        plain, strided = benchmark.pedantic(once, rounds=1, iterations=1)
+        assert strided <= plain + 1e-9
+        print(f"\n{bp.name}: offsets avg={plain:.2f}  strided avg={strided:.2f}")
+
+
+class TestAssumption1Ablation:
+    @pytest.mark.parametrize("bp", casting_programs()[:6], ids=lambda b: b.name)
+    def test_pessimistic_mode(self, benchmark, bp):
+        program = cached_program(bp.name)
+
+        def once():
+            opt = Engine(program, CommonInitialSequence()).solve()
+            pes = Engine(
+                program, CommonInitialSequence(), assume_valid_pointers=False
+            ).solve()
+            return (
+                deref_stats(opt).average,
+                deref_stats(pes).average,
+                len(pes.corrupted_deref_sites()),
+            )
+
+        opt_avg, pes_avg, flagged = benchmark.pedantic(once, rounds=1, iterations=1)
+        print(f"\n{bp.name}: optimistic avg={opt_avg:.2f}  "
+              f"pessimistic avg={pes_avg:.2f}  flagged derefs={flagged}")
+        # Pessimism trades smeared targets for Unknown: it never *adds*
+        # concrete targets, so the average cannot grow much beyond the
+        # optimistic one plus the Unknown singletons.
+        assert pes_avg <= opt_avg + 1.0
+
+
+class TestABIAblation:
+    @pytest.mark.parametrize("bp", casting_programs(), ids=lambda b: b.name)
+    def test_offsets_abi_dependence(self, benchmark, bp):
+        program = cached_program(bp.name)
+
+        def once():
+            e32 = analyze(program, Offsets(Layout(ILP32))).facts.edge_count()
+            e64 = analyze(program, Offsets(Layout(LP64))).facts.edge_count()
+            c32 = analyze(
+                program, CommonInitialSequence(Layout(ILP32))
+            ).facts.edge_count()
+            c64 = analyze(
+                program, CommonInitialSequence(Layout(LP64))
+            ).facts.edge_count()
+            return e32, e64, c32, c64
+
+        e32, e64, c32, c64 = benchmark.pedantic(once, rounds=1, iterations=1)
+        # The portable strategy's result is identical under both ABIs.
+        assert c32 == c64, bp.name
+        print(f"\n{bp.name}: offsets edges ilp32={e32} lp64={e64}  "
+              f"cis edges={c32} (ABI-invariant)")
+
+
+class TestSummaryAblation:
+    @pytest.mark.parametrize(
+        "bp", [p for p in SUITE if p.name in ("anagram", "fixoutput", "ansitape")],
+        ids=lambda b: b.name,
+    )
+    def test_summaries_matter(self, benchmark, bp):
+        program = cached_program(bp.name)
+
+        def once():
+            engine = Engine(program, CommonInitialSequence())
+            with_summaries = deref_stats(engine.solve()).average
+
+            bare = Engine(program, CommonInitialSequence())
+            bare.summaries = SummaryRegistry()  # default-only fallback
+            without = deref_stats(bare.solve()).average
+            return with_summaries, without
+
+        with_s, without = benchmark.pedantic(once, rounds=1, iterations=1)
+        print(f"\n{bp.name}: with summaries avg={with_s:.2f}  "
+              f"default-only avg={without:.2f}")
+        # The default fallback (ret aliases args) is coarser or equal.
+        assert with_s <= without + 1e-9

@@ -1,0 +1,41 @@
+"""Figure 3: program statistics and lookup/resolve instrumentation.
+
+Regenerates the paper's Figure 3 table — for each of the 20 suite
+programs: lines of code, number of normalized assignment statements, and
+for the "Collapse on Cast" and "Common Initial Sequence" algorithms the
+percentage of lookup/resolve calls that involved structures and, of
+those, the percentage where the types did not match (i.e. casting was
+involved).
+
+Run with ``pytest benchmarks/bench_figure3.py --benchmark-only -s`` to
+see the table.
+"""
+
+import pytest
+
+from repro.bench.harness import figure3, format_figure3
+
+
+def test_figure3_table(benchmark):
+    rows = benchmark.pedantic(figure3, rounds=1, iterations=1)
+    print()
+    print(format_figure3(rows))
+
+    # Shape checks mirroring the paper's observations.
+    by_name = {r.name: r for r in rows}
+    assert len(rows) == 20
+    assert sum(1 for r in rows if not r.casting) == 8
+    assert sum(1 for r in rows if r.casting) == 12
+
+    # Programs without structure casting show (near-)zero type-mismatch
+    # rates; programs with casting show substantial ones.
+    nocast_mismatch = [r.mismatch_pct["collapse_on_cast"] for r in rows
+                       if not r.casting]
+    cast_mismatch = [r.mismatch_pct["collapse_on_cast"] for r in rows
+                     if r.casting]
+    assert max(nocast_mismatch) < 10.0
+    assert sum(m > 25.0 for m in cast_mismatch) >= 8
+
+    # Structures are pervasive: most programs involve structs in a
+    # significant fraction of lookup/resolve calls.
+    assert sum(r.struct_pct["collapse_on_cast"] > 25.0 for r in rows) >= 14

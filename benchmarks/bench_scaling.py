@@ -1,0 +1,75 @@
+"""Scaling benchmarks over generated programs.
+
+The paper reports wall-clock times on fixed benchmarks; these benches
+characterize how each algorithm *scales* as program size grows, using the
+seeded generator so results are reproducible.  Also compares the
+framework's instances against the Steensgaard baseline, whose near-linear
+behaviour is its selling point ([Ste96b], paper §6).
+"""
+
+import pytest
+
+from repro.baselines import andersen, steensgaard
+from repro.core import ALL_STRATEGIES, STRATEGY_BY_KEY, analyze
+from repro.frontend import program_from_c
+from repro.suite import GenConfig, generate_program
+
+SIZES = [50, 150, 400]
+
+
+def _generated(nstmts: int):
+    cfg = GenConfig(
+        n_structs=6,
+        max_fields=5,
+        n_scalars=10,
+        n_pointers=10,
+        n_struct_vars=8,
+        n_statements=nstmts,
+        cast_probability=0.4,
+    )
+    return program_from_c(generate_program(7, cfg), name=f"gen{nstmts}")
+
+
+@pytest.fixture(scope="module")
+def generated_programs():
+    return {n: _generated(n) for n in SIZES}
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("key", [c.key for c in ALL_STRATEGIES], ids=str)
+def test_strategy_scaling(benchmark, generated_programs, n, key):
+    program = generated_programs[n]
+    benchmark(lambda: analyze(program, STRATEGY_BY_KEY[key]()))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_steensgaard_scaling(benchmark, generated_programs, n):
+    program = generated_programs[n]
+    benchmark(lambda: steensgaard(program))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_andersen_scaling(benchmark, generated_programs, n):
+    program = generated_programs[n]
+    benchmark(lambda: andersen(program))
+
+
+def test_steensgaard_is_fastest_at_scale(generated_programs):
+    """Sanity: at the largest size, unification beats inclusion analysis."""
+    import time
+
+    program = generated_programs[SIZES[-1]]
+
+    def clock(fn):
+        best = None
+        for _ in range(3):
+            t0 = time.perf_counter()
+            fn()
+            dt = time.perf_counter() - t0
+            best = dt if best is None or dt < best else best
+        return best
+
+    t_steens = clock(lambda: steensgaard(program))
+    t_cis = clock(lambda: analyze(program, STRATEGY_BY_KEY["common_initial_sequence"]()))
+    print(f"\nsteensgaard={t_steens * 1000:.1f}ms  cis={t_cis * 1000:.1f}ms")
+    assert t_steens < t_cis * 2.0  # unification should not be slower by much

@@ -1,0 +1,165 @@
+/* allroots - find all roots of a real polynomial by deflation.
+ *
+ * Stand-in for the Landi benchmark "allroots": heavy array-of-double
+ * traffic, pointers into arrays, and pointer parameters -- but no
+ * structure casting (structures are used only at declared types).
+ */
+
+#define MAXDEG 32
+#define MAXITER 200
+#define EPS 0.0000001
+
+struct poly {
+    int degree;
+    double coef[MAXDEG + 1];
+};
+
+struct rootinfo {
+    double value;
+    int iterations;
+    int converged;
+};
+
+static struct poly work;
+static struct rootinfo roots[MAXDEG];
+static int nroots;
+
+static double eval(struct poly *p, double x)
+{
+    double acc;
+    int i;
+
+    acc = 0.0;
+    for (i = p->degree; i >= 0; i--)
+        acc = acc * x + p->coef[i];
+    return acc;
+}
+
+static double eval_deriv(struct poly *p, double x)
+{
+    double acc;
+    int i;
+
+    acc = 0.0;
+    for (i = p->degree; i >= 1; i--)
+        acc = acc * x + p->coef[i] * (double)i;
+    return acc;
+}
+
+static void deflate(struct poly *p, double root)
+{
+    double rem;
+    double save;
+    int i;
+
+    rem = p->coef[p->degree];
+    for (i = p->degree - 1; i >= 0; i--) {
+        save = p->coef[i];
+        p->coef[i] = rem;
+        rem = save + rem * root;
+    }
+    p->degree = p->degree - 1;
+}
+
+static int newton(struct poly *p, double guess, struct rootinfo *out)
+{
+    double x;
+    double fx;
+    double dfx;
+    int iter;
+
+    x = guess;
+    for (iter = 0; iter < MAXITER; iter++) {
+        fx = eval(p, x);
+        dfx = eval_deriv(p, x);
+        if (fabs(dfx) < EPS)
+            break;
+        x = x - fx / dfx;
+        if (fabs(fx) < EPS) {
+            out->value = x;
+            out->iterations = iter;
+            out->converged = 1;
+            return 1;
+        }
+    }
+    out->value = x;
+    out->iterations = MAXITER;
+    out->converged = 0;
+    return 0;
+}
+
+static void copy_poly(struct poly *dst, struct poly *src)
+{
+    int i;
+
+    dst->degree = src->degree;
+    for (i = 0; i <= src->degree; i++)
+        dst->coef[i] = src->coef[i];
+}
+
+static void find_all(struct poly *p)
+{
+    struct rootinfo info;
+    double guess;
+
+    copy_poly(&work, p);
+    nroots = 0;
+    guess = 0.5;
+    while (work.degree > 0) {
+        if (!newton(&work, guess, &info)) {
+            guess = guess * 2.0 + 1.0;
+            if (guess > 1000000.0)
+                break;
+            continue;
+        }
+        roots[nroots] = info;
+        nroots++;
+        deflate(&work, info.value);
+        guess = 0.5;
+    }
+}
+
+static void normalize_poly(struct poly *p)
+{
+    double lead;
+    int i;
+
+    while (p->degree > 0 && fabs(p->coef[p->degree]) < EPS)
+        p->degree = p->degree - 1;
+    lead = p->coef[p->degree];
+    if (fabs(lead) < EPS)
+        return;
+    for (i = 0; i <= p->degree; i++)
+        p->coef[i] = p->coef[i] / lead;
+}
+
+static void report(void)
+{
+    int i;
+    struct rootinfo *r;
+
+    for (i = 0; i < nroots; i++) {
+        r = &roots[i];
+        printf("root %d: %f (%d iterations)\n", i, r->value, r->iterations);
+    }
+}
+
+int main(void)
+{
+    struct poly p;
+    int i;
+
+    /* (x - 1)(x - 2)(x - 3) = x^3 - 6x^2 + 11x - 6 */
+    p.degree = 3;
+    p.coef[0] = -6.0;
+    p.coef[1] = 11.0;
+    p.coef[2] = -6.0;
+    p.coef[3] = 1.0;
+    for (i = 4; i <= MAXDEG; i++)
+        p.coef[i] = 0.0;
+
+    normalize_poly(&p);
+    find_all(&p);
+    report();
+    return nroots == 3 ? 0 : 1;
+}

@@ -1,0 +1,291 @@
+/* anagram - group dictionary words into anagram classes.
+ *
+ * Stand-in for the Austin benchmark "anagram": a hash table whose
+ * buckets chain heap-allocated word records.  Structures are used only
+ * at their declared types (no casting), but there is plenty of pointer
+ * traffic: hash chains, string duplication, sorted signatures.
+ */
+
+#define HASHSIZE 211
+#define SIGMAX 64
+
+struct word {
+    struct word *next_in_class;
+    char *text;
+    int length;
+};
+
+struct anaclass {
+    struct anaclass *next;
+    char sig[SIGMAX];
+    struct word *words;
+    int count;
+};
+
+static struct anaclass *table[HASHSIZE];
+static int total_words;
+static int total_classes;
+static int best_count;
+static struct anaclass *best_class;
+
+static unsigned int hash_sig(char *sig)
+{
+    unsigned int h;
+    char *p;
+
+    h = 0;
+    for (p = sig; *p != '\0'; p++)
+        h = h * 31 + (unsigned int)*p;
+    return h % HASHSIZE;
+}
+
+static void make_signature(char *word, char *sig)
+{
+    int counts[26];
+    int i;
+    char *p;
+    char *q;
+
+    for (i = 0; i < 26; i++)
+        counts[i] = 0;
+    for (p = word; *p != '\0'; p++) {
+        if (isalpha(*p))
+            counts[tolower(*p) - 'a']++;
+    }
+    q = sig;
+    for (i = 0; i < 26; i++) {
+        int k;
+        for (k = 0; k < counts[i]; k++)
+            *q++ = (char)('a' + i);
+    }
+    *q = '\0';
+}
+
+static struct anaclass *find_class(char *sig)
+{
+    unsigned int h;
+    struct anaclass *c;
+
+    h = hash_sig(sig);
+    for (c = table[h]; c != 0; c = c->next) {
+        if (strcmp(c->sig, sig) == 0)
+            return c;
+    }
+    c = (struct anaclass *)malloc(sizeof(struct anaclass));
+    strcpy(c->sig, sig);
+    c->words = 0;
+    c->count = 0;
+    c->next = table[h];
+    table[h] = c;
+    total_classes++;
+    return c;
+}
+
+static void add_word(char *text)
+{
+    char sig[SIGMAX];
+    struct anaclass *c;
+    struct word *w;
+
+    make_signature(text, sig);
+    if (sig[0] == '\0')
+        return;
+    c = find_class(sig);
+    w = (struct word *)malloc(sizeof(struct word));
+    w->text = strdup(text);
+    w->length = (int)strlen(text);
+    w->next_in_class = c->words;
+    c->words = w;
+    c->count++;
+    total_words++;
+    if (c->count > best_count) {
+        best_count = c->count;
+        best_class = c;
+    }
+}
+
+static void report_class(struct anaclass *c)
+{
+    struct word *w;
+
+    printf("%s:", c->sig);
+    for (w = c->words; w != 0; w = w->next_in_class)
+        printf(" %s", w->text);
+    printf("\n");
+}
+
+static void report_all(void)
+{
+    int i;
+    struct anaclass *c;
+
+    for (i = 0; i < HASHSIZE; i++) {
+        for (c = table[i]; c != 0; c = c->next) {
+            if (c->count > 1)
+                report_class(c);
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Second phase: find "addagram" chains -- words whose signature grows */
+/* by one letter each step (anagram's companion analysis).             */
+/* ------------------------------------------------------------------ */
+
+struct chain_link {
+    struct chain_link *prev;
+    struct anaclass *cls;
+    int depth;
+};
+
+static struct chain_link *best_chain;
+static int best_depth;
+
+static int extends(struct anaclass *a, struct anaclass *b)
+{
+    /* True if b's signature is a's plus exactly one letter.  Compare
+     * local copies by index. */
+    char small[SIGMAX];
+    char big[SIGMAX];
+    int i;
+    int j;
+    int extra;
+
+    strcpy(small, a->sig);
+    strcpy(big, b->sig);
+    i = 0;
+    j = 0;
+    extra = 0;
+    while (small[i] != '\0' && big[j] != '\0') {
+        if (small[i] == big[j]) {
+            i++;
+            j++;
+        } else {
+            extra++;
+            if (extra > 1)
+                return 0;
+            j++;
+        }
+    }
+    while (big[j] != '\0') {
+        extra++;
+        j++;
+    }
+    return small[i] == '\0' && extra == 1;
+}
+
+static struct anaclass *class_iter(int *bucket, struct anaclass *cur)
+{
+    if (cur != 0 && cur->next != 0)
+        return cur->next;
+    for ((*bucket)++; *bucket < HASHSIZE; (*bucket)++) {
+        if (table[*bucket] != 0)
+            return table[*bucket];
+    }
+    return 0;
+}
+
+static void grow_chain(struct chain_link *tip)
+{
+    int bucket;
+    struct anaclass *c;
+    struct chain_link link;
+
+    if (tip->depth > best_depth) {
+        best_depth = tip->depth;
+        best_chain = (struct chain_link *)malloc(sizeof(struct chain_link));
+        best_chain->prev = tip->prev;
+        best_chain->cls = tip->cls;
+        best_chain->depth = tip->depth;
+    }
+    bucket = -1;
+    c = class_iter(&bucket, 0);
+    while (c != 0) {
+        if (extends(tip->cls, c)) {
+            link.prev = tip;
+            link.cls = c;
+            link.depth = tip->depth + 1;
+            grow_chain(&link);
+        }
+        c = class_iter(&bucket, c);
+    }
+}
+
+static void find_chains(void)
+{
+    int bucket;
+    struct anaclass *c;
+    struct chain_link root;
+
+    bucket = -1;
+    c = class_iter(&bucket, 0);
+    while (c != 0) {
+        if ((int)strlen(c->sig) <= 3) {
+            root.prev = 0;
+            root.cls = c;
+            root.depth = 1;
+            grow_chain(&root);
+        }
+        c = class_iter(&bucket, c);
+    }
+}
+
+static void report_chain(void)
+{
+    struct chain_link *l;
+
+    if (best_chain == 0)
+        return;
+    printf("longest addagram chain (depth %d):", best_depth);
+    for (l = best_chain; l != 0; l = l->prev)
+        printf(" %s", l->cls->sig);
+    printf("\n");
+}
+
+static void free_all(void)
+{
+    int i;
+    struct anaclass *c;
+    struct anaclass *cnext;
+    struct word *w;
+    struct word *wnext;
+
+    for (i = 0; i < HASHSIZE; i++) {
+        for (c = table[i]; c != 0; c = cnext) {
+            cnext = c->next;
+            for (w = c->words; w != 0; w = wnext) {
+                wnext = w->next_in_class;
+                free(w->text);
+                free(w);
+            }
+            free(c);
+        }
+        table[i] = 0;
+    }
+}
+
+int main(void)
+{
+    char line[128];
+    FILE *dict;
+
+    dict = fopen("words.txt", "r");
+    if (dict == 0)
+        return 1;
+    while (fgets(line, 128, dict) != 0) {
+        char *nl;
+        nl = strchr(line, '\n');
+        if (nl != 0)
+            *nl = '\0';
+        add_word(line);
+    }
+    fclose(dict);
+    report_all();
+    if (best_class != 0)
+        printf("largest class %s has %d words (of %d total)\n",
+               best_class->sig, best_count, total_words);
+    find_chains();
+    report_chain();
+    free_all();
+    return 0;
+}

@@ -1,0 +1,264 @@
+/* ansitape - ANSI-labeled tape reader.
+ *
+ * Stand-in for the Landi benchmark "ansitape".  The defining idiom:
+ * fixed-size tape blocks arrive as raw byte buffers and are
+ * reinterpreted as label records by casting char* to record pointers --
+ * the CIS-hostile direction of casting (char arrays share no common
+ * initial sequence with the records).
+ */
+
+#define BLOCK 80
+#define MAXFILES 16
+
+struct vol_label {
+    char id[4];       /* "VOL1" */
+    char serial[6];
+    char owner[14];
+    char reserved[56];
+};
+
+struct hdr_label {
+    char id[4];       /* "HDR1" */
+    char filename[17];
+    char fileset[6];
+    char section[4];
+    char sequence[4];
+    char rest[45];
+};
+
+struct eof_label {
+    char id[4];       /* "EOF1" */
+    char filename[17];
+    char blockcount[6];
+    char rest[53];
+};
+
+struct fileinfo {
+    char name[18];
+    long blocks;
+    struct fileinfo *next;
+};
+
+static char tape_block[BLOCK];
+static struct fileinfo *files;
+static int nfiles;
+static char current_volume[7];
+
+static void read_block(FILE *tape, char *buf)
+{
+    int n;
+
+    n = (int)fread(buf, 1, BLOCK, tape);
+    while (n < BLOCK)
+        buf[n++] = ' ';
+}
+
+static int label_is(char *buf, char *tag)
+{
+    return strncmp(buf, tag, 4) == 0;
+}
+
+static void copy_field(char *dst, char *src, int n)
+{
+    int i;
+
+    for (i = 0; i < n; i++)
+        dst[i] = src[i];
+    dst[n] = '\0';
+    while (n > 0 && dst[n - 1] == ' ') {
+        n--;
+        dst[n] = '\0';
+    }
+}
+
+static void handle_volume(char *buf)
+{
+    struct vol_label *v;
+
+    v = (struct vol_label *)buf;
+    copy_field(current_volume, v->serial, 6);
+    printf("volume %s\n", current_volume);
+}
+
+static struct fileinfo *handle_header(char *buf)
+{
+    struct hdr_label *h;
+    struct fileinfo *f;
+
+    h = (struct hdr_label *)buf;
+    f = (struct fileinfo *)malloc(sizeof(struct fileinfo));
+    copy_field(f->name, h->filename, 17);
+    f->blocks = 0;
+    f->next = files;
+    files = f;
+    nfiles++;
+    return f;
+}
+
+static void handle_eof(char *buf, struct fileinfo *f)
+{
+    struct eof_label *e;
+    char count[7];
+
+    e = (struct eof_label *)buf;
+    if (f == 0)
+        return;
+    copy_field(count, e->blockcount, 6);
+    f->blocks = atol(count);
+}
+
+static void list_files(void)
+{
+    struct fileinfo *f;
+
+    printf("%d files on volume %s:\n", nfiles, current_volume);
+    for (f = files; f != 0; f = f->next)
+        printf("  %-18s %ld blocks\n", f->name, f->blocks);
+}
+
+static int process_tape(FILE *tape)
+{
+    struct fileinfo *current;
+    int blocks;
+
+    current = 0;
+    blocks = 0;
+    for (;;) {
+        read_block(tape, tape_block);
+        if (label_is(tape_block, "VOL1")) {
+            handle_volume(tape_block);
+        } else if (label_is(tape_block, "HDR1")) {
+            current = handle_header(tape_block);
+        } else if (label_is(tape_block, "EOF1")) {
+            handle_eof(tape_block, current);
+            current = 0;
+        } else if (label_is(tape_block, "END ")) {
+            break;
+        } else {
+            blocks++;
+            if (blocks > 10000)
+                break;
+        }
+        if (feof(tape))
+            break;
+    }
+    return blocks;
+}
+
+/* ------------------------------------------------------------------ */
+/* Writing path: build label records in the block buffer through the   */
+/* typed views and emit them -- the reverse casting direction.         */
+/* ------------------------------------------------------------------ */
+
+static int blocks_written;
+
+static void pad_field(char *dst, char *src, int n)
+{
+    int i;
+    int len;
+
+    len = (int)strlen(src);
+    for (i = 0; i < n; i++)
+        dst[i] = i < len ? src[i] : ' ';
+}
+
+static void write_block(FILE *tape, char *buf)
+{
+    fwrite(buf, 1, BLOCK, tape);
+    blocks_written++;
+}
+
+static void emit_volume(FILE *tape, char *serial, char *owner)
+{
+    struct vol_label *v;
+    int i;
+
+    for (i = 0; i < BLOCK; i++)
+        tape_block[i] = ' ';
+    v = (struct vol_label *)tape_block;
+    pad_field(v->id, "VOL1", 4);
+    pad_field(v->serial, serial, 6);
+    pad_field(v->owner, owner, 14);
+    write_block(tape, tape_block);
+}
+
+static void emit_header(FILE *tape, char *name, int section)
+{
+    struct hdr_label *h;
+    char secbuf[8];
+    int i;
+
+    for (i = 0; i < BLOCK; i++)
+        tape_block[i] = ' ';
+    h = (struct hdr_label *)tape_block;
+    pad_field(h->id, "HDR1", 4);
+    pad_field(h->filename, name, 17);
+    pad_field(h->fileset, "SET001", 6);
+    snprintf(secbuf, 8, "%04d", section);
+    pad_field(h->section, secbuf, 4);
+    pad_field(h->sequence, "0001", 4);
+    write_block(tape, tape_block);
+}
+
+static void emit_eof(FILE *tape, char *name, long blocks)
+{
+    struct eof_label *e;
+    char countbuf[8];
+    int i;
+
+    for (i = 0; i < BLOCK; i++)
+        tape_block[i] = ' ';
+    e = (struct eof_label *)tape_block;
+    pad_field(e->id, "EOF1", 4);
+    pad_field(e->filename, name, 17);
+    snprintf(countbuf, 8, "%06ld", blocks);
+    pad_field(e->blockcount, countbuf, 6);
+    write_block(tape, tape_block);
+}
+
+static void emit_data(FILE *tape, char *payload, long nblocks)
+{
+    long b;
+    int i;
+    int len;
+
+    len = (int)strlen(payload);
+    for (b = 0; b < nblocks; b++) {
+        for (i = 0; i < BLOCK; i++)
+            tape_block[i] = payload[(b * BLOCK + i) % (len > 0 ? len : 1)];
+        write_block(tape, tape_block);
+    }
+}
+
+static void write_archive(FILE *tape)
+{
+    emit_volume(tape, "VOL001", "repro");
+    emit_header(tape, "README", 1);
+    emit_data(tape, "hello tape world ", 3);
+    emit_eof(tape, "README", 3);
+    emit_header(tape, "DATA", 1);
+    emit_data(tape, "payload ", 5);
+    emit_eof(tape, "DATA", 5);
+}
+
+int main(void)
+{
+    FILE *tape;
+    int data_blocks;
+
+    tape = fopen("tape.dat", "w");
+    if (tape != 0) {
+        write_archive(tape);
+        fclose(tape);
+        printf("wrote %d blocks\n", blocks_written);
+    }
+
+    tape = fopen("tape.dat", "r");
+    if (tape == 0)
+        return 1;
+    data_blocks = process_tape(tape);
+    fclose(tape);
+    list_files();
+    printf("%d data blocks\n", data_blocks);
+    return 0;
+}

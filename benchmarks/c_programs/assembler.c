@@ -1,0 +1,326 @@
+/* assembler - two-pass assembler for a toy ISA.
+ *
+ * Stand-in for the Landi benchmark "assembler".  Casting idioms: a
+ * generic hash-table whose entries hold a common header and are downcast
+ * to symbol or opcode entries, plus an output buffer of encoded words
+ * accessed through differently typed views.
+ */
+
+#define HASHSIZE 64
+#define MAXCODE 256
+#define ENT_SYMBOL 1
+#define ENT_OPCODE 2
+
+struct entry {
+    struct entry *next;
+    char *name;
+    int kind;
+};
+
+struct symbol_entry {
+    struct entry hdr;
+    int address;
+    int defined;
+};
+
+struct opcode_entry {
+    struct entry hdr;
+    int code;
+    int operands;
+};
+
+struct insn_word {
+    unsigned int opcode : 8;
+    unsigned int reg : 8;
+    unsigned int imm : 16;
+};
+
+static struct entry *table[HASHSIZE];
+static unsigned int code[MAXCODE];
+static int location;
+static int errors;
+
+static unsigned int hash_name(char *s)
+{
+    unsigned int h;
+
+    h = 5381;
+    while (*s != '\0') {
+        h = h * 33 + (unsigned int)*s;
+        s++;
+    }
+    return h % HASHSIZE;
+}
+
+static struct entry *find(char *name)
+{
+    struct entry *e;
+
+    for (e = table[hash_name(name)]; e != 0; e = e->next) {
+        if (strcmp(e->name, name) == 0)
+            return e;
+    }
+    return 0;
+}
+
+static struct entry *insert(char *name, int kind, unsigned long size)
+{
+    struct entry *e;
+    unsigned int h;
+
+    e = (struct entry *)malloc(size);
+    e->name = strdup(name);
+    e->kind = kind;
+    h = hash_name(name);
+    e->next = table[h];
+    table[h] = e;
+    return e;
+}
+
+static struct symbol_entry *define_symbol(char *name, int addr)
+{
+    struct entry *e;
+    struct symbol_entry *s;
+
+    e = find(name);
+    if (e != 0 && e->kind == ENT_SYMBOL) {
+        s = (struct symbol_entry *)e;
+        if (s->defined)
+            errors++;
+        s->address = addr;
+        s->defined = 1;
+        return s;
+    }
+    s = (struct symbol_entry *)insert(name, ENT_SYMBOL,
+                                      sizeof(struct symbol_entry));
+    s->address = addr;
+    s->defined = 1;
+    return s;
+}
+
+static struct symbol_entry *reference_symbol(char *name)
+{
+    struct entry *e;
+    struct symbol_entry *s;
+
+    e = find(name);
+    if (e != 0 && e->kind == ENT_SYMBOL)
+        return (struct symbol_entry *)e;
+    s = (struct symbol_entry *)insert(name, ENT_SYMBOL,
+                                      sizeof(struct symbol_entry));
+    s->address = 0;
+    s->defined = 0;
+    return s;
+}
+
+static void define_opcode(char *name, int codeval, int operands)
+{
+    struct opcode_entry *o;
+
+    o = (struct opcode_entry *)insert(name, ENT_OPCODE,
+                                      sizeof(struct opcode_entry));
+    o->code = codeval;
+    o->operands = operands;
+}
+
+static struct opcode_entry *find_opcode(char *name)
+{
+    struct entry *e;
+
+    e = find(name);
+    if (e != 0 && e->kind == ENT_OPCODE)
+        return (struct opcode_entry *)e;
+    return 0;
+}
+
+static void emit(int opcode, int reg, int imm)
+{
+    struct insn_word w;
+    unsigned int *raw;
+
+    w.opcode = (unsigned int)opcode;
+    w.reg = (unsigned int)reg;
+    w.imm = (unsigned int)imm;
+    raw = (unsigned int *)&w;
+    if (location < MAXCODE)
+        code[location] = *raw;
+    location++;
+}
+
+static void assemble_line(char *mnemonic, int reg, char *symref)
+{
+    struct opcode_entry *op;
+    struct symbol_entry *sym;
+    int imm;
+
+    op = find_opcode(mnemonic);
+    if (op == 0) {
+        errors++;
+        return;
+    }
+    imm = 0;
+    if (symref != 0) {
+        sym = reference_symbol(symref);
+        imm = sym->address;
+    }
+    emit(op->code, reg, imm);
+}
+
+static void init_opcodes(void)
+{
+    define_opcode("load", 1, 2);
+    define_opcode("store", 2, 2);
+    define_opcode("add", 3, 2);
+    define_opcode("jump", 4, 1);
+    define_opcode("halt", 5, 0);
+}
+
+static int count_undefined(void)
+{
+    int i;
+    int undef;
+    struct entry *e;
+
+    undef = 0;
+    for (i = 0; i < HASHSIZE; i++) {
+        for (e = table[i]; e != 0; e = e->next) {
+            if (e->kind == ENT_SYMBOL) {
+                struct symbol_entry *s;
+                s = (struct symbol_entry *)e;
+                if (!s->defined)
+                    undef++;
+            }
+        }
+    }
+    return undef;
+}
+
+/* ------------------------------------------------------------------ */
+/* Source-line scanner and two-pass driver: pass 1 collects labels,    */
+/* pass 2 encodes, exactly like the Landi assembler's structure.       */
+/* ------------------------------------------------------------------ */
+
+struct source_line {
+    char label[16];
+    char mnemonic[16];
+    int reg;
+    char operand[16];
+    int has_operand;
+};
+
+static int parse_line(char *text, struct source_line *out)
+{
+    char *p;
+    int i;
+
+    out->label[0] = '\0';
+    out->mnemonic[0] = '\0';
+    out->operand[0] = '\0';
+    out->reg = 0;
+    out->has_operand = 0;
+
+    p = text;
+    while (*p == ' ' || *p == '\t')
+        p++;
+    if (*p == '\0' || *p == ';')
+        return 0;
+    /* Optional "label:" prefix. */
+    if (strchr(p, ':') != 0 && strchr(p, ':') < strchr(p, ' ')) {
+        i = 0;
+        while (*p != ':' && i < 15)
+            out->label[i++] = *p++;
+        out->label[i] = '\0';
+        p++;
+        while (*p == ' ')
+            p++;
+    }
+    i = 0;
+    while (*p != '\0' && *p != ' ' && i < 15)
+        out->mnemonic[i++] = *p++;
+    out->mnemonic[i] = '\0';
+    while (*p == ' ')
+        p++;
+    if (*p == 'r' && isdigit(p[1])) {
+        p++;
+        out->reg = *p - '0';
+        p++;
+        if (*p == ',')
+            p++;
+        while (*p == ' ')
+            p++;
+    }
+    if (*p != '\0') {
+        i = 0;
+        while (*p != '\0' && *p != ' ' && *p != '\n' && i < 15)
+            out->operand[i++] = *p++;
+        out->operand[i] = '\0';
+        out->has_operand = out->operand[0] != '\0';
+    }
+    return 1;
+}
+
+static char *PROGRAM_TEXT[] = {
+    "start:  load r1, data",
+    "        add  r1, data",
+    "loop:   store r1, data",
+    "        jump loop",
+    "        halt",
+    "data:   halt",
+    0,
+};
+
+static void pass1(void)
+{
+    struct source_line line;
+    int pc;
+    int i;
+
+    pc = 0;
+    for (i = 0; PROGRAM_TEXT[i] != 0; i++) {
+        if (!parse_line(PROGRAM_TEXT[i], &line))
+            continue;
+        if (line.label[0] != '\0')
+            define_symbol(line.label, pc);
+        if (line.mnemonic[0] != '\0')
+            pc++;
+    }
+}
+
+static void pass2(void)
+{
+    struct source_line line;
+    int i;
+
+    location = 0;
+    for (i = 0; PROGRAM_TEXT[i] != 0; i++) {
+        if (!parse_line(PROGRAM_TEXT[i], &line))
+            continue;
+        if (line.mnemonic[0] == '\0')
+            continue;
+        assemble_line(line.mnemonic, line.reg,
+                      line.has_operand ? line.operand : 0);
+    }
+}
+
+static void listing(void)
+{
+    int i;
+    struct insn_word *w;
+
+    for (i = 0; i < location && i < MAXCODE; i++) {
+        w = (struct insn_word *)&code[i];
+        printf("%04d: op=%u reg=%u imm=%u\n",
+               i, (unsigned)w->opcode, (unsigned)w->reg, (unsigned)w->imm);
+    }
+}
+
+int main(void)
+{
+    init_opcodes();
+    pass1();
+    pass2();
+    listing();
+    printf("%d words, %d errors, %d undefined\n",
+           location, errors, count_undefined());
+    return errors == 0 ? 0 : 1;
+}

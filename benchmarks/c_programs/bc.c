@@ -1,0 +1,739 @@
+/* bc - arbitrary-precision calculator over a tagged AST.
+ *
+ * Stand-in for GNU "bc", the paper's worst case for the Collapse Always
+ * algorithm (Figure 4 shows its points-to sets more than 10x larger
+ * there).  Two idioms are responsible:
+ *
+ *  - every AST node shares a small header (tag + source position) and is
+ *    downcast to its concrete variant, and
+ *  - like real bc, values are arbitrary-precision numbers represented as
+ *    multi-field structs embedded in the variants, so a collapsed
+ *    analysis expands each node fact across many fields while a
+ *    field-sensitive one keeps each variant's pointers separate.
+ */
+
+#define TAG_NUM 1
+#define TAG_VAR 2
+#define TAG_BINOP 3
+#define TAG_UNOP 4
+#define TAG_CALL 5
+#define TAG_ASSIGN 6
+
+#define NDIGITS 24
+
+/* bc_num-style arbitrary-precision value. */
+struct number {
+    char *digits;
+    int len;
+    int scale;
+    int sign;
+    int refs;
+};
+
+struct node {
+    int tag;
+    int line;
+};
+
+struct num_node {
+    struct node hdr;
+    struct number value;
+};
+
+struct var_node {
+    struct node hdr;
+    char *name;
+    struct var_node *next_var;
+    struct number value;
+    int assignments;
+};
+
+struct binop_node {
+    struct node hdr;
+    int op;
+    struct node *left;
+    struct node *right;
+    struct number cache;
+    int cached;
+};
+
+struct unop_node {
+    struct node hdr;
+    int op;
+    struct node *operand;
+    struct number cache;
+    int cached;
+};
+
+struct call_node {
+    struct node hdr;
+    char *fname;
+    struct node *arg;
+    struct number cache;
+    int cached;
+};
+
+struct assign_node {
+    struct node hdr;
+    struct var_node *target;
+    struct node *value;
+};
+
+/* Interpreter context, like bc's global state: scale/base settings,
+ * output buffering, error accounting, the variable list.  Functions
+ * receive it by pointer and read single fields -- precisely the access
+ * pattern a collapsed analysis smears across the whole record. */
+struct interp {
+    struct var_node *vars;
+    struct number last;
+    char *prompt;
+    char *outbuf;
+    int outlen;
+    int scale;
+    int ibase;
+    int obase;
+    int errors;
+    int warnings;
+    long reads;
+    long writes;
+    int line_no;
+    int interactive;
+};
+
+static struct interp g_interp;
+static struct var_node *var_list;
+static int nodes_built;
+static long eval_count;
+
+static void init_hdr(struct node *n, int tag)
+{
+    n->tag = tag;
+    n->line = nodes_built;
+    nodes_built++;
+}
+
+static void ctx_error(struct interp *ctx, char *msg)
+{
+    ctx->errors++;
+    if (ctx->interactive)
+        printf("line %d: %s\n", ctx->line_no, msg);
+}
+
+static void ctx_emit(struct interp *ctx, char *text)
+{
+    char *p;
+
+    for (p = text; *p != '\0'; p++) {
+        if (ctx->outlen < 255) {
+            ctx->outbuf[ctx->outlen] = *p;
+            ctx->outlen++;
+        }
+    }
+    ctx->writes++;
+}
+
+static int ctx_scale(struct interp *ctx)
+{
+    return ctx->scale;
+}
+
+static int ctx_base(struct interp *ctx, int which)
+{
+    ctx->reads++;
+    return which ? ctx->obase : ctx->ibase;
+}
+
+static void ctx_remember(struct interp *ctx, struct number *n)
+{
+    ctx->last.digits = n->digits;
+    ctx->last.len = n->len;
+    ctx->last.scale = n->scale;
+    ctx->last.sign = n->sign;
+    ctx->last.refs = 1;
+}
+
+static void num_from_long(struct number *out, long v)
+{
+    char *d;
+    int i;
+    long x;
+
+    d = (char *)malloc(NDIGITS);
+    for (i = 0; i < NDIGITS; i++)
+        d[i] = 0;
+    out->sign = v < 0 ? -1 : 1;
+    x = v < 0 ? -v : v;
+    i = 0;
+    while (x > 0 && i < NDIGITS) {
+        d[i] = (char)(x % 10);
+        x = x / 10;
+        i++;
+    }
+    out->digits = d;
+    out->len = i > 0 ? i : 1;
+    out->scale = 0;
+    out->refs = 1;
+}
+
+static long num_to_long(struct number *n)
+{
+    long v;
+    int i;
+
+    v = 0;
+    for (i = n->len - 1; i >= 0; i--)
+        v = v * 10 + n->digits[i];
+    return n->sign < 0 ? -v : v;
+}
+
+static void num_copy(struct number *dst, struct number *src)
+{
+    dst->digits = src->digits;
+    dst->len = src->len;
+    dst->scale = src->scale;
+    dst->sign = src->sign;
+    src->refs++;
+    dst->refs = 1;
+}
+
+static void num_add(struct number *out, struct number *a, struct number *b)
+{
+    num_from_long(out, num_to_long(a) + num_to_long(b));
+}
+
+static void num_sub(struct number *out, struct number *a, struct number *b)
+{
+    num_from_long(out, num_to_long(a) - num_to_long(b));
+}
+
+static void num_mul(struct number *out, struct number *a, struct number *b)
+{
+    num_from_long(out, num_to_long(a) * num_to_long(b));
+}
+
+static void num_div(struct number *out, struct number *a, struct number *b)
+{
+    long d;
+
+    d = num_to_long(b);
+    num_from_long(out, d != 0 ? num_to_long(a) / d : 0);
+}
+
+static struct node *mk_num(long v)
+{
+    struct num_node *n;
+
+    n = (struct num_node *)malloc(sizeof(struct num_node));
+    init_hdr(&n->hdr, TAG_NUM);
+    num_from_long(&n->value, v);
+    return &n->hdr;
+}
+
+static struct var_node *lookup_var(char *name)
+{
+    struct var_node *v;
+
+    for (v = var_list; v != 0; v = v->next_var) {
+        if (strcmp(v->name, name) == 0)
+            return v;
+    }
+    v = (struct var_node *)malloc(sizeof(struct var_node));
+    init_hdr(&v->hdr, TAG_VAR);
+    v->name = strdup(name);
+    num_from_long(&v->value, 0);
+    v->assignments = 0;
+    v->next_var = var_list;
+    var_list = v;
+    return v;
+}
+
+static struct node *mk_var(char *name)
+{
+    struct var_node *v;
+
+    v = lookup_var(name);
+    return &v->hdr;
+}
+
+static struct node *mk_binop(int op, struct node *l, struct node *r)
+{
+    struct binop_node *n;
+
+    n = (struct binop_node *)malloc(sizeof(struct binop_node));
+    init_hdr(&n->hdr, TAG_BINOP);
+    n->op = op;
+    n->left = l;
+    n->right = r;
+    n->cached = 0;
+    return &n->hdr;
+}
+
+static struct node *mk_unop(int op, struct node *operand)
+{
+    struct unop_node *n;
+
+    n = (struct unop_node *)malloc(sizeof(struct unop_node));
+    init_hdr(&n->hdr, TAG_UNOP);
+    n->op = op;
+    n->operand = operand;
+    n->cached = 0;
+    return &n->hdr;
+}
+
+static struct node *mk_call(char *fname, struct node *arg)
+{
+    struct call_node *n;
+
+    n = (struct call_node *)malloc(sizeof(struct call_node));
+    init_hdr(&n->hdr, TAG_CALL);
+    n->fname = fname;
+    n->arg = arg;
+    n->cached = 0;
+    return &n->hdr;
+}
+
+static struct node *mk_assign(char *name, struct node *value)
+{
+    struct assign_node *n;
+
+    n = (struct assign_node *)malloc(sizeof(struct assign_node));
+    init_hdr(&n->hdr, TAG_ASSIGN);
+    n->target = lookup_var(name);
+    n->value = value;
+    return &n->hdr;
+}
+
+static void eval(struct node *n, struct number *out);
+
+static void eval_binop(struct binop_node *b, struct number *out)
+{
+    struct number l;
+    struct number r;
+
+    if (b->cached) {
+        num_copy(out, &b->cache);
+        return;
+    }
+    eval(b->left, &l);
+    eval(b->right, &r);
+    switch (b->op) {
+    case '+':
+        num_add(out, &l, &r);
+        break;
+    case '-':
+        num_sub(out, &l, &r);
+        break;
+    case '*':
+        num_mul(out, &l, &r);
+        break;
+    case '/':
+        num_div(out, &l, &r);
+        break;
+    default:
+        num_from_long(out, 0);
+        break;
+    }
+    num_copy(&b->cache, out);
+    b->cached = 1;
+}
+
+static void eval_call(struct call_node *c, struct number *out)
+{
+    struct number a;
+    long v;
+
+    eval(c->arg, &a);
+    v = num_to_long(&a);
+    if (strcmp(c->fname, "sqrt") == 0) {
+        long r;
+        r = 0;
+        while ((r + 1) * (r + 1) <= v)
+            r++;
+        num_from_long(out, r);
+        return;
+    }
+    if (strcmp(c->fname, "abs") == 0) {
+        num_from_long(out, v < 0 ? -v : v);
+        return;
+    }
+    num_copy(out, &a);
+}
+
+static void eval(struct node *n, struct number *out)
+{
+    struct interp *ctx;
+
+    ctx = &g_interp;
+    ctx->line_no = n->line;
+    if (ctx_base(ctx, 0) != 10)
+        ctx_error(ctx, "only base 10 supported");
+    eval_count++;
+    switch (n->tag) {
+    case TAG_NUM:
+        num_copy(out, &((struct num_node *)n)->value);
+        break;
+    case TAG_VAR:
+        num_copy(out, &((struct var_node *)n)->value);
+        break;
+    case TAG_BINOP:
+        eval_binop((struct binop_node *)n, out);
+        break;
+    case TAG_UNOP: {
+        struct unop_node *u;
+        struct number inner;
+        u = (struct unop_node *)n;
+        eval(u->operand, &inner);
+        if (u->op == '-')
+            num_from_long(out, -num_to_long(&inner));
+        else
+            num_copy(out, &inner);
+        break;
+    }
+    case TAG_CALL:
+        eval_call((struct call_node *)n, out);
+        break;
+    case TAG_ASSIGN: {
+        struct assign_node *a;
+        a = (struct assign_node *)n;
+        eval(a->value, out);
+        num_copy(&a->target->value, out);
+        a->target->assignments++;
+        break;
+    }
+    default:
+        ctx_error(ctx, "bad tag");
+        num_from_long(out, 0);
+        break;
+    }
+    if (out->scale > ctx_scale(ctx))
+        out->scale = ctx_scale(ctx);
+    ctx_remember(ctx, out);
+}
+
+static void print_number(struct interp *ctx, struct number *n)
+{
+    char buf[32];
+    int i;
+    int k;
+
+    k = 0;
+    if (n->sign < 0)
+        buf[k++] = '-';
+    for (i = n->len - 1; i >= 0 && k < 30; i--)
+        buf[k++] = (char)('0' + n->digits[i]);
+    buf[k++] = '\n';
+    buf[k] = '\0';
+    ctx_emit(ctx, buf);
+}
+
+static void free_tree(struct node *n)
+{
+    switch (n->tag) {
+    case TAG_BINOP: {
+        struct binop_node *b;
+        b = (struct binop_node *)n;
+        free_tree(b->left);
+        free_tree(b->right);
+        break;
+    }
+    case TAG_UNOP:
+        free_tree(((struct unop_node *)n)->operand);
+        break;
+    case TAG_CALL:
+        free_tree(((struct call_node *)n)->arg);
+        break;
+    case TAG_ASSIGN:
+        free_tree(((struct assign_node *)n)->value);
+        break;
+    case TAG_VAR:
+        return; /* owned by var_list */
+    }
+    free(n);
+}
+
+/* ------------------------------------------------------------------ */
+/* Lexer: the calculator reads expressions from text, like real bc.    */
+/* ------------------------------------------------------------------ */
+
+#define TK_EOF 0
+#define TK_NUM 1
+#define TK_NAME 2
+#define TK_OP 3
+#define TK_LPAREN 4
+#define TK_RPAREN 5
+#define TK_ASSIGN 6
+#define TK_SEMI 7
+
+struct lexer {
+    char *src;
+    char *pos;
+    int kind;
+    long num_value;
+    char name[32];
+    int op;
+    int line;
+};
+
+static void lex_init(struct lexer *lx, char *text)
+{
+    lx->src = text;
+    lx->pos = text;
+    lx->line = 1;
+    lx->kind = TK_EOF;
+}
+
+static void lex_next(struct lexer *lx)
+{
+    char *p;
+
+    p = lx->pos;
+    while (*p == ' ' || *p == '\t' || *p == '\n') {
+        if (*p == '\n')
+            lx->line++;
+        p++;
+    }
+    if (*p == '\0') {
+        lx->kind = TK_EOF;
+        lx->pos = p;
+        return;
+    }
+    if (isdigit(*p)) {
+        long v;
+        v = 0;
+        while (isdigit(*p))
+            v = v * 10 + (*p++ - '0');
+        lx->kind = TK_NUM;
+        lx->num_value = v;
+        lx->pos = p;
+        return;
+    }
+    if (isalpha(*p) || *p == '_') {
+        int i;
+        i = 0;
+        while ((isalnum(*p) || *p == '_') && i < 31)
+            lx->name[i++] = *p++;
+        lx->name[i] = '\0';
+        lx->kind = TK_NAME;
+        lx->pos = p;
+        return;
+    }
+    switch (*p) {
+    case '(':
+        lx->kind = TK_LPAREN;
+        break;
+    case ')':
+        lx->kind = TK_RPAREN;
+        break;
+    case '=':
+        lx->kind = TK_ASSIGN;
+        break;
+    case ';':
+        lx->kind = TK_SEMI;
+        break;
+    default:
+        lx->kind = TK_OP;
+        lx->op = *p;
+        break;
+    }
+    lx->pos = p + 1;
+}
+
+/* ------------------------------------------------------------------ */
+/* Recursive-descent parser building the tagged AST.                   */
+/*   stmt   := NAME '=' expr | expr                                    */
+/*   expr   := term (('+'|'-') term)*                                  */
+/*   term   := factor (('*'|'/'|'%') factor)*                          */
+/*   factor := '-' factor | NUM | NAME | NAME '(' expr ')' | '(' expr ')' */
+/* ------------------------------------------------------------------ */
+
+static struct node *parse_expr(struct lexer *lx);
+
+static struct node *parse_factor(struct lexer *lx)
+{
+    struct node *n;
+
+    if (lx->kind == TK_OP && lx->op == '-') {
+        lex_next(lx);
+        return mk_unop('-', parse_factor(lx));
+    }
+    if (lx->kind == TK_NUM) {
+        n = mk_num(lx->num_value);
+        lex_next(lx);
+        return n;
+    }
+    if (lx->kind == TK_NAME) {
+        char saved[32];
+        strcpy(saved, lx->name);
+        lex_next(lx);
+        if (lx->kind == TK_LPAREN) {
+            lex_next(lx);
+            n = mk_call(strdup(saved), parse_expr(lx));
+            if (lx->kind == TK_RPAREN)
+                lex_next(lx);
+            else
+                ctx_error(&g_interp, "missing )");
+            return n;
+        }
+        return mk_var(saved);
+    }
+    if (lx->kind == TK_LPAREN) {
+        lex_next(lx);
+        n = parse_expr(lx);
+        if (lx->kind == TK_RPAREN)
+            lex_next(lx);
+        else
+            ctx_error(&g_interp, "missing )");
+        return n;
+    }
+    ctx_error(&g_interp, "unexpected token");
+    lex_next(lx);
+    return mk_num(0);
+}
+
+static struct node *parse_term(struct lexer *lx)
+{
+    struct node *n;
+
+    n = parse_factor(lx);
+    while (lx->kind == TK_OP
+           && (lx->op == '*' || lx->op == '/' || lx->op == '%')) {
+        int op;
+        op = lx->op;
+        lex_next(lx);
+        n = mk_binop(op, n, parse_factor(lx));
+    }
+    return n;
+}
+
+static struct node *parse_expr(struct lexer *lx)
+{
+    struct node *n;
+
+    n = parse_term(lx);
+    while (lx->kind == TK_OP && (lx->op == '+' || lx->op == '-')) {
+        int op;
+        op = lx->op;
+        lex_next(lx);
+        n = mk_binop(op, n, parse_term(lx));
+    }
+    return n;
+}
+
+static struct node *parse_stmt(struct lexer *lx)
+{
+    struct node *n;
+
+    if (lx->kind == TK_NAME) {
+        char saved[32];
+        char *after;
+        strcpy(saved, lx->name);
+        after = lx->pos;
+        lex_next(lx);
+        if (lx->kind == TK_ASSIGN) {
+            lex_next(lx);
+            return mk_assign(saved, parse_expr(lx));
+        }
+        /* Not an assignment: rewind and parse as an expression. */
+        lx->pos = after;
+        strcpy(lx->name, saved);
+        lx->kind = TK_NAME;
+        n = parse_expr(lx);
+        return n;
+    }
+    return parse_expr(lx);
+}
+
+/* ------------------------------------------------------------------ */
+/* Driver: a statement list kept on a work queue, like bc's main loop. */
+/* ------------------------------------------------------------------ */
+
+struct stmt_entry {
+    struct stmt_entry *next;
+    struct node *tree;
+    int line;
+};
+
+static struct stmt_entry *queue_head;
+static struct stmt_entry *queue_tail;
+
+static void enqueue_stmt(struct node *tree, int line)
+{
+    struct stmt_entry *e;
+
+    e = (struct stmt_entry *)malloc(sizeof(struct stmt_entry));
+    e->tree = tree;
+    e->line = line;
+    e->next = 0;
+    if (queue_tail == 0)
+        queue_head = e;
+    else
+        queue_tail->next = e;
+    queue_tail = e;
+}
+
+static void parse_program(char *text)
+{
+    struct lexer lx;
+
+    lex_init(&lx, text);
+    lex_next(&lx);
+    while (lx.kind != TK_EOF) {
+        enqueue_stmt(parse_stmt(&lx), lx.line);
+        while (lx.kind == TK_SEMI)
+            lex_next(&lx);
+    }
+}
+
+static long run_queue(void)
+{
+    struct stmt_entry *e;
+    struct number result;
+    long last;
+
+    last = 0;
+    for (e = queue_head; e != 0; e = e->next) {
+        g_interp.line_no = e->line;
+        eval(e->tree, &result);
+        print_number(&g_interp, &result);
+        last = num_to_long(&result);
+    }
+    return last;
+}
+
+static void dump_variables(void)
+{
+    struct var_node *v;
+
+    for (v = var_list; v != 0; v = v->next_var)
+        printf("%s = %ld (assigned %d times)\n",
+               v->name, num_to_long(&v->value), v->assignments);
+}
+
+static char output_buffer[256];
+
+int main(void)
+{
+    long last;
+
+    g_interp.vars = 0;
+    g_interp.prompt = "> ";
+    g_interp.outbuf = output_buffer;
+    g_interp.outlen = 0;
+    g_interp.scale = 20;
+    g_interp.ibase = 10;
+    g_interp.obase = 10;
+    g_interp.interactive = 0;
+
+    parse_program(
+        "x = (3 + 4) * 2;"
+        "y = sqrt(x) - (-5);"
+        "z = x * y + abs(0 - 12);"
+        "z % 7;"
+    );
+    last = run_queue();
+    printf("%s", g_interp.outbuf);
+    dump_variables();
+    printf("last = %ld (nodes=%d evals=%ld errors=%d)\n",
+           last, nodes_built, eval_count, g_interp.errors);
+    return 0;
+}

@@ -1,0 +1,256 @@
+/* compress - LZW compression over a byte buffer.
+ *
+ * Stand-in for the SPEC "compress" benchmark: a code table indexed by
+ * (prefix, char) hashing, array-based chaining, and bit packing.  All
+ * structure use is at declared types.
+ */
+
+#define TABLE_BITS 13
+#define TABLE_SIZE 8192
+#define FIRST_CODE 257
+#define CLEAR_CODE 256
+#define MAXBYTES 4096
+
+struct entry {
+    int prefix;
+    int suffix;
+    int code;
+    int in_use;
+};
+
+struct codec {
+    struct entry table[TABLE_SIZE];
+    int next_code;
+    int bits_per_code;
+    long packed_bits;
+};
+
+static struct codec enc;
+static unsigned char input[MAXBYTES];
+static int input_len;
+static int output_codes[MAXBYTES];
+static int output_len;
+
+static unsigned int hash_pair(int prefix, int suffix)
+{
+    unsigned int h;
+
+    h = (unsigned int)(prefix * 31 + suffix * 7 + 3);
+    return h % TABLE_SIZE;
+}
+
+static struct entry *probe(struct codec *c, int prefix, int suffix)
+{
+    unsigned int h;
+    struct entry *e;
+    int tries;
+
+    h = hash_pair(prefix, suffix);
+    tries = 0;
+    for (;;) {
+        e = &c->table[h];
+        if (!e->in_use)
+            return e;
+        if (e->prefix == prefix && e->suffix == suffix)
+            return e;
+        h = (h + 1) % TABLE_SIZE;
+        tries++;
+        if (tries >= TABLE_SIZE)
+            return 0;
+    }
+}
+
+static void reset_codec(struct codec *c)
+{
+    int i;
+
+    for (i = 0; i < TABLE_SIZE; i++)
+        c->table[i].in_use = 0;
+    c->next_code = FIRST_CODE;
+    c->bits_per_code = 9;
+    c->packed_bits = 0;
+}
+
+static void emit_code(struct codec *c, int code)
+{
+    output_codes[output_len] = code;
+    output_len++;
+    c->packed_bits += c->bits_per_code;
+    if (c->next_code >> c->bits_per_code)
+        c->bits_per_code++;
+}
+
+static void compress_buffer(struct codec *c)
+{
+    int prefix;
+    int i;
+    struct entry *e;
+
+    if (input_len == 0)
+        return;
+    prefix = input[0];
+    for (i = 1; i < input_len; i++) {
+        int ch;
+        ch = input[i];
+        e = probe(c, prefix, ch);
+        if (e != 0 && e->in_use) {
+            prefix = e->code;
+            continue;
+        }
+        emit_code(c, prefix);
+        if (e != 0 && c->next_code < TABLE_SIZE + FIRST_CODE) {
+            e->prefix = prefix;
+            e->suffix = ch;
+            e->code = c->next_code;
+            e->in_use = 1;
+            c->next_code++;
+        } else {
+            emit_code(c, CLEAR_CODE);
+            reset_codec(c);
+        }
+        prefix = ch;
+    }
+    emit_code(c, prefix);
+}
+
+static void fill_input(void)
+{
+    int i;
+
+    input_len = MAXBYTES;
+    for (i = 0; i < input_len; i++)
+        input[i] = (unsigned char)((i * i + i / 7) % 61);
+}
+
+/* ------------------------------------------------------------------ */
+/* Decompressor: rebuild the byte stream from the emitted codes and    */
+/* verify the round trip, as the SPEC harness does.                    */
+/* ------------------------------------------------------------------ */
+
+struct dict_entry {
+    int prefix;             /* previous code, or -1 for roots */
+    unsigned char suffix;
+};
+
+struct decoder {
+    struct dict_entry dict[TABLE_SIZE + FIRST_CODE];
+    int next_code;
+};
+
+static struct decoder dec;
+static unsigned char rebuilt[MAXBYTES * 2];
+static int rebuilt_len;
+
+static void decoder_reset(struct decoder *d)
+{
+    int i;
+
+    for (i = 0; i < 256; i++) {
+        d->dict[i].prefix = -1;
+        d->dict[i].suffix = (unsigned char)i;
+    }
+    d->next_code = FIRST_CODE;
+}
+
+static int expand_code(struct decoder *d, int code, unsigned char *out,
+                       int max)
+{
+    unsigned char stack[TABLE_SIZE];
+    int depth;
+    int n;
+
+    depth = 0;
+    while (code >= 0 && depth < TABLE_SIZE) {
+        if (code >= d->next_code && code >= 256)
+            return -1;  /* corrupt stream */
+        stack[depth++] = d->dict[code].suffix;
+        code = d->dict[code].prefix;
+    }
+    n = 0;
+    while (depth > 0 && n < max) {
+        out[n++] = stack[--depth];
+        (void)stack;
+    }
+    return n;
+}
+
+static unsigned char first_byte_of(struct decoder *d, int code)
+{
+    while (d->dict[code].prefix >= 0)
+        code = d->dict[code].prefix;
+    return d->dict[code].suffix;
+}
+
+static int decompress(struct decoder *d)
+{
+    int i;
+    int prev;
+    int code;
+    int n;
+
+    decoder_reset(d);
+    rebuilt_len = 0;
+    prev = -1;
+    for (i = 0; i < output_len; i++) {
+        code = output_codes[i];
+        if (code == CLEAR_CODE) {
+            decoder_reset(d);
+            prev = -1;
+            continue;
+        }
+        if (prev >= 0 && d->next_code < TABLE_SIZE + FIRST_CODE) {
+            d->dict[d->next_code].prefix = prev;
+            if (code < d->next_code)
+                d->dict[d->next_code].suffix = first_byte_of(d, code);
+            else
+                d->dict[d->next_code].suffix = first_byte_of(d, prev);
+            d->next_code++;
+        }
+        n = expand_code(d, code, &rebuilt[rebuilt_len],
+                        (int)sizeof(rebuilt) - rebuilt_len);
+        if (n < 0)
+            return 0;
+        rebuilt_len += n;
+        prev = code;
+    }
+    return 1;
+}
+
+static int verify_roundtrip(void)
+{
+    int i;
+
+    if (rebuilt_len != input_len)
+        return 0;
+    for (i = 0; i < input_len; i++) {
+        if (rebuilt[i] != input[i])
+            return 0;
+    }
+    return 1;
+}
+
+static double ratio(struct codec *c)
+{
+    double in_bits;
+
+    in_bits = (double)input_len * 8.0;
+    if (c->packed_bits == 0)
+        return 0.0;
+    return in_bits / (double)c->packed_bits;
+}
+
+int main(void)
+{
+    int ok;
+
+    fill_input();
+    reset_codec(&enc);
+    compress_buffer(&enc);
+    printf("%d bytes -> %d codes (%ld bits), ratio %f\n",
+           input_len, output_len, enc.packed_bits, ratio(&enc));
+    ok = decompress(&dec);
+    printf("decompress: %s, %d bytes, roundtrip %s\n",
+           ok ? "ok" : "corrupt", rebuilt_len,
+           verify_roundtrip() ? "verified" : "FAILED");
+    return verify_roundtrip() ? 0 : 1;
+}

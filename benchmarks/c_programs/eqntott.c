@@ -1,0 +1,317 @@
+/* eqntott - boolean equation to truth-table converter core.
+ *
+ * Stand-in for SPEC "eqntott".  Casting idioms: product terms are
+ * copied between differently shaped record types with block copies
+ * (struct assignment through casted pointers and memcpy), and a compact
+ * representation overlays the full one (common initial sequence).
+ */
+
+#define MAXVARS 16
+#define MAXTERMS 64
+
+/* Full representation: variables + bookkeeping. */
+struct pterm {
+    short literals[MAXVARS];
+    int nvars;
+    int weight;
+    struct pterm *next;
+};
+
+/* Compact overlay: shares the literal block (common initial sequence
+ * with struct pterm up to literals). */
+struct cterm {
+    short literals[MAXVARS];
+    int nvars;
+};
+
+struct table {
+    struct pterm *terms;
+    int nterms;
+    int nvars;
+};
+
+static struct table ontab;
+static struct table offtab;
+static struct pterm storage[MAXTERMS];
+static int storage_used;
+
+static struct pterm *new_term(struct table *t)
+{
+    struct pterm *p;
+
+    if (storage_used >= MAXTERMS)
+        return 0;
+    p = &storage[storage_used];
+    storage_used++;
+    p->nvars = t->nvars;
+    p->weight = 0;
+    p->next = t->terms;
+    t->terms = p;
+    t->nterms++;
+    return p;
+}
+
+static void set_literal(struct pterm *p, int var, int value)
+{
+    p->literals[var] = (short)value;
+}
+
+static int term_weight(struct pterm *p)
+{
+    int i;
+    int w;
+
+    w = 0;
+    for (i = 0; i < p->nvars; i++) {
+        if (p->literals[i] != 2)
+            w++;
+    }
+    return w;
+}
+
+static void copy_compact(struct cterm *dst, struct pterm *src)
+{
+    /* Block copy through the compact view: only the common initial
+     * sequence (literals + nvars) is transferred. */
+    *dst = *(struct cterm *)src;
+}
+
+static int compact_equal(struct cterm *a, struct cterm *b)
+{
+    int i;
+
+    if (a->nvars != b->nvars)
+        return 0;
+    for (i = 0; i < a->nvars; i++) {
+        if (a->literals[i] != b->literals[i])
+            return 0;
+    }
+    return 1;
+}
+
+static int merge_distance(struct pterm *a, struct pterm *b)
+{
+    int i;
+    int d;
+
+    d = 0;
+    for (i = 0; i < a->nvars; i++) {
+        if (a->literals[i] != b->literals[i])
+            d++;
+    }
+    return d;
+}
+
+static int try_merge(struct table *t)
+{
+    struct pterm *a;
+    struct pterm *b;
+    int merged;
+
+    merged = 0;
+    for (a = t->terms; a != 0; a = a->next) {
+        for (b = a->next; b != 0; b = b->next) {
+            if (merge_distance(a, b) == 1) {
+                int i;
+                for (i = 0; i < a->nvars; i++) {
+                    if (a->literals[i] != b->literals[i])
+                        set_literal(a, i, 2);
+                }
+                b->weight = -1; /* dead */
+                merged++;
+            }
+        }
+    }
+    return merged;
+}
+
+static void sweep_dead(struct table *t)
+{
+    struct pterm **link;
+    struct pterm *p;
+
+    link = &t->terms;
+    while ((p = *link) != 0) {
+        if (p->weight < 0) {
+            *link = p->next;
+            t->nterms--;
+        } else {
+            link = &p->next;
+        }
+    }
+}
+
+static int truth_value(struct table *t, unsigned int assignment)
+{
+    struct pterm *p;
+    int i;
+    int ok;
+
+    for (p = t->terms; p != 0; p = p->next) {
+        ok = 1;
+        for (i = 0; i < p->nvars; i++) {
+            int bit;
+            bit = (assignment >> i) & 1;
+            if (p->literals[i] == 1 && bit == 0)
+                ok = 0;
+            if (p->literals[i] == 0 && bit == 1)
+                ok = 0;
+        }
+        if (ok)
+            return 1;
+    }
+    return 0;
+}
+
+static void dump_table(struct table *t, char *tag)
+{
+    struct pterm *p;
+    int i;
+
+    printf("%s (%d terms):\n", tag, t->nterms);
+    for (p = t->terms; p != 0; p = p->next) {
+        printf("  ");
+        for (i = 0; i < p->nvars; i++) {
+            int v;
+            v = p->literals[i];
+            putchar(v == 2 ? '-' : (v == 1 ? '1' : '0'));
+        }
+        printf(" (w=%d)\n", p->weight);
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* PLA output and cover verification: print the minimized table in     */
+/* Berkeley PLA format and check it still covers the original          */
+/* function, as eqntott's back end does.                               */
+/* ------------------------------------------------------------------ */
+
+static int saved_truth[1 << MAXVARS];
+static int saved_count;
+
+static void snapshot_truth(struct table *t)
+{
+    unsigned int a;
+    unsigned int limit;
+
+    limit = 1u << t->nvars;
+    for (a = 0; a < limit && a < (1u << MAXVARS); a++)
+        saved_truth[a] = truth_value(t, a);
+    saved_count = (int)limit;
+}
+
+static int cover_preserved(struct table *t)
+{
+    unsigned int a;
+
+    for (a = 0; a < (unsigned int)saved_count; a++) {
+        if (truth_value(t, a) != saved_truth[a])
+            return 0;
+    }
+    return 1;
+}
+
+static void print_pla(struct table *t, char *name)
+{
+    struct pterm *p;
+    int i;
+
+    printf(".i %d\n.o 1\n.p %d\n", t->nvars, t->nterms);
+    for (p = t->terms; p != 0; p = p->next) {
+        for (i = 0; i < p->nvars; i++) {
+            int v;
+            v = p->literals[i];
+            putchar(v == 2 ? '-' : (v == 1 ? '1' : '0'));
+        }
+        printf(" 1\n");
+    }
+    printf(".e  (%s)\n", name);
+}
+
+/* Complement cover: terms the function is 0 on, built by scanning the
+ * truth table -- populates the OFF-set the way eqntott does for the
+ * two-output PLA form. */
+
+static void build_offset(struct table *on, struct table *off)
+{
+    unsigned int a;
+    unsigned int limit;
+    struct pterm *p;
+    int i;
+
+    limit = 1u << on->nvars;
+    for (a = 0; a < limit; a++) {
+        if (truth_value(on, a))
+            continue;
+        p = new_term(off);
+        if (p == 0)
+            return;
+        for (i = 0; i < on->nvars; i++)
+            set_literal(p, i, (int)((a >> i) & 1));
+        p->weight = term_weight(p);
+    }
+}
+
+static int covers_disjoint(struct table *on, struct table *off)
+{
+    unsigned int a;
+    unsigned int limit;
+
+    limit = 1u << on->nvars;
+    for (a = 0; a < limit; a++) {
+        if (truth_value(on, a) && truth_value(off, a))
+            return 0;
+    }
+    return 1;
+}
+
+int main(void)
+{
+    struct pterm *p;
+    struct cterm c1;
+    struct cterm c2;
+    unsigned int a;
+    int ones;
+
+    ontab.nvars = 3;
+    offtab.nvars = 3;
+
+    /* f = a'bc + abc + ab'c  (three minterms) */
+    p = new_term(&ontab);
+    set_literal(p, 0, 0); set_literal(p, 1, 1); set_literal(p, 2, 1);
+    p = new_term(&ontab);
+    set_literal(p, 0, 1); set_literal(p, 1, 1); set_literal(p, 2, 1);
+    p = new_term(&ontab);
+    set_literal(p, 0, 1); set_literal(p, 1, 0); set_literal(p, 2, 1);
+
+    for (p = ontab.terms; p != 0; p = p->next)
+        p->weight = term_weight(p);
+
+    copy_compact(&c1, ontab.terms);
+    copy_compact(&c2, ontab.terms->next);
+    printf("first two terms %s\n",
+           compact_equal(&c1, &c2) ? "equal" : "differ");
+
+    snapshot_truth(&ontab);
+    while (try_merge(&ontab) > 0)
+        sweep_dead(&ontab);
+
+    dump_table(&ontab, "minimized ON-set");
+    printf("cover %s by minimization\n",
+           cover_preserved(&ontab) ? "preserved" : "BROKEN");
+
+    build_offset(&ontab, &offtab);
+    while (try_merge(&offtab) > 0)
+        sweep_dead(&offtab);
+    printf("ON and OFF covers %s\n",
+           covers_disjoint(&ontab, &offtab) ? "disjoint" : "OVERLAP");
+
+    print_pla(&ontab, "on");
+    print_pla(&offtab, "off");
+
+    ones = 0;
+    for (a = 0; a < 8; a++)
+        ones += truth_value(&ontab, a);
+    printf("truth table has %d ones of 8\n", ones);
+    return 0;
+}

@@ -1,0 +1,203 @@
+/* fixoutput - normalize whitespace and expand tabs in a text stream.
+ *
+ * Stand-in for the Austin benchmark "fixoutput": a classic character
+ * filter.  Pointer traffic is over char buffers and positions within
+ * them; no structures are cast.
+ */
+
+#define LINEMAX 512
+#define TABSTOP 8
+
+static char inbuf[LINEMAX];
+static char outbuf[LINEMAX * TABSTOP];
+static int lines_seen;
+static int tabs_expanded;
+static int trailing_trimmed;
+
+static char *skip_spaces(char *s)
+{
+    while (*s == ' ' || *s == '\t')
+        s++;
+    return s;
+}
+
+static char *line_end(char *s)
+{
+    char *e;
+
+    e = s;
+    while (*e != '\0' && *e != '\n')
+        e++;
+    return e;
+}
+
+static int expand_line(char *src, char *dst, int limit)
+{
+    char *p;
+    char *q;
+    int col;
+
+    p = src;
+    q = dst;
+    col = 0;
+    while (*p != '\0' && *p != '\n') {
+        if (*p == '\t') {
+            tabs_expanded++;
+            do {
+                if (q - dst >= limit - 1)
+                    break;
+                *q++ = ' ';
+                col++;
+            } while (col % TABSTOP != 0);
+        } else {
+            if (q - dst >= limit - 1)
+                break;
+            *q++ = *p;
+            col++;
+        }
+        p++;
+    }
+    *q = '\0';
+    return q - dst;
+}
+
+static int trim_trailing(char *s, int len)
+{
+    char *e;
+
+    e = s + len;
+    while (e > s && (e[-1] == ' ' || e[-1] == '\t')) {
+        e--;
+        trailing_trimmed++;
+    }
+    *e = '\0';
+    return e - s;
+}
+
+static void emit(char *s)
+{
+    char *body;
+
+    body = skip_spaces(s);
+    if (*body == '\0')
+        puts("");
+    else
+        puts(s);
+}
+
+/* ------------------------------------------------------------------ */
+/* Wrap mode and column statistics: the filter can also re-flow long   */
+/* lines at word boundaries and keep a histogram of line lengths.      */
+/* ------------------------------------------------------------------ */
+
+#define WRAPCOL 72
+#define HISTBINS 8
+
+struct line_stats {
+    long total_chars;
+    int longest;
+    int shortest;
+    int histogram[HISTBINS];
+    int wrapped_lines;
+};
+
+static struct line_stats stats;
+
+static void note_line(struct line_stats *st, int len)
+{
+    int bin;
+
+    st->total_chars += len;
+    if (len > st->longest)
+        st->longest = len;
+    if (st->shortest == 0 || len < st->shortest)
+        st->shortest = len;
+    bin = len * HISTBINS / (LINEMAX * TABSTOP);
+    if (bin >= HISTBINS)
+        bin = HISTBINS - 1;
+    st->histogram[bin]++;
+}
+
+static char *last_break_before(char *start, char *limit)
+{
+    char *p;
+    char *brk;
+
+    brk = 0;
+    for (p = start; p < limit && *p != '\0'; p++) {
+        if (*p == ' ')
+            brk = p;
+    }
+    return brk;
+}
+
+static void emit_wrapped(struct line_stats *st, char *s)
+{
+    char *start;
+    char *brk;
+    char saved;
+
+    start = s;
+    while ((int)strlen(start) > WRAPCOL) {
+        brk = last_break_before(start, start + WRAPCOL);
+        if (brk == 0)
+            break;
+        saved = *brk;
+        *brk = '\0';
+        emit(start);
+        *brk = saved;
+        start = brk + 1;
+        st->wrapped_lines++;
+    }
+    emit(start);
+}
+
+static void report_stats(struct line_stats *st, int lines)
+{
+    int i;
+
+    if (lines == 0)
+        return;
+    printf("lines: %d  avg len: %ld  min/max: %d/%d  wrapped: %d\n",
+           lines, st->total_chars / lines, st->shortest, st->longest,
+           st->wrapped_lines);
+    printf("histogram:");
+    for (i = 0; i < HISTBINS; i++)
+        printf(" %d", st->histogram[i]);
+    printf("\n");
+}
+
+static int read_line(FILE *in, char *buf, int max)
+{
+    char *got;
+
+    got = fgets(buf, max, in);
+    if (got == 0)
+        return 0;
+    return 1;
+}
+
+int main(void)
+{
+    FILE *in;
+    int len;
+    char *end;
+
+    in = fopen("input.txt", "r");
+    if (in == 0)
+        return 1;
+    while (read_line(in, inbuf, LINEMAX)) {
+        lines_seen++;
+        end = line_end(inbuf);
+        *end = '\0';
+        len = expand_line(inbuf, outbuf, LINEMAX * TABSTOP);
+        len = trim_trailing(outbuf, len);
+        note_line(&stats, len);
+        emit_wrapped(&stats, outbuf);
+    }
+    fclose(in);
+    printf("%d lines, %d tabs, %d trims\n",
+           lines_seen, tabs_expanded, trailing_trimmed);
+    report_stats(&stats, lines_seen);
+    return 0;
+}

@@ -1,0 +1,515 @@
+/* flex247 - scanner-generator core data structures.
+ *
+ * Stand-in for "flex-2.4.7" (the program where the paper notes the
+ * portable algorithms actually ran *faster* than Offsets).  The idioms:
+ * a byte-blob arena allocator handing out char* that callers cast to
+ * typed records, plus DFA state/transition tables built from them.
+ */
+
+#define ARENA_SIZE 8192
+#define MAXSTATES 64
+#define MAXSYMS 32
+
+struct arena {
+    char bytes[ARENA_SIZE];
+    int used;
+};
+
+struct transition {
+    struct transition *next;
+    int on_char;
+    struct state *target;
+};
+
+struct state {
+    int id;
+    int accepting;
+    struct transition *out;
+    struct rule *rule;
+};
+
+struct rule {
+    int id;
+    char *pattern;
+    int action_code;
+};
+
+static struct arena pool;
+static struct state *states[MAXSTATES];
+static int nstates;
+static struct rule *rules[MAXSYMS];
+static int nrules;
+
+static char *arena_alloc(unsigned long n)
+{
+    char *p;
+
+    /* round to pointer alignment */
+    while ((pool.used % 8) != 0)
+        pool.used++;
+    if (pool.used + (int)n > ARENA_SIZE)
+        return 0;
+    p = &pool.bytes[pool.used];
+    pool.used += (int)n;
+    return p;
+}
+
+static struct state *new_state(void)
+{
+    struct state *s;
+
+    s = (struct state *)arena_alloc(sizeof(struct state));
+    if (s == 0)
+        return 0;
+    s->id = nstates;
+    s->accepting = 0;
+    s->out = 0;
+    s->rule = 0;
+    states[nstates] = s;
+    nstates++;
+    return s;
+}
+
+static struct rule *new_rule(char *pattern, int action)
+{
+    struct rule *r;
+
+    r = (struct rule *)arena_alloc(sizeof(struct rule));
+    if (r == 0)
+        return 0;
+    r->id = nrules;
+    r->pattern = pattern;
+    r->action_code = action;
+    rules[nrules] = r;
+    nrules++;
+    return r;
+}
+
+static void add_transition(struct state *from, int c, struct state *to)
+{
+    struct transition *t;
+
+    t = (struct transition *)arena_alloc(sizeof(struct transition));
+    if (t == 0)
+        return;
+    t->on_char = c;
+    t->target = to;
+    t->next = from->out;
+    from->out = t;
+}
+
+static struct state *step(struct state *s, int c)
+{
+    struct transition *t;
+
+    for (t = s->out; t != 0; t = t->next) {
+        if (t->on_char == c)
+            return t->target;
+    }
+    return 0;
+}
+
+static struct rule *scan(struct state *start, char *text)
+{
+    struct state *cur;
+    struct state *nxt;
+    struct rule *last_accept;
+    char *p;
+
+    cur = start;
+    last_accept = 0;
+    for (p = text; *p != '\0'; p++) {
+        nxt = step(cur, *p);
+        if (nxt == 0)
+            break;
+        cur = nxt;
+        if (cur->accepting)
+            last_accept = cur->rule;
+    }
+    return last_accept;
+}
+
+static struct state *build_keyword(struct state *start, char *kw, struct rule *r)
+{
+    struct state *cur;
+    struct state *nxt;
+    char *p;
+
+    cur = start;
+    for (p = kw; *p != '\0'; p++) {
+        nxt = step(cur, *p);
+        if (nxt == 0) {
+            nxt = new_state();
+            if (nxt == 0)
+                return cur;
+            add_transition(cur, *p, nxt);
+        }
+        cur = nxt;
+    }
+    cur->accepting = 1;
+    cur->rule = r;
+    return cur;
+}
+
+static void dump_dfa(void)
+{
+    int i;
+    struct transition *t;
+
+    for (i = 0; i < nstates; i++) {
+        printf("state %d%s:", states[i]->id,
+               states[i]->accepting ? " (accept)" : "");
+        for (t = states[i]->out; t != 0; t = t->next)
+            printf(" %c->%d", t->on_char, t->target->id);
+        printf("\n");
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* NFA layer: Thompson construction for a tiny regex language          */
+/* (literals, concatenation, '|', '*'), then subset construction to a  */
+/* DFA -- the heart of what flex does.  NFA states are carved from the */
+/* same byte arena and share the casting idiom.                        */
+/* ------------------------------------------------------------------ */
+
+#define EPSILON 0
+#define MAXNFA 128
+
+struct nfa_state {
+    int id;
+    int on_char;                /* EPSILON or a literal */
+    struct nfa_state *out1;
+    struct nfa_state *out2;
+    struct rule *accept_rule;
+};
+
+struct nfa_frag {
+    struct nfa_state *start;
+    struct nfa_state *end;      /* unique dangling accept-in-waiting */
+};
+
+static struct nfa_state *nfa_states[MAXNFA];
+static int n_nfa;
+
+static struct nfa_state *nfa_new(int c)
+{
+    struct nfa_state *s;
+
+    s = (struct nfa_state *)arena_alloc(sizeof(struct nfa_state));
+    if (s == 0)
+        return 0;
+    s->id = n_nfa;
+    s->on_char = c;
+    s->out1 = 0;
+    s->out2 = 0;
+    s->accept_rule = 0;
+    if (n_nfa < MAXNFA)
+        nfa_states[n_nfa] = s;
+    n_nfa++;
+    return s;
+}
+
+static struct nfa_frag frag_literal(int c)
+{
+    struct nfa_frag f;
+
+    f.start = nfa_new(c);
+    f.end = nfa_new(EPSILON);
+    f.start->out1 = f.end;
+    return f;
+}
+
+static struct nfa_frag frag_concat(struct nfa_frag a, struct nfa_frag b)
+{
+    struct nfa_frag f;
+
+    a.end->out1 = b.start;
+    f.start = a.start;
+    f.end = b.end;
+    return f;
+}
+
+static struct nfa_frag frag_alt(struct nfa_frag a, struct nfa_frag b)
+{
+    struct nfa_frag f;
+
+    f.start = nfa_new(EPSILON);
+    f.end = nfa_new(EPSILON);
+    f.start->out1 = a.start;
+    f.start->out2 = b.start;
+    a.end->out1 = f.end;
+    b.end->out1 = f.end;
+    return f;
+}
+
+static struct nfa_frag frag_star(struct nfa_frag a)
+{
+    struct nfa_frag f;
+
+    f.start = nfa_new(EPSILON);
+    f.end = nfa_new(EPSILON);
+    f.start->out1 = a.start;
+    f.start->out2 = f.end;
+    a.end->out1 = a.start;
+    a.end->out2 = f.end;
+    return f;
+}
+
+/* regex := alt ; alt := cat ('|' cat)* ; cat := rep+ ; rep := atom '*'? */
+static char *re_pos;
+
+static struct nfa_frag re_alt(void);
+
+static struct nfa_frag re_atom(void)
+{
+    struct nfa_frag f;
+
+    if (*re_pos == '(') {
+        re_pos++;
+        f = re_alt();
+        if (*re_pos == ')')
+            re_pos++;
+        return f;
+    }
+    f = frag_literal(*re_pos);
+    re_pos++;
+    return f;
+}
+
+static struct nfa_frag re_rep(void)
+{
+    struct nfa_frag f;
+
+    f = re_atom();
+    while (*re_pos == '*') {
+        re_pos++;
+        f = frag_star(f);
+    }
+    return f;
+}
+
+static int re_at_atom(void)
+{
+    return *re_pos != '\0' && *re_pos != '|' && *re_pos != ')';
+}
+
+static struct nfa_frag re_cat(void)
+{
+    struct nfa_frag f;
+
+    f = re_rep();
+    while (re_at_atom())
+        f = frag_concat(f, re_rep());
+    return f;
+}
+
+static struct nfa_frag re_alt(void)
+{
+    struct nfa_frag f;
+
+    f = re_cat();
+    while (*re_pos == '|') {
+        re_pos++;
+        f = frag_alt(f, re_cat());
+    }
+    return f;
+}
+
+static struct nfa_frag compile_regex(char *pattern, struct rule *r)
+{
+    struct nfa_frag f;
+
+    re_pos = pattern;
+    f = re_alt();
+    f.end->accept_rule = r;
+    return f;
+}
+
+/* Subset construction: DFA states are bit-sets over NFA ids. */
+
+struct subset {
+    unsigned long bits[(MAXNFA + 63) / 64];
+    struct state *dfa;
+    struct subset *next;
+};
+
+static struct subset *subsets;
+
+static int bit_test(unsigned long *bits, int i)
+{
+    return (bits[i / 64] >> (i % 64)) & 1;
+}
+
+static void bit_set(unsigned long *bits, int i)
+{
+    bits[i / 64] |= 1UL << (i % 64);
+}
+
+static void closure(unsigned long *bits)
+{
+    int changed;
+    int i;
+
+    changed = 1;
+    while (changed) {
+        changed = 0;
+        for (i = 0; i < n_nfa && i < MAXNFA; i++) {
+            struct nfa_state *s;
+            if (!bit_test(bits, i))
+                continue;
+            s = nfa_states[i];
+            if (s->on_char != EPSILON)
+                continue;
+            if (s->out1 != 0 && !bit_test(bits, s->out1->id)) {
+                bit_set(bits, s->out1->id);
+                changed = 1;
+            }
+            if (s->out2 != 0 && !bit_test(bits, s->out2->id)) {
+                bit_set(bits, s->out2->id);
+                changed = 1;
+            }
+        }
+    }
+}
+
+static struct subset *find_subset(unsigned long *bits)
+{
+    struct subset *ss;
+    int i;
+    int same;
+
+    for (ss = subsets; ss != 0; ss = ss->next) {
+        same = 1;
+        for (i = 0; i < (MAXNFA + 63) / 64; i++) {
+            if (ss->bits[i] != bits[i])
+                same = 0;
+        }
+        if (same)
+            return ss;
+    }
+    return 0;
+}
+
+static struct subset *intern_subset(unsigned long *bits)
+{
+    struct subset *ss;
+    int i;
+
+    ss = find_subset(bits);
+    if (ss != 0)
+        return ss;
+    ss = (struct subset *)arena_alloc(sizeof(struct subset));
+    if (ss == 0)
+        return 0;
+    for (i = 0; i < (MAXNFA + 63) / 64; i++)
+        ss->bits[i] = bits[i];
+    ss->dfa = new_state();
+    for (i = 0; i < n_nfa && i < MAXNFA; i++) {
+        if (bit_test(ss->bits, i) && nfa_states[i]->accept_rule != 0) {
+            ss->dfa->accepting = 1;
+            ss->dfa->rule = nfa_states[i]->accept_rule;
+        }
+    }
+    ss->next = subsets;
+    subsets = ss;
+    return ss;
+}
+
+static struct state *determinize(struct nfa_frag nfa)
+{
+    unsigned long start_bits[(MAXNFA + 63) / 64];
+    struct subset *work;
+    struct subset *ss;
+    int i;
+    int c;
+
+    for (i = 0; i < (MAXNFA + 63) / 64; i++)
+        start_bits[i] = 0;
+    bit_set(start_bits, nfa.start->id);
+    closure(start_bits);
+    work = intern_subset(start_bits);
+    if (work == 0)
+        return 0;
+
+    /* Fixpoint over interned subsets (list only grows at the front, so
+     * iterate until no new subsets appear). */
+    for (;;) {
+        int added;
+        added = 0;
+        for (ss = subsets; ss != 0; ss = ss->next) {
+            for (c = 'a'; c <= 'z'; c++) {
+                unsigned long next_bits[(MAXNFA + 63) / 64];
+                int any;
+                struct subset *target;
+                any = 0;
+                for (i = 0; i < (MAXNFA + 63) / 64; i++)
+                    next_bits[i] = 0;
+                for (i = 0; i < n_nfa && i < MAXNFA; i++) {
+                    struct nfa_state *s;
+                    if (!bit_test(ss->bits, i))
+                        continue;
+                    s = nfa_states[i];
+                    if (s->on_char == c && s->out1 != 0) {
+                        bit_set(next_bits, s->out1->id);
+                        any = 1;
+                    }
+                }
+                if (!any)
+                    continue;
+                closure(next_bits);
+                if (find_subset(next_bits) == 0)
+                    added = 1;
+                target = intern_subset(next_bits);
+                if (target != 0 && step(ss->dfa, c) == 0)
+                    add_transition(ss->dfa, c, target->dfa);
+            }
+        }
+        if (!added)
+            break;
+    }
+    return work->dfa;
+}
+
+int main(void)
+{
+    struct state *start;
+    struct state *re_start;
+    struct rule *r_if;
+    struct rule *r_int;
+    struct rule *r_for;
+    struct rule *r_re;
+    struct rule *hit;
+    struct nfa_frag nfa;
+
+    start = new_state();
+    r_if = new_rule("if", 1);
+    r_int = new_rule("int", 2);
+    r_for = new_rule("for", 3);
+    build_keyword(start, "if", r_if);
+    build_keyword(start, "int", r_int);
+    build_keyword(start, "for", r_for);
+
+    dump_dfa();
+    hit = scan(start, "int");
+    if (hit != 0)
+        printf("matched rule %d (%s)\n", hit->id, hit->pattern);
+    hit = scan(start, "iffy");
+    if (hit != 0)
+        printf("longest match rule %d (%s)\n", hit->id, hit->pattern);
+
+    /* Regex path: (a|b)*abb via Thompson NFA + subset construction. */
+    r_re = new_rule("(a|b)*abb", 4);
+    nfa = compile_regex(r_re->pattern, r_re);
+    re_start = determinize(nfa);
+    if (re_start != 0) {
+        hit = scan(re_start, "ababb");
+        printf("regex %s on 'ababb': %s\n", r_re->pattern,
+               hit != 0 ? "accept" : "reject");
+        hit = scan(re_start, "abab");
+        printf("regex %s on 'abab': %s\n", r_re->pattern,
+               hit != 0 ? "accept" : "reject");
+    }
+    printf("%d nfa states, %d dfa states, arena used %d of %d\n",
+           n_nfa, nstates, pool.used, ARENA_SIZE);
+    return 0;
+}

@@ -1,0 +1,161 @@
+/* football - league standings calculator.
+ *
+ * Stand-in for the Landi benchmark "football": an array of team records
+ * updated from a list of match results and sorted with qsort through a
+ * comparison function pointer.  No structure casting.
+ */
+
+#define MAXTEAMS 20
+#define NAMELEN 24
+
+struct team {
+    char name[NAMELEN];
+    int played;
+    int won;
+    int drawn;
+    int lost;
+    int scored;
+    int conceded;
+    int points;
+};
+
+struct match {
+    int home;
+    int away;
+    int home_goals;
+    int away_goals;
+};
+
+static struct team league[MAXTEAMS];
+static int nteams;
+
+static struct team *team_by_index(int i)
+{
+    return &league[i];
+}
+
+static int add_team(char *name)
+{
+    struct team *t;
+
+    t = &league[nteams];
+    strncpy(t->name, name, NAMELEN - 1);
+    t->name[NAMELEN - 1] = '\0';
+    t->played = 0;
+    t->won = 0;
+    t->drawn = 0;
+    t->lost = 0;
+    t->scored = 0;
+    t->conceded = 0;
+    t->points = 0;
+    nteams++;
+    return nteams - 1;
+}
+
+static void apply_result(struct match *m)
+{
+    struct team *h;
+    struct team *a;
+
+    h = team_by_index(m->home);
+    a = team_by_index(m->away);
+    h->played++;
+    a->played++;
+    h->scored += m->home_goals;
+    h->conceded += m->away_goals;
+    a->scored += m->away_goals;
+    a->conceded += m->home_goals;
+    if (m->home_goals > m->away_goals) {
+        h->won++;
+        a->lost++;
+        h->points += 3;
+    } else if (m->home_goals < m->away_goals) {
+        a->won++;
+        h->lost++;
+        a->points += 3;
+    } else {
+        h->drawn++;
+        a->drawn++;
+        h->points++;
+        a->points++;
+    }
+}
+
+static int goal_difference(struct team *t)
+{
+    return t->scored - t->conceded;
+}
+
+static int compare_teams(struct team *a, struct team *b)
+{
+    if (a->points != b->points)
+        return b->points - a->points;
+    if (goal_difference(a) != goal_difference(b))
+        return goal_difference(b) - goal_difference(a);
+    return strcmp(a->name, b->name);
+}
+
+static void sort_table(void)
+{
+    int i;
+    int j;
+    struct team tmp;
+
+    for (i = 1; i < nteams; i++) {
+        tmp = league[i];
+        j = i - 1;
+        while (j >= 0 && compare_teams(&league[j], &tmp) > 0) {
+            league[j + 1] = league[j];
+            j--;
+        }
+        league[j + 1] = tmp;
+    }
+}
+
+static void print_table(void)
+{
+    int i;
+    struct team *t;
+
+    printf("%-24s P  W  D  L  GF GA Pts\n", "Team");
+    for (i = 0; i < nteams; i++) {
+        t = &league[i];
+        printf("%-24s %2d %2d %2d %2d %3d %3d %3d\n",
+               t->name, t->played, t->won, t->drawn, t->lost,
+               t->scored, t->conceded, t->points);
+    }
+}
+
+static void play_season(void)
+{
+    struct match m;
+    int i;
+    int j;
+
+    for (i = 0; i < nteams; i++) {
+        for (j = 0; j < nteams; j++) {
+            if (i == j)
+                continue;
+            m.home = i;
+            m.away = j;
+            m.home_goals = (i * 3 + j) % 4;
+            m.away_goals = (j * 5 + i) % 3;
+            apply_result(&m);
+        }
+    }
+}
+
+int main(void)
+{
+    add_team("Rovers");
+    add_team("United");
+    add_team("City");
+    add_team("Athletic");
+    add_team("Wanderers");
+    add_team("Albion");
+
+    play_season();
+    sort_table();
+    print_table();
+    return 0;
+}

@@ -1,0 +1,285 @@
+/* ft - minimum spanning tree via Prim's algorithm.
+ *
+ * Stand-in for the Austin benchmark "ft": heap-allocated vertices and
+ * adjacency lists, a hand-rolled priority list, all structures used at
+ * declared types only.
+ */
+
+#define INFINITY 1000000000
+
+struct edge {
+    struct edge *next;
+    struct vertex *to;
+    int weight;
+};
+
+struct vertex {
+    struct vertex *next;
+    struct edge *edges;
+    struct vertex *parent;
+    int key;
+    int in_tree;
+    int id;
+};
+
+static struct vertex *graph;
+static int nvertices;
+static int tree_cost;
+
+static struct vertex *new_vertex(int id)
+{
+    struct vertex *v;
+
+    v = (struct vertex *)malloc(sizeof(struct vertex));
+    v->edges = 0;
+    v->parent = 0;
+    v->key = INFINITY;
+    v->in_tree = 0;
+    v->id = id;
+    v->next = graph;
+    graph = v;
+    nvertices++;
+    return v;
+}
+
+static void add_edge(struct vertex *a, struct vertex *b, int w)
+{
+    struct edge *e;
+
+    e = (struct edge *)malloc(sizeof(struct edge));
+    e->to = b;
+    e->weight = w;
+    e->next = a->edges;
+    a->edges = e;
+
+    e = (struct edge *)malloc(sizeof(struct edge));
+    e->to = a;
+    e->weight = w;
+    e->next = b->edges;
+    b->edges = e;
+}
+
+static struct vertex *extract_min(void)
+{
+    struct vertex *v;
+    struct vertex *best;
+
+    best = 0;
+    for (v = graph; v != 0; v = v->next) {
+        if (v->in_tree)
+            continue;
+        if (best == 0 || v->key < best->key)
+            best = v;
+    }
+    return best;
+}
+
+static void relax_neighbors(struct vertex *u)
+{
+    struct edge *e;
+    struct vertex *w;
+
+    for (e = u->edges; e != 0; e = e->next) {
+        w = e->to;
+        if (!w->in_tree && e->weight < w->key) {
+            w->key = e->weight;
+            w->parent = u;
+        }
+    }
+}
+
+static void prim(struct vertex *root)
+{
+    struct vertex *u;
+
+    root->key = 0;
+    for (;;) {
+        u = extract_min();
+        if (u == 0 || u->key == INFINITY)
+            break;
+        u->in_tree = 1;
+        if (u->parent != 0)
+            tree_cost += u->key;
+        relax_neighbors(u);
+    }
+}
+
+static struct vertex *find_vertex(int id)
+{
+    struct vertex *v;
+
+    for (v = graph; v != 0; v = v->next) {
+        if (v->id == id)
+            return v;
+    }
+    return new_vertex(id);
+}
+
+static void build_example(void)
+{
+    int i;
+    struct vertex *a;
+    struct vertex *b;
+
+    for (i = 0; i < 12; i++) {
+        a = find_vertex(i);
+        b = find_vertex((i + 1) % 12);
+        add_edge(a, b, (i * 7) % 13 + 1);
+    }
+    for (i = 0; i < 12; i += 3) {
+        a = find_vertex(i);
+        b = find_vertex((i + 5) % 12);
+        add_edge(a, b, (i * 11) % 17 + 1);
+    }
+}
+
+static void print_tree(void)
+{
+    struct vertex *v;
+
+    for (v = graph; v != 0; v = v->next) {
+        if (v->parent != 0)
+            printf("%d - %d (w=%d)\n", v->parent->id, v->id, v->key);
+    }
+    printf("total cost: %d\n", tree_cost);
+}
+
+/* ------------------------------------------------------------------ */
+/* Kruskal's algorithm as a cross-check: collect edges, sort them, and */
+/* grow a forest with union-find.  Same graph, same cost expected.     */
+/* ------------------------------------------------------------------ */
+
+struct edge_rec {
+    struct vertex *a;
+    struct vertex *b;
+    int weight;
+};
+
+struct dsu_node {
+    struct vertex *vertex;
+    struct dsu_node *parent;
+    int rank;
+    struct dsu_node *next;
+};
+
+static struct edge_rec edge_pool[256];
+static int n_edge_recs;
+static struct dsu_node *dsu_nodes;
+
+static void collect_edges(void)
+{
+    struct vertex *v;
+    struct edge *e;
+
+    n_edge_recs = 0;
+    for (v = graph; v != 0; v = v->next) {
+        for (e = v->edges; e != 0; e = e->next) {
+            /* Each undirected edge appears twice; keep one direction. */
+            if (v->id < e->to->id && n_edge_recs < 256) {
+                edge_pool[n_edge_recs].a = v;
+                edge_pool[n_edge_recs].b = e->to;
+                edge_pool[n_edge_recs].weight = e->weight;
+                n_edge_recs++;
+            }
+        }
+    }
+}
+
+static void sort_edges(void)
+{
+    int i;
+    int j;
+    struct edge_rec tmp;
+
+    for (i = 1; i < n_edge_recs; i++) {
+        tmp = edge_pool[i];
+        j = i - 1;
+        while (j >= 0 && edge_pool[j].weight > tmp.weight) {
+            edge_pool[j + 1] = edge_pool[j];
+            j--;
+        }
+        edge_pool[j + 1] = tmp;
+    }
+}
+
+static struct dsu_node *dsu_for(struct vertex *v)
+{
+    struct dsu_node *d;
+
+    for (d = dsu_nodes; d != 0; d = d->next) {
+        if (d->vertex == v)
+            return d;
+    }
+    d = (struct dsu_node *)malloc(sizeof(struct dsu_node));
+    d->vertex = v;
+    d->parent = d;
+    d->rank = 0;
+    d->next = dsu_nodes;
+    dsu_nodes = d;
+    return d;
+}
+
+static struct dsu_node *dsu_find(struct dsu_node *d)
+{
+    while (d->parent != d) {
+        d->parent = d->parent->parent;
+        d = d->parent;
+    }
+    return d;
+}
+
+static int dsu_union(struct dsu_node *a, struct dsu_node *b)
+{
+    a = dsu_find(a);
+    b = dsu_find(b);
+    if (a == b)
+        return 0;
+    if (a->rank < b->rank) {
+        struct dsu_node *t;
+        t = a;
+        a = b;
+        b = t;
+    }
+    b->parent = a;
+    if (a->rank == b->rank)
+        a->rank++;
+    return 1;
+}
+
+static int kruskal(void)
+{
+    int i;
+    int cost;
+    int taken;
+
+    collect_edges();
+    sort_edges();
+    cost = 0;
+    taken = 0;
+    for (i = 0; i < n_edge_recs; i++) {
+        struct dsu_node *da;
+        struct dsu_node *db;
+        da = dsu_for(edge_pool[i].a);
+        db = dsu_for(edge_pool[i].b);
+        if (dsu_union(da, db)) {
+            cost += edge_pool[i].weight;
+            taken++;
+        }
+    }
+    printf("kruskal: %d edges taken, cost %d\n", taken, cost);
+    return cost;
+}
+
+int main(void)
+{
+    struct vertex *root;
+    int kcost;
+
+    build_example();
+    root = find_vertex(0);
+    prim(root);
+    print_tree();
+    kcost = kruskal();
+    printf("prim %s kruskal\n", kcost == tree_cost ? "agrees with" : "DISAGREES with");
+    return kcost == tree_cost ? 0 : 1;
+}

@@ -1,0 +1,317 @@
+/* gzip - huffman-coding core with an arena of mixed records.
+ *
+ * Stand-in for SPEC "gzip"/GNU gzip.  Casting idioms: tree nodes and
+ * code-table entries are both carved from one byte arena (cast from
+ * char*), and the frequency-sorted heap holds generic pointers cast back
+ * to node views.
+ */
+
+#define NSYMS 32
+#define ARENABYTES 8192
+#define MAXBITS 16
+
+struct huff_node {
+    long freq;
+    int symbol;            /* -1 for internal nodes */
+    struct huff_node *left;
+    struct huff_node *right;
+};
+
+struct code_entry {
+    int symbol;
+    int nbits;
+    unsigned int bits;
+};
+
+static char arena[ARENABYTES];
+static int arena_used;
+static long freqs[NSYMS];
+static struct huff_node *heap[NSYMS * 2];
+static int heap_len;
+static struct code_entry *codes[NSYMS];
+static long encoded_bits;
+
+static char *carve(unsigned long n)
+{
+    char *p;
+
+    while ((arena_used % 8) != 0)
+        arena_used++;
+    if (arena_used + (int)n > ARENABYTES)
+        return 0;
+    p = &arena[arena_used];
+    arena_used += (int)n;
+    return p;
+}
+
+static struct huff_node *new_node(long freq, int symbol)
+{
+    struct huff_node *n;
+
+    n = (struct huff_node *)carve(sizeof(struct huff_node));
+    if (n == 0)
+        return 0;
+    n->freq = freq;
+    n->symbol = symbol;
+    n->left = 0;
+    n->right = 0;
+    return n;
+}
+
+static void heap_push(struct huff_node *n)
+{
+    int i;
+    int parent;
+
+    heap[heap_len] = n;
+    i = heap_len;
+    heap_len++;
+    while (i > 0) {
+        parent = (i - 1) / 2;
+        if (heap[parent]->freq <= heap[i]->freq)
+            break;
+        n = heap[parent];
+        heap[parent] = heap[i];
+        heap[i] = n;
+        i = parent;
+    }
+}
+
+static struct huff_node *heap_pop(void)
+{
+    struct huff_node *top;
+    struct huff_node *tmp;
+    int i;
+    int kid;
+
+    if (heap_len == 0)
+        return 0;
+    top = heap[0];
+    heap_len--;
+    heap[0] = heap[heap_len];
+    i = 0;
+    for (;;) {
+        kid = i * 2 + 1;
+        if (kid >= heap_len)
+            break;
+        if (kid + 1 < heap_len && heap[kid + 1]->freq < heap[kid]->freq)
+            kid++;
+        if (heap[i]->freq <= heap[kid]->freq)
+            break;
+        tmp = heap[i];
+        heap[i] = heap[kid];
+        heap[kid] = tmp;
+        i = kid;
+    }
+    return top;
+}
+
+static struct huff_node *build_tree(void)
+{
+    int s;
+    struct huff_node *a;
+    struct huff_node *b;
+    struct huff_node *parent;
+
+    for (s = 0; s < NSYMS; s++) {
+        if (freqs[s] > 0)
+            heap_push(new_node(freqs[s], s));
+    }
+    while (heap_len > 1) {
+        a = heap_pop();
+        b = heap_pop();
+        parent = new_node(a->freq + b->freq, -1);
+        parent->left = a;
+        parent->right = b;
+        heap_push(parent);
+    }
+    return heap_pop();
+}
+
+static void assign_codes(struct huff_node *n, unsigned int bits, int depth)
+{
+    struct code_entry *e;
+
+    if (n == 0)
+        return;
+    if (n->symbol >= 0) {
+        e = (struct code_entry *)carve(sizeof(struct code_entry));
+        if (e == 0)
+            return;
+        e->symbol = n->symbol;
+        e->nbits = depth > 0 ? depth : 1;
+        e->bits = bits;
+        codes[n->symbol] = e;
+        return;
+    }
+    if (depth >= MAXBITS)
+        return;
+    assign_codes(n->left, bits << 1, depth + 1);
+    assign_codes(n->right, (bits << 1) | 1, depth + 1);
+}
+
+static void count_input(unsigned char *data, int len)
+{
+    int i;
+
+    for (i = 0; i < len; i++)
+        freqs[data[i] % NSYMS]++;
+}
+
+static long encode_length(unsigned char *data, int len)
+{
+    int i;
+    struct code_entry *e;
+    long bits;
+
+    bits = 0;
+    for (i = 0; i < len; i++) {
+        e = codes[data[i] % NSYMS];
+        if (e != 0)
+            bits += e->nbits;
+    }
+    return bits;
+}
+
+static unsigned char sample[512];
+
+static void make_sample(void)
+{
+    int i;
+
+    for (i = 0; i < 512; i++)
+        sample[i] = (unsigned char)((i * i) % 17 + (i % 5));
+}
+
+/* ------------------------------------------------------------------ */
+/* Decoder: pack the codes into a bit stream, then walk the tree bit   */
+/* by bit to recover the symbols -- the inflate half.                  */
+/* ------------------------------------------------------------------ */
+
+struct bitstream {
+    unsigned char *bytes;
+    long capacity_bits;
+    long write_pos;
+    long read_pos;
+};
+
+static unsigned char stream_storage[4096];
+static struct bitstream stream;
+
+static void stream_init(struct bitstream *bs)
+{
+    bs->bytes = stream_storage;
+    bs->capacity_bits = (long)sizeof(stream_storage) * 8;
+    bs->write_pos = 0;
+    bs->read_pos = 0;
+}
+
+static void put_bit(struct bitstream *bs, int bit)
+{
+    long byte;
+    int off;
+
+    if (bs->write_pos >= bs->capacity_bits)
+        return;
+    byte = bs->write_pos / 8;
+    off = (int)(bs->write_pos % 8);
+    if (bit)
+        bs->bytes[byte] |= (unsigned char)(1 << off);
+    else
+        bs->bytes[byte] &= (unsigned char)~(1 << off);
+    bs->write_pos++;
+}
+
+static int get_bit(struct bitstream *bs)
+{
+    long byte;
+    int off;
+
+    if (bs->read_pos >= bs->write_pos)
+        return -1;
+    byte = bs->read_pos / 8;
+    off = (int)(bs->read_pos % 8);
+    bs->read_pos++;
+    return (bs->bytes[byte] >> off) & 1;
+}
+
+static void encode_stream(unsigned char *data, int len)
+{
+    int i;
+    int b;
+    struct code_entry *e;
+
+    stream_init(&stream);
+    for (i = 0; i < len; i++) {
+        e = codes[data[i] % NSYMS];
+        if (e == 0)
+            continue;
+        for (b = e->nbits - 1; b >= 0; b--)
+            put_bit(&stream, (e->bits >> b) & 1);
+    }
+}
+
+static int decode_stream(struct huff_node *root, unsigned char *out, int max)
+{
+    struct huff_node *cur;
+    int bit;
+    int n;
+
+    n = 0;
+    cur = root;
+    for (;;) {
+        bit = get_bit(&stream);
+        if (bit < 0)
+            break;
+        cur = bit ? cur->right : cur->left;
+        if (cur == 0)
+            return -1;  /* corrupt stream */
+        if (cur->symbol >= 0) {
+            if (n < max)
+                out[n] = (unsigned char)cur->symbol;
+            n++;
+            cur = root;
+        }
+    }
+    return n;
+}
+
+static unsigned char decoded[512];
+
+static int verify_decode(struct huff_node *root)
+{
+    int n;
+    int i;
+
+    encode_stream(sample, 512);
+    n = decode_stream(root, decoded, 512);
+    if (n != 512)
+        return 0;
+    for (i = 0; i < 512; i++) {
+        if (decoded[i] != sample[i] % NSYMS)
+            return 0;
+    }
+    return 1;
+}
+
+int main(void)
+{
+    struct huff_node *root;
+    int s;
+
+    make_sample();
+    count_input(sample, 512);
+    root = build_tree();
+    assign_codes(root, 0, 0);
+    encoded_bits = encode_length(sample, 512);
+
+    for (s = 0; s < NSYMS; s++) {
+        if (codes[s] != 0)
+            printf("sym %2d freq %4ld -> %d bits\n",
+                   s, freqs[s], codes[s]->nbits);
+    }
+    printf("512 bytes -> %ld bits (arena %d)\n", encoded_bits, arena_used);
+    printf("roundtrip %s (stream %ld bits)\n",
+           verify_decode(root) ? "verified" : "FAILED", stream.write_pos);
+    return 0;
+}

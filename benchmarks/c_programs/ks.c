@@ -1,0 +1,193 @@
+/* ks - Kernighan-Lin/Schweikert graph partitioning.
+ *
+ * Stand-in for the Austin benchmark "ks": modules connected by nets,
+ * iteratively swapped between two partitions to reduce cut cost.
+ * Linked structures everywhere, used only at declared types.
+ */
+
+#define MAXMODULES 64
+#define MAXNETS 128
+
+struct netlink {
+    struct netlink *next;
+    struct net *net;
+};
+
+struct modlink {
+    struct modlink *next;
+    struct module *module;
+};
+
+struct module {
+    int id;
+    int partition;
+    int locked;
+    int gain;
+    struct netlink *nets;
+};
+
+struct net {
+    int id;
+    struct modlink *modules;
+    int count_a;
+    int count_b;
+};
+
+static struct module modules[MAXMODULES];
+static struct net nets[MAXNETS];
+static int nmodules;
+static int nnets;
+
+static void connect(struct module *m, struct net *n)
+{
+    struct netlink *nl;
+    struct modlink *ml;
+
+    nl = (struct netlink *)malloc(sizeof(struct netlink));
+    nl->net = n;
+    nl->next = m->nets;
+    m->nets = nl;
+
+    ml = (struct modlink *)malloc(sizeof(struct modlink));
+    ml->module = m;
+    ml->next = n->modules;
+    n->modules = ml;
+}
+
+static void recount_net(struct net *n)
+{
+    struct modlink *ml;
+
+    n->count_a = 0;
+    n->count_b = 0;
+    for (ml = n->modules; ml != 0; ml = ml->next) {
+        if (ml->module->partition == 0)
+            n->count_a++;
+        else
+            n->count_b++;
+    }
+}
+
+static int cut_cost(void)
+{
+    int i;
+    int cost;
+
+    cost = 0;
+    for (i = 0; i < nnets; i++) {
+        recount_net(&nets[i]);
+        if (nets[i].count_a > 0 && nets[i].count_b > 0)
+            cost++;
+    }
+    return cost;
+}
+
+static void compute_gain(struct module *m)
+{
+    struct netlink *nl;
+    struct net *n;
+    int mine;
+    int theirs;
+
+    m->gain = 0;
+    for (nl = m->nets; nl != 0; nl = nl->next) {
+        n = nl->net;
+        recount_net(n);
+        if (m->partition == 0) {
+            mine = n->count_a;
+            theirs = n->count_b;
+        } else {
+            mine = n->count_b;
+            theirs = n->count_a;
+        }
+        if (mine == 1)
+            m->gain++;
+        if (theirs == 0)
+            m->gain--;
+    }
+}
+
+static struct module *best_unlocked(void)
+{
+    int i;
+    struct module *best;
+
+    best = 0;
+    for (i = 0; i < nmodules; i++) {
+        struct module *m;
+        m = &modules[i];
+        if (m->locked)
+            continue;
+        compute_gain(m);
+        if (best == 0 || m->gain > best->gain)
+            best = m;
+    }
+    return best;
+}
+
+static int one_pass(void)
+{
+    int moved;
+    struct module *m;
+    int before;
+    int after;
+
+    moved = 0;
+    before = cut_cost();
+    for (;;) {
+        m = best_unlocked();
+        if (m == 0 || m->gain <= 0)
+            break;
+        m->partition = 1 - m->partition;
+        m->locked = 1;
+        moved++;
+    }
+    after = cut_cost();
+    return before - after;
+}
+
+static void unlock_all(void)
+{
+    int i;
+
+    for (i = 0; i < nmodules; i++)
+        modules[i].locked = 0;
+}
+
+static void build_example(void)
+{
+    int i;
+
+    nmodules = 16;
+    nnets = 20;
+    for (i = 0; i < nmodules; i++) {
+        modules[i].id = i;
+        modules[i].partition = i % 2;
+        modules[i].locked = 0;
+        modules[i].nets = 0;
+    }
+    for (i = 0; i < nnets; i++) {
+        nets[i].id = i;
+        nets[i].modules = 0;
+        connect(&modules[i % nmodules], &nets[i]);
+        connect(&modules[(i * 3 + 1) % nmodules], &nets[i]);
+        connect(&modules[(i * 7 + 2) % nmodules], &nets[i]);
+    }
+}
+
+int main(void)
+{
+    int round;
+    int improved;
+
+    build_example();
+    for (round = 0; round < 10; round++) {
+        unlock_all();
+        improved = one_pass();
+        printf("round %d improved by %d, cost now %d\n",
+               round, improved, cut_cost());
+        if (improved <= 0)
+            break;
+    }
+    return 0;
+}

@@ -1,0 +1,336 @@
+/* less177 - pager-like buffer manager.
+ *
+ * Stand-in for "less-177", the paper's worst case for Collapse on Cast
+ * (Figure 4/5: largest precision and time gap vs Offsets).  The idioms:
+ * a generic doubly-linked block list whose links sit *in the middle* of
+ * the payload struct (so the generic view and the typed view disagree
+ * beyond the first field), plus position caches cast between views.
+ */
+
+#define BLOCKSIZE 256
+#define NPOOL 16
+
+/* Generic list view: only valid when overlaid on a struct whose first
+ * two members are the links. */
+struct links {
+    struct links *next;
+    struct links *prev;
+};
+
+struct block {
+    struct block *next;
+    struct block *prev;
+    long file_pos;
+    int nbytes;
+    char data[BLOCKSIZE];
+};
+
+struct position {
+    long file_pos;
+    struct block *block;
+    int offset;
+};
+
+struct screen_line {
+    struct position start;
+    struct position end;
+    int width;
+};
+
+static struct links chain_head;
+static struct block *free_pool;
+static struct screen_line top_line;
+static struct screen_line bottom_line;
+static long max_pos_seen;
+
+static void link_after(struct links *at, struct links *item)
+{
+    item->next = at->next;
+    item->prev = at;
+    if (at->next != 0)
+        at->next->prev = item;
+    at->next = item;
+}
+
+static void unlink_item(struct links *item)
+{
+    if (item->prev != 0)
+        item->prev->next = item->next;
+    if (item->next != 0)
+        item->next->prev = item->prev;
+    item->next = 0;
+    item->prev = 0;
+}
+
+static struct block *alloc_block(void)
+{
+    struct block *b;
+
+    if (free_pool != 0) {
+        b = free_pool;
+        free_pool = b->next;
+    } else {
+        b = (struct block *)malloc(sizeof(struct block));
+    }
+    b->next = 0;
+    b->prev = 0;
+    b->nbytes = 0;
+    b->file_pos = -1;
+    return b;
+}
+
+static void release_block(struct block *b)
+{
+    unlink_item((struct links *)b);
+    b->next = free_pool;
+    free_pool = b;
+}
+
+static struct block *chain_first(void)
+{
+    return (struct block *)chain_head.next;
+}
+
+static void append_block(struct block *b)
+{
+    struct links *tail;
+
+    tail = &chain_head;
+    while (tail->next != 0)
+        tail = tail->next;
+    link_after(tail, (struct links *)b);
+}
+
+static struct block *block_for_pos(long pos)
+{
+    struct block *b;
+
+    for (b = chain_first(); b != 0; b = b->next) {
+        if (b->file_pos <= pos && pos < b->file_pos + b->nbytes)
+            return b;
+    }
+    return 0;
+}
+
+static void set_position(struct position *p, long pos)
+{
+    struct block *b;
+
+    b = block_for_pos(pos);
+    p->file_pos = pos;
+    p->block = b;
+    p->offset = b != 0 ? (int)(pos - b->file_pos) : 0;
+}
+
+static int char_at(struct position *p)
+{
+    if (p->block == 0)
+        return -1;
+    return p->block->data[p->offset];
+}
+
+static void fill_block(struct block *b, long pos)
+{
+    int i;
+
+    b->file_pos = pos;
+    b->nbytes = BLOCKSIZE;
+    for (i = 0; i < BLOCKSIZE; i++)
+        b->data[i] = (char)('a' + (int)((pos + i) % 26));
+    if (pos + BLOCKSIZE > max_pos_seen)
+        max_pos_seen = pos + BLOCKSIZE;
+}
+
+static void load_range(long from, long to)
+{
+    long pos;
+    struct block *b;
+
+    for (pos = from; pos < to; pos += BLOCKSIZE) {
+        if (block_for_pos(pos) != 0)
+            continue;
+        b = alloc_block();
+        fill_block(b, pos);
+        append_block(b);
+    }
+}
+
+static void measure_line(struct screen_line *ln)
+{
+    struct position p;
+    int w;
+
+    p = ln->start;
+    w = 0;
+    while (p.file_pos < ln->end.file_pos) {
+        if (char_at(&p) < 0)
+            break;
+        w++;
+        set_position(&p, p.file_pos + 1);
+    }
+    ln->width = w;
+}
+
+static void drop_before(long pos)
+{
+    struct block *b;
+    struct block *next;
+
+    for (b = chain_first(); b != 0; b = next) {
+        next = b->next;
+        if (b->file_pos + b->nbytes <= pos)
+            release_block(b);
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Search: scan for a pattern across block boundaries, like less's /.  */
+/* ------------------------------------------------------------------ */
+
+struct search_state {
+    char pattern[32];
+    int patlen;
+    long last_hit;
+    int hits;
+    int wrapped;
+};
+
+static struct search_state searcher;
+
+static int char_at_pos(long pos)
+{
+    struct block *b;
+
+    b = block_for_pos(pos);
+    if (b == 0)
+        return -1;
+    return b->data[pos - b->file_pos];
+}
+
+static long search_forward(struct search_state *st, long from)
+{
+    long pos;
+    int i;
+    int ok;
+
+    for (pos = from; pos + st->patlen <= max_pos_seen; pos++) {
+        ok = 1;
+        for (i = 0; i < st->patlen; i++) {
+            if (char_at_pos(pos + i) != st->pattern[i]) {
+                ok = 0;
+                break;
+            }
+        }
+        if (ok) {
+            st->last_hit = pos;
+            st->hits++;
+            return pos;
+        }
+    }
+    st->wrapped = 1;
+    return -1;
+}
+
+static void set_pattern(struct search_state *st, char *pat)
+{
+    strncpy(st->pattern, pat, 31);
+    st->pattern[31] = '\0';
+    st->patlen = (int)strlen(st->pattern);
+    st->hits = 0;
+    st->wrapped = 0;
+    st->last_hit = -1;
+}
+
+/* ------------------------------------------------------------------ */
+/* Line index: positions of line starts, rebuilt lazily, like less's   */
+/* linenum cache.  The index entries join the generic chain too (cast  */
+/* through struct links), exercising the mid-struct link idiom again.  */
+/* ------------------------------------------------------------------ */
+
+struct line_entry {
+    struct line_entry *next;
+    struct line_entry *prev;
+    long pos;
+    int lineno;
+};
+
+static struct links line_index_head;
+static int lines_indexed;
+
+static void index_lines(int line_every)
+{
+    long pos;
+    int count;
+    struct line_entry *e;
+
+    lines_indexed = 0;
+    line_index_head.next = 0;
+    for (pos = 0; pos < max_pos_seen; pos++) {
+        if ((pos % line_every) != 0)
+            continue;
+        e = (struct line_entry *)malloc(sizeof(struct line_entry));
+        e->pos = pos;
+        e->lineno = (int)(pos / line_every) + 1;
+        link_after(&line_index_head, (struct links *)e);
+        lines_indexed++;
+        count = lines_indexed;
+        (void)count;
+    }
+}
+
+static int lineno_for_pos(long pos)
+{
+    struct line_entry *e;
+    struct line_entry *best;
+
+    best = 0;
+    for (e = (struct line_entry *)line_index_head.next; e != 0; e = e->next) {
+        if (e->pos <= pos && (best == 0 || e->pos > best->pos))
+            best = e;
+    }
+    return best != 0 ? best->lineno : 0;
+}
+
+int main(void)
+{
+    int i;
+    long hit;
+
+    chain_head.next = 0;
+    chain_head.prev = 0;
+
+    load_range(0, BLOCKSIZE * NPOOL);
+    set_position(&top_line.start, 10);
+    set_position(&top_line.end, 80);
+    set_position(&bottom_line.start, BLOCKSIZE * 3 + 5);
+    set_position(&bottom_line.end, BLOCKSIZE * 3 + 77);
+    measure_line(&top_line);
+    measure_line(&bottom_line);
+    printf("top width %d, bottom width %d, max pos %ld\n",
+           top_line.width, bottom_line.width, max_pos_seen);
+
+    set_pattern(&searcher, "xyz");
+    hit = search_forward(&searcher, 0);
+    printf("search 'xyz': %s at %ld (%d hits)\n",
+           hit >= 0 ? "found" : "not found", hit, searcher.hits);
+    set_pattern(&searcher, "abc");
+    hit = search_forward(&searcher, 0);
+    if (hit >= 0) {
+        index_lines(80);
+        printf("search 'abc': found at %ld (line ~%d, %d indexed)\n",
+               hit, lineno_for_pos(hit), lines_indexed);
+        hit = search_forward(&searcher, hit + 1);
+        printf("next hit at %ld\n", hit);
+    }
+
+    drop_before(BLOCKSIZE * 2);
+    for (i = 0; i < 4; i++) {
+        struct block *b;
+        b = alloc_block();
+        fill_block(b, max_pos_seen);
+        append_block(b);
+    }
+    printf("first block now at %ld\n",
+           chain_first() != 0 ? chain_first()->file_pos : -1L);
+    return 0;
+}

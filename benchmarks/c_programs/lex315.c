@@ -1,0 +1,234 @@
+/* lex315 - hand-written lexer with variant tokens.
+ *
+ * Stand-in for the Landi benchmark "lex315".  Casting idioms: token
+ * records share a common initial sequence (kind + line) and diverge into
+ * identifier / number / string variants; the parser driver walks a token
+ * list through the common view and downcasts per kind.  A union-based
+ * value cell is also exercised.
+ */
+
+#define TK_IDENT 1
+#define TK_NUMBER 2
+#define TK_STRING 3
+#define TK_PUNCT 4
+#define TK_EOF 5
+
+struct token {
+    int kind;
+    int line;
+    struct token *next;
+};
+
+struct ident_token {
+    int kind;
+    int line;
+    struct token *next;
+    char *name;
+    struct ident_token *hash_link;
+};
+
+struct number_token {
+    int kind;
+    int line;
+    struct token *next;
+    long value;
+    int is_float;
+};
+
+struct string_token {
+    int kind;
+    int line;
+    struct token *next;
+    char *chars;
+    int length;
+};
+
+struct punct_token {
+    int kind;
+    int line;
+    struct token *next;
+    int ch;
+};
+
+union lexval {
+    long num;
+    char *str;
+    struct ident_token *id;
+};
+
+static struct token *tokens_head;
+static struct token *tokens_tail;
+static struct ident_token *ident_hash[31];
+static int cur_line;
+static int ntokens;
+static union lexval yylval;
+
+static void append_token(struct token *t)
+{
+    t->next = 0;
+    if (tokens_tail == 0)
+        tokens_head = t;
+    else
+        tokens_tail->next = t;
+    tokens_tail = t;
+    ntokens++;
+}
+
+static struct ident_token *intern_ident(char *name)
+{
+    unsigned int h;
+    struct ident_token *t;
+    char *p;
+
+    h = 0;
+    for (p = name; *p != '\0'; p++)
+        h = h * 31 + (unsigned int)*p;
+    h = h % 31;
+    for (t = ident_hash[h]; t != 0; t = t->hash_link) {
+        if (strcmp(t->name, name) == 0)
+            return t;
+    }
+    t = (struct ident_token *)malloc(sizeof(struct ident_token));
+    t->kind = TK_IDENT;
+    t->line = cur_line;
+    t->name = strdup(name);
+    t->hash_link = ident_hash[h];
+    ident_hash[h] = t;
+    return t;
+}
+
+static void lex_ident(char *text)
+{
+    struct ident_token *t;
+
+    t = intern_ident(text);
+    yylval.id = t;
+    append_token((struct token *)t);
+}
+
+static void lex_number(long v)
+{
+    struct number_token *t;
+
+    t = (struct number_token *)malloc(sizeof(struct number_token));
+    t->kind = TK_NUMBER;
+    t->line = cur_line;
+    t->value = v;
+    t->is_float = 0;
+    yylval.num = v;
+    append_token((struct token *)t);
+}
+
+static void lex_string(char *chars)
+{
+    struct string_token *t;
+
+    t = (struct string_token *)malloc(sizeof(struct string_token));
+    t->kind = TK_STRING;
+    t->line = cur_line;
+    t->chars = strdup(chars);
+    t->length = (int)strlen(chars);
+    yylval.str = t->chars;
+    append_token((struct token *)t);
+}
+
+static void lex_punct(int c)
+{
+    struct punct_token *t;
+
+    t = (struct punct_token *)malloc(sizeof(struct punct_token));
+    t->kind = TK_PUNCT;
+    t->line = cur_line;
+    t->ch = c;
+    append_token((struct token *)t);
+}
+
+static void tokenize(char *src)
+{
+    char *p;
+    char word[64];
+    int wi;
+
+    cur_line = 1;
+    p = src;
+    while (*p != '\0') {
+        if (*p == '\n') {
+            cur_line++;
+            p++;
+        } else if (isspace(*p)) {
+            p++;
+        } else if (isalpha(*p) || *p == '_') {
+            wi = 0;
+            while ((isalnum(*p) || *p == '_') && wi < 63)
+                word[wi++] = *p++;
+            word[wi] = '\0';
+            lex_ident(word);
+        } else if (isdigit(*p)) {
+            long v;
+            v = 0;
+            while (isdigit(*p))
+                v = v * 10 + (*p++ - '0');
+            lex_number(v);
+        } else if (*p == '"') {
+            wi = 0;
+            p++;
+            while (*p != '"' && *p != '\0' && wi < 63)
+                word[wi++] = *p++;
+            word[wi] = '\0';
+            if (*p == '"')
+                p++;
+            lex_string(word);
+        } else {
+            lex_punct(*p);
+            p++;
+        }
+    }
+}
+
+static int count_kind(int kind)
+{
+    struct token *t;
+    int n;
+
+    n = 0;
+    for (t = tokens_head; t != 0; t = t->next) {
+        if (t->kind == kind)
+            n++;
+    }
+    return n;
+}
+
+static long sum_numbers(void)
+{
+    struct token *t;
+    long sum;
+
+    sum = 0;
+    for (t = tokens_head; t != 0; t = t->next) {
+        if (t->kind == TK_NUMBER)
+            sum += ((struct number_token *)t)->value;
+    }
+    return sum;
+}
+
+static void print_idents(void)
+{
+    struct token *t;
+
+    for (t = tokens_head; t != 0; t = t->next) {
+        if (t->kind == TK_IDENT)
+            printf("id@%d: %s\n", t->line,
+                   ((struct ident_token *)t)->name);
+    }
+}
+
+int main(void)
+{
+    tokenize("x = 10 + y;\nprint(\"total\", x * 2);\nx = x + 32;\n");
+    print_idents();
+    printf("%d tokens: %d idents, %d numbers, %d strings, %d puncts\n",
+           ntokens, count_kind(TK_IDENT), count_kind(TK_NUMBER),
+           count_kind(TK_STRING), count_kind(TK_PUNCT));
+    printf("numbers sum to %ld\n", sum_numbers());
+    return 0;
+}

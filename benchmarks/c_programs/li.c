@@ -1,0 +1,499 @@
+/* li - miniature lisp interpreter core.
+ *
+ * Stand-in for SPEC "130.li" (xlisp): every lisp value is a node with a
+ * type tag; cons cells, symbols, numbers and strings are all carved from
+ * the same node pool and downcast per tag.  The paper's Figure 6 notes
+ * that for 130.li the portable algorithms generate *fewer* edges than
+ * Offsets (Offsets materializes non-field offsets); this program keeps
+ * that flavor with mixed-size variants in one pool.
+ */
+
+#define T_CONS 1
+#define T_SYM 2
+#define T_NUM 3
+#define T_STR 4
+#define POOLSIZE 256
+
+struct node {
+    int type;
+    int gcmark;
+};
+
+struct cons_cell {
+    int type;
+    int gcmark;
+    struct node *car;
+    struct node *cdr;
+};
+
+struct symbol {
+    int type;
+    int gcmark;
+    char *name;
+    struct node *value;
+    struct symbol *next_sym;
+};
+
+struct number {
+    int type;
+    int gcmark;
+    long value;
+};
+
+struct string_obj {
+    int type;
+    int gcmark;
+    char *chars;
+    int length;
+};
+
+union any_node {
+    struct cons_cell cons;
+    struct symbol sym;
+    struct number num;
+    struct string_obj str;
+};
+
+static union any_node pool[POOLSIZE];
+static int pool_used;
+static struct symbol *symbols;
+static struct node *nil_node;
+static long eval_count;
+
+static struct node *alloc_node(int type)
+{
+    struct node *n;
+
+    if (pool_used >= POOLSIZE)
+        return 0;
+    n = (struct node *)&pool[pool_used];
+    pool_used++;
+    n->type = type;
+    n->gcmark = 0;
+    return n;
+}
+
+static struct node *cons(struct node *car, struct node *cdr)
+{
+    struct cons_cell *c;
+
+    c = (struct cons_cell *)alloc_node(T_CONS);
+    if (c == 0)
+        return 0;
+    c->car = car;
+    c->cdr = cdr;
+    return (struct node *)c;
+}
+
+static struct node *car(struct node *n)
+{
+    if (n == 0 || n->type != T_CONS)
+        return nil_node;
+    return ((struct cons_cell *)n)->car;
+}
+
+static struct node *cdr(struct node *n)
+{
+    if (n == 0 || n->type != T_CONS)
+        return nil_node;
+    return ((struct cons_cell *)n)->cdr;
+}
+
+static struct node *mk_number(long v)
+{
+    struct number *n;
+
+    n = (struct number *)alloc_node(T_NUM);
+    if (n == 0)
+        return 0;
+    n->value = v;
+    return (struct node *)n;
+}
+
+static struct symbol *intern(char *name)
+{
+    struct symbol *s;
+
+    for (s = symbols; s != 0; s = s->next_sym) {
+        if (strcmp(s->name, name) == 0)
+            return s;
+    }
+    s = (struct symbol *)alloc_node(T_SYM);
+    if (s == 0)
+        return 0;
+    s->name = strdup(name);
+    s->value = nil_node;
+    s->next_sym = symbols;
+    symbols = s;
+    return s;
+}
+
+static long num_value(struct node *n)
+{
+    if (n != 0 && n->type == T_NUM)
+        return ((struct number *)n)->value;
+    return 0;
+}
+
+static struct node *eval(struct node *form);
+
+static struct node *eval_args_sum(struct node *args)
+{
+    long acc;
+    struct node *p;
+
+    acc = 0;
+    for (p = args; p != 0 && p->type == T_CONS; p = cdr(p))
+        acc += num_value(eval(car(p)));
+    return mk_number(acc);
+}
+
+static struct node *eval_args_mul(struct node *args)
+{
+    long acc;
+    struct node *p;
+
+    acc = 1;
+    for (p = args; p != 0 && p->type == T_CONS; p = cdr(p))
+        acc *= num_value(eval(car(p)));
+    return mk_number(acc);
+}
+
+static struct node *eval_setq(struct node *args)
+{
+    struct symbol *s;
+    struct node *v;
+
+    if (car(args) == 0 || car(args)->type != T_SYM)
+        return nil_node;
+    s = (struct symbol *)car(args);
+    v = eval(car(cdr(args)));
+    s->value = v;
+    return v;
+}
+
+static struct node *eval(struct node *form)
+{
+    eval_count++;
+    if (form == 0)
+        return nil_node;
+    switch (form->type) {
+    case T_NUM:
+    case T_STR:
+        return form;
+    case T_SYM:
+        return ((struct symbol *)form)->value;
+    case T_CONS: {
+        struct node *head;
+        head = car(form);
+        if (head != 0 && head->type == T_SYM) {
+            struct symbol *op;
+            op = (struct symbol *)head;
+            if (strcmp(op->name, "+") == 0)
+                return eval_args_sum(cdr(form));
+            if (strcmp(op->name, "*") == 0)
+                return eval_args_mul(cdr(form));
+            if (strcmp(op->name, "setq") == 0)
+                return eval_setq(cdr(form));
+            if (strcmp(op->name, "quote") == 0)
+                return car(cdr(form));
+            if (strcmp(op->name, "if") == 0)
+                return eval_if(cdr(form));
+            if (strcmp(op->name, "list") == 0)
+                return eval_list_fn(cdr(form));
+            if (strcmp(op->name, "length") == 0)
+                return mk_number(list_length(eval(car(cdr(form)))));
+            if (strcmp(op->name, "car") == 0)
+                return car(eval(car(cdr(form))));
+            if (strcmp(op->name, "cdr") == 0)
+                return cdr(eval(car(cdr(form))));
+            if (strcmp(op->name, "cons") == 0)
+                return cons(eval(car(cdr(form))),
+                            eval(car(cdr(cdr(form)))));
+        }
+        return nil_node;
+    }
+    }
+    return nil_node;
+}
+
+static struct node *mk_string(char *chars)
+{
+    struct string_obj *s;
+
+    s = (struct string_obj *)alloc_node(T_STR);
+    if (s == 0)
+        return 0;
+    s->chars = strdup(chars);
+    s->length = (int)strlen(chars);
+    return (struct node *)s;
+}
+
+/* ------------------------------------------------------------------ */
+/* Reader: parse s-expressions from text, like xlisp's READ.           */
+/* ------------------------------------------------------------------ */
+
+struct reader {
+    char *pos;
+    int depth;
+    int errors;
+};
+
+static void skip_ws(struct reader *r)
+{
+    while (*r->pos == ' ' || *r->pos == '\n' || *r->pos == '\t')
+        r->pos++;
+}
+
+static struct node *read_form(struct reader *r);
+
+static struct node *read_list(struct reader *r)
+{
+    struct node *head;
+    struct node *tail;
+    struct node *item;
+    struct cons_cell *cell;
+
+    head = 0;
+    tail = 0;
+    r->depth++;
+    for (;;) {
+        skip_ws(r);
+        if (*r->pos == '\0') {
+            r->errors++;
+            break;
+        }
+        if (*r->pos == ')') {
+            r->pos++;
+            break;
+        }
+        item = read_form(r);
+        if (item == 0)
+            break;
+        cell = (struct cons_cell *)cons(item, 0);
+        if (cell == 0)
+            break;
+        if (tail == 0) {
+            head = (struct node *)cell;
+        } else {
+            ((struct cons_cell *)tail)->cdr = (struct node *)cell;
+        }
+        tail = (struct node *)cell;
+    }
+    r->depth--;
+    return head;
+}
+
+static struct node *read_atom(struct reader *r)
+{
+    char buf[64];
+    int i;
+
+    if (*r->pos == '"') {
+        r->pos++;
+        i = 0;
+        while (*r->pos != '"' && *r->pos != '\0' && i < 63)
+            buf[i++] = *r->pos++;
+        buf[i] = '\0';
+        if (*r->pos == '"')
+            r->pos++;
+        return mk_string(buf);
+    }
+    if (isdigit(*r->pos)
+        || (*r->pos == '-' && isdigit(r->pos[1]))) {
+        long v;
+        int neg;
+        neg = *r->pos == '-';
+        if (neg)
+            r->pos++;
+        v = 0;
+        while (isdigit(*r->pos))
+            v = v * 10 + (*r->pos++ - '0');
+        return mk_number(neg ? -v : v);
+    }
+    i = 0;
+    while (*r->pos != '\0' && *r->pos != ' ' && *r->pos != '\n'
+           && *r->pos != '\t' && *r->pos != '(' && *r->pos != ')'
+           && i < 63)
+        buf[i++] = *r->pos++;
+    buf[i] = '\0';
+    return (struct node *)intern(buf);
+}
+
+static struct node *read_form(struct reader *r)
+{
+    skip_ws(r);
+    if (*r->pos == '\0')
+        return 0;
+    if (*r->pos == '(') {
+        r->pos++;
+        return read_list(r);
+    }
+    if (*r->pos == '\'') {
+        struct node *quoted;
+        r->pos++;
+        quoted = read_form(r);
+        return cons((struct node *)intern("quote"), cons(quoted, 0));
+    }
+    return read_atom(r);
+}
+
+static struct node *read_string(char *text, struct reader *r)
+{
+    r->pos = text;
+    r->depth = 0;
+    r->errors = 0;
+    return read_form(r);
+}
+
+/* ------------------------------------------------------------------ */
+/* Printer: the other half of the REPL.                                */
+/* ------------------------------------------------------------------ */
+
+static void print_form(struct node *n)
+{
+    if (n == 0 || n == nil_node) {
+        printf("nil");
+        return;
+    }
+    switch (n->type) {
+    case T_NUM:
+        printf("%ld", ((struct number *)n)->value);
+        break;
+    case T_STR:
+        printf("\"%s\"", ((struct string_obj *)n)->chars);
+        break;
+    case T_SYM:
+        printf("%s", ((struct symbol *)n)->name != 0
+               ? ((struct symbol *)n)->name : "nil");
+        break;
+    case T_CONS: {
+        struct node *p;
+        printf("(");
+        for (p = n; p != 0 && p->type == T_CONS; p = cdr(p)) {
+            print_form(car(p));
+            if (cdr(p) != 0 && cdr(p) != nil_node)
+                printf(" ");
+        }
+        printf(")");
+        break;
+    }
+    }
+}
+
+static struct node *eval_if(struct node *args)
+{
+    struct node *test;
+
+    test = eval(car(args));
+    if (test != nil_node && test != 0
+        && !(test->type == T_NUM && ((struct number *)test)->value == 0))
+        return eval(car(cdr(args)));
+    return eval(car(cdr(cdr(args))));
+}
+
+static struct node *eval_list_fn(struct node *args)
+{
+    struct node *head;
+    struct node *tail;
+    struct node *p;
+    struct node *cell;
+
+    head = 0;
+    tail = 0;
+    for (p = args; p != 0 && p->type == T_CONS; p = cdr(p)) {
+        cell = cons(eval(car(p)), 0);
+        if (cell == 0)
+            break;
+        if (tail == 0)
+            head = cell;
+        else
+            ((struct cons_cell *)tail)->cdr = cell;
+        tail = cell;
+    }
+    return head != 0 ? head : nil_node;
+}
+
+static long list_length(struct node *n)
+{
+    long len;
+
+    len = 0;
+    while (n != 0 && n->type == T_CONS) {
+        len++;
+        n = cdr(n);
+    }
+    return len;
+}
+
+static void mark(struct node *n)
+{
+    if (n == 0 || n->gcmark)
+        return;
+    n->gcmark = 1;
+    if (n->type == T_CONS) {
+        mark(((struct cons_cell *)n)->car);
+        mark(((struct cons_cell *)n)->cdr);
+    } else if (n->type == T_SYM) {
+        mark(((struct symbol *)n)->value);
+    }
+}
+
+static int sweep_count(void)
+{
+    int i;
+    int live;
+    struct node *n;
+
+    live = 0;
+    for (i = 0; i < pool_used; i++) {
+        n = (struct node *)&pool[i];
+        if (n->gcmark) {
+            live++;
+            n->gcmark = 0;
+        }
+    }
+    return live;
+}
+
+static char *REPL_INPUTS[] = {
+    "(setq x (+ 1 2 (* 3 4)))",
+    "(setq lst (list 1 2 3 x))",
+    "(length lst)",
+    "(car (cdr lst))",
+    "(if (+ 0 0) \"yes\" \"no\")",
+    "(setq lst (cons 99 lst))",
+    "(length lst)",
+    "'(a b c)",
+    0,
+};
+
+int main(void)
+{
+    struct reader r;
+    struct node *form;
+    struct node *result;
+    int i;
+
+    nil_node = alloc_node(T_SYM);
+    ((struct symbol *)nil_node)->name = "nil";
+    ((struct symbol *)nil_node)->value = nil_node;
+
+    for (i = 0; REPL_INPUTS[i] != 0; i++) {
+        form = read_string(REPL_INPUTS[i], &r);
+        if (r.errors != 0) {
+            printf("read error in %s\n", REPL_INPUTS[i]);
+            continue;
+        }
+        result = eval(form);
+        printf("> %s\n", REPL_INPUTS[i]);
+        print_form(result);
+        printf("\n");
+        mark(form);
+        mark(result);
+    }
+    mark((struct node *)symbols);
+    printf("%d nodes live of %d used (evals=%ld)\n",
+           sweep_count(), pool_used, eval_count);
+    return 0;
+}

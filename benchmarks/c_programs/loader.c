@@ -1,0 +1,285 @@
+/* loader - relocating object-file loader.
+ *
+ * Stand-in for the Landi benchmark "loader".  Casting idioms: an object
+ * file arrives as one byte image; section headers, symbol records and
+ * relocation records are all views cast out of the image at computed
+ * offsets (pointer arithmetic + casts), then linked into typed lists.
+ */
+
+#define IMAGESIZE 2048
+#define SEC_TEXT 1
+#define SEC_DATA 2
+#define SEC_SYMS 3
+#define SEC_RELOC 4
+
+struct sec_header {
+    int kind;
+    int offset;
+    int length;
+    int count;
+};
+
+struct sym_record {
+    char name[12];
+    int section;
+    int value;
+};
+
+struct reloc_record {
+    int where;
+    int symindex;
+};
+
+struct loaded_sym {
+    struct loaded_sym *next;
+    char *name;
+    int address;
+};
+
+static unsigned char image[IMAGESIZE];
+static int image_len;
+static struct loaded_sym *symtab;
+static int text_base;
+static int data_base;
+static int relocs_applied;
+
+static struct sec_header *section_at(int off)
+{
+    return (struct sec_header *)&image[off];
+}
+
+static struct sym_record *sym_at(struct sec_header *h, int i)
+{
+    unsigned char *base;
+
+    base = &image[h->offset];
+    return (struct sym_record *)(base + i * (int)sizeof(struct sym_record));
+}
+
+static struct reloc_record *reloc_at(struct sec_header *h, int i)
+{
+    unsigned char *base;
+
+    base = &image[h->offset];
+    return (struct reloc_record *)(base + i * (int)sizeof(struct reloc_record));
+}
+
+static void add_symbol(char *name, int address)
+{
+    struct loaded_sym *s;
+
+    s = (struct loaded_sym *)malloc(sizeof(struct loaded_sym));
+    s->name = strdup(name);
+    s->address = address;
+    s->next = symtab;
+    symtab = s;
+}
+
+static struct loaded_sym *find_symbol(char *name)
+{
+    struct loaded_sym *s;
+
+    for (s = symtab; s != 0; s = s->next) {
+        if (strcmp(s->name, name) == 0)
+            return s;
+    }
+    return 0;
+}
+
+static void load_symbols(struct sec_header *h)
+{
+    int i;
+    struct sym_record *r;
+    int base;
+
+    for (i = 0; i < h->count; i++) {
+        r = sym_at(h, i);
+        base = r->section == SEC_TEXT ? text_base : data_base;
+        add_symbol(r->name, base + r->value);
+    }
+}
+
+static void apply_relocs(struct sec_header *h, struct sec_header *symsec)
+{
+    int i;
+    struct reloc_record *r;
+    struct sym_record *target;
+    struct loaded_sym *resolved;
+    int *patch;
+
+    for (i = 0; i < h->count; i++) {
+        r = reloc_at(h, i);
+        target = sym_at(symsec, r->symindex);
+        resolved = find_symbol(target->name);
+        if (resolved == 0)
+            continue;
+        patch = (int *)&image[text_base + r->where];
+        *patch = resolved->address;
+        relocs_applied++;
+    }
+}
+
+static void build_image(void)
+{
+    struct sec_header *h;
+    struct sym_record *s;
+    struct reloc_record *r;
+    int off;
+
+    /* Layout: 4 headers, then text, then syms, then relocs. */
+    off = 4 * (int)sizeof(struct sec_header);
+
+    h = section_at(0);
+    h->kind = SEC_TEXT;
+    h->offset = off;
+    h->length = 64;
+    h->count = 0;
+    off += 64;
+
+    h = section_at((int)sizeof(struct sec_header));
+    h->kind = SEC_SYMS;
+    h->offset = off;
+    h->count = 2;
+    h->length = h->count * (int)sizeof(struct sym_record);
+    off += h->length;
+
+    s = (struct sym_record *)&image[h->offset];
+    strcpy(s->name, "entry");
+    s->section = SEC_TEXT;
+    s->value = 0;
+    s = (struct sym_record *)(&image[h->offset] + sizeof(struct sym_record));
+    strcpy(s->name, "counter");
+    s->section = SEC_DATA;
+    s->value = 8;
+
+    h = section_at(2 * (int)sizeof(struct sec_header));
+    h->kind = SEC_RELOC;
+    h->offset = off;
+    h->count = 2;
+    h->length = h->count * (int)sizeof(struct reloc_record);
+    off += h->length;
+
+    r = (struct reloc_record *)&image[h->offset];
+    r->where = 4;
+    r->symindex = 1;
+    r = (struct reloc_record *)(&image[h->offset] + sizeof(struct reloc_record));
+    r->where = 12;
+    r->symindex = 0;
+
+    image_len = off;
+}
+
+/* ------------------------------------------------------------------ */
+/* Undefined-reference checking and a tiny dynamic-linking step: bind  */
+/* unresolved names against a table of "shared library" exports.       */
+/* ------------------------------------------------------------------ */
+
+struct export_entry {
+    char *name;
+    int address;
+};
+
+static struct export_entry lib_exports[] = {
+    { "printf", 90000 },
+    { "malloc", 90016 },
+    { "strcmp", 90032 },
+    { 0, 0 },
+};
+
+struct unresolved {
+    struct unresolved *next;
+    char *name;
+    int where;
+};
+
+static struct unresolved *undef_list;
+static int dynamic_bound;
+
+static void note_unresolved(char *name, int where)
+{
+    struct unresolved *u;
+
+    u = (struct unresolved *)malloc(sizeof(struct unresolved));
+    u->name = strdup(name);
+    u->where = where;
+    u->next = undef_list;
+    undef_list = u;
+}
+
+static int lookup_export(char *name)
+{
+    struct export_entry *e;
+
+    for (e = lib_exports; e->name != 0; e++) {
+        if (strcmp(e->name, name) == 0)
+            return e->address;
+    }
+    return -1;
+}
+
+static void bind_dynamic(void)
+{
+    struct unresolved *u;
+    int addr;
+
+    for (u = undef_list; u != 0; u = u->next) {
+        addr = lookup_export(u->name);
+        if (addr < 0)
+            continue;
+        add_symbol(u->name, addr);
+        dynamic_bound++;
+    }
+}
+
+static void check_references(void)
+{
+    /* Imagine the text section calls printf: record it unresolved, then
+     * bind it dynamically. */
+    if (find_symbol("printf") == 0)
+        note_unresolved("printf", 24);
+    if (find_symbol("strcmp") == 0)
+        note_unresolved("strcmp", 40);
+    if (find_symbol("no_such_fn") == 0)
+        note_unresolved("no_such_fn", 56);
+    bind_dynamic();
+}
+
+static int count_unbound(void)
+{
+    struct unresolved *u;
+    int n;
+
+    n = 0;
+    for (u = undef_list; u != 0; u = u->next) {
+        if (find_symbol(u->name) == 0)
+            n++;
+    }
+    return n;
+}
+
+int main(void)
+{
+    struct sec_header *text;
+    struct sec_header *syms;
+    struct sec_header *relocs;
+    struct loaded_sym *s;
+
+    build_image();
+    text_base = 4096;
+    data_base = 8192;
+
+    text = section_at(0);
+    syms = section_at((int)sizeof(struct sec_header));
+    relocs = section_at(2 * (int)sizeof(struct sec_header));
+
+    load_symbols(syms);
+    apply_relocs(relocs, syms);
+    check_references();
+
+    for (s = symtab; s != 0; s = s->next)
+        printf("%-12s -> %d\n", s->name, s->address);
+    printf("image %d bytes, text at %d, %d relocs, %d dynamic, %d unbound\n",
+           image_len, text->offset, relocs_applied, dynamic_bound,
+           count_unbound());
+    return 0;
+}

@@ -1,0 +1,288 @@
+/* simulator - instruction-set simulator for the toy ISA.
+ *
+ * Stand-in for the Landi benchmark "simulator".  Casting idioms: raw
+ * instruction words decoded by casting an unsigned int's address to a
+ * bit-field view struct, and a memory array aliased as both word and
+ * byte views.
+ */
+
+#define MEMWORDS 256
+#define NREGS 8
+
+#define OP_LOAD 1
+#define OP_STORE 2
+#define OP_ADD 3
+#define OP_JUMP 4
+#define OP_HALT 5
+
+struct decoded {
+    unsigned int opcode : 8;
+    unsigned int reg : 8;
+    unsigned int imm : 16;
+};
+
+struct machine {
+    unsigned int mem[MEMWORDS];
+    long regs[NREGS];
+    int pc;
+    int running;
+    long cycles;
+};
+
+struct trace_rec {
+    struct trace_rec *next;
+    int pc;
+    int opcode;
+    long reg_after;
+};
+
+static struct machine cpu;
+static struct trace_rec *trace_head;
+static int trace_len;
+
+static struct decoded *decode(unsigned int *word)
+{
+    return (struct decoded *)word;
+}
+
+static unsigned char *byte_view(struct machine *m, int addr)
+{
+    unsigned char *base;
+
+    base = (unsigned char *)m->mem;
+    return &base[addr];
+}
+
+static void record_trace(struct machine *m, int opcode, int reg)
+{
+    struct trace_rec *t;
+
+    t = (struct trace_rec *)malloc(sizeof(struct trace_rec));
+    t->pc = m->pc;
+    t->opcode = opcode;
+    t->reg_after = m->regs[reg % NREGS];
+    t->next = trace_head;
+    trace_head = t;
+    trace_len++;
+}
+
+static void step(struct machine *m)
+{
+    struct decoded *d;
+    unsigned int word;
+    int r;
+
+    word = m->mem[m->pc % MEMWORDS];
+    d = decode(&m->mem[m->pc % MEMWORDS]);
+    r = (int)d->reg % NREGS;
+
+    switch ((int)d->opcode) {
+    case OP_LOAD:
+        m->regs[r] = (long)m->mem[d->imm % MEMWORDS];
+        break;
+    case OP_STORE:
+        m->mem[d->imm % MEMWORDS] = (unsigned int)m->regs[r];
+        break;
+    case OP_ADD:
+        m->regs[r] = m->regs[r] + (long)d->imm;
+        break;
+    case OP_JUMP:
+        m->pc = (int)d->imm - 1;
+        break;
+    case OP_HALT:
+        m->running = 0;
+        break;
+    default:
+        m->running = 0;
+        break;
+    }
+    record_trace(m, (int)d->opcode, r);
+    m->pc++;
+    m->cycles++;
+    if (m->cycles > 1000)
+        m->running = 0;
+    (void)word;
+}
+
+static unsigned int encode(int opcode, int reg, int imm)
+{
+    struct decoded d;
+    unsigned int *raw;
+
+    d.opcode = (unsigned int)opcode;
+    d.reg = (unsigned int)reg;
+    d.imm = (unsigned int)imm;
+    raw = (unsigned int *)&d;
+    return *raw;
+}
+
+static void load_program(struct machine *m)
+{
+    int a;
+
+    a = 0;
+    m->mem[a++] = encode(OP_ADD, 1, 10);   /* r1 += 10 */
+    m->mem[a++] = encode(OP_ADD, 2, 32);   /* r2 += 32 */
+    m->mem[a++] = encode(OP_STORE, 1, 100);
+    m->mem[a++] = encode(OP_LOAD, 3, 100);
+    m->mem[a++] = encode(OP_ADD, 3, 1);
+    m->mem[a++] = encode(OP_HALT, 0, 0);
+}
+
+static long checksum(struct machine *m)
+{
+    long sum;
+    int i;
+    unsigned char *bytes;
+
+    sum = 0;
+    for (i = 0; i < NREGS; i++)
+        sum += m->regs[i];
+    bytes = byte_view(m, 0);
+    for (i = 0; i < 16; i++)
+        sum += (long)bytes[i];
+    return sum;
+}
+
+static void dump_trace(void)
+{
+    struct trace_rec *t;
+    int shown;
+
+    shown = 0;
+    for (t = trace_head; t != 0 && shown < 8; t = t->next) {
+        printf("pc=%d op=%d reg_after=%ld\n", t->pc, t->opcode, t->reg_after);
+        shown++;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Disassembler: mnemonic tables and operand formatting, reading the   */
+/* same words back through the bit-field view.                         */
+/* ------------------------------------------------------------------ */
+
+struct mnemonic {
+    int opcode;
+    char *name;
+    int has_reg;
+    int has_imm;
+};
+
+static struct mnemonic mnemonics[] = {
+    { OP_LOAD, "load", 1, 1 },
+    { OP_STORE, "store", 1, 1 },
+    { OP_ADD, "add", 1, 1 },
+    { OP_JUMP, "jump", 0, 1 },
+    { OP_HALT, "halt", 0, 0 },
+    { 0, 0, 0, 0 },
+};
+
+static struct mnemonic *mnemonic_for(int opcode)
+{
+    struct mnemonic *m;
+
+    for (m = mnemonics; m->name != 0; m++) {
+        if (m->opcode == opcode)
+            return m;
+    }
+    return 0;
+}
+
+static int disassemble_one(struct machine *m, int addr, char *buf, int max)
+{
+    struct decoded *d;
+    struct mnemonic *mn;
+    int n;
+
+    d = decode(&m->mem[addr % MEMWORDS]);
+    mn = mnemonic_for((int)d->opcode);
+    if (mn == 0) {
+        n = snprintf(buf, (size_t)max, "%04d: .word %u", addr,
+                     m->mem[addr % MEMWORDS]);
+        return n;
+    }
+    if (mn->has_reg && mn->has_imm)
+        n = snprintf(buf, (size_t)max, "%04d: %-6s r%u, %u", addr,
+                     mn->name, d->reg, d->imm);
+    else if (mn->has_imm)
+        n = snprintf(buf, (size_t)max, "%04d: %-6s %u", addr,
+                     mn->name, d->imm);
+    else
+        n = snprintf(buf, (size_t)max, "%04d: %-6s", addr, mn->name);
+    return n;
+}
+
+static void disassemble(struct machine *m, int from, int count)
+{
+    char line[64];
+    int a;
+
+    for (a = from; a < from + count; a++) {
+        disassemble_one(m, a, line, 64);
+        puts(line);
+    }
+}
+
+/* Breakpoint list: simulation watchpoints, a linked client of the
+ * machine state. */
+
+struct breakpoint {
+    struct breakpoint *next;
+    int addr;
+    long hit_count;
+};
+
+static struct breakpoint *breakpoints;
+
+static void add_breakpoint(int addr)
+{
+    struct breakpoint *bp;
+
+    bp = (struct breakpoint *)malloc(sizeof(struct breakpoint));
+    bp->addr = addr;
+    bp->hit_count = 0;
+    bp->next = breakpoints;
+    breakpoints = bp;
+}
+
+static struct breakpoint *check_breakpoint(struct machine *m)
+{
+    struct breakpoint *bp;
+
+    for (bp = breakpoints; bp != 0; bp = bp->next) {
+        if (bp->addr == m->pc) {
+            bp->hit_count++;
+            return bp;
+        }
+    }
+    return 0;
+}
+
+int main(void)
+{
+    int i;
+
+    for (i = 0; i < NREGS; i++)
+        cpu.regs[i] = 0;
+    cpu.pc = 0;
+    cpu.running = 1;
+    cpu.cycles = 0;
+
+    load_program(&cpu);
+    printf("disassembly:\n");
+    disassemble(&cpu, 0, 6);
+
+    add_breakpoint(3);
+    while (cpu.running) {
+        struct breakpoint *bp;
+        bp = check_breakpoint(&cpu);
+        if (bp != 0)
+            printf("breakpoint at %d (hit %ld)\n", bp->addr, bp->hit_count);
+        step(&cpu);
+    }
+
+    dump_trace();
+    printf("halted after %ld cycles, checksum %ld, trace %d\n",
+           cpu.cycles, checksum(&cpu), trace_len);
+    return 0;
+}

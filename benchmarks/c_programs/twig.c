@@ -1,0 +1,355 @@
+/* twig - tree-pattern matcher over variant nodes.
+ *
+ * Stand-in for "twig" (the paper's worst case for the Common Initial
+ * Sequence algorithm in Figure 4).  The idiom: several tree-node
+ * variants share *part* of an initial sequence and then diverge, and the
+ * matcher walks trees through the shortest common view, so accesses
+ * regularly fall just beyond the guaranteed prefix.
+ */
+
+#define OP_CONST 1
+#define OP_REG 2
+#define OP_PLUS 3
+#define OP_MUL 4
+#define OP_MEM 5
+
+/* Common view: every node starts with op and cost. */
+struct tree {
+    int op;
+    int cost;
+};
+
+/* Leaf variants diverge right after the common prefix. */
+struct leaf_const {
+    int op;
+    int cost;
+    long value;
+    struct leaf_const *next_const;
+};
+
+struct leaf_reg {
+    int op;
+    int cost;
+    int regno;
+    char *regname;
+};
+
+/* Interior nodes: one or two kids. */
+struct unary {
+    int op;
+    int cost;
+    struct tree *kid;
+};
+
+struct binary {
+    int op;
+    int cost;
+    struct tree *left;
+    struct tree *right;
+};
+
+struct match {
+    struct match *next;
+    struct tree *where;
+    int rule;
+    int cost;
+};
+
+static struct leaf_const *const_pool;
+static struct match *matches;
+static int nodes_made;
+static int rules_fired;
+
+static struct tree *mk_const(long v)
+{
+    struct leaf_const *n;
+
+    n = (struct leaf_const *)malloc(sizeof(struct leaf_const));
+    n->op = OP_CONST;
+    n->cost = 0;
+    n->value = v;
+    n->next_const = const_pool;
+    const_pool = n;
+    nodes_made++;
+    return (struct tree *)n;
+}
+
+static struct tree *mk_reg(int rno, char *name)
+{
+    struct leaf_reg *n;
+
+    n = (struct leaf_reg *)malloc(sizeof(struct leaf_reg));
+    n->op = OP_REG;
+    n->cost = 0;
+    n->regno = rno;
+    n->regname = name;
+    nodes_made++;
+    return (struct tree *)n;
+}
+
+static struct tree *mk_unary(int op, struct tree *kid)
+{
+    struct unary *n;
+
+    n = (struct unary *)malloc(sizeof(struct unary));
+    n->op = op;
+    n->cost = 0;
+    n->kid = kid;
+    nodes_made++;
+    return (struct tree *)n;
+}
+
+static struct tree *mk_binary(int op, struct tree *l, struct tree *r)
+{
+    struct binary *n;
+
+    n = (struct binary *)malloc(sizeof(struct binary));
+    n->op = op;
+    n->cost = 0;
+    n->left = l;
+    n->right = r;
+    nodes_made++;
+    return (struct tree *)n;
+}
+
+static void record_match(struct tree *t, int rule, int cost)
+{
+    struct match *m;
+
+    m = (struct match *)malloc(sizeof(struct match));
+    m->where = t;
+    m->rule = rule;
+    m->cost = cost;
+    m->next = matches;
+    matches = m;
+    rules_fired++;
+}
+
+static int is_small_const(struct tree *t)
+{
+    struct leaf_const *c;
+
+    if (t->op != OP_CONST)
+        return 0;
+    c = (struct leaf_const *)t;
+    return c->value >= -128 && c->value < 128;
+}
+
+/* Rule 1: MUL(x, CONST 2^k)  => shift               cost 1
+ * Rule 2: PLUS(REG, CONST8)  => add-immediate       cost 1
+ * Rule 3: MEM(PLUS(REG, C))  => indexed load        cost 2
+ * Rule 4: anything           => general             cost 4
+ */
+static int match_node(struct tree *t)
+{
+    int best;
+
+    best = 4;
+    record_match(t, 4, 4);
+
+    if (t->op == OP_MUL) {
+        struct binary *b;
+        b = (struct binary *)t;
+        if (is_small_const(b->right)) {
+            struct leaf_const *c;
+            c = (struct leaf_const *)b->right;
+            if ((c->value & (c->value - 1)) == 0) {
+                record_match(t, 1, 1);
+                best = 1;
+            }
+        }
+    }
+    if (t->op == OP_PLUS) {
+        struct binary *b;
+        b = (struct binary *)t;
+        if (b->left->op == OP_REG && is_small_const(b->right)) {
+            record_match(t, 2, 1);
+            best = best < 1 ? best : 1;
+        }
+    }
+    if (t->op == OP_MEM) {
+        struct unary *u;
+        u = (struct unary *)t;
+        if (u->kid->op == OP_PLUS) {
+            record_match(t, 3, 2);
+            best = best < 2 ? best : 2;
+        }
+    }
+    t->cost = best;
+    return best;
+}
+
+static int label_tree(struct tree *t)
+{
+    int total;
+
+    total = 0;
+    switch (t->op) {
+    case OP_PLUS:
+    case OP_MUL: {
+        struct binary *b;
+        b = (struct binary *)t;
+        total += label_tree(b->left);
+        total += label_tree(b->right);
+        break;
+    }
+    case OP_MEM: {
+        struct unary *u;
+        u = (struct unary *)t;
+        total += label_tree(u->kid);
+        break;
+    }
+    }
+    total += match_node(t);
+    return total;
+}
+
+static void dump_matches(void)
+{
+    struct match *m;
+
+    for (m = matches; m != 0; m = m->next)
+        printf("node(op=%d) rule %d cost %d\n",
+               m->where->op, m->rule, m->cost);
+}
+
+/* ------------------------------------------------------------------ */
+/* Rewrite pass: constant folding over the labeled tree, producing new */
+/* leaf nodes in place of foldable interior nodes -- the second phase  */
+/* of a twig-style code generator.                                     */
+/* ------------------------------------------------------------------ */
+
+static int folds_done;
+
+static long const_value_of(struct tree *t, int *known)
+{
+    if (t->op == OP_CONST) {
+        *known = 1;
+        return ((struct leaf_const *)t)->value;
+    }
+    *known = 0;
+    return 0;
+}
+
+static struct tree *fold(struct tree *t)
+{
+    switch (t->op) {
+    case OP_PLUS:
+    case OP_MUL: {
+        struct binary *b;
+        int lk;
+        int rk;
+        long lv;
+        long rv;
+        b = (struct binary *)t;
+        b->left = fold(b->left);
+        b->right = fold(b->right);
+        lv = const_value_of(b->left, &lk);
+        rv = const_value_of(b->right, &rk);
+        if (lk && rk) {
+            folds_done++;
+            return mk_const(t->op == OP_PLUS ? lv + rv : lv * rv);
+        }
+        return t;
+    }
+    case OP_MEM: {
+        struct unary *u;
+        u = (struct unary *)t;
+        u->kid = fold(u->kid);
+        return t;
+    }
+    }
+    return t;
+}
+
+/* Emit a linearized instruction selection from the best matches: a
+ * post-order walk choosing each node's recorded best rule. */
+
+struct emit_rec {
+    struct emit_rec *next;
+    int rule;
+    int node_op;
+};
+
+static struct emit_rec *emitted;
+static int emit_count;
+
+static void emit_insn(int rule, int op)
+{
+    struct emit_rec *e;
+
+    e = (struct emit_rec *)malloc(sizeof(struct emit_rec));
+    e->rule = rule;
+    e->node_op = op;
+    e->next = emitted;
+    emitted = e;
+    emit_count++;
+}
+
+static int best_rule_for(struct tree *t)
+{
+    struct match *m;
+    int best_rule;
+    int best_cost;
+
+    best_rule = 4;
+    best_cost = 1 << 30;
+    for (m = matches; m != 0; m = m->next) {
+        if (m->where == t && m->cost < best_cost) {
+            best_cost = m->cost;
+            best_rule = m->rule;
+        }
+    }
+    return best_rule;
+}
+
+static void emit_tree(struct tree *t)
+{
+    switch (t->op) {
+    case OP_PLUS:
+    case OP_MUL: {
+        struct binary *b;
+        b = (struct binary *)t;
+        emit_tree(b->left);
+        emit_tree(b->right);
+        break;
+    }
+    case OP_MEM:
+        emit_tree(((struct unary *)t)->kid);
+        break;
+    }
+    emit_insn(best_rule_for(t), t->op);
+}
+
+int main(void)
+{
+    struct tree *t;
+    struct tree *t2;
+    int cost;
+
+    /* MEM(PLUS(REG r1, CONST 8)) * CONST 4 */
+    t = mk_binary(OP_MUL,
+                  mk_unary(OP_MEM,
+                           mk_binary(OP_PLUS, mk_reg(1, "r1"), mk_const(8))),
+                  mk_const(4));
+    cost = label_tree(t);
+    dump_matches();
+    printf("%d nodes, %d matches, total cost %d\n",
+           nodes_made, rules_fired, cost);
+
+    /* Second phase: fold PLUS(CONST 2, CONST 3) * REG, then emit. */
+    t2 = mk_binary(OP_MUL,
+                   mk_binary(OP_PLUS, mk_const(2), mk_const(3)),
+                   mk_reg(2, "r2"));
+    t2 = fold(t2);
+    label_tree(t2);
+    emit_tree(t2);
+    emit_tree(fold(t));
+    printf("%d folds, %d instructions emitted\n", folds_done, emit_count);
+    {
+        struct emit_rec *e;
+        for (e = emitted; e != 0; e = e->next)
+            printf("  rule %d (op=%d)\n", e->rule, e->node_op);
+    }
+    return 0;
+}

@@ -1,0 +1,218 @@
+/* ul - do-underlining filter.
+ *
+ * Stand-in for the Landi benchmark "ul": translates backspace-overstrike
+ * sequences into terminal underline escapes.  Mode tables, line buffers,
+ * and function-pointer dispatch per terminal type; no structure casting.
+ */
+
+#define OBUFSIZ 1024
+
+#define MODE_PLAIN 0
+#define MODE_UNDER 1
+#define MODE_BOLD 2
+
+struct cap {
+    char *enter_under;
+    char *exit_under;
+    char *enter_bold;
+    char *exit_bold;
+};
+
+struct outstate {
+    int mode;
+    int col;
+    char buf[OBUFSIZ];
+    int len;
+    struct cap *caps;
+};
+
+static struct cap vt100 = { "\033[4m", "\033[24m", "\033[1m", "\033[22m" };
+static struct cap dumb = { "_", "", "*", "" };
+
+static struct outstate out;
+
+/* Mode statistics: how long each rendering mode was active. */
+
+struct mode_stats {
+    long chars_in_mode[3];
+    int transitions;
+};
+
+static struct mode_stats mode_stats;
+
+static void account_mode(int mode, int nchars)
+{
+    if (mode >= 0 && mode < 3)
+        mode_stats.chars_in_mode[mode] += nchars;
+}
+
+static void report_modes(void)
+{
+    printf("plain %ld, underline %ld, bold %ld (transitions %d)\n",
+           mode_stats.chars_in_mode[MODE_PLAIN],
+           mode_stats.chars_in_mode[MODE_UNDER],
+           mode_stats.chars_in_mode[MODE_BOLD],
+           mode_stats.transitions);
+}
+
+
+static void put_str(struct outstate *o, char *s)
+{
+    while (*s != '\0' && o->len < OBUFSIZ - 1) {
+        o->buf[o->len] = *s;
+        o->len++;
+        s++;
+    }
+}
+
+static void put_ch(struct outstate *o, int c)
+{
+    if (o->len < OBUFSIZ - 1) {
+        o->buf[o->len] = (char)c;
+        o->len++;
+        o->col++;
+        account_mode(o->mode, 1);
+    }
+}
+
+static void set_mode(struct outstate *o, int mode)
+{
+    struct cap *t;
+
+    t = o->caps;
+    if (o->mode == mode)
+        return;
+    mode_stats.transitions++;
+    if (o->mode == MODE_UNDER)
+        put_str(o, t->exit_under);
+    if (o->mode == MODE_BOLD)
+        put_str(o, t->exit_bold);
+    if (mode == MODE_UNDER)
+        put_str(o, t->enter_under);
+    if (mode == MODE_BOLD)
+        put_str(o, t->enter_bold);
+    o->mode = mode;
+}
+
+static void flush_line(struct outstate *o)
+{
+    set_mode(o, MODE_PLAIN);
+    o->buf[o->len] = '\0';
+    puts(o->buf);
+    o->len = 0;
+    o->col = 0;
+}
+
+static void process_line(struct outstate *o, char *line)
+{
+    char *p;
+
+    p = line;
+    while (*p != '\0' && *p != '\n') {
+        if (p[0] == '_' && p[1] == '\b') {
+            set_mode(o, MODE_UNDER);
+            put_ch(o, p[2]);
+            p += 3;
+        } else if (p[1] == '\b' && p[0] == p[2]) {
+            set_mode(o, MODE_BOLD);
+            put_ch(o, p[0]);
+            p += 3;
+        } else {
+            set_mode(o, MODE_PLAIN);
+            put_ch(o, *p);
+            p++;
+        }
+    }
+    flush_line(o);
+}
+
+/* Terminal database: name -> capabilities, searched linearly like a
+ * miniature termcap. */
+
+struct term_entry {
+    char *name;
+    char *aliases;
+    struct cap *caps;
+    int uses;
+};
+
+static struct cap xterm_caps = { "\033[4m", "\033[24m", "\033[1m", "\033[22m" };
+static struct cap wyse_caps = { "\033G4", "\033G0", "\033G8", "\033G0" };
+
+static struct term_entry term_db[] = {
+    { "vt100", "vt100|vt102|dec", 0, 0 },
+    { "xterm", "xterm|xterm-256color|rxvt", 0, 0 },
+    { "wyse",  "wyse50|wyse60", 0, 0 },
+    { "dumb",  "dumb|unknown", 0, 0 },
+    { 0, 0, 0, 0 },
+};
+
+static void init_term_db(void)
+{
+    term_db[0].caps = &vt100;
+    term_db[1].caps = &xterm_caps;
+    term_db[2].caps = &wyse_caps;
+    term_db[3].caps = &dumb;
+}
+
+static int alias_matches(char *aliases, char *name)
+{
+    char *p;
+    char *start;
+    int len;
+
+    len = (int)strlen(name);
+    p = aliases;
+    start = p;
+    for (;;) {
+        if (*p == '|' || *p == '\0') {
+            if (p - start == len && strncmp(start, name, (size_t)len) == 0)
+                return 1;
+            if (*p == '\0')
+                return 0;
+            start = p + 1;
+        }
+        p++;
+    }
+}
+
+static struct cap *pick_terminal(char *name)
+{
+    struct term_entry *e;
+    int i;
+
+    if (name == 0)
+        return &dumb;
+    for (i = 0; term_db[i].name != 0; i++) {
+        e = &term_db[i];
+        if (alias_matches(e->aliases, name)) {
+            e->uses++;
+            return e->caps;
+        }
+    }
+    return &dumb;
+}
+
+
+int main(void)
+{
+    char line[OBUFSIZ];
+    FILE *in;
+    char *term;
+
+    init_term_db();
+    term = getenv("TERM");
+    out.caps = pick_terminal(term);
+    out.mode = MODE_PLAIN;
+    out.len = 0;
+    out.col = 0;
+
+    in = fopen("input.txt", "r");
+    if (in == 0)
+        return 1;
+    while (fgets(line, OBUFSIZ, in) != 0)
+        process_line(&out, line);
+    fclose(in);
+    report_modes();
+    return 0;
+}

@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark suite.
+
+Programs are parsed once per session and shared across benchmarks; the
+engines never mutate a Program, so reuse is safe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import load_program
+from repro.suite.registry import SUITE
+
+_CACHE = {}
+
+
+def cached_program(name: str):
+    """Session-cached parsed+normalized suite program."""
+    prog = _CACHE.get(name)
+    if prog is None:
+        bp = next(p for p in SUITE if p.name == name)
+        prog = load_program(bp)
+        _CACHE[name] = prog
+    return prog
+
+
+@pytest.fixture(scope="session")
+def suite_programs():
+    """name -> Program for the whole suite."""
+    return {bp.name: cached_program(bp.name) for bp in SUITE}

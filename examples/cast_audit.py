@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Audit a C program's structure casts for portability hazards.
+
+The paper's central warning: the "Offsets" analysis is only safe for one
+concrete layout, while the portable instances are safe everywhere.  This
+tool surfaces the places where that difference is observable:
+
+1. dereference sites whose points-to sets differ between the Common
+   Initial Sequence algorithm (portable truth) and the Offsets algorithm
+   under two different ABIs (ILP32 vs LP64) — code whose behaviour may
+   silently depend on the platform's struct layout;
+2. the overall casting profile of the program (how many lookup/resolve
+   calls involved structure casts at all).
+
+Usage:
+    python examples/cast_audit.py lex315          # suite program
+    python examples/cast_audit.py path/to/file.c
+"""
+
+import sys
+from pathlib import Path
+
+from repro import ILP32, LP64, CommonInitialSequence, Layout, Offsets, analyze
+from repro.frontend import program_from_c
+from repro.suite.registry import SUITE, load_source
+
+
+def load(target: str) -> str:
+    for bp in SUITE:
+        if bp.name == target:
+            return load_source(bp)
+    return Path(target).read_text()
+
+
+def site_sets(result, layout=None):
+    """(pointer name, line) -> frozenset of pointed-to locations.
+
+    Locations are rendered as ``object.field.path`` so that results from
+    different ABIs are comparable: for the Offsets strategy, each byte
+    offset is mapped back to the field it names under that ABI (or kept
+    as ``+N`` when it corresponds to no declared field).
+    """
+    from repro.ir.refs import OffsetRef
+
+    out = {}
+    for st in result.program.deref_stmts():
+        ptr = result.pointer_of_deref(st)
+        key = (ptr.name, st.line)
+        locs = set()
+        for r in result.points_to(ptr):
+            if isinstance(r, OffsetRef) and layout is not None:
+                path = layout.offset_to_path(r.obj.type, r.offset)
+                if path is None:
+                    locs.add(f"{r.obj.name}+{r.offset}")
+                else:
+                    locs.add(".".join((r.obj.name,) + path))
+            else:
+                locs.add(repr(r))
+        out[key] = frozenset(locs)
+    return out
+
+
+def main() -> None:
+    target = sys.argv[1] if len(sys.argv) > 1 else "less177"
+    source = load(target)
+
+    results = {}
+    for label, strategy in (
+        ("portable (CIS)", CommonInitialSequence()),
+        ("offsets/ilp32", Offsets(Layout(ILP32))),
+        ("offsets/lp64", Offsets(Layout(LP64))),
+    ):
+        program = program_from_c(source, name=target)
+        results[label] = analyze(program, strategy)
+
+    stats = results["portable (CIS)"].stats
+    calls = stats.lookup_calls + stats.resolve_calls
+    struct = stats.lookup_struct_calls + stats.resolve_struct_calls
+    mism = stats.lookup_mismatch_calls + stats.resolve_mismatch_calls
+    print(f"=== cast audit: {target} ===")
+    print(f"lookup/resolve calls:        {calls}")
+    print(f"  involving structures:      {struct}")
+    print(f"  with type mismatch (cast): {mism}")
+    print()
+
+    cis = site_sets(results["portable (CIS)"])
+    o32 = site_sets(results["offsets/ilp32"], Layout(ILP32))
+    o64 = site_sets(results["offsets/lp64"], Layout(LP64))
+
+    abi_sensitive = [k for k in o32 if o32[k] != o64.get(k, frozenset())]
+    if abi_sensitive:
+        print(f"ABI-sensitive dereferences (Offsets results differ between "
+              f"ILP32 and LP64 — not portable): {len(abi_sensitive)} of {len(o32)}")
+        for name, line in sorted(abi_sensitive, key=lambda k: (k[1] or 0))[:5]:
+            only32 = sorted(o32[(name, line)] - o64[(name, line)])[:6]
+            only64 = sorted(o64[(name, line)] - o32[(name, line)])[:6]
+            print(f"  line {line}: *{name}")
+            print(f"    only under ilp32: {only32}")
+            print(f"    only under lp64:  {only64}")
+    else:
+        print("No ABI-sensitive dereferences found: the Offsets results "
+              "coincide under ILP32 and LP64.")
+    print()
+
+    widened = [k for k in cis if len(cis[k]) > len(o32.get(k, frozenset()))]
+    print(f"Dereferences where portability costs precision "
+          f"(|CIS| > |Offsets|): {len(widened)} of {len(cis)}")
+    for name, line in sorted(widened, key=lambda k: (k[1] or 0))[:8]:
+        print(f"  line {line}: *{name}: portable sees "
+              f"{len(cis[(name, line)])} targets vs "
+              f"{len(o32[(name, line)])} under ILP32: "
+              f"{sorted(cis[(name, line)])[:6]}")
+
+
+if __name__ == "__main__":
+    main()

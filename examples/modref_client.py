@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Downstream client demo: MOD/REF sets and the call graph.
+
+The paper's motivation for precise points-to information is that it
+feeds later analyses (slicing, side-effect analysis).  This example runs
+the MOD/REF client under the coarsest and the most precise portable
+strategy and shows how much tighter the side-effect sets get — the
+end-to-end payoff of field sensitivity.
+
+Usage:
+    python examples/modref_client.py ks      # suite program
+    python examples/modref_client.py file.c
+"""
+
+import sys
+from pathlib import Path
+
+from repro import CollapseAlways, CommonInitialSequence, analyze
+from repro.clients import build_call_graph, mod_ref
+from repro.frontend import program_from_c
+from repro.suite.registry import SUITE, load_source
+
+
+def load(target: str) -> str:
+    for bp in SUITE:
+        if bp.name == target:
+            return load_source(bp)
+    return Path(target).read_text()
+
+
+def main() -> None:
+    target = sys.argv[1] if len(sys.argv) > 1 else "ks"
+    source = load(target)
+
+    program = program_from_c(source, name=target)
+    coarse = analyze(program, CollapseAlways())
+    fine = analyze(program_from_c(source, name=target), CommonInitialSequence())
+
+    cg = build_call_graph(fine)
+    print(f"=== {target}: call graph ===")
+    for fn in sorted(cg.edges):
+        print(f"  {fn} -> {sorted(cg.edges[fn])}")
+    unresolved = cg.unresolved_indirect_sites()
+    if unresolved:
+        print(f"  unresolved indirect sites: {unresolved}")
+    print()
+
+    mr_coarse = mod_ref(coarse)
+    mr_fine = mod_ref(fine)
+    print(f"{'function':20s} {'MOD (collapse)':>15s} {'MOD (CIS)':>10s} "
+          f"{'REF (collapse)':>15s} {'REF (CIS)':>10s}")
+    total_c = total_f = 0
+    for fn in sorted(coarse.program.functions):
+        mc, mf = len(mr_coarse.mod_of(fn)), len(mr_fine.mod_of(fn))
+        rc, rf = len(mr_coarse.ref_of(fn)), len(mr_fine.ref_of(fn))
+        total_c += mc + rc
+        total_f += mf + rf
+        print(f"{fn:20s} {mc:15d} {mf:10d} {rc:15d} {rf:10d}")
+    if total_f:
+        print(f"\nfield-sensitive MOD/REF is "
+              f"{total_c / total_f:.2f}x smaller overall")
+
+
+if __name__ == "__main__":
+    main()

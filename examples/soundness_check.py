@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Demonstrate the soundness oracle on generated programs.
+
+The library ships a seeded random C generator and a concrete byte-level
+interpreter.  Together they form a testing harness for the fundamental
+property of the paper's framework: every address a real execution stores
+must appear in the analysis' points-to sets ("a safe approximation
+(superset)", paper §1).
+
+This script generates a few cast-heavy programs, executes them
+concretely, and checks all four strategies against the concrete facts —
+printing the concrete ground truth next to each strategy's answer for
+one location, so you can see the over-approximation at work.
+
+Usage:
+    python examples/soundness_check.py [seed]
+"""
+
+import sys
+
+from repro import ALL_STRATEGIES, analyze
+from repro.frontend import program_from_c
+from repro.suite import GenConfig, generate_program
+from repro.testing import check_soundness, concrete_facts, run_straightline
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 42
+    cfg = GenConfig(cast_probability=0.8, cis_probability=0.7, n_statements=30)
+
+    src = generate_program(seed, cfg)
+    program = program_from_c(src, name=f"generated-{seed}")
+    machine = run_straightline(program)
+    facts = concrete_facts(machine)
+
+    print(f"generated program (seed={seed}): {program.summary()}")
+    print(f"concrete execution stored {len(facts)} complete pointer(s)\n")
+
+    sample = None
+    for strategy_cls in ALL_STRATEGIES:
+        result = analyze(program, strategy_cls())
+        violations = check_soundness(result, machine)
+        status = "SOUND" if not violations else f"{len(violations)} VIOLATIONS"
+        print(f"{strategy_cls().name:25s}: {result.facts.edge_count():4d} facts — {status}")
+        if violations:
+            for v in violations[:3]:
+                print(f"    {v}")
+        if sample is None and facts:
+            sample = facts[0]
+
+    if sample is not None:
+        src_obj, off, dst_obj, doff = sample
+        print(f"\nexample location: {src_obj.name}+{off} "
+              f"(concretely holds &{dst_obj.name}+{doff})")
+        from repro.ctype.layout import ILP32, Layout
+        from repro.ir.refs import FieldRef
+
+        path = Layout(ILP32).offset_to_path(src_obj.type, off) or ()
+        for strategy_cls in ALL_STRATEGIES:
+            result = analyze(program, strategy_cls())
+            pts = sorted(map(repr, result.points_to(FieldRef(src_obj, path))))
+            print(f"  {strategy_cls().key:25s} says: {pts}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro — Pointer analysis for C programs with structures and casting.
+
+A complete reimplementation of the tunable pointer-analysis framework of
+Yong, Horwitz & Reps, *Pointer Analysis for Programs with Structures and
+Casting* (PLDI 1999), together with the substrates it needs: a C type
+system with a configurable layout engine, a pycparser-based front end that
+normalizes C into the paper's five assignment forms, an inclusion-based
+inference engine, baselines, analysis clients, and a benchmark suite that
+regenerates every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import analyze_c, CommonInitialSequence
+
+    result = analyze_c('''
+        struct S { int *s1; int *s2; } s;
+        int x, y, *p;
+        void main(void) { s.s1 = &x; s.s2 = &y; p = s.s1; }
+    ''', CommonInitialSequence())
+    p = result.program.objects.lookup("main::p") or result.program.objects.lookup("p")
+    print(result.points_to_names(p))   # {'x'}
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison.
+"""
+
+from .core import (
+    ALL_STRATEGIES,
+    STRATEGY_BY_KEY,
+    CollapseAlways,
+    CollapseOnCast,
+    CommonInitialSequence,
+    Engine,
+    Offsets,
+    Result,
+    Strategy,
+    analyze,
+)
+from .ctype import ILP32, LP64, Layout
+from .frontend import analyze_c, parse_c, program_from_c
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "CollapseAlways",
+    "CollapseOnCast",
+    "CommonInitialSequence",
+    "Engine",
+    "ILP32",
+    "LP64",
+    "Layout",
+    "Offsets",
+    "Result",
+    "STRATEGY_BY_KEY",
+    "Strategy",
+    "analyze",
+    "analyze_c",
+    "parse_c",
+    "program_from_c",
+    "__version__",
+]

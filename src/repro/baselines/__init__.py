@@ -1,0 +1,13 @@
+"""Baseline pointer analyses for comparison and differential testing.
+
+- :func:`~repro.baselines.steensgaard.steensgaard` — unification-based,
+  near-linear, field-insensitive ([Ste96b], the paper's §6 comparison);
+- :func:`~repro.baselines.andersen.andersen` — a standalone
+  field-insensitive inclusion analysis, used as a differential oracle for
+  the framework's "Collapse Always" instance.
+"""
+
+from .andersen import AndersenResult, andersen
+from .steensgaard import SteensgaardResult, steensgaard
+
+__all__ = ["AndersenResult", "SteensgaardResult", "andersen", "steensgaard"]

@@ -1,0 +1,140 @@
+"""A standalone field-insensitive Andersen-style inclusion analysis.
+
+This is an independent implementation of the classic inclusion-based
+points-to analysis with structures collapsed — semantically the same
+configuration as running the framework with the "Collapse Always"
+strategy, but built directly on a constraint graph with no strategy
+machinery.  Its purpose is differential testing: on every program, the
+object-level points-to relation computed here must *equal* the one the
+framework derives under Collapse Always.  Any divergence indicates a bug
+in the engine, the strategy, or this baseline.
+
+Constraint forms over collapsed objects:
+
+- ``x ⊇ {y}``  (address-of)
+- ``x ⊇ y``    (copy / field address, since fields collapse to the object)
+- ``x ⊇ *y``   (load)
+- ``*x ⊇ y``   (store)
+
+solved with a worklist that materializes complex constraints into copy
+edges as points-to sets grow — the same classic algorithm the framework's
+engine generalizes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..ir.objects import AbstractObject, ObjKind
+from ..ir.program import Program
+from ..ir.stmts import AddrOf, Call, Copy, FieldAddr, Load, PtrArith, Store
+
+__all__ = ["AndersenResult", "andersen"]
+
+
+class AndersenResult:
+    """Queryable result: collapsed object-level points-to sets."""
+
+    def __init__(self, program: Program, pts: Dict[AbstractObject, Set[AbstractObject]]):
+        self.program = program
+        self._pts = pts
+
+    def points_to(self, obj: AbstractObject) -> FrozenSet[AbstractObject]:
+        return frozenset(self._pts.get(obj, ()))
+
+    def points_to_names(self, obj: AbstractObject) -> Set[str]:
+        return {o.name for o in self.points_to(obj)}
+
+    def edge_count(self) -> int:
+        return sum(len(s) for s in self._pts.values())
+
+
+def andersen(program: Program) -> AndersenResult:
+    """Run the field-insensitive inclusion analysis over ``program``."""
+    pts: Dict[AbstractObject, Set[AbstractObject]] = {}
+    copy_edges: Dict[AbstractObject, List[AbstractObject]] = {}
+    edge_set: Set[Tuple[AbstractObject, AbstractObject]] = set()
+    # load_subs[y]: x objects with constraint x ⊇ *y.
+    load_subs: Dict[AbstractObject, List[AbstractObject]] = {}
+    # store_subs[x]: y objects with constraint *x ⊇ y.
+    store_subs: Dict[AbstractObject, List[AbstractObject]] = {}
+    indirect_calls: Dict[AbstractObject, List[Call]] = {}
+    bound: Set[Tuple[int, AbstractObject]] = set()
+    work: deque = deque()
+
+    def add(x: AbstractObject, o: AbstractObject) -> None:
+        s = pts.setdefault(x, set())
+        if o not in s:
+            s.add(o)
+            work.append((x, o))
+
+    def add_edge(src: AbstractObject, dst: AbstractObject) -> None:
+        if src is dst or (src, dst) in edge_set:
+            return
+        edge_set.add((src, dst))
+        copy_edges.setdefault(src, []).append(dst)
+        for o in list(pts.get(src, ())):
+            add(dst, o)
+
+    def bind(call: Call, fobj: AbstractObject) -> None:
+        key = (id(call), fobj)
+        if key in bound:
+            return
+        bound.add(key)
+        info = program.function_for_object(fobj)
+        if info is None:
+            if call.lhs is not None:
+                for a in call.args:
+                    add_edge(a, call.lhs)
+            return
+        for arg, param in zip(call.args, info.params):
+            add_edge(arg, param)
+        if len(call.args) > len(info.params) and info.vararg is not None:
+            for arg in call.args[len(info.params):]:
+                add_edge(arg, info.vararg)
+        if call.lhs is not None and info.retval is not None:
+            add_edge(info.retval, call.lhs)
+
+    # Install base constraints.
+    for st in program.all_stmts():
+        if isinstance(st, AddrOf):
+            add(st.lhs, st.target.obj)
+        elif isinstance(st, Copy):
+            add_edge(st.rhs.obj, st.lhs)
+        elif isinstance(st, FieldAddr):
+            add_edge(st.ptr, st.lhs)  # fields collapse onto the object
+        elif isinstance(st, Load):
+            load_subs.setdefault(st.ptr, []).append(st.lhs)
+            for o in list(pts.get(st.ptr, ())):
+                add_edge(o, st.lhs)
+        elif isinstance(st, Store):
+            store_subs.setdefault(st.ptr, []).append(st.rhs)
+            for o in list(pts.get(st.ptr, ())):
+                add_edge(st.rhs, o)
+        elif isinstance(st, PtrArith):
+            for op in st.operands:
+                add_edge(op, st.lhs)
+        elif isinstance(st, Call):
+            if st.indirect:
+                indirect_calls.setdefault(st.callee, []).append(st)
+                for o in list(pts.get(st.callee, ())):
+                    if o.kind is ObjKind.FUNCTION:
+                        bind(st, o)
+            else:
+                bind(st, st.callee)
+
+    # Worklist: materialize complex constraints as pointees appear.
+    while work:
+        x, o = work.popleft()
+        for dst in copy_edges.get(x, ()):
+            add(dst, o)
+        for lhs in load_subs.get(x, ()):
+            add_edge(o, lhs)
+        for rhs in store_subs.get(x, ()):
+            add_edge(rhs, o)
+        if o.kind is ObjKind.FUNCTION:
+            for call in indirect_calls.get(x, ()):
+                bind(call, o)
+
+    return AndersenResult(program, pts)

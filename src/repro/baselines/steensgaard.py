@@ -1,0 +1,219 @@
+"""Steensgaard's near-linear unification-based points-to analysis.
+
+The paper's related-work section (§6) compares against Steensgaard
+[Ste96b], whose algorithm trades precision for near-linear running time by
+*unifying* the points-to sets of locations that are assigned to one
+another, instead of propagating inclusions.  This module implements the
+classic field-insensitive variant over the same normalized IR the
+framework uses, so it can serve as a cheap baseline and as a soundness
+cross-check (every Steensgaard alias pair must also be derivable by the
+inclusion analysis run with "Collapse Always" — the reverse direction
+bounds Steensgaard's extra imprecision).
+
+Structure handling: structures are collapsed (each object is one node),
+matching [Ste96b]; casting therefore needs no special treatment.
+
+The implementation is a textbook union-find with a ``points-to`` link per
+equivalence class:
+
+- ``x = &y``   →  join(pts(x), ecr(y))
+- ``x = y``    →  join(pts(x), pts(y))
+- ``x = *y``   →  join(pts(x), pts(pts(y)))
+- ``*x = y``   →  join(pts(pts(x)), pts(y))
+
+where ``join`` unifies two classes and (recursively) their points-to
+links.  Calls unify arguments with parameters and the call result with the
+return value, including through function pointers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from ..ir.objects import AbstractObject, ObjKind
+from ..ir.program import Program
+from ..ir.stmts import (
+    AddrOf,
+    Call,
+    Copy,
+    FieldAddr,
+    Load,
+    PtrArith,
+    Store,
+)
+
+__all__ = ["SteensgaardResult", "steensgaard"]
+
+
+class _ECR:
+    """Equivalence-class representative (union-find node)."""
+
+    __slots__ = ("parent", "rank", "pts", "members")
+
+    def __init__(self) -> None:
+        self.parent: "_ECR" = self
+        self.rank = 0
+        #: The class this class points to, or None ("bottom").
+        self.pts: Optional["_ECR"] = None
+        #: Abstract objects whose storage this class represents.
+        self.members: Set[AbstractObject] = set()
+
+
+def _find(e: _ECR) -> _ECR:
+    while e.parent is not e:
+        e.parent = e.parent.parent
+        e = e.parent
+    return e
+
+
+class SteensgaardResult:
+    """Queryable result of a Steensgaard run."""
+
+    def __init__(self, program: Program, ecr_of: Dict[AbstractObject, _ECR]):
+        self.program = program
+        self._ecr_of = ecr_of
+
+    def points_to(self, obj: AbstractObject) -> FrozenSet[AbstractObject]:
+        """Objects whose storage ``obj``'s value may address."""
+        e = self._ecr_of.get(obj)
+        if e is None:
+            return frozenset()
+        p = _find(e).pts
+        if p is None:
+            return frozenset()
+        return frozenset(_find(p).members)
+
+    def points_to_names(self, obj: AbstractObject) -> Set[str]:
+        return {o.name for o in self.points_to(obj)}
+
+    def may_alias(self, a: AbstractObject, b: AbstractObject) -> bool:
+        """True when the two pointers may point to the same class."""
+        ea, eb = self._ecr_of.get(a), self._ecr_of.get(b)
+        if ea is None or eb is None:
+            return False
+        pa, pb = _find(ea).pts, _find(eb).pts
+        return pa is not None and pb is not None and _find(pa) is _find(pb)
+
+    def class_count(self) -> int:
+        roots = {id(_find(e)) for e in self._ecr_of.values()}
+        return len(roots)
+
+
+class _Solver:
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.ecr_of: Dict[AbstractObject, _ECR] = {}
+        # Calls deferred until a function pointee appears.
+        self._pending_calls: List[Call] = []
+
+    # ------------------------------------------------------------------
+    def ecr(self, obj: AbstractObject) -> _ECR:
+        e = self.ecr_of.get(obj)
+        if e is None:
+            e = _ECR()
+            e.members.add(obj)
+            self.ecr_of[obj] = e
+        return _find(e)
+
+    def pts(self, e: _ECR) -> _ECR:
+        """The class ``e`` points to, creating a fresh bottom class lazily."""
+        e = _find(e)
+        if e.pts is None:
+            e.pts = _ECR()
+        return _find(e.pts)
+
+    def join(self, a: _ECR, b: _ECR) -> _ECR:
+        a, b = _find(a), _find(b)
+        if a is b:
+            return a
+        if a.rank < b.rank:
+            a, b = b, a
+        b.parent = a
+        if a.rank == b.rank:
+            a.rank += 1
+        a.members |= b.members
+        pa, pb = a.pts, b.pts
+        a.pts = pa if pa is not None else pb
+        if pa is not None and pb is not None:
+            joined = self.join(pa, pb)
+            a = _find(a)
+            a.pts = joined
+        return _find(a)
+
+    # ------------------------------------------------------------------
+    def process(self, st) -> None:
+        if isinstance(st, AddrOf):
+            self.join(self.pts(self.ecr(st.lhs)), self.ecr(st.target.obj))
+        elif isinstance(st, Copy):
+            self.join(self.pts(self.ecr(st.lhs)), self.pts(self.ecr(st.rhs.obj)))
+        elif isinstance(st, FieldAddr):
+            # Field-insensitive: &((*p).α) has the same class as p's value.
+            self.join(self.pts(self.ecr(st.lhs)), self.pts(self.ecr(st.ptr)))
+        elif isinstance(st, Load):
+            target = self.pts(self.pts(self.ecr(st.ptr)))
+            self.join(self.pts(self.ecr(st.lhs)), target)
+        elif isinstance(st, Store):
+            target = self.pts(self.pts(self.ecr(st.ptr)))
+            self.join(target, self.pts(self.ecr(st.rhs)))
+        elif isinstance(st, PtrArith):
+            for op in st.operands:
+                self.join(self.pts(self.ecr(st.lhs)), self.pts(self.ecr(op)))
+        elif isinstance(st, Call):
+            self._pending_calls.append(st)
+
+    # ------------------------------------------------------------------
+    def bind_calls(self) -> None:
+        """Unify call arguments/results with every possible target.
+
+        Unification makes this converge quickly: each call is re-examined
+        until its set of reachable function targets stops growing.
+        """
+        bound: Set[tuple] = set()
+        changed = True
+        while changed:
+            changed = False
+            for call in self._pending_calls:
+                for fobj in self._targets(call):
+                    key = (id(call), fobj)
+                    if key in bound:
+                        continue
+                    bound.add(key)
+                    changed = True
+                    info = self.program.function_for_object(fobj)
+                    if info is None:
+                        # Extern: unify result with pointer arguments
+                        # (the same default the framework's summaries use).
+                        if call.lhs is not None:
+                            for a in call.args:
+                                self.join(
+                                    self.pts(self.ecr(call.lhs)),
+                                    self.pts(self.ecr(a)),
+                                )
+                        continue
+                    for arg, param in zip(call.args, info.params):
+                        self.join(self.pts(self.ecr(param)), self.pts(self.ecr(arg)))
+                    if call.lhs is not None and info.retval is not None:
+                        self.join(
+                            self.pts(self.ecr(call.lhs)),
+                            self.pts(self.ecr(info.retval)),
+                        )
+
+    def _targets(self, call: Call) -> List[AbstractObject]:
+        if not call.indirect:
+            return [call.callee]
+        p = _find(self.ecr(call.callee)).pts
+        if p is None:
+            return []
+        return [o for o in _find(p).members if o.kind is ObjKind.FUNCTION]
+
+    # ------------------------------------------------------------------
+    def solve(self) -> SteensgaardResult:
+        for st in self.program.all_stmts():
+            self.process(st)
+        self.bind_calls()
+        return SteensgaardResult(self.program, self.ecr_of)
+
+
+def steensgaard(program: Program) -> SteensgaardResult:
+    """Run Steensgaard's analysis over a normalized program."""
+    return _Solver(program).solve()

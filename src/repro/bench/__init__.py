@@ -1,0 +1,31 @@
+"""Benchmark harness: regenerates the paper's tables and figures."""
+
+from .harness import (
+    Figure3Row,
+    Figure4Row,
+    RatioRow,
+    analyze_suite_program,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    format_figure3,
+    format_figure4,
+    format_ratios,
+    run_all,
+)
+
+__all__ = [
+    "Figure3Row",
+    "Figure4Row",
+    "RatioRow",
+    "analyze_suite_program",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "format_figure3",
+    "format_figure4",
+    "format_ratios",
+    "run_all",
+]

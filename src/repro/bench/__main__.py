@@ -1,0 +1,6 @@
+"""``python -m repro.bench`` — regenerate every table and figure."""
+
+from .harness import run_all
+
+if __name__ == "__main__":
+    run_all()

@@ -1,0 +1,275 @@
+"""Regenerating every table and figure of the paper's evaluation (§5).
+
+One function per exhibit:
+
+- :func:`figure3` — per-program statistics: lines of code, number of
+  normalized assignment statements, and the lookup/resolve
+  instrumentation (percentage of calls involving structures; of those,
+  percentage where the types did not match) for the "Collapse on Cast"
+  and "Common Initial Sequence" algorithms;
+- :func:`figure4` — average points-to set size of a dereferenced pointer
+  for the 12 structure-casting programs under all four algorithms
+  (Collapse Always facts expanded per-field);
+- :func:`figure5` — analysis times normalized to the "Offsets" algorithm;
+- :func:`figure6` — total points-to edges normalized to "Offsets".
+
+Each ``figureN`` returns structured rows; ``format_figureN`` renders the
+paper-style text table.  :func:`run_all` regenerates everything (used by
+``python -m repro.bench``).
+
+Timing methodology: :func:`figure5` re-runs each analysis ``repeats``
+times and keeps the minimum solve time, which is the standard way to
+reduce scheduler noise for ratio reporting; the pytest-benchmark targets
+in ``benchmarks/bench_figure5.py`` provide statistically richer timings.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TextIO
+
+from ..clients.derefstats import deref_stats
+from ..core import ALL_STRATEGIES, analyze
+from ..core.engine import Result
+from ..frontend import program_from_c
+from ..ir.program import Program
+from ..suite.registry import SUITE, BenchmarkProgram, casting_programs, load_source
+
+__all__ = [
+    "Figure3Row",
+    "Figure4Row",
+    "RatioRow",
+    "analyze_suite_program",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "format_figure3",
+    "format_figure4",
+    "format_ratios",
+    "run_all",
+]
+
+STRATEGY_ORDER = [cls.key for cls in ALL_STRATEGIES]
+_HEADERS = {
+    "collapse_always": "Collapse Always",
+    "collapse_on_cast": "Collapse on Cast",
+    "common_initial_sequence": "Common Init Seq",
+    "offsets": "Offsets",
+}
+
+
+def loc_of(source: str) -> int:
+    """Non-blank source lines (the paper's "lines of source code")."""
+    return sum(1 for line in source.splitlines() if line.strip())
+
+
+def load_program(bp: BenchmarkProgram) -> Program:
+    """Parse and normalize one suite program."""
+    return program_from_c(load_source(bp), name=bp.name)
+
+
+def analyze_suite_program(bp: BenchmarkProgram, strategy_key: str,
+                          program: Optional[Program] = None) -> Result:
+    """Analyze one suite program under one strategy (by key)."""
+    from ..core import STRATEGY_BY_KEY
+
+    if program is None:
+        program = load_program(bp)
+    return analyze(program, STRATEGY_BY_KEY[strategy_key]())
+
+
+# ---------------------------------------------------------------------------
+# Figure 3
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure3Row:
+    name: str
+    casting: bool
+    loc: int
+    stmts: int
+    #: strategy key -> (% of lookup+resolve calls involving structures,
+    #:                  % of those where the types did not match)
+    struct_pct: Dict[str, float]
+    mismatch_pct: Dict[str, float]
+
+
+def figure3() -> List[Figure3Row]:
+    """Figure 3: program sizes and lookup/resolve instrumentation."""
+    rows: List[Figure3Row] = []
+    for bp in SUITE:
+        source = load_source(bp)
+        program = program_from_c(source, name=bp.name)
+        struct_pct: Dict[str, float] = {}
+        mismatch_pct: Dict[str, float] = {}
+        for key in ("collapse_on_cast", "common_initial_sequence"):
+            res = analyze_suite_program(bp, key, program)
+            s = res.stats
+            calls = s.lookup_calls + s.resolve_calls
+            struct = s.lookup_struct_calls + s.resolve_struct_calls
+            mismatch = s.lookup_mismatch_calls + s.resolve_mismatch_calls
+            struct_pct[key] = 100.0 * struct / calls if calls else 0.0
+            mismatch_pct[key] = 100.0 * mismatch / struct if struct else 0.0
+        rows.append(
+            Figure3Row(
+                name=bp.name,
+                casting=bp.casting,
+                loc=loc_of(source),
+                stmts=program.stmt_count(),
+                struct_pct=struct_pct,
+                mismatch_pct=mismatch_pct,
+            )
+        )
+    # Paper ordering: the 8 no-casting programs first, then the 12 with
+    # casting, each block sorted by size.
+    rows.sort(key=lambda r: (r.casting, r.loc))
+    return rows
+
+
+def format_figure3(rows: List[Figure3Row]) -> str:
+    out = [
+        "Figure 3: test programs and lookup/resolve instrumentation",
+        "(struct%: lookup+resolve calls involving structures;",
+        " cast%: of those, calls where the types did not match)",
+        "",
+        f"{'program':12s} {'cast':4s} {'LOC':>5s} {'stmts':>6s} "
+        f"{'CoC struct%':>12s} {'CoC cast%':>10s} "
+        f"{'CIS struct%':>12s} {'CIS cast%':>10s}",
+    ]
+    for r in rows:
+        out.append(
+            f"{r.name:12s} {'yes' if r.casting else 'no':4s} {r.loc:5d} "
+            f"{r.stmts:6d} "
+            f"{r.struct_pct['collapse_on_cast']:12.1f} "
+            f"{r.mismatch_pct['collapse_on_cast']:10.1f} "
+            f"{r.struct_pct['common_initial_sequence']:12.1f} "
+            f"{r.mismatch_pct['common_initial_sequence']:10.1f}"
+        )
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Figure 4
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure4Row:
+    name: str
+    #: strategy key -> average points-to set size per dereference.
+    averages: Dict[str, float]
+
+
+def figure4() -> List[Figure4Row]:
+    """Figure 4: average deref points-to set size, 12 casting programs."""
+    rows: List[Figure4Row] = []
+    for bp in casting_programs():
+        program = load_program(bp)
+        averages = {
+            key: deref_stats(analyze_suite_program(bp, key, program)).average
+            for key in STRATEGY_ORDER
+        }
+        rows.append(Figure4Row(name=bp.name, averages=averages))
+    return rows
+
+
+def format_figure4(rows: List[Figure4Row]) -> str:
+    out = [
+        "Figure 4: average points-to set size of a dereferenced pointer",
+        "",
+        f"{'program':12s} " + " ".join(f"{_HEADERS[k]:>17s}" for k in STRATEGY_ORDER),
+    ]
+    for r in rows:
+        out.append(
+            f"{r.name:12s} "
+            + " ".join(f"{r.averages[k]:17.2f}" for k in STRATEGY_ORDER)
+        )
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Figures 5 and 6 (ratios normalized to Offsets)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RatioRow:
+    name: str
+    #: strategy key -> value (seconds for fig. 5, edge count for fig. 6).
+    values: Dict[str, float]
+
+    def normalized(self) -> Dict[str, float]:
+        base = self.values.get("offsets") or 1.0
+        return {k: v / base for k, v in self.values.items()}
+
+
+def figure5(repeats: int = 3) -> List[RatioRow]:
+    """Figure 5: analysis time per algorithm (normalize to Offsets)."""
+    rows: List[RatioRow] = []
+    for bp in casting_programs():
+        program = load_program(bp)
+        values: Dict[str, float] = {}
+        for key in STRATEGY_ORDER:
+            best = None
+            for _ in range(max(repeats, 1)):
+                res = analyze_suite_program(bp, key, program)
+                t = res.stats.solve_seconds
+                best = t if best is None or t < best else best
+            values[key] = best or 0.0
+        rows.append(RatioRow(name=bp.name, values=values))
+    return rows
+
+
+def figure6() -> List[RatioRow]:
+    """Figure 6: total points-to edges per algorithm."""
+    rows: List[RatioRow] = []
+    for bp in casting_programs():
+        program = load_program(bp)
+        values = {
+            key: float(analyze_suite_program(bp, key, program).facts.edge_count())
+            for key in STRATEGY_ORDER
+        }
+        rows.append(RatioRow(name=bp.name, values=values))
+    return rows
+
+
+def format_ratios(rows: List[RatioRow], title: str, unit: str) -> str:
+    out = [
+        title,
+        f"(ratios normalized to Offsets; absolute Offsets {unit} in last column)",
+        "",
+        f"{'program':12s} "
+        + " ".join(f"{_HEADERS[k]:>17s}" for k in STRATEGY_ORDER)
+        + f" {('offsets ' + unit):>16s}",
+    ]
+    for r in rows:
+        norm = r.normalized()
+        base = r.values["offsets"]
+        base_txt = f"{base:16.4f}" if base < 10 else f"{base:16.0f}"
+        out.append(
+            f"{r.name:12s} "
+            + " ".join(f"{norm[k]:17.2f}" for k in STRATEGY_ORDER)
+            + f" {base_txt}"
+        )
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+def run_all(out: TextIO = sys.stdout, repeats: int = 3) -> None:
+    """Regenerate all four exhibits and print them."""
+    print(format_figure3(figure3()), file=out)
+    print("", file=out)
+    print(format_figure4(figure4()), file=out)
+    print("", file=out)
+    print(
+        format_ratios(figure5(repeats), "Figure 5: analysis-time ratios", "seconds"),
+        file=out,
+    )
+    print("", file=out)
+    print(
+        format_ratios(figure6(), "Figure 6: points-to edge ratios", "edges"),
+        file=out,
+    )

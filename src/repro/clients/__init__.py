@@ -1,0 +1,30 @@
+"""Downstream clients of the points-to analysis.
+
+- :func:`~repro.clients.derefstats.deref_stats` — average points-to set
+  size per dereferenced pointer (the paper's Figure 4 metric);
+- :func:`~repro.clients.callgraph.build_call_graph` — function-pointer
+  aware call graph;
+- :func:`~repro.clients.modref.mod_ref` — transitive MOD/REF sets.
+"""
+
+from .alias import may_alias, may_point_to_same, refs_overlap
+from .callgraph import CallGraph, build_call_graph
+from .derefstats import DerefSite, DerefStats, deref_stats
+from .export import call_graph_dot, facts_json, points_to_dot
+from .modref import ModRef, mod_ref
+
+__all__ = [
+    "CallGraph",
+    "DerefSite",
+    "DerefStats",
+    "ModRef",
+    "build_call_graph",
+    "call_graph_dot",
+    "deref_stats",
+    "facts_json",
+    "may_alias",
+    "may_point_to_same",
+    "mod_ref",
+    "points_to_dot",
+    "refs_overlap",
+]

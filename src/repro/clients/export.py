@@ -1,0 +1,106 @@
+"""Exporting analysis results as Graphviz DOT and machine-readable JSON.
+
+Two graphs are commonly wanted downstream:
+
+- the **points-to graph** — nodes are normalized locations, edges are
+  ``pointsTo`` facts (optionally filtered to named program variables so
+  the picture stays readable);
+- the **call graph** — nodes are functions, solid edges direct calls,
+  dashed edges targets resolved through function pointers.
+
+The JSON form mirrors the fact base exactly and is meant for diffing two
+runs (e.g. two strategies, or two ABIs) with standard tools.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Optional, Set
+
+from ..core.engine import Result
+from ..ir.objects import AbstractObject, ObjKind
+from ..ir.refs import Ref
+from .callgraph import CallGraph, build_call_graph
+
+__all__ = ["points_to_dot", "call_graph_dot", "facts_json"]
+
+_HIDDEN_KINDS = (ObjKind.TEMP, ObjKind.RETVAL, ObjKind.VARARG)
+
+
+def _default_filter(obj: AbstractObject) -> bool:
+    return obj.kind not in _HIDDEN_KINDS
+
+
+def _quote(s: str) -> str:
+    return '"' + s.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def points_to_dot(
+    result: Result,
+    include: Optional[Callable[[AbstractObject], bool]] = None,
+    title: str = "points-to",
+) -> str:
+    """Render the points-to graph as a DOT digraph.
+
+    ``include`` filters *source* objects (default: hide compiler
+    temporaries and interprocedural plumbing); targets of surviving
+    edges are always shown.
+    """
+    keep = include or _default_filter
+    lines = [
+        f"digraph {_quote(title)} {{",
+        "  rankdir=LR;",
+        "  node [shape=box, fontsize=10];",
+    ]
+    nodes: Set[str] = set()
+    edges = []
+    for src, dst in result.facts.all_facts():
+        if not keep(src.obj):
+            continue
+        s, d = repr(src), repr(dst)
+        nodes.add(s)
+        nodes.add(d)
+        edges.append((s, d))
+    for n in sorted(nodes):
+        shape = "ellipse" if "malloc@" in n or "strdup@" in n else "box"
+        lines.append(f"  {_quote(n)} [shape={shape}];")
+    for s, d in sorted(edges):
+        lines.append(f"  {_quote(s)} -> {_quote(d)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def call_graph_dot(result: Result, title: str = "callgraph") -> str:
+    """Render the call graph as DOT; indirect-call edges are dashed."""
+    cg: CallGraph = build_call_graph(result)
+    indirect_targets: Set[tuple] = set()
+    for (caller, _line), targets in cg.indirect_sites.items():
+        for t in targets:
+            indirect_targets.add((caller, t))
+    lines = [
+        f"digraph {_quote(title)} {{",
+        "  node [shape=oval, fontsize=10];",
+    ]
+    for caller in sorted(cg.edges):
+        for callee in sorted(cg.edges[caller]):
+            style = ' [style=dashed]' if (caller, callee) in indirect_targets else ""
+            lines.append(f"  {_quote(caller)} -> {_quote(callee)}{style};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def facts_json(result: Result, include_temps: bool = False) -> str:
+    """The full fact base as deterministic JSON (for diffing runs)."""
+    out = {}
+    for src in result.facts.sources():
+        if not include_temps and src.obj.kind in _HIDDEN_KINDS:
+            continue
+        out[repr(src)] = sorted(map(repr, result.facts.points_to(src)))
+    payload = {
+        "program": result.program.name,
+        "strategy": result.strategy.key,
+        "portable": result.strategy.portable,
+        "facts": dict(sorted(out.items())),
+        "edge_count": result.facts.edge_count(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,106 @@
+"""MOD/REF analysis — a downstream client of the points-to results.
+
+For each function, compute the sets of abstract objects it may *modify*
+(write) and *reference* (read), both directly and through pointers, and
+transitively through the functions it may call.  This is the
+"modification side-effects problem" the paper's §6 cites as Ryder et al.'s
+application of their offsets-based analysis [SRL98]; like slicing, its
+precision is governed by the points-to sets, which makes it a useful
+end-to-end probe of how much strategy precision buys a real client.
+
+Temporaries are excluded from the reported sets: they are artifacts of
+normalization, not program state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+from ..core.engine import Result
+from ..ir.objects import AbstractObject, ObjKind
+from ..ir.stmts import AddrOf, Call, Copy, FieldAddr, Load, PtrArith, Store
+from .callgraph import GLOBAL_CALLER, build_call_graph
+
+__all__ = ["ModRef", "mod_ref"]
+
+_TRANSPARENT = (ObjKind.TEMP, ObjKind.RETVAL, ObjKind.VARARG, ObjKind.FUNCTION)
+
+
+def _visible(obj: AbstractObject) -> bool:
+    return obj.kind not in _TRANSPARENT
+
+
+@dataclass
+class ModRef:
+    """Per-function MOD and REF sets (object names)."""
+
+    mod: Dict[str, Set[str]] = field(default_factory=dict)
+    ref: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def mod_of(self, fn: str) -> FrozenSet[str]:
+        return frozenset(self.mod.get(fn, ()))
+
+    def ref_of(self, fn: str) -> FrozenSet[str]:
+        return frozenset(self.ref.get(fn, ()))
+
+
+def mod_ref(result: Result) -> ModRef:
+    """Compute transitive MOD/REF sets from one analysis result."""
+    program = result.program
+    out = ModRef()
+    for fn in list(program.functions) + [GLOBAL_CALLER]:
+        out.mod.setdefault(fn, set())
+        out.ref.setdefault(fn, set())
+
+    # Local (intraprocedural) effects.
+    for st in program.all_stmts():
+        fn = st.fn or GLOBAL_CALLER
+        mod = out.mod.setdefault(fn, set())
+        ref = out.ref.setdefault(fn, set())
+        if isinstance(st, Copy):
+            if _visible(st.lhs):
+                mod.add(st.lhs.name)
+            if _visible(st.rhs.obj):
+                ref.add(st.rhs.obj.name)
+        elif isinstance(st, AddrOf):
+            pass  # taking an address neither reads nor writes the target
+        elif isinstance(st, Load):
+            for tgt in result.points_to(st.ptr):
+                if _visible(tgt.obj):
+                    ref.add(tgt.obj.name)
+        elif isinstance(st, Store):
+            for tgt in result.points_to(st.ptr):
+                if _visible(tgt.obj):
+                    mod.add(tgt.obj.name)
+            if _visible(st.rhs):
+                ref.add(st.rhs.name)
+        elif isinstance(st, FieldAddr):
+            pass
+        elif isinstance(st, PtrArith):
+            for op in st.operands:
+                if _visible(op):
+                    ref.add(op.name)
+        elif isinstance(st, Call):
+            for arg in st.args:
+                if _visible(arg):
+                    ref.add(arg.name)
+
+    # Transitive closure over the call graph.
+    cg = build_call_graph(result)
+    changed = True
+    while changed:
+        changed = False
+        for caller, callees in cg.edges.items():
+            cmod = out.mod.setdefault(caller, set())
+            cref = out.ref.setdefault(caller, set())
+            for callee in callees:
+                for src, dst in ((out.mod.get(callee), cmod),
+                                 (out.ref.get(callee), cref)):
+                    if not src:
+                        continue
+                    before = len(dst)
+                    dst |= src
+                    if len(dst) != before:
+                        changed = True
+    return out

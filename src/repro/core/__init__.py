@@ -1,0 +1,60 @@
+"""The paper's contribution: the tunable pointer-analysis framework.
+
+- :class:`~repro.core.strategy.Strategy` — the (normalize, lookup, resolve)
+  triple that parameterizes the framework;
+- the four instances: :class:`~repro.core.collapse_always.CollapseAlways`,
+  :class:`~repro.core.collapse_on_cast.CollapseOnCast`,
+  :class:`~repro.core.common_initial_sequence.CommonInitialSequence`,
+  :class:`~repro.core.offsets.Offsets`;
+- :class:`~repro.core.engine.Engine` / :func:`~repro.core.engine.analyze` —
+  the worklist fixpoint over the five inference rules;
+- :data:`ALL_STRATEGIES` — factory list used by benchmarks and examples.
+"""
+
+from typing import Callable, Dict, List, Optional
+
+from ..ctype.layout import Layout
+from .collapse_always import CollapseAlways
+from .collapse_on_cast import CollapseOnCast
+from .common_initial_sequence import CommonInitialSequence
+from .engine import AnalysisBudgetExceeded, Engine, EngineStats, Result, analyze
+from .facts import FactBase
+from .interproc import SummaryRegistry
+from .offsets import Offsets
+from .strategy import CallInfo, ResolveResult, Strategy, Window
+from .strided import StridedOffsets
+
+#: Constructors of the four instances, in the paper's precision order.
+ALL_STRATEGIES: List[Callable[[Optional[Layout]], Strategy]] = [
+    CollapseAlways,
+    CollapseOnCast,
+    CommonInitialSequence,
+    Offsets,
+]
+
+#: key → constructor, for CLIs and benchmarks.  Includes the strided
+#: extension strategy, which is not part of the paper's four instances.
+STRATEGY_BY_KEY: Dict[str, Callable[[Optional[Layout]], Strategy]] = {
+    cls.key: cls for cls in ALL_STRATEGIES
+}
+STRATEGY_BY_KEY[StridedOffsets.key] = StridedOffsets
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "AnalysisBudgetExceeded",
+    "CallInfo",
+    "CollapseAlways",
+    "CollapseOnCast",
+    "CommonInitialSequence",
+    "Engine",
+    "EngineStats",
+    "FactBase",
+    "Offsets",
+    "ResolveResult",
+    "Result",
+    "STRATEGY_BY_KEY",
+    "Strategy",
+    "SummaryRegistry",
+    "Window",
+    "analyze",
+]

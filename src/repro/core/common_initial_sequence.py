@@ -1,0 +1,161 @@
+"""The "Common Initial Sequence" instance (paper §4.3.3).
+
+The most precise *portable* strategy.  ``normalize`` and ``resolve`` are
+the same as "Collapse on Cast"; ``lookup`` exploits the ANSI C guarantee
+that two structures sharing a common initial sequence of compatible fields
+lay those fields out at identical offsets: fields are collapsed only when
+the access is through a cast *and* falls outside the common initial
+sequence.
+
+The paper's ``lookup`` (§4.3.3):
+
+.. code-block:: text
+
+    lookup(τ, α, t.β̂) =
+        if there is a pair ⟨α, α'⟩ in commonInitialSeq(τ, t.β̂)
+        then { normalize(t.δ.α') }
+        else let γ be the first field of t that follows the common initial
+                 sequence of τ and t.β̂, or β̂ itself if that sequence is
+                 empty
+             in { normalize(t.γ') | γ' = γ or γ' ∈ followingFields(t, γ) }
+
+where ``commonInitialSeq(τ, t.β̂)`` finds a sub-object ``δ`` of ``t`` with
+``normalize(t.δ) = t.β̂`` whose type shares a non-empty common initial
+sequence with ``τ``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..ctype.compat import common_initial_sequence, compatible
+from ..ctype.types import ArrayType, CType, StructType, UnionType
+from ..ir.refs import FieldRef, Ref
+from .collapse_on_cast import CollapseOnCast
+from .fieldpaths import (
+    normalize_path,
+    normalized_positions,
+    positions_at_or_after,
+    prefix_candidates,
+)
+
+__all__ = ["CommonInitialSequence"]
+
+
+def _skip_arrays(t: CType) -> CType:
+    while isinstance(t, ArrayType):
+        t = t.elem
+    return t
+
+
+class CommonInitialSequence(CollapseOnCast):
+    """Collapse only accesses outside a cast's common initial sequence."""
+
+    name = "Common Initial Sequence"
+    key = "common_initial_sequence"
+    portable = True
+
+    def _lookup(
+        self, tau: CType, alpha: Tuple[str, ...], target: FieldRef
+    ) -> Tuple[List[Ref], bool]:
+        obj_type = target.obj.type
+        tau = _skip_arrays(tau)
+        candidates = prefix_candidates(obj_type, target.path)
+
+        # Non-structure τ (and unions, which are collapsed): behave like
+        # Collapse on Cast — exact compatibility or conservative suffix.
+        if not isinstance(tau, StructType) or isinstance(tau, UnionType):
+            return super()._lookup(tau, alpha, target)
+
+        # Normalize the selector within τ's own frame so that an empty α
+        # (a whole-object access) becomes τ's first-field chain and its
+        # head can be tested against the common initial sequence.
+        try:
+            alpha_n = normalize_path(tau, alpha)
+        except (KeyError, TypeError):
+            alpha_n = tuple(alpha)
+
+        # Find the enclosing sub-object δ sharing the longest common
+        # initial sequence with τ.
+        best_delta: Optional[Tuple[str, ...]] = None
+        best_cis: List = []
+        for delta, delta_type in candidates:
+            dt = _skip_arrays(delta_type)
+            if not isinstance(dt, StructType) or isinstance(dt, UnionType):
+                continue
+            if not dt.is_complete:
+                continue
+            cis = common_initial_sequence(tau, dt)
+            if len(cis) > len(best_cis):
+                best_cis = cis
+                best_delta = delta
+
+        if best_cis and alpha_n:
+            pair = next(
+                ((fa, fb) for fa, fb in best_cis if fa.name == alpha_n[0]), None
+            )
+            if pair is not None:
+                fa, fb = pair
+                full = best_delta + (fb.name,) + alpha_n[1:]
+                try:
+                    refs = [FieldRef(target.obj, normalize_path(obj_type, full))]
+                    # The access is covered by the guarantee; report a type
+                    # mismatch only when it was not a full-type match.
+                    exact = compatible(tau, _skip_arrays(
+                        dict(candidates).get(best_delta, tau)))
+                    return refs, exact
+                except (KeyError, TypeError):
+                    pass
+
+        # Conservative branch: all fields of t from γ onward, where γ is
+        # the first field of t following the common initial sequence (or
+        # β̂ itself when the sequence is empty).
+        if best_cis:
+            last = best_delta + (best_cis[-1][1].name,)
+            start = self._position_after_subtree(obj_type, last)
+            refs = [FieldRef(target.obj, p) for p in (start or [])]
+        else:
+            refs = [
+                FieldRef(target.obj, p)
+                for p in positions_at_or_after(obj_type, target.path)
+            ]
+        if not refs and target.obj.is_heap:
+            # The access lies beyond every declared field.  For a stack or
+            # global object that is undefined behaviour and may be dropped,
+            # but a heap block may be larger than its declared view (the
+            # open-ended heap model, cf. Offsets.canon_offset_ref): collapse
+            # the overflow region onto the view's last position so that
+            # writes and reads through mismatched casts still meet.
+            tail = normalized_positions(obj_type)
+            if tail:
+                refs = [FieldRef(target.obj, tail[-1])]
+        return refs, False
+
+    @staticmethod
+    def _position_after_subtree(
+        obj_type: CType, path: Tuple[str, ...]
+    ) -> Optional[List[Tuple[str, ...]]]:
+        """All normalized positions strictly after field ``path``'s storage.
+
+        Every position within the field's subtree is skipped: an access
+        beyond the common initial sequence lies at an offset no smaller
+        than the end of the sequence's last field, so none of that field's
+        sub-fields can be referenced.
+        """
+        allp = normalized_positions(obj_type)
+        idx = 0
+        found = False
+        for i, p in enumerate(allp):
+            if p[: len(path)] == path:
+                idx = i + 1
+                found = True
+        if not found:
+            try:
+                norm = normalize_path(obj_type, path)
+            except (KeyError, TypeError):
+                return list(allp)
+            for i, p in enumerate(allp):
+                if p == norm:
+                    idx = i + 1
+                    found = True
+        return allp[idx:]

@@ -1,0 +1,468 @@
+"""The inference engine: a worklist fixpoint over the paper's five rules.
+
+The engine evaluates the rules of Figure 2 *incrementally* (semi-naive):
+
+- **Rule 1** (``s = &t.β``) fires once per statement, seeding facts.
+- **Rules 2/4/5** have a premise ``pointsTo(p̂, ...)``; each such statement
+  *subscribes* to the normalized reference of its pointer, and the
+  subscription callback runs once per distinct pointee, performing the
+  ``lookup``/``resolve`` call and installing the resulting propagation
+  edges.
+- **Rules 3/4/5** copy facts from source fields to destination fields; the
+  ``resolve`` pair sets are installed as persistent *copy edges* (explicit
+  pairs, the portable strategies) or *windows* (byte ranges, the "Offsets"
+  strategy), along which every present and future fact flows.
+
+Because edges/windows/subscriptions are installed persistently and
+de-duplicated, draining the worklist reaches exactly the least fixpoint of
+the paper's inference rules.  The engine also implements the
+context-insensitive interprocedural layer (parameter/return copies,
+function pointers, library summaries — see :mod:`repro.core.interproc`)
+and the Assumption-1 treatment of pointer arithmetic.
+
+Instrumentation mirrors the paper's Figure 3: every ``lookup`` call (rule
+2) and ``resolve`` call (rules 3, 4, 5) is counted, along with whether it
+involved structures and whether the types failed to match; the ``lookup``
+calls made *inside* ``resolve`` are not counted (footnote 7 — strategies
+route them through their private ``_lookup``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ctype.types import CType
+from ..ir.objects import AbstractObject, ObjKind
+from ..ir.program import Program
+from ..ir.refs import FieldRef, OffsetRef, Ref
+from ..ir.stmts import (
+    AddrOf,
+    Call,
+    Copy,
+    FieldAddr,
+    Load,
+    PtrArith,
+    Stmt,
+    Store,
+    declared_pointee,
+)
+from .facts import FactBase
+from .offsets import Offsets
+from .strategy import CallInfo, Strategy, Window
+
+__all__ = ["AnalysisBudgetExceeded", "EngineStats", "Result", "Engine", "analyze"]
+
+
+class AnalysisBudgetExceeded(Exception):
+    """Raised when the fact count exceeds the configured budget."""
+
+
+@dataclass
+class EngineStats:
+    """Counters reproducing the paper's instrumentation (Figure 3) plus
+    engine-level measurements (Figures 5 and 6)."""
+
+    lookup_calls: int = 0
+    lookup_struct_calls: int = 0
+    lookup_mismatch_calls: int = 0
+    resolve_calls: int = 0
+    resolve_struct_calls: int = 0
+    resolve_mismatch_calls: int = 0
+    facts: int = 0
+    copy_edges: int = 0
+    windows: int = 0
+    calls_bound: int = 0
+    solve_seconds: float = 0.0
+
+    @property
+    def lookup_struct_pct(self) -> float:
+        """Figure 3 column "calls to lookup ... involving structures" (%)."""
+        return 100.0 * self.lookup_struct_calls / self.lookup_calls if self.lookup_calls else 0.0
+
+    @property
+    def resolve_struct_pct(self) -> float:
+        return 100.0 * self.resolve_struct_calls / self.resolve_calls if self.resolve_calls else 0.0
+
+    @property
+    def lookup_mismatch_pct(self) -> float:
+        """Figure 3 column "of those, types did not match" (%)."""
+        return (
+            100.0 * self.lookup_mismatch_calls / self.lookup_struct_calls
+            if self.lookup_struct_calls
+            else 0.0
+        )
+
+    @property
+    def resolve_mismatch_pct(self) -> float:
+        return (
+            100.0 * self.resolve_mismatch_calls / self.resolve_struct_calls
+            if self.resolve_struct_calls
+            else 0.0
+        )
+
+
+@dataclass
+class Result:
+    """Outcome of one analysis run."""
+
+    program: Program
+    strategy: Strategy
+    facts: FactBase
+    stats: EngineStats
+
+    def points_to(self, what) -> frozenset:
+        """Points-to set of an object or reference.
+
+        Accepts an :class:`AbstractObject` (meaning the whole top-level
+        object), a raw :class:`FieldRef`, or an already-normalized
+        reference.
+        """
+        if isinstance(what, AbstractObject):
+            what = FieldRef(what, ())
+        if isinstance(what, FieldRef):
+            what = self.strategy.normalize(what)
+        return self.facts.points_to(what)
+
+    def points_to_names(self, what) -> Set[str]:
+        """Names of pointed-to objects (handy in tests and examples)."""
+        return {r.obj.name for r in self.points_to(what)}
+
+    def corrupted_deref_sites(self):
+        """Dereferences of possibly-corrupted pointers (pessimistic mode).
+
+        When the engine ran with ``assume_valid_pointers=False``, pointer
+        arithmetic yields the special ``Unknown`` value; this reports the
+        source dereference statements whose pointer may hold it — the
+        "flagging potential misuses of memory" application the paper
+        mentions (§4.2.1).  Empty under Assumption 1.
+        """
+        flagged = []
+        for st in self.program.deref_stmts():
+            ptr = self.pointer_of_deref(st)
+            if any(r.obj.name == "<unknown>" for r in self.points_to(ptr)):
+                flagged.append(st)
+        return flagged
+
+    def pointer_of_deref(self, st: Stmt) -> AbstractObject:
+        """The pointer object dereferenced by statement ``st``."""
+        if isinstance(st, (Load, Store, FieldAddr)):
+            return st.ptr
+        if isinstance(st, Call) and st.indirect:
+            return st.callee
+        raise TypeError(f"{st!r} does not dereference a pointer")
+
+
+# Callback invoked with each new pointee of a subscribed reference.
+_Callback = Callable[[Ref], None]
+
+
+class Engine:
+    """Run one strategy over one program to the least fixpoint."""
+
+    def __init__(
+        self,
+        program: Program,
+        strategy: Strategy,
+        max_facts: int = 5_000_000,
+        assume_valid_pointers: bool = True,
+    ) -> None:
+        self.program = program
+        self.strategy = strategy
+        self.max_facts = max_facts
+        #: Paper §4.2.1 Assumption 1.  When False, the engine takes the
+        #: pessimistic alternative the paper sketches: the result of
+        #: arithmetic on a (potential) pointer is the special ``Unknown``
+        #: value, which can be used to flag potential misuses of memory.
+        self.assume_valid_pointers = assume_valid_pointers
+        self._unknown: Optional[AbstractObject] = None
+        self.facts = FactBase()
+        self.stats = EngineStats()
+        self._worklist: deque = deque()
+        self._copy_edges: Dict[Ref, List[Ref]] = {}
+        self._edge_set: Set[Tuple[Ref, Ref]] = set()
+        # Windows indexed by source object: (lo, size, dst_obj, dst_base).
+        self._windows: Dict[AbstractObject, List[Tuple[int, int, AbstractObject, int]]] = {}
+        self._window_set: Set[Tuple[AbstractObject, int, int, AbstractObject, int]] = set()
+        self._subs: Dict[Ref, List[_Callback]] = {}
+        self._bound: Set[Tuple[int, AbstractObject]] = set()
+        self._norm_cache: Dict[AbstractObject, Ref] = {}
+        # Import here to avoid a module cycle (interproc imports Engine types).
+        from .interproc import SummaryRegistry
+
+        self.summaries = SummaryRegistry.default()
+
+    # ------------------------------------------------------------------
+    # Normalization helpers (memoized per top-level object).
+    # ------------------------------------------------------------------
+    def unknown_ref(self) -> Ref:
+        """The normalized reference of the ``Unknown`` pseudo-object.
+
+        Created lazily; only exists in pessimistic
+        (``assume_valid_pointers=False``) runs.
+        """
+        if self._unknown is None:
+            from ..ctype.types import void
+
+            self._unknown = AbstractObject("<unknown>", void, ObjKind.GLOBAL)
+        return self.norm_obj(self._unknown)
+
+    def norm_obj(self, obj: AbstractObject) -> Ref:
+        ref = self._norm_cache.get(obj)
+        if ref is None:
+            ref = self.strategy.normalize(FieldRef(obj, ()))
+            self._norm_cache[obj] = ref
+        return ref
+
+    def norm_ref(self, ref: FieldRef) -> Ref:
+        if not ref.path:
+            return self.norm_obj(ref.obj)
+        return self.strategy.normalize(ref)
+
+    # ------------------------------------------------------------------
+    # Instrumented strategy calls.
+    # ------------------------------------------------------------------
+    def _lookup(self, tau: CType, alpha: Sequence[str], target: Ref):
+        refs, info = self.strategy.lookup(tau, alpha, target)
+        self.stats.lookup_calls += 1
+        if info.involved_struct:
+            self.stats.lookup_struct_calls += 1
+            if info.mismatch:
+                self.stats.lookup_mismatch_calls += 1
+        return refs
+
+    def _resolve(self, dst: Ref, src: Ref, tau: CType):
+        res, info = self.strategy.resolve(dst, src, tau)
+        self.stats.resolve_calls += 1
+        if info.involved_struct:
+            self.stats.resolve_struct_calls += 1
+            if info.mismatch:
+                self.stats.resolve_mismatch_calls += 1
+        return res
+
+    # ------------------------------------------------------------------
+    # Fact / edge / subscription plumbing.
+    # ------------------------------------------------------------------
+    def add_fact(self, src: Ref, dst: Ref) -> None:
+        if self.facts.add(src, dst):
+            self.stats.facts += 1
+            if self.stats.facts > self.max_facts:
+                raise AnalysisBudgetExceeded(
+                    f"more than {self.max_facts} facts; aborting"
+                )
+            self._worklist.append((src, dst))
+
+    def install_copy_edge(self, src: Ref, dst: Ref) -> None:
+        """Facts at ``src`` flow to ``dst``, now and in the future."""
+        if src == dst:
+            return
+        key = (src, dst)
+        if key in self._edge_set:
+            return
+        self._edge_set.add(key)
+        self.stats.copy_edges += 1
+        self._copy_edges.setdefault(src, []).append(dst)
+        for tgt in self.facts.points_to(src):
+            self.add_fact(dst, tgt)
+
+    def install_window(self, w: Window) -> None:
+        """Byte-window copy edge (the "Offsets" resolve result)."""
+        key = (w.src.obj, w.src.offset, w.size, w.dst.obj, w.dst.offset)
+        if key in self._window_set:
+            return
+        self._window_set.add(key)
+        self.stats.windows += 1
+        self._windows.setdefault(w.src.obj, []).append(
+            (w.src.offset, w.size, w.dst.obj, w.dst.offset)
+        )
+        for ref in self.facts.refs_of_obj(w.src.obj):
+            if isinstance(ref, OffsetRef) and w.src.offset <= ref.offset < w.src.offset + w.size:
+                self._window_hit(ref, w.src.offset, w.dst.obj, w.dst.offset)
+
+    def _window_hit(
+        self, src_ref: OffsetRef, lo: int, dst_obj: AbstractObject, dst_base: int
+    ) -> None:
+        assert isinstance(self.strategy, Offsets)
+        m = dst_base + (src_ref.offset - lo)
+        dst_ref = self.strategy.canon_offset_ref(OffsetRef(dst_obj, m))
+        if dst_ref is None:
+            return
+        for tgt in self.facts.points_to(src_ref):
+            self.add_fact(dst_ref, tgt)
+
+    def install_resolve_result(self, res) -> None:
+        """Install resolve output, whichever shape the strategy returned."""
+        if isinstance(res, Window):
+            self.install_window(res)
+        else:
+            for dst, src in res:
+                self.install_copy_edge(src, dst)
+
+    def subscribe(self, ptr_ref: Ref, cb: _Callback) -> None:
+        """Run ``cb`` once for each distinct pointee of ``ptr_ref``."""
+        seen: Set[Ref] = set()
+
+        def wrapped(tgt: Ref) -> None:
+            if tgt not in seen:
+                seen.add(tgt)
+                cb(tgt)
+
+        self._subs.setdefault(ptr_ref, []).append(wrapped)
+        for tgt in self.facts.points_to(ptr_ref):
+            wrapped(tgt)
+
+    def cross_subscribe(
+        self, a_ref: Ref, b_ref: Ref, fn: Callable[[Ref, Ref], None]
+    ) -> None:
+        """Run ``fn(a_tgt, b_tgt)`` for each pair of pointees of two refs.
+
+        Used by library summaries such as ``memcpy`` (destination ×
+        source) and ``qsort`` (comparator × base array).
+        """
+        a_seen: List[Ref] = []
+        b_seen: List[Ref] = []
+
+        def on_a(t: Ref) -> None:
+            a_seen.append(t)
+            for u in list(b_seen):
+                fn(t, u)
+
+        def on_b(u: Ref) -> None:
+            b_seen.append(u)
+            for t in list(a_seen):
+                fn(t, u)
+
+        self.subscribe(a_ref, on_a)
+        self.subscribe(b_ref, on_b)
+
+    # ------------------------------------------------------------------
+    # Statement setup (rule installation).
+    # ------------------------------------------------------------------
+    def _setup_stmt(self, st: Stmt) -> None:
+        if isinstance(st, AddrOf):
+            # Rule 1: s = (τ) &t.β
+            self.add_fact(self.norm_obj(st.lhs), self.norm_ref(st.target))
+        elif isinstance(st, FieldAddr):
+            # Rule 2: s = (τ) &((*p).α)
+            tau_p = declared_pointee(st.ptr)
+            lhs_ref = self.norm_obj(st.lhs)
+
+            def on_pointee(tgt: Ref, tau_p=tau_p, path=st.path, lhs_ref=lhs_ref) -> None:
+                for r in self._lookup(tau_p, path, tgt):
+                    self.add_fact(lhs_ref, r)
+
+            self.subscribe(self.norm_obj(st.ptr), on_pointee)
+        elif isinstance(st, Copy):
+            # Rule 3: s = (τ) t.β — sizeof(typeof(s)) bytes are copied.
+            res = self._resolve(self.norm_obj(st.lhs), self.norm_ref(st.rhs), st.lhs.type)
+            self.install_resolve_result(res)
+        elif isinstance(st, Load):
+            # Rule 4: s = (τ) *q
+            lhs_ref = self.norm_obj(st.lhs)
+            lhs_type = st.lhs.type
+
+            def on_pointee(tgt: Ref, lhs_ref=lhs_ref, lhs_type=lhs_type) -> None:
+                self.install_resolve_result(self._resolve(lhs_ref, tgt, lhs_type))
+
+            self.subscribe(self.norm_obj(st.ptr), on_pointee)
+        elif isinstance(st, Store):
+            # Rule 5: *p = (τ_p) t — the type p is declared to point to
+            # determines how many bytes are copied (Complication 4).
+            tau_p = declared_pointee(st.ptr)
+            rhs_ref = self.norm_obj(st.rhs)
+
+            def on_pointee(tgt: Ref, tau_p=tau_p, rhs_ref=rhs_ref) -> None:
+                self.install_resolve_result(self._resolve(tgt, rhs_ref, tau_p))
+
+            self.subscribe(self.norm_obj(st.ptr), on_pointee)
+        elif isinstance(st, PtrArith):
+            # Assumption 1: the result may point to any sub-field of the
+            # outermost object containing a pointee of any operand (or,
+            # for refining strategies, a narrower arith_refs set).
+            lhs_ref = self.norm_obj(st.lhs)
+            for op in st.operands:
+                def on_pointee(tgt: Ref, lhs_ref=lhs_ref) -> None:
+                    if not self.assume_valid_pointers:
+                        self.add_fact(lhs_ref, self.unknown_ref())
+                        return
+                    for r in self.strategy.arith_refs(tgt):
+                        self.add_fact(lhs_ref, r)
+
+                self.subscribe(self.norm_obj(op), on_pointee)
+        elif isinstance(st, Call):
+            if st.indirect:
+                def on_pointee(tgt: Ref, st=st) -> None:
+                    if tgt.obj.kind is ObjKind.FUNCTION and self._is_object_start(tgt):
+                        self._bind_call(st, tgt.obj)
+
+                self.subscribe(self.norm_obj(st.callee), on_pointee)
+            else:
+                self._bind_call(st, st.callee)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown statement {st!r}")
+
+    @staticmethod
+    def _is_object_start(ref: Ref) -> bool:
+        if isinstance(ref, OffsetRef):
+            return ref.offset == 0
+        return ref.path == ()
+
+    # ------------------------------------------------------------------
+    # Interprocedural binding (context-insensitive).
+    # ------------------------------------------------------------------
+    def _bind_call(self, call: Call, fobj: AbstractObject) -> None:
+        key = (id(call), fobj)
+        if key in self._bound:
+            return
+        self._bound.add(key)
+        self.stats.calls_bound += 1
+        info = self.program.function_for_object(fobj)
+        if info is None:
+            self.summaries.apply(self, call, fobj.name)
+            return
+        for i, arg in enumerate(call.args):
+            if i < len(info.params):
+                param = info.params[i]
+                res = self._resolve(self.norm_obj(param), self.norm_obj(arg), param.type)
+                self.install_resolve_result(res)
+            elif info.vararg is not None:
+                self.install_copy_edge(self.norm_obj(arg), self.norm_obj(info.vararg))
+        if call.lhs is not None and info.retval is not None:
+            res = self._resolve(
+                self.norm_obj(call.lhs), self.norm_obj(info.retval), call.lhs.type
+            )
+            self.install_resolve_result(res)
+
+    # ------------------------------------------------------------------
+    # The fixpoint loop.
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Process pending facts until the worklist is empty."""
+        while self._worklist:
+            src, dst = self._worklist.popleft()
+            for edge_dst in self._copy_edges.get(src, ()):
+                self.add_fact(edge_dst, dst)
+            if isinstance(src, OffsetRef):
+                for lo, size, dobj, dbase in self._windows.get(src.obj, ()):
+                    if lo <= src.offset < lo + size:
+                        m = dbase + (src.offset - lo)
+                        dref = self.strategy.canon_offset_ref(OffsetRef(dobj, m))  # type: ignore[attr-defined]
+                        if dref is not None:
+                            self.add_fact(dref, dst)
+            for cb in list(self._subs.get(src, ())):
+                cb(dst)
+
+    def solve(self) -> Result:
+        t0 = time.perf_counter()
+        for st in self.program.all_stmts():
+            self._setup_stmt(st)
+        self.drain()
+        self.stats.solve_seconds = time.perf_counter() - t0
+        return Result(self.program, self.strategy, self.facts, self.stats)
+
+
+def analyze(program: Program, strategy: Strategy, **kwargs) -> Result:
+    """Convenience wrapper: run ``strategy`` over ``program`` to fixpoint."""
+    return Engine(program, strategy, **kwargs).solve()

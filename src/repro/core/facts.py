@@ -1,0 +1,93 @@
+"""The points-to fact base.
+
+A fact ``pointsTo(x, y)`` records that the location named by normalized
+reference ``x`` may hold the address of the location named by normalized
+reference ``y`` (paper §3; under the "Offsets" instance, "the value stored
+at offset j in s may be the address of t plus k", §4.2.2).
+
+The base maintains two indices:
+
+- by source reference (``points_to``), driving rule application;
+- by source *object* (``refs_of_obj``), driving the lazy byte-window
+  matching of the "Offsets" resolve.
+
+The total number of facts is the paper's "number of points-to edges"
+(Figure 6), used as the space-cost proxy for each algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from ..ir.objects import AbstractObject
+from ..ir.refs import Ref
+
+__all__ = ["FactBase"]
+
+
+class FactBase:
+    """Set of ``pointsTo`` facts with the indices the engine needs."""
+
+    def __init__(self) -> None:
+        self._succ: Dict[Ref, Set[Ref]] = {}
+        self._by_obj: Dict[AbstractObject, Set[Ref]] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, src: Ref, dst: Ref) -> bool:
+        """Record ``pointsTo(src, dst)``; True if the fact is new."""
+        targets = self._succ.get(src)
+        if targets is None:
+            targets = set()
+            self._succ[src] = targets
+            self._by_obj.setdefault(src.obj, set()).add(src)
+        if dst in targets:
+            return False
+        targets.add(dst)
+        return True
+
+    def points_to(self, src: Ref) -> FrozenSet[Ref]:
+        """The current points-to set of ``src`` (empty if none)."""
+        targets = self._succ.get(src)
+        return frozenset(targets) if targets else frozenset()
+
+    def has(self, src: Ref, dst: Ref) -> bool:
+        targets = self._succ.get(src)
+        return targets is not None and dst in targets
+
+    # ------------------------------------------------------------------
+    def refs_of_obj(self, obj: AbstractObject) -> FrozenSet[Ref]:
+        """All source references into ``obj`` that currently hold facts."""
+        refs = self._by_obj.get(obj)
+        return frozenset(refs) if refs else frozenset()
+
+    def sources(self) -> Iterator[Ref]:
+        """All references with a non-empty points-to set."""
+        return iter(self._succ)
+
+    def all_facts(self) -> Iterator[Tuple[Ref, Ref]]:
+        for src, targets in self._succ.items():
+            for dst in targets:
+                yield src, dst
+
+    # ------------------------------------------------------------------
+    def edge_count(self) -> int:
+        """Total number of points-to facts (Figure 6's metric)."""
+        return sum(len(t) for t in self._succ.values())
+
+    def __len__(self) -> int:
+        return self.edge_count()
+
+    def __repr__(self) -> str:
+        return f"<FactBase: {self.edge_count()} facts, {len(self._succ)} sources>"
+
+    # ------------------------------------------------------------------
+    def pretty(self, limit: int = 0) -> str:
+        """Human-readable dump, sorted for reproducibility."""
+        lines: List[str] = []
+        for src in sorted(self._succ, key=repr):
+            targets = ", ".join(sorted(map(repr, self._succ[src])))
+            lines.append(f"{src!r} -> {{{targets}}}")
+            if limit and len(lines) >= limit:
+                lines.append("...")
+                break
+        return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""The tunable heart of the framework: ``normalize`` / ``lookup`` / ``resolve``.
+
+Paper §4.2: *"Our solution to the problems introduced by casting involves
+using three auxiliary functions: normalize (for Problem 1), lookup (for
+Problem 2), and resolve (for Problem 3).  It is the use of these functions
+that gives us a framework for pointer analysis rather than a single
+algorithm."*
+
+A :class:`Strategy` bundles the three functions.  Four concrete strategies
+are shipped, one per section of the paper:
+
+=============================  =========  ==============================
+class                          paper      module
+=============================  =========  ==============================
+:class:`CollapseAlways`        §4.3.1     ``repro.core.collapse_always``
+:class:`CollapseOnCast`        §4.3.2     ``repro.core.collapse_on_cast``
+:class:`CommonInitialSequence` §4.3.3     ``repro.core.common_initial_sequence``
+:class:`Offsets`               §4.2.2     ``repro.core.offsets``
+=============================  =========  ==============================
+
+``lookup`` and ``resolve`` additionally report a :class:`CallInfo` so the
+engine can reproduce Figure 3's instrumentation (fraction of calls that
+involve structures; fraction of those where the declared and actual types
+disagree, i.e. casting was involved).  Per paper footnote 7, strategies
+that implement ``resolve`` *in terms of* ``lookup`` must not report the
+inner lookup calls — they call the private ``_lookup`` entry point instead.
+
+``resolve`` may return its pairs in either of two shapes:
+
+- an explicit list of ``(dst_ref, src_ref)`` pairs (the portable
+  strategies — the pair set is finite and fact-independent), or
+- a :class:`Window` describing the byte range copied (the "Offsets"
+  strategy, whose §4.2.2 definition conceptually pairs *every byte* of the
+  window; the engine matches the window lazily against facts, which is an
+  exact implementation of the same function).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..ctype.layout import Layout
+from ..ctype.types import CType, StructType
+from ..ir.objects import AbstractObject
+from ..ir.refs import FieldRef, OffsetRef, Ref
+
+__all__ = ["CallInfo", "Window", "PairList", "ResolveResult", "Strategy"]
+
+
+@dataclass(frozen=True)
+class CallInfo:
+    """Instrumentation record for one lookup/resolve call (Figure 3).
+
+    ``involved_struct`` — the call dealt with at least one structure type;
+    ``mismatch`` — the declared type and the actual type disagreed, i.e.
+    the call had to cope with casting.
+    """
+
+    involved_struct: bool = False
+    mismatch: bool = False
+
+
+@dataclass(frozen=True)
+class Window:
+    """A byte-range copy: ``dst.offset+i  ←  src.offset+i`` for ``0 ≤ i < size``."""
+
+    dst: OffsetRef
+    src: OffsetRef
+    size: int
+
+
+PairList = List[Tuple[Ref, Ref]]
+ResolveResult = Union[PairList, Window]
+
+
+class Strategy(abc.ABC):
+    """One instance of the framework: the three tunable functions.
+
+    Subclasses must be stateless with respect to analysis facts (the same
+    strategy object may be reused across programs); they may cache
+    type-level computations.
+    """
+
+    #: Human-readable name, matching the paper's terminology.
+    name: str = "?"
+    #: Short identifier used in CLIs/benchmarks.
+    key: str = "?"
+    #: Whether results are safe for every ANSI-conforming layout.
+    portable: bool = True
+
+    def __init__(self, layout: Optional[Layout] = None) -> None:
+        #: Layout engine; only the non-portable strategy consults it, but
+        #: all strategies carry one so clients can ask layout questions.
+        self.layout = layout or Layout()
+
+    # ------------------------------------------------------------------
+    # The three functions of the paper.
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def normalize(self, ref: FieldRef) -> Ref:
+        """Map ``obj.path`` to its canonical representative (paper §4.2)."""
+
+    @abc.abstractmethod
+    def lookup(
+        self, tau: CType, alpha: Sequence[str], target: Ref
+    ) -> Tuple[List[Ref], CallInfo]:
+        """Fields actually referenced by a dereference (paper Problem 2).
+
+        ``tau`` is the type the dereferenced pointer is *declared* to point
+        to; ``alpha`` the field selector written in the program (may be
+        empty); ``target`` the normalized reference the pointer *actually*
+        points to.  Returns the set of normalized references that may be
+        accessed, plus instrumentation.
+        """
+
+    @abc.abstractmethod
+    def resolve(
+        self, dst: Ref, src: Ref, tau: CType
+    ) -> Tuple[ResolveResult, CallInfo]:
+        """Match destination and source fields of a block copy (Problem 3).
+
+        ``tau`` is the declared type of the assignment's left-hand side —
+        the type that determines how many bytes are copied (Complication 4).
+        """
+
+    # ------------------------------------------------------------------
+    # Auxiliary queries used by the engine.
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def all_refs(self, obj: AbstractObject) -> List[Ref]:
+        """Every normalized reference into ``obj``.
+
+        Used for the Assumption-1 treatment of pointer arithmetic: the
+        result of arithmetic on a pointer into ``obj`` may point to any of
+        these (paper §4.2.1).
+        """
+
+    def arith_refs(self, ref: Ref) -> List[Ref]:
+        """Where arithmetic on a pointer to ``ref`` may land (Assumption 1).
+
+        The default is the paper's treatment: any sub-field of the
+        outermost object.  Refinements (e.g. the Wilson–Lam stride idea,
+        :class:`repro.core.strided.StridedOffsets`) may narrow this when
+        the pointee lies inside an array.
+        """
+        return self.all_refs(ref.obj)
+
+    def target_weight(self, ref: Ref) -> int:
+        """How many per-field facts ``ref`` stands for in Figure 4's metric.
+
+        1 for every strategy except Collapse Always, whose whole-structure
+        facts are expanded to one fact per field for comparability (see the
+        parenthetical in the paper's Figure 4 discussion).
+        """
+        return 1
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} ({self.name})>"
+
+    # Shared helper -----------------------------------------------------
+    @staticmethod
+    def _is_structy(t: CType) -> bool:
+        return isinstance(t, StructType)

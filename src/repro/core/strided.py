@@ -1,0 +1,87 @@
+"""Strided offsets — the Wilson–Lam refinement of pointer arithmetic.
+
+The paper's related-work section (§6) describes Wilson and Lam's [WL95]
+improvement over the plain "Offsets" treatment of pointer arithmetic:
+they keep a *stride* alongside each offset, so that advancing a pointer
+over an array **inside a structure** cannot make it point at arbitrary
+fields of the enclosing structure — "since pointer arithmetic adds (or
+subtracts) a value equal to the size of an array element, the pointer can
+only point to fields at offsets that are some multiple of that size away
+from the ends of the array."
+
+With this library's array model (every array is a single representative
+element), the stride refinement takes a particularly crisp form: moving a
+pointer by array-element strides keeps it at the *same canonical offset*,
+so the result of arithmetic on a pointer that points into an array is the
+pointer's own canonical reference — instead of the plain Offsets
+behaviour of smearing across every sub-field of the outermost object.
+Arithmetic on pointers that do not point into an array keeps the paper's
+conservative Assumption-1 treatment.
+
+This is deliberately a *refinement on top of* :class:`Offsets`: the
+normalize/lookup/resolve functions are inherited unchanged; only
+:meth:`arith_refs` differs.  The ablation benchmark
+``benchmarks/bench_ablation.py`` measures what the stride buys on
+array-walking workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..ctype.layout import LayoutError
+from ..ctype.types import ArrayType, CType, StructType
+from ..ir.refs import OffsetRef, Ref
+from .offsets import Offsets
+
+__all__ = ["StridedOffsets"]
+
+
+class StridedOffsets(Offsets):
+    """Offsets plus Wilson–Lam stride reasoning for in-array arithmetic."""
+
+    name = "Strided Offsets"
+    key = "strided_offsets"
+    portable = False
+
+    def arith_refs(self, ref: Ref) -> List[Ref]:
+        assert isinstance(ref, OffsetRef)
+        region = self._enclosing_array(ref.obj.type, ref.offset)
+        if region is None:
+            return self.all_refs(ref.obj)
+        # The pointee lies inside an array: element-stride arithmetic can
+        # only reach the same intra-element offset of other elements, all
+        # of which share the canonical (representative-element) offset.
+        canon = self.canon_offset_ref(ref)
+        return [canon] if canon is not None else []
+
+    # ------------------------------------------------------------------
+    def _enclosing_array(self, t: CType, off: int) -> Optional[Tuple[int, int]]:
+        """(start, size) of the outermost array region containing ``off``.
+
+        Returns ``None`` when ``off`` does not fall inside any array in
+        ``t``'s layout.
+        """
+        try:
+            return self._find_array(t, off, 0)
+        except LayoutError:
+            return None
+
+    def _find_array(self, t: CType, off: int, base: int) -> Optional[Tuple[int, int]]:
+        if isinstance(t, ArrayType):
+            size = self.layout.sizeof(t)
+            if 0 <= off < size:
+                return (base, size)
+            return None
+        if isinstance(t, StructType) and t.is_complete:
+            lay = self.layout._record_layout(t)
+            hit = None
+            for f, fo in zip(t.members(), lay.offsets):
+                if f.bit_width is not None:
+                    continue
+                if fo <= off < fo + self.layout.sizeof(f.type):
+                    hit = self._find_array(f.type, off - fo, base + fo)
+                    if hit is not None:
+                        return hit
+            return None
+        return None

@@ -1,0 +1,94 @@
+"""C type system: type representation, concrete layout, ANSI compatibility.
+
+Public surface:
+
+- :mod:`repro.ctype.types` — type objects (``IntType``, ``StructType``, ...)
+  and convenience constructors (``int_t``, ``ptr``, ``array_of``, ...);
+- :mod:`repro.ctype.layout` — :class:`~repro.ctype.layout.Layout` engine and
+  the stock :data:`~repro.ctype.layout.ILP32` / :data:`~repro.ctype.layout.LP64`
+  ABIs;
+- :mod:`repro.ctype.compat` — ``compatible`` and ``common_initial_sequence``.
+"""
+
+from .compat import common_initial_sequence, compatible
+from .layout import ABI, ILP32, LP64, Layout, LayoutError
+from .types import (
+    ArrayType,
+    CType,
+    EnumType,
+    Field,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    UnionType,
+    VoidType,
+    array_of,
+    bool_t,
+    char,
+    double_t,
+    float_t,
+    func,
+    int_t,
+    is_aggregate,
+    is_pointerlike,
+    is_scalar,
+    long_t,
+    longdouble,
+    longlong,
+    ptr,
+    schar,
+    short,
+    strip_quals,
+    uchar,
+    uint,
+    ulong,
+    ulonglong,
+    ushort,
+    void,
+)
+
+__all__ = [
+    "ABI",
+    "ILP32",
+    "LP64",
+    "Layout",
+    "LayoutError",
+    "ArrayType",
+    "CType",
+    "EnumType",
+    "Field",
+    "FloatType",
+    "FunctionType",
+    "IntType",
+    "PointerType",
+    "StructType",
+    "UnionType",
+    "VoidType",
+    "array_of",
+    "bool_t",
+    "char",
+    "common_initial_sequence",
+    "compatible",
+    "double_t",
+    "float_t",
+    "func",
+    "int_t",
+    "is_aggregate",
+    "is_pointerlike",
+    "is_scalar",
+    "long_t",
+    "longdouble",
+    "longlong",
+    "ptr",
+    "schar",
+    "short",
+    "strip_quals",
+    "uchar",
+    "uint",
+    "ulong",
+    "ulonglong",
+    "ushort",
+    "void",
+]

@@ -1,0 +1,147 @@
+"""ANSI C type compatibility and common initial sequences.
+
+The "Common Initial Sequence" instance of the framework (paper §4.3.3)
+relies on the two layout guarantees ANSI C gives (ISO 9899:1990 §6.3.2.3
+and §6.5.2.1):
+
+1. the first member of a struct is at offset 0, and
+2. if two structs share a *common initial sequence* — one or more leading
+   members with pairwise **compatible types** (and, for bit-fields, equal
+   widths) — then the offsets of the corresponding members in that sequence
+   are identical under every conforming implementation.
+
+This module implements the *compatible types* relation (the paper's
+footnote 1: an ``int`` is compatible with an ``enum``; qualifiers must
+match; pointers are compatible only if their pointees are) and the
+``commonInitialSeq`` function used by the CIS ``lookup``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Tuple
+
+from .types import (
+    ArrayType,
+    CType,
+    EnumType,
+    Field,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    UnionType,
+    VoidType,
+)
+
+__all__ = ["compatible", "common_initial_sequence"]
+
+
+def compatible(a: CType, b: CType) -> bool:
+    """Return True if ``a`` and ``b`` are compatible types (ANSI C §6.1.2.6).
+
+    The relation implemented here follows the paper's usage:
+
+    - identical scalar types are compatible;
+    - an ``int`` and an ``enum`` are compatible (paper footnote 1) — we
+      treat any enum as compatible with the plain signed ``int``;
+    - qualifiers must match exactly (``volatile int`` is not compatible
+      with ``int``);
+    - pointers are compatible iff their pointees are;
+    - arrays are compatible iff their element types are and their lengths
+      are equal (or at least one is incomplete);
+    - functions are compatible iff return and parameter types are;
+    - structs/unions are compatible if they are the same type object, or
+      structurally member-for-member compatible with the same tag (the
+      cross-translation-unit rule).
+    """
+    return _compat(a, b, frozenset())
+
+
+def _compat(a: CType, b: CType, seen: FrozenSet[Tuple[int, int]]) -> bool:
+    if a is b:
+        return True
+    if a.quals != b.quals:
+        return False
+    if isinstance(a, VoidType):
+        return isinstance(b, VoidType)
+    if isinstance(a, EnumType) and isinstance(b, EnumType):
+        return True
+    # int <-> enum compatibility (implementation picks int as the
+    # underlying type; see paper footnote 1).
+    if isinstance(a, EnumType):
+        return isinstance(b, IntType) and b.kind == "int" and b.signed
+    if isinstance(b, EnumType):
+        return isinstance(a, IntType) and a.kind == "int" and a.signed
+    if isinstance(a, IntType):
+        return isinstance(b, IntType) and a.kind == b.kind and a.signed == b.signed
+    if isinstance(a, FloatType):
+        return isinstance(b, FloatType) and a.kind == b.kind
+    if isinstance(a, PointerType):
+        return isinstance(b, PointerType) and _compat(a.pointee, b.pointee, seen)
+    if isinstance(a, ArrayType):
+        if not isinstance(b, ArrayType):
+            return False
+        if not _compat(a.elem, b.elem, seen):
+            return False
+        return a.length is None or b.length is None or a.length == b.length
+    if isinstance(a, FunctionType):
+        if not isinstance(b, FunctionType):
+            return False
+        if not _compat(a.ret, b.ret, seen):
+            return False
+        if a.varargs != b.varargs or len(a.params) != len(b.params):
+            return False
+        return all(_compat(pa, pb, seen) for pa, pb in zip(a.params, b.params))
+    if isinstance(a, StructType):
+        if not isinstance(b, StructType):
+            return False
+        if isinstance(a, UnionType) != isinstance(b, UnionType):
+            return False
+        # Distinct type objects: structural comparison with matching tags
+        # (the cross-translation-unit rule).  Guard against recursion via
+        # the identity-pair set.
+        key = (id(a), id(b))
+        if key in seen:
+            return True
+        if a.tag != b.tag:
+            return False
+        if not (a.is_complete and b.is_complete):
+            # An incomplete type is compatible with a same-tag record.
+            return True
+        if len(a.members()) != len(b.members()):
+            return False
+        inner = seen | {key}
+        for fa, fb in zip(a.members(), b.members()):
+            if fa.name != fb.name or fa.bit_width != fb.bit_width:
+                return False
+            if not _compat(fa.type, fb.type, inner):
+                return False
+        return True
+    return False
+
+
+def common_initial_sequence(a: StructType, b: StructType) -> List[Tuple[Field, Field]]:
+    """The (possibly empty) common initial sequence of two record types.
+
+    Returns the list of pairs ``(field_of_a, field_of_b)`` forming the
+    longest prefix of members of ``a`` and ``b`` whose types are pairwise
+    compatible (and, for bit-fields, have equal widths).  If either type is
+    incomplete the sequence is empty.
+
+    For unions ANSI C gives a similar guarantee when the union contains
+    structures sharing a common initial sequence; callers handle unions by
+    collapsing (see DESIGN.md), so this function only deals with structs —
+    passing a union simply yields the pairwise member walk, which is a safe
+    under-approximation of "shares layout".
+    """
+    if not (a.is_complete and b.is_complete):
+        return []
+    out: List[Tuple[Field, Field]] = []
+    for fa, fb in zip(a.members(), b.members()):
+        if fa.bit_width != fb.bit_width:
+            break
+        if not compatible(fa.type, fb.type):
+            break
+        out.append((fa, fb))
+    return out

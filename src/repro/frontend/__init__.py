@@ -1,0 +1,62 @@
+"""C front end: parsing, type building, and normalization to the IR.
+
+The three-stage pipeline::
+
+    source text ──parse_c──▶ pycparser AST ──Normalizer──▶ Program
+
+Convenience entry points:
+
+- :func:`program_from_c` — source text to normalized :class:`Program`;
+- :func:`analyze_c` — source text straight to an analysis
+  :class:`~repro.core.engine.Result` under a given strategy.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from ..core.engine import Result, analyze
+from ..core.strategy import Strategy
+from ..ir.program import Program
+from .normalizer import ALLOC_FUNCTIONS, NormalizeError, Normalizer
+from .parse import PRELUDE, PreprocessorError, parse_c, preprocess
+from .typebuilder import TypeBuildError, TypeBuilder
+
+__all__ = [
+    "ALLOC_FUNCTIONS",
+    "NormalizeError",
+    "Normalizer",
+    "PRELUDE",
+    "PreprocessorError",
+    "TypeBuildError",
+    "TypeBuilder",
+    "analyze_c",
+    "analyze_file",
+    "parse_c",
+    "preprocess",
+    "program_from_c",
+    "program_from_file",
+]
+
+
+def program_from_c(source: str, name: str = "<source>") -> Program:
+    """Parse and normalize C source text into a :class:`Program`."""
+    ast = parse_c(source, filename=name)
+    return Normalizer().run(ast, name=name)
+
+
+def program_from_file(path: Union[str, Path]) -> Program:
+    """Parse and normalize a C file."""
+    p = Path(path)
+    return program_from_c(p.read_text(), name=p.name)
+
+
+def analyze_c(source: str, strategy: Strategy, name: str = "<source>", **kwargs) -> Result:
+    """Analyze C source text under ``strategy``; returns the Result."""
+    return analyze(program_from_c(source, name), strategy, **kwargs)
+
+
+def analyze_file(path: Union[str, Path], strategy: Strategy, **kwargs) -> Result:
+    """Analyze a C file under ``strategy``."""
+    return analyze(program_from_file(path), strategy, **kwargs)

@@ -1,0 +1,941 @@
+"""Lowering C to the paper's five normalized assignment forms.
+
+The paper assumes (§2) that "assignment statements have been normalized
+via the introduction of temporary variables" into five forms (address-of,
+address-of-field-through-pointer, copy, load, store).  This module
+performs that normalization on a pycparser AST.
+
+Because the analysis is flow-insensitive, control flow is irrelevant: the
+normalizer simply walks every statement and expression, emitting normalized
+assignments.  The essential invariants it maintains:
+
+- every operand of an emitted statement is a *top-level* object (a
+  variable or a typed temporary), except the right-hand sides of forms 1
+  and 3 which may carry a field path (``t.β``);
+- a source-level write to a field (``s.a = e`` / ``p->a = e``) is lowered
+  through form 5 (``tmp = &s.a; *tmp = e``), as the paper's grammar
+  requires;
+- every temporary carries the *static C type* of the expression it holds —
+  casts are represented purely by type changes between temporaries, which
+  is the information ``normalize``/``lookup``/``resolve`` consume;
+- heap allocation is rewritten at this stage: ``p = malloc(...)`` becomes
+  ``p = &malloc_i`` for a fresh allocation-site pseudo-variable (§2),
+  typed from the cast / destination / ``sizeof`` context;
+- arrays are collapsed to a single representative element: ``a[i]``
+  accesses the same location as ``a[0]``; indexing through a *pointer*
+  is pointer arithmetic and is smeared per Assumption 1;
+- statements that dereference a pointer written in the source are marked
+  non-``synthetic`` so the Figure 4 client can find the program's deref
+  sites; dereferences the normalizer invents are marked ``synthetic``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from pycparser import c_ast
+
+from ..ctype.compat import compatible
+from ..ctype.types import (
+    ArrayType,
+    CType,
+    EnumType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    UnionType,
+    VoidType,
+    array_of,
+    char,
+    double_t,
+    int_t,
+    ptr,
+    ulong,
+    void,
+)
+from ..ir.objects import AbstractObject, ObjKind
+from ..ir.program import FunctionInfo, Program
+from ..ir.refs import FieldRef
+from ..ir.stmts import AddrOf, Call, Copy, FieldAddr, Load, PtrArith, Stmt, Store
+from .typebuilder import TypeBuildError, TypeBuilder
+
+__all__ = ["NormalizeError", "Normalizer", "ALLOC_FUNCTIONS"]
+
+
+class NormalizeError(Exception):
+    """Raised for C constructs outside the supported subset."""
+
+
+#: Direct calls to these are rewritten into allocation-site address-of
+#: assignments instead of Call statements.
+ALLOC_FUNCTIONS = frozenset(
+    {"malloc", "calloc", "realloc", "valloc", "alloca", "memalign",
+     "xmalloc", "xcalloc", "xrealloc", "strdup", "strndup"}
+)
+
+
+# ---------------------------------------------------------------------------
+# Values and lvalues used during lowering.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Value:
+    """The result of evaluating an expression.
+
+    ``obj`` is the top-level object holding the value, or ``None`` for
+    *pure* values (integer/float constants and other values that cannot
+    carry an address under Assumption 1).
+    """
+
+    obj: Optional[AbstractObject]
+    type: CType
+
+
+@dataclass
+class VarPath:
+    """Lvalue rooted directly at an object: ``obj.path``."""
+
+    obj: AbstractObject
+    path: Tuple[str, ...]
+    type: CType
+
+
+@dataclass
+class DerefPath:
+    """Lvalue reached through a pointer: ``(*ptr).path``."""
+
+    ptr: AbstractObject
+    path: Tuple[str, ...]
+    type: CType
+
+
+LValue = Union[VarPath, DerefPath]
+
+
+def _skip_arrays(t: CType) -> CType:
+    while isinstance(t, ArrayType):
+        t = t.elem
+    return t
+
+
+class Normalizer:
+    """One-shot translator: pycparser ``FileAST`` → :class:`Program`."""
+
+    def __init__(self, types: Optional[TypeBuilder] = None) -> None:
+        self.types = types or TypeBuilder()
+        self.program = Program()
+        # Variable scopes, innermost last.  The first entry is file scope.
+        self._scopes: List[Dict[str, AbstractObject]] = [{}]
+        # name → (object, FunctionType) for every declared function.
+        self._functions: Dict[str, Tuple[AbstractObject, FunctionType]] = {}
+        self._current_fn: Optional[FunctionInfo] = None
+        self._local_counter: Dict[Tuple[str, str], int] = {}
+
+    # ==================================================================
+    # Entry point
+    # ==================================================================
+    def run(self, ast: c_ast.FileAST, name: str = "<program>") -> Program:
+        self.program.name = name
+        # Pass 1: register every file-scope name so that initializers and
+        # bodies may reference declarations that appear later.
+        pending_inits: List[Tuple[AbstractObject, CType, c_ast.Node]] = []
+        funcdefs: List[c_ast.FuncDef] = []
+        for ext in ast.ext:
+            if isinstance(ext, c_ast.Typedef):
+                self.types.add_typedef(ext.name, ext.type)
+            elif isinstance(ext, c_ast.FuncDef):
+                self._register_function_decl(ext.decl)
+                funcdefs.append(ext)
+            elif isinstance(ext, c_ast.Decl):
+                t = self.types.from_decl(ext)
+                if isinstance(t, FunctionType):
+                    self._register_function_decl(ext)
+                elif ext.name is not None:
+                    obj = self._declare_global(ext.name, t, ext)
+                    if ext.init is not None and obj is not None:
+                        pending_inits.append((obj, t, ext.init))
+                # Bare ``struct S { ... };`` declarations only introduce
+                # types, which from_decl already recorded.
+            elif isinstance(ext, c_ast.Pragma):
+                continue
+            else:
+                raise NormalizeError(
+                    f"unsupported top-level construct {type(ext).__name__}"
+                )
+        # Pass 2: global initializers, then function bodies.
+        for obj, t, init in pending_inits:
+            self._with_stmts(self.program.global_stmts, None)
+            self._apply_initializer(obj, (), t, init)
+        for fd in funcdefs:
+            self._lower_funcdef(fd)
+        return self.program
+
+    # ==================================================================
+    # Declarations
+    # ==================================================================
+    def _declare_global(
+        self, name: str, t: CType, decl: c_ast.Decl
+    ) -> Optional[AbstractObject]:
+        existing = self.program.objects.lookup(name)
+        if existing is not None:
+            return existing  # tentative/extern re-declaration
+        if name in self._functions:
+            return None
+        line = decl.coord.line if decl.coord else None
+        obj = self.program.objects.global_var(name, t, line=line)
+        self._scopes[0][name] = obj
+        return obj
+
+    def _register_function_decl(self, decl: c_ast.Decl) -> None:
+        name = decl.name
+        ftype = self.types.from_decl(decl)
+        if not isinstance(ftype, FunctionType):
+            raise NormalizeError(f"function declaration {name!r} has no function type")
+        if name not in self._functions:
+            line = decl.coord.line if decl.coord else None
+            fobj = self.program.objects.function(name, ftype, line=line)
+            self._functions[name] = (fobj, ftype)
+
+    # ==================================================================
+    # Function bodies
+    # ==================================================================
+    def _lower_funcdef(self, fd: c_ast.FuncDef) -> None:
+        name = fd.decl.name
+        fobj, ftype = self._functions[name]
+        info = FunctionInfo(name=name, obj=fobj)
+        # Parameter objects, by declaration order.
+        fdecl = fd.decl.type
+        param_scope: Dict[str, AbstractObject] = {}
+        if fdecl.args is not None:
+            for p in fdecl.args.params:
+                if isinstance(p, c_ast.EllipsisParam):
+                    continue
+                if isinstance(p, c_ast.Typename):
+                    continue  # unnamed parameter
+                pt = self.types.from_node(p.type)
+                if isinstance(pt, VoidType):
+                    continue
+                if isinstance(pt, ArrayType):
+                    pt = PointerType(pt.elem)
+                elif isinstance(pt, FunctionType):
+                    pt = PointerType(pt)
+                pobj = self.program.objects.param(name, p.name, pt)
+                info.params.append(pobj)
+                param_scope[p.name] = pobj
+        if not isinstance(ftype.ret, VoidType):
+            info.retval = self.program.objects.retval(name, ftype.ret)
+        if ftype.varargs:
+            info.vararg = self.program.objects.vararg(name, void)
+        self.program.add_function(info)
+        self._current_fn = info
+        self._scopes.append(param_scope)
+        self._with_stmts(info.stmts, info)
+        try:
+            self._lower_stmt(fd.body)
+        finally:
+            self._scopes.pop()
+            self._current_fn = None
+
+    # ------------------------------------------------------------------
+    # Emission plumbing
+    # ------------------------------------------------------------------
+    def _with_stmts(self, stmts: List[Stmt], fn: Optional[FunctionInfo]) -> None:
+        self._out = stmts
+        self._fn_name = fn.name if fn is not None else None
+
+    def _emit(self, st: Stmt, line: Optional[int] = None) -> Stmt:
+        st.fn = self._fn_name
+        if line is not None and st.line is None:
+            st.line = line
+        self._out.append(st)
+        return st
+
+    def _temp(self, t: CType, line: Optional[int] = None) -> AbstractObject:
+        owner = self._fn_name or "<global>"
+        return self.program.objects.temp(owner, t, line=line)
+
+    def _line(self, node: c_ast.Node) -> Optional[int]:
+        return node.coord.line if getattr(node, "coord", None) else None
+
+    # ------------------------------------------------------------------
+    # Scope lookup
+    # ------------------------------------------------------------------
+    def _lookup_var(self, name: str) -> Optional[AbstractObject]:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def _declare_local(self, name: str, t: CType, line: Optional[int]) -> AbstractObject:
+        fn = self._fn_name or "<global>"
+        key = (fn, name)
+        n = self._local_counter.get(key, 0)
+        unique = name if n == 0 else f"{name}.{n}"
+        while self.program.objects.lookup(f"{fn}::{unique}") is not None:
+            n += 1
+            unique = f"{name}.{n}"
+        self._local_counter[key] = n + 1
+        obj = self.program.objects.local_var(fn, unique, t, line=line)
+        self._scopes[-1][name] = obj
+        return obj
+
+    # ==================================================================
+    # Statements
+    # ==================================================================
+    def _lower_stmt(self, node: Optional[c_ast.Node]) -> None:
+        if node is None:
+            return
+        if isinstance(node, c_ast.Compound):
+            self._scopes.append({})
+            try:
+                for item in node.block_items or []:
+                    self._lower_stmt(item)
+            finally:
+                self._scopes.pop()
+        elif isinstance(node, c_ast.Decl):
+            self._lower_local_decl(node)
+        elif isinstance(node, c_ast.DeclList):
+            for d in node.decls:
+                self._lower_local_decl(d)
+        elif isinstance(node, c_ast.Typedef):
+            self.types.add_typedef(node.name, node.type)
+        elif isinstance(node, c_ast.Return):
+            if node.expr is not None:
+                v = self._value(node.expr)
+                fn = self._current_fn
+                if fn is not None and fn.retval is not None and v.obj is not None:
+                    self._emit(
+                        Copy(lhs=fn.retval, rhs=FieldRef(v.obj, ())),
+                        line=self._line(node),
+                    )
+        elif isinstance(node, c_ast.If):
+            self._value(node.cond)
+            self._lower_stmt(node.iftrue)
+            self._lower_stmt(node.iffalse)
+        elif isinstance(node, c_ast.While) or isinstance(node, c_ast.DoWhile):
+            self._value(node.cond)
+            self._lower_stmt(node.stmt)
+        elif isinstance(node, c_ast.For):
+            self._scopes.append({})
+            try:
+                self._lower_stmt(node.init)
+                if node.cond is not None:
+                    self._value(node.cond)
+                self._lower_stmt(node.stmt)
+                if node.next is not None:
+                    self._value(node.next)
+            finally:
+                self._scopes.pop()
+        elif isinstance(node, c_ast.Switch):
+            self._value(node.cond)
+            self._lower_stmt(node.stmt)
+        elif isinstance(node, (c_ast.Case, c_ast.Default)):
+            for st in node.stmts or []:
+                self._lower_stmt(st)
+        elif isinstance(node, c_ast.Label):
+            self._lower_stmt(node.stmt)
+        elif isinstance(node, (c_ast.Break, c_ast.Continue, c_ast.Goto,
+                               c_ast.EmptyStatement, c_ast.Pragma)):
+            pass
+        else:
+            # Expression statement (assignment, call, ++, ...).
+            self._value(node)
+
+    def _lower_local_decl(self, decl: c_ast.Decl) -> None:
+        if decl.name is None:
+            self.types.from_decl(decl)  # bare struct/enum declaration
+            return
+        t = self.types.from_decl(decl)
+        if isinstance(t, FunctionType):
+            self._register_function_decl(decl)
+            return
+        if "extern" in (decl.storage or []):
+            obj = self.program.objects.lookup(decl.name)
+            if obj is None:
+                obj = self._declare_global(decl.name, t, decl)
+            self._scopes[-1][decl.name] = obj
+            return
+        obj = self._declare_local(decl.name, t, self._line(decl))
+        if decl.init is not None:
+            self._apply_initializer(obj, (), t, decl.init)
+
+    # ------------------------------------------------------------------
+    # Initializers (scalar, struct, array, designated)
+    # ------------------------------------------------------------------
+    def _apply_initializer(
+        self, obj: AbstractObject, path: Tuple[str, ...], t: CType, init: c_ast.Node
+    ) -> None:
+        t = _skip_arrays(t)  # array elements share the representative
+        if isinstance(init, c_ast.InitList):
+            if isinstance(t, StructType) and t.is_complete:
+                members = t.members()
+                idx = 0
+                for item in init.exprs:
+                    if isinstance(item, c_ast.NamedInitializer):
+                        fname = item.name[0].name
+                        f = t.field_named(fname)
+                        idx = t.field_index(fname) + 1
+                        self._apply_initializer(obj, path + (fname,), f.type, item.expr)
+                    else:
+                        if idx >= len(members):
+                            break
+                        f = members[idx]
+                        idx += 1
+                        self._apply_initializer(obj, path + (f.name,), f.type, item)
+            else:
+                # Array (or scalar with braces): every element initializes
+                # the representative element.
+                for item in init.exprs:
+                    inner = item.expr if isinstance(item, c_ast.NamedInitializer) else item
+                    self._apply_initializer(obj, path, t, inner)
+            return
+        v = self._value(init, hint=t)
+        if v.obj is None:
+            return  # pure value: no address content to record
+        self._write(VarPath(obj, path, t), v, line=self._line(init))
+
+    # ==================================================================
+    # Lvalues
+    # ==================================================================
+    def _lvalue(self, node: c_ast.Node) -> LValue:
+        if isinstance(node, c_ast.ID):
+            obj = self._lookup_var(node.name)
+            if obj is not None:
+                return VarPath(obj, (), obj.type)
+            raise NormalizeError(f"unknown identifier {node.name!r} at {node.coord}")
+        if isinstance(node, c_ast.StructRef):
+            if node.type == ".":
+                base = self._lvalue_or_temp(node.name)
+                ft = self._member_type(base.type, node.field.name)
+                if isinstance(base, VarPath):
+                    return VarPath(base.obj, base.path + (node.field.name,), ft)
+                return DerefPath(base.ptr, base.path + (node.field.name,), ft)
+            # p->field
+            v = self._value(node.name)
+            pointee = self._pointee_of(v.type)
+            ft = self._member_type(pointee, node.field.name)
+            return DerefPath(self._obj_or_empty(v), (node.field.name,), ft)
+        if isinstance(node, c_ast.UnaryOp) and node.op == "*":
+            inner_t = self._type_of(node.expr)
+            if isinstance(inner_t, ArrayType):
+                base = self._lvalue_or_temp(node.expr)
+                base.type = inner_t.elem  # representative element
+                return base
+            v = self._value(node.expr)
+            return DerefPath(self._obj_or_empty(v), (), self._pointee_of(v.type))
+        if isinstance(node, c_ast.ArrayRef):
+            base_t = self._type_of(node.name)
+            if isinstance(base_t, ArrayType):
+                base = self._lvalue_or_temp(node.name)
+                self._value(node.subscript)  # side effects only
+                base.type = base_t.elem
+                return base
+            # Pointer indexing: p[i] == *(p + i).
+            v = self._value(node.name)
+            idx = self._value(node.subscript)
+            elem = self._pointee_of(v.type)
+            if self._is_zero_constant(node.subscript):
+                return DerefPath(self._obj_or_empty(v), (), elem)
+            operands = tuple(o for o in (v.obj, idx.obj) if o is not None)
+            tmp = self._temp(v.type, self._line(node))
+            self._emit(PtrArith(lhs=tmp, operands=operands), line=self._line(node))
+            return DerefPath(tmp, (), elem)
+        if isinstance(node, c_ast.Cast):
+            # (T)lv is not an lvalue in ANSI C, but accept the GNU idiom by
+            # materializing the cast value.
+            v = self._value(node)
+            return VarPath(self._obj_or_empty(v), (), v.type)
+        raise NormalizeError(f"unsupported lvalue {type(node).__name__} at {node.coord}")
+
+    def _lvalue_or_temp(self, node: c_ast.Node) -> LValue:
+        """Lower to an lvalue, materializing rvalues into temporaries."""
+        try:
+            return self._lvalue(node)
+        except NormalizeError:
+            v = self._value(node)
+            return VarPath(self._obj_or_empty(v), (), v.type)
+
+    def _member_type(self, t: CType, field: str) -> CType:
+        t = _skip_arrays(t)
+        if isinstance(t, StructType) and t.is_complete:
+            return t.field_named(field).type
+        raise NormalizeError(f"member access .{field} on non-struct {t!r}")
+
+    @staticmethod
+    def _pointee_of(t: CType) -> CType:
+        t = _skip_arrays(t)
+        if isinstance(t, PointerType):
+            return t.pointee
+        return void
+
+    def _obj_or_empty(self, v: Value) -> AbstractObject:
+        """An object for ``v``, inventing an empty temp for pure values."""
+        if v.obj is not None:
+            return v.obj
+        return self._temp(v.type)
+
+    # ------------------------------------------------------------------
+    # Reading / writing / taking the address of lvalues
+    # ------------------------------------------------------------------
+    def _read(self, lv: LValue, line: Optional[int] = None) -> Value:
+        t = lv.type
+        if isinstance(t, ArrayType):
+            # Array-typed lvalues decay to a pointer to the representative
+            # element when read.
+            av = self._addr_of(lv, line)
+            return Value(av.obj, PointerType(t.elem))
+        if isinstance(lv, VarPath):
+            if not lv.path:
+                return Value(lv.obj, lv.obj.type)
+            tmp = self._temp(t, line)
+            self._emit(Copy(lhs=tmp, rhs=FieldRef(lv.obj, lv.path)), line=line)
+            return Value(tmp, t)
+        if not lv.path:
+            tmp = self._temp(t, line)
+            self._emit(Load(lhs=tmp, ptr=lv.ptr), line=line)
+            return Value(tmp, t)
+        addr = self._temp(PointerType(t), line)
+        self._emit(FieldAddr(lhs=addr, ptr=lv.ptr, path=lv.path), line=line)
+        tmp = self._temp(t, line)
+        self._emit(Load(lhs=tmp, ptr=addr, synthetic=True), line=line)
+        return Value(tmp, t)
+
+    def _write(self, lv: LValue, v: Value, line: Optional[int] = None) -> None:
+        if v.obj is None:
+            # A pure value (e.g. a null-pointer constant) is converted to
+            # the destination's type by assignment semantics; type the
+            # carrier temp accordingly so no spurious "cast" is recorded.
+            v = Value(None, lv.type)
+        rhs = self._obj_or_empty(v)
+        if isinstance(lv, VarPath):
+            if not lv.path:
+                self._emit(Copy(lhs=lv.obj, rhs=FieldRef(rhs, ())), line=line)
+                return
+            addr = self._temp(PointerType(lv.type), line)
+            self._emit(
+                AddrOf(lhs=addr, target=FieldRef(lv.obj, lv.path), synthetic=True),
+                line=line,
+            )
+            self._emit(Store(ptr=addr, rhs=rhs, synthetic=True), line=line)
+            return
+        if not lv.path:
+            self._emit(Store(ptr=lv.ptr, rhs=rhs), line=line)
+            return
+        addr = self._temp(PointerType(lv.type), line)
+        self._emit(FieldAddr(lhs=addr, ptr=lv.ptr, path=lv.path), line=line)
+        self._emit(Store(ptr=addr, rhs=rhs, synthetic=True), line=line)
+
+    def _addr_of(self, lv: LValue, line: Optional[int] = None) -> Value:
+        t = PointerType(_skip_arrays(lv.type) if isinstance(lv.type, ArrayType) else lv.type)
+        if isinstance(lv, VarPath):
+            tmp = self._temp(t, line)
+            self._emit(AddrOf(lhs=tmp, target=FieldRef(lv.obj, lv.path)), line=line)
+            return Value(tmp, t)
+        if not lv.path:
+            return Value(lv.ptr, t)  # &*p == p
+        tmp = self._temp(t, line)
+        self._emit(FieldAddr(lhs=tmp, ptr=lv.ptr, path=lv.path), line=line)
+        return Value(tmp, t)
+
+    # ==================================================================
+    # Expressions
+    # ==================================================================
+    def _type_of(self, node: c_ast.Node) -> CType:
+        """Static type of an expression, without lowering it.
+
+        Only used for dispatch decisions (array vs pointer indexing); the
+        rare failure cases fall back to ``int``.
+        """
+        try:
+            if isinstance(node, c_ast.ID):
+                obj = self._lookup_var(node.name)
+                if obj is not None:
+                    return obj.type
+                if node.name in self._functions:
+                    return self._functions[node.name][1]
+                if node.name in self.types.enum_consts:
+                    return int_t
+                return int_t
+            if isinstance(node, c_ast.Constant):
+                return self._constant_type(node)
+            if isinstance(node, c_ast.StructRef):
+                base_t = self._type_of(node.name)
+                if node.type == "->":
+                    base_t = self._pointee_of(base_t)
+                return self._member_type(base_t, node.field.name)
+            if isinstance(node, c_ast.ArrayRef):
+                base_t = _skip_arrays_once(self._type_of(node.name))
+                return base_t
+            if isinstance(node, c_ast.UnaryOp):
+                if node.op == "*":
+                    t = self._type_of(node.expr)
+                    if isinstance(t, ArrayType):
+                        return t.elem
+                    return self._pointee_of(t)
+                if node.op == "&":
+                    return PointerType(self._type_of(node.expr))
+                if node.op == "sizeof":
+                    return ulong
+                return self._type_of(node.expr)
+            if isinstance(node, c_ast.BinaryOp):
+                lt = self._type_of(node.left)
+                rt = self._type_of(node.right)
+                return _arith_result_type(node.op, lt, rt)
+            if isinstance(node, c_ast.Cast):
+                return self.types.from_node(node.to_type)
+            if isinstance(node, c_ast.FuncCall):
+                callee_t = self._type_of(node.name)
+                callee_t = _skip_arrays(callee_t)
+                if isinstance(callee_t, PointerType):
+                    callee_t = callee_t.pointee
+                if isinstance(callee_t, FunctionType):
+                    return callee_t.ret
+                return int_t
+            if isinstance(node, c_ast.TernaryOp):
+                return self._type_of(node.iftrue)
+            if isinstance(node, c_ast.Assignment):
+                return self._type_of(node.lvalue)
+            if isinstance(node, c_ast.ExprList):
+                return self._type_of(node.exprs[-1])
+        except NormalizeError:
+            pass
+        return int_t
+
+    def _constant_type(self, node: c_ast.Constant) -> CType:
+        k = node.type
+        if k == "string":
+            return PointerType(char)
+        if "float" in k or "double" in k:
+            return double_t
+        if "char" in k:
+            return int_t
+        if "long" in k:
+            return IntType("long", "unsigned" not in k)
+        return IntType("int", "unsigned" not in k)
+
+    # ------------------------------------------------------------------
+    def _value(self, node: c_ast.Node, hint: Optional[CType] = None) -> Value:
+        """Evaluate an expression, emitting normalized statements."""
+        line = self._line(node)
+        if isinstance(node, c_ast.Constant):
+            if node.type == "string":
+                return self._string_literal(node, line)
+            return Value(None, self._constant_type(node))
+        if isinstance(node, c_ast.ID):
+            if node.name in self.types.enum_consts:
+                return Value(None, int_t)
+            obj = self._lookup_var(node.name)
+            if obj is not None:
+                return self._read(VarPath(obj, (), obj.type), line)
+            if node.name in self._functions:
+                fobj, ftype = self._functions[node.name]
+                tmp = self._temp(PointerType(ftype), line)
+                self._emit(AddrOf(lhs=tmp, target=FieldRef(fobj, ())), line=line)
+                return Value(tmp, PointerType(ftype))
+            raise NormalizeError(f"unknown identifier {node.name!r} at {node.coord}")
+        if isinstance(node, (c_ast.StructRef, c_ast.ArrayRef)):
+            return self._read(self._lvalue(node), line)
+        if isinstance(node, c_ast.UnaryOp):
+            return self._unary(node, line)
+        if isinstance(node, c_ast.BinaryOp):
+            return self._binary(node, line)
+        if isinstance(node, c_ast.Assignment):
+            return self._assignment(node, line)
+        if isinstance(node, c_ast.Cast):
+            return self._cast(node, line)
+        if isinstance(node, c_ast.FuncCall):
+            return self._call(node, hint, line)
+        if isinstance(node, c_ast.TernaryOp):
+            return self._ternary(node, hint, line)
+        if isinstance(node, c_ast.ExprList):
+            v = Value(None, int_t)
+            for e in node.exprs:
+                v = self._value(e, hint)
+            return v
+        if isinstance(node, c_ast.CompoundLiteral):
+            t = self.types.from_node(node.type)
+            tmp_name = f"<compound:{id(node)}>"
+            obj = self._declare_local(tmp_name, t, line)
+            self._apply_initializer(obj, (), t, node.init)
+            return self._read(VarPath(obj, (), t), line)
+        if isinstance(node, c_ast.InitList):
+            raise NormalizeError(f"initializer list in expression context at {node.coord}")
+        raise NormalizeError(f"unsupported expression {type(node).__name__} at {node.coord}")
+
+    # ------------------------------------------------------------------
+    def _string_literal(self, node: c_ast.Constant, line: Optional[int]) -> Value:
+        text = node.value
+        length = max(len(text) - 2, 0) + 1  # crude; escapes make it longer, safe
+        sobj = self.program.objects.string_literal(array_of(char, length))
+        tmp = self._temp(PointerType(char), line)
+        self._emit(AddrOf(lhs=tmp, target=FieldRef(sobj, ())), line=line)
+        return Value(tmp, PointerType(char))
+
+    # ------------------------------------------------------------------
+    def _unary(self, node: c_ast.UnaryOp, line: Optional[int]) -> Value:
+        op = node.op
+        if op == "&":
+            return self._addr_of(self._lvalue(node.expr), line)
+        if op == "*":
+            return self._read(self._lvalue(node), line)
+        if op == "sizeof":
+            return Value(None, ulong)  # operand is unevaluated
+        if op == "!":
+            self._value(node.expr)
+            return Value(None, int_t)
+        if op in ("-", "+", "~"):
+            v = self._value(node.expr)
+            if v.obj is None:
+                return Value(None, v.type)
+            tmp = self._temp(v.type, line)
+            self._emit(PtrArith(lhs=tmp, operands=(v.obj,)), line=line)
+            return Value(tmp, v.type)
+        if op in ("++", "--", "p++", "p--"):
+            lv = self._lvalue(node.expr)
+            cur = self._read(lv, line)
+            if cur.obj is None:
+                return cur
+            tmp = self._temp(cur.type, line)
+            self._emit(PtrArith(lhs=tmp, operands=(cur.obj,)), line=line)
+            self._write(lv, Value(tmp, cur.type), line)
+            return cur if op.startswith("p") else Value(tmp, cur.type)
+        raise NormalizeError(f"unsupported unary operator {op!r} at {node.coord}")
+
+    # ------------------------------------------------------------------
+    _PURE_BINOPS = frozenset({"==", "!=", "<", ">", "<=", ">=", "&&", "||"})
+
+    def _binary(self, node: c_ast.BinaryOp, line: Optional[int]) -> Value:
+        lt = self._type_of(node.left)
+        rt = self._type_of(node.right)
+        result = _arith_result_type(node.op, lt, rt)
+        lv = self._value(node.left)
+        rv = self._value(node.right)
+        if node.op in self._PURE_BINOPS:
+            # Comparison/logical results are 0/1 and carry no address.
+            return Value(None, int_t)
+        operands = tuple(o for o in (lv.obj, rv.obj) if o is not None)
+        if not operands:
+            return Value(None, result)
+        tmp = self._temp(result, line)
+        self._emit(PtrArith(lhs=tmp, operands=operands), line=line)
+        return Value(tmp, result)
+
+    # ------------------------------------------------------------------
+    def _assignment(self, node: c_ast.Assignment, line: Optional[int]) -> Value:
+        lv = self._lvalue(node.lvalue)
+        if node.op == "=":
+            v = self._value(node.rvalue, hint=lv.type)
+            self._write(lv, v, line)
+            return Value(v.obj, lv.type)
+        # Compound assignment: read-modify-write through PtrArith.
+        cur = self._read(lv, line)
+        rv = self._value(node.rvalue)
+        operands = tuple(o for o in (cur.obj, rv.obj) if o is not None)
+        if operands:
+            tmp = self._temp(lv.type, line)
+            self._emit(PtrArith(lhs=tmp, operands=operands), line=line)
+            out = Value(tmp, lv.type)
+        else:
+            out = Value(None, lv.type)
+        self._write(lv, out, line)
+        return out
+
+    # ------------------------------------------------------------------
+    def _cast(self, node: c_ast.Cast, line: Optional[int]) -> Value:
+        to = self.types.from_node(node.to_type)
+        hint = to if isinstance(to, PointerType) else None
+        v = self._value(node.expr, hint=hint)
+        if isinstance(to, VoidType):
+            return Value(None, to)
+        if v.obj is None:
+            return Value(None, to)
+        if compatible(to, v.type):
+            return Value(v.obj, to)
+        tmp = self._temp(to, line)
+        self._emit(Copy(lhs=tmp, rhs=FieldRef(v.obj, ())), line=line)
+        return Value(tmp, to)
+
+    # ------------------------------------------------------------------
+    def _ternary(
+        self, node: c_ast.TernaryOp, hint: Optional[CType], line: Optional[int]
+    ) -> Value:
+        self._value(node.cond)
+        a = self._value(node.iftrue, hint)
+        b = self._value(node.iffalse, hint)
+        if a.obj is None and b.obj is None:
+            return Value(None, a.type)
+        t = a.type if a.obj is not None else b.type
+        tmp = self._temp(t, line)
+        for arm in (a, b):
+            if arm.obj is not None:
+                self._emit(Copy(lhs=tmp, rhs=FieldRef(arm.obj, ())), line=line)
+        return Value(tmp, t)
+
+    # ------------------------------------------------------------------
+    # Calls (including the malloc-family rewrite)
+    # ------------------------------------------------------------------
+    def _call(
+        self, node: c_ast.FuncCall, hint: Optional[CType], line: Optional[int]
+    ) -> Value:
+        callee_name = node.name.name if isinstance(node.name, c_ast.ID) else None
+        args = list(node.args.exprs) if node.args is not None else []
+
+        if (
+            callee_name in ALLOC_FUNCTIONS
+            and self._lookup_var(callee_name) is None
+            and callee_name not in self.program.functions
+        ):
+            return self._alloc_call(callee_name, args, hint, line)
+
+        # Resolve the callee: direct function, or pointer-valued expression.
+        indirect = False
+        if callee_name is not None and self._lookup_var(callee_name) is None:
+            if callee_name not in self._functions:
+                # Implicit declaration (C90): int f(...).
+                fobj = self.program.objects.function(
+                    callee_name, FunctionType(int_t, (), True), line=line
+                )
+                self._functions[callee_name] = (fobj, FunctionType(int_t, (), True))
+            callee_obj, ftype = self._functions[callee_name]
+        else:
+            cexpr = node.name
+            # (*fp)(...) and fp(...) are the same call through fp.
+            while isinstance(cexpr, c_ast.UnaryOp) and cexpr.op == "*":
+                cexpr = cexpr.expr
+            v = self._value(cexpr)
+            callee_obj = self._obj_or_empty(v)
+            indirect = True
+            ft = _skip_arrays(v.type)
+            if isinstance(ft, PointerType):
+                ft = ft.pointee
+            ftype = ft if isinstance(ft, FunctionType) else FunctionType(int_t, (), True)
+
+        arg_objs = []
+        for i, a in enumerate(args):
+            av = self._value(a)
+            if (
+                av.obj is None
+                and isinstance(ftype, FunctionType)
+                and i < len(ftype.params)
+            ):
+                # Pure constants (e.g. NULL) convert to the parameter type.
+                av = Value(None, ftype.params[i])
+            arg_objs.append(self._obj_or_empty(av))
+
+        ret_t = ftype.ret if isinstance(ftype, FunctionType) else int_t
+        lhs = None
+        if not isinstance(ret_t, VoidType):
+            lhs = self._temp(ret_t, line)
+        self._emit(
+            Call(lhs=lhs, callee=callee_obj, indirect=indirect, args=tuple(arg_objs)),
+            line=line,
+        )
+        return Value(lhs, ret_t)
+
+    def _alloc_call(
+        self,
+        name: str,
+        args: List[c_ast.Node],
+        hint: Optional[CType],
+        line: Optional[int],
+    ) -> Value:
+        """Rewrite ``p = malloc(...)`` into ``p = &malloc_i`` (paper §2)."""
+        elem = self._heap_element_type(name, args, hint)
+        fn = self._fn_name or "<global>"
+        heap = self.program.objects.heap(f"{name}@{fn}:{line or 0}", elem, line=line)
+        result_t = PointerType(elem)
+        tmp = self._temp(result_t, line)
+        self._emit(AddrOf(lhs=tmp, target=FieldRef(heap, ())), line=line)
+        arg_vals = [self._value(a) for a in args]
+        if name in ("realloc", "xrealloc") and arg_vals and arg_vals[0].obj is not None:
+            # The returned block may be the old block.
+            self._emit(Copy(lhs=tmp, rhs=FieldRef(arg_vals[0].obj, ())), line=line)
+        if name in ("strdup", "strndup"):
+            return Value(tmp, PointerType(char))
+        return Value(tmp, result_t)
+
+    def _heap_element_type(
+        self, name: str, args: List[c_ast.Node], hint: Optional[CType]
+    ) -> CType:
+        """Pick the allocation-site pseudo-variable's type.
+
+        Priority: the pointer type the result is cast/assigned to (the
+        idiomatic ``(struct S *)malloc(...)``), then a ``sizeof`` operand
+        found in the size expression, then an untyped byte blob.
+        """
+        if name in ("strdup", "strndup"):
+            return array_of(char, None)
+        if isinstance(hint, PointerType) and not isinstance(hint.pointee, VoidType):
+            return hint.pointee
+        size_args = args[1:] if name in ("realloc", "xrealloc") else args
+        for a in size_args:
+            t = self._sizeof_operand_type(a)
+            if t is not None:
+                return t
+        return array_of(char, None)
+
+    def _sizeof_operand_type(self, node: c_ast.Node) -> Optional[CType]:
+        if isinstance(node, c_ast.UnaryOp) and node.op == "sizeof":
+            operand = node.expr
+            if isinstance(operand, c_ast.Typename):
+                return self.types.from_node(operand)
+            return self._type_of(operand)
+        if isinstance(node, c_ast.BinaryOp) and node.op in ("*", "+"):
+            left = self._sizeof_operand_type(node.left)
+            if left is not None:
+                return array_of(left, None)
+            right = self._sizeof_operand_type(node.right)
+            if right is not None:
+                return array_of(right, None)
+        if isinstance(node, c_ast.Cast):
+            return self._sizeof_operand_type(node.expr)
+        return None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_zero_constant(node: c_ast.Node) -> bool:
+        return (
+            isinstance(node, c_ast.Constant)
+            and node.type in ("int", "unsigned int", "long", "unsigned long")
+            and node.value.rstrip("uUlL") in ("0", "0x0", "00")
+        )
+
+
+def _skip_arrays_once(t: CType) -> CType:
+    if isinstance(t, ArrayType):
+        return t.elem
+    if isinstance(t, PointerType):
+        return t.pointee
+    return int_t
+
+
+def _arith_result_type(op: str, lt: CType, rt: CType) -> CType:
+    """Approximate C's usual arithmetic conversions for temp typing."""
+    if op in ("==", "!=", "<", ">", "<=", ">=", "&&", "||"):
+        return int_t
+    lt_p = isinstance(lt, (PointerType, ArrayType))
+    rt_p = isinstance(rt, (PointerType, ArrayType))
+    if lt_p and rt_p and op == "-":
+        return IntType("long", True)  # ptrdiff_t
+    if lt_p:
+        return PointerType(lt.elem) if isinstance(lt, ArrayType) else lt
+    if rt_p:
+        return PointerType(rt.elem) if isinstance(rt, ArrayType) else rt
+    if isinstance(lt, FloatType) or isinstance(rt, FloatType):
+        return double_t
+    ranks = {"_Bool": 0, "char": 1, "short": 2, "int": 3, "long": 4, "long long": 5}
+    lk = lt.kind if isinstance(lt, IntType) else "int"
+    rk = rt.kind if isinstance(rt, IntType) else "int"
+    kind = lk if ranks.get(lk, 3) >= ranks.get(rk, 3) else rk
+    if ranks.get(kind, 3) < 3:
+        kind = "int"  # integer promotion
+    signed = True
+    if isinstance(lt, IntType) and lt.kind == kind and not lt.signed:
+        signed = False
+    if isinstance(rt, IntType) and rt.kind == kind and not rt.signed:
+        signed = False
+    return IntType(kind, signed)

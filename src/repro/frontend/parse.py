@@ -1,0 +1,216 @@
+"""Parsing C source into a pycparser AST.
+
+pycparser expects *preprocessed* C.  The benchmark suite is written as
+self-contained, include-free C, but real-world conveniences still need
+handling, so this module provides a deliberately small preprocessor:
+
+- comment stripping (``/* ... */`` and ``// ...``),
+- object-like ``#define NAME TOKENS`` substitution (no function-like
+  macros — the suite does not use them),
+- ``#undef``, and ``#ifdef``/``#ifndef``/``#else``/``#endif`` over the
+  macros defined so far,
+- ``#include`` lines are dropped (every program in the suite declares the
+  externs it needs, and a standard prelude supplies the common libc
+  declarations).
+
+The prelude (:data:`PRELUDE`) declares the libc subset the analysis has
+summaries for (:mod:`repro.core.interproc`), plus ``size_t``/``NULL``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from pycparser import c_ast, c_parser
+
+__all__ = ["PreprocessorError", "preprocess", "parse_c", "PRELUDE"]
+
+
+class PreprocessorError(Exception):
+    """Raised on a directive the mini-preprocessor cannot handle."""
+
+
+PRELUDE = """
+typedef unsigned long size_t;
+typedef long ptrdiff_t;
+typedef struct _IO_FILE { int _fileno; } FILE;
+extern void *malloc(size_t n);
+extern void *calloc(size_t n, size_t size);
+extern void *realloc(void *p, size_t n);
+extern void free(void *p);
+extern void exit(int status);
+extern void abort(void);
+extern void *memcpy(void *dst, void *src, size_t n);
+extern void *memmove(void *dst, void *src, size_t n);
+extern void *memset(void *dst, int c, size_t n);
+extern int memcmp(void *a, void *b, size_t n);
+extern char *strcpy(char *dst, char *src);
+extern char *strncpy(char *dst, char *src, size_t n);
+extern char *strcat(char *dst, char *src);
+extern char *strncat(char *dst, char *src, size_t n);
+extern int strcmp(char *a, char *b);
+extern int strncmp(char *a, char *b, size_t n);
+extern size_t strlen(char *s);
+extern char *strchr(char *s, int c);
+extern char *strrchr(char *s, int c);
+extern char *strstr(char *hay, char *needle);
+extern char *strtok(char *s, char *delim);
+extern char *strdup(char *s);
+extern int atoi(char *s);
+extern long atol(char *s);
+extern double atof(char *s);
+extern long strtol(char *s, char **end, int base);
+extern int printf(char *fmt, ...);
+extern int fprintf(FILE *f, char *fmt, ...);
+extern int sprintf(char *buf, char *fmt, ...);
+extern int snprintf(char *buf, size_t n, char *fmt, ...);
+extern int sscanf(char *s, char *fmt, ...);
+extern int scanf(char *fmt, ...);
+extern int fscanf(FILE *f, char *fmt, ...);
+extern int puts(char *s);
+extern int putchar(int c);
+extern int getchar(void);
+extern int getc(FILE *f);
+extern int fgetc(FILE *f);
+extern char *fgets(char *buf, int n, FILE *f);
+extern int fputs(char *s, FILE *f);
+extern int fputc(int c, FILE *f);
+extern FILE *fopen(char *path, char *mode);
+extern int fclose(FILE *f);
+extern size_t fread(void *buf, size_t size, size_t n, FILE *f);
+extern size_t fwrite(void *buf, size_t size, size_t n, FILE *f);
+extern int fseek(FILE *f, long off, int whence);
+extern long ftell(FILE *f);
+extern int feof(FILE *f);
+extern void qsort(void *base, size_t n, size_t size,
+                  int (*cmp)(void *, void *));
+extern void *bsearch(void *key, void *base, size_t n, size_t size,
+                     int (*cmp)(void *, void *));
+extern int rand(void);
+extern void srand(unsigned int seed);
+extern int isalpha(int c);
+extern int isdigit(int c);
+extern int isalnum(int c);
+extern int isspace(int c);
+extern int isupper(int c);
+extern int islower(int c);
+extern int toupper(int c);
+extern int tolower(int c);
+extern int abs(int x);
+extern long labs(long x);
+extern double sqrt(double x);
+extern double pow(double x, double y);
+extern double floor(double x);
+extern double ceil(double x);
+extern double fabs(double x);
+extern char *getenv(char *name);
+extern FILE *stdin_file(void);
+extern FILE *stdout_file(void);
+extern FILE *stderr_file(void);
+extern FILE *_stdin, *_stdout, *_stderr;
+"""
+
+_COMMENT_RE = re.compile(
+    r"//[^\n]*|/\*.*?\*/", re.DOTALL
+)
+
+_WORD_RE = re.compile(r"\b[A-Za-z_][A-Za-z0-9_]*\b")
+
+
+def _strip_comments(text: str) -> str:
+    """Replace comments with equivalent whitespace, preserving line numbers."""
+
+    def repl(m: "re.Match[str]") -> str:
+        return re.sub(r"[^\n]", " ", m.group(0))
+
+    return _COMMENT_RE.sub(repl, text)
+
+
+def preprocess(text: str, defines: Optional[Dict[str, str]] = None) -> str:
+    """Run the mini-preprocessor; returns line-count-preserving C text."""
+    macros: Dict[str, str] = dict(defines or {})
+    macros.setdefault("NULL", "((void*)0)")
+    out: List[str] = []
+    # Stack of booleans: is the current #if region active?
+    active_stack: List[bool] = []
+
+    def expand(line: str) -> str:
+        # Fixpoint expansion with a small budget to tolerate self-reference.
+        for _ in range(8):
+            new = _WORD_RE.sub(lambda m: macros.get(m.group(0), m.group(0)), line)
+            if new == line:
+                break
+            line = new
+        return line
+
+    for raw in _strip_comments(text).splitlines():
+        stripped = raw.strip()
+        active = all(active_stack)
+        if stripped.startswith("#"):
+            body = stripped[1:].strip()
+            if body.startswith("include"):
+                out.append("")
+            elif body.startswith("define"):
+                if active:
+                    rest = body[len("define"):].strip()
+                    m = re.match(r"([A-Za-z_][A-Za-z0-9_]*)\s*(\(.*)?", rest)
+                    if m is None:
+                        raise PreprocessorError(f"bad #define: {raw!r}")
+                    if m.group(2) is not None and m.group(2).startswith("("):
+                        raise PreprocessorError(
+                            f"function-like macros are not supported: {raw!r}"
+                        )
+                    name = m.group(1)
+                    macros[name] = rest[len(name):].strip()
+                out.append("")
+            elif body.startswith("undef"):
+                if active:
+                    macros.pop(body[len("undef"):].strip(), None)
+                out.append("")
+            elif body.startswith("ifdef"):
+                active_stack.append(body[len("ifdef"):].strip() in macros)
+                out.append("")
+            elif body.startswith("ifndef"):
+                active_stack.append(body[len("ifndef"):].strip() not in macros)
+                out.append("")
+            elif body.startswith("else"):
+                if not active_stack:
+                    raise PreprocessorError("#else without #if")
+                active_stack[-1] = not active_stack[-1]
+                out.append("")
+            elif body.startswith("endif"):
+                if not active_stack:
+                    raise PreprocessorError("#endif without #if")
+                active_stack.pop()
+                out.append("")
+            else:
+                raise PreprocessorError(f"unsupported directive: {raw!r}")
+        elif active:
+            out.append(expand(raw))
+        else:
+            out.append("")
+    if active_stack:
+        raise PreprocessorError("unterminated #if block")
+    return "\n".join(out)
+
+
+def parse_c(
+    source: str,
+    filename: str = "<source>",
+    use_prelude: bool = True,
+    defines: Optional[Dict[str, str]] = None,
+) -> c_ast.FileAST:
+    """Preprocess and parse C source text into a pycparser AST.
+
+    When ``use_prelude`` is true (the default), the libc prelude is
+    prepended; a ``#line``-style marker keeps the user code's line numbers
+    intact so diagnostics and IR provenance refer to the original source.
+    """
+    body = preprocess(source, defines)
+    if use_prelude:
+        text = PRELUDE + f'\n# 1 "{filename}"\n' + body
+    else:
+        text = f'# 1 "{filename}"\n' + body
+    parser = c_parser.CParser()
+    return parser.parse(text, filename)

@@ -1,0 +1,267 @@
+"""Building :mod:`repro.ctype` types from pycparser declarations.
+
+The :class:`TypeBuilder` maintains the three namespaces C has for types —
+typedef names, struct/union tags, and enum tags — and converts pycparser
+type ASTs into our representation, completing forward-declared records
+when their definitions appear (which is how self-referential structures
+work).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from pycparser import c_ast
+
+from ..ctype.types import (
+    ArrayType,
+    CType,
+    EnumType,
+    Field,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    UnionType,
+    VoidType,
+    void,
+)
+
+__all__ = ["TypeBuildError", "TypeBuilder"]
+
+
+class TypeBuildError(Exception):
+    """Raised for declarations outside the supported C subset."""
+
+
+_BASE_TYPES: Dict[Tuple[str, ...], CType] = {}
+
+
+def _base(names: Tuple[str, ...]) -> CType:
+    """Map a sorted tuple of type-specifier keywords to a scalar type."""
+    key = tuple(sorted(names))
+    cached = _BASE_TYPES.get(key)
+    if cached is not None:
+        return cached
+    words = list(key)
+    signed = True
+    if "unsigned" in words:
+        signed = False
+        words.remove("unsigned")
+    if "signed" in words:
+        words.remove("signed")
+    rest = " ".join(sorted(words))
+    t: CType
+    if rest in ("", "int"):
+        t = IntType("int", signed)
+    elif rest == "char":
+        t = IntType("char", signed)
+    elif rest in ("short", "int short"):
+        t = IntType("short", signed)
+    elif rest in ("long", "int long"):
+        t = IntType("long", signed)
+    elif rest in ("long long", "int long long"):
+        t = IntType("long long", signed)
+    elif rest == "_Bool":
+        t = IntType("_Bool", False)
+    elif rest == "float":
+        t = FloatType("float")
+    elif rest == "double":
+        t = FloatType("double")
+    elif rest == "double long":
+        t = FloatType("long double")
+    elif rest == "void":
+        t = void
+    else:
+        raise TypeBuildError(f"unsupported base type: {' '.join(names)}")
+    _BASE_TYPES[key] = t
+    return t
+
+
+class TypeBuilder:
+    """Converts pycparser type ASTs to :class:`~repro.ctype.types.CType`.
+
+    One builder is used per translation unit; it owns the typedef and tag
+    namespaces.  Anonymous records get synthesized tags (``<anon:N>``) so
+    they can be interned and compared.
+    """
+
+    def __init__(self) -> None:
+        self.typedefs: Dict[str, CType] = {}
+        self.struct_tags: Dict[str, StructType] = {}
+        self.union_tags: Dict[str, UnionType] = {}
+        self.enum_tags: Dict[str, EnumType] = {}
+        #: enumerator name → integer value (used for constant folding).
+        self.enum_consts: Dict[str, int] = {}
+        self._anon = 0
+
+    # ------------------------------------------------------------------
+    def add_typedef(self, name: str, node: c_ast.Node) -> None:
+        self.typedefs[name] = self.from_node(node)
+
+    # ------------------------------------------------------------------
+    def from_decl(self, decl: c_ast.Decl) -> CType:
+        """Type of a declaration (``Decl.type`` subtree)."""
+        return self.from_node(decl.type)
+
+    def from_node(self, node: c_ast.Node) -> CType:
+        """Convert any pycparser type subtree."""
+        if isinstance(node, c_ast.TypeDecl):
+            t = self.from_node(node.type)
+            if node.quals:
+                t = t.with_quals(tuple(sorted(set(node.quals))))
+            return t
+        if isinstance(node, c_ast.Typename):
+            return self.from_node(node.type)
+        if isinstance(node, c_ast.IdentifierType):
+            names = tuple(node.names)
+            if len(names) == 1 and names[0] in self.typedefs:
+                return self.typedefs[names[0]]
+            return _base(names)
+        if isinstance(node, c_ast.PtrDecl):
+            return PointerType(self.from_node(node.type))
+        if isinstance(node, c_ast.ArrayDecl):
+            elem = self.from_node(node.type)
+            length = self._const_int(node.dim) if node.dim is not None else None
+            return ArrayType(elem, length)
+        if isinstance(node, c_ast.FuncDecl):
+            return self._function_type(node)
+        if isinstance(node, c_ast.Struct):
+            return self._record(node, UnionType=False)
+        if isinstance(node, c_ast.Union):
+            return self._record(node, UnionType=True)
+        if isinstance(node, c_ast.Enum):
+            return self._enum(node)
+        raise TypeBuildError(f"unsupported type node: {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    def _function_type(self, node: c_ast.FuncDecl) -> FunctionType:
+        ret = self.from_node(node.type)
+        params: List[CType] = []
+        varargs = False
+        if node.args is not None:
+            for p in node.args.params:
+                if isinstance(p, c_ast.EllipsisParam):
+                    varargs = True
+                    continue
+                pt = self.from_node(p.type if isinstance(p, (c_ast.Decl, c_ast.Typename)) else p)
+                # A sole ``void`` parameter means "no parameters".
+                if isinstance(pt, VoidType) and len(node.args.params) == 1:
+                    continue
+                # Array and function parameters decay to pointers.
+                if isinstance(pt, ArrayType):
+                    pt = PointerType(pt.elem)
+                elif isinstance(pt, FunctionType):
+                    pt = PointerType(pt)
+                params.append(pt)
+        return FunctionType(ret, tuple(params), varargs)
+
+    # ------------------------------------------------------------------
+    def _record(self, node, UnionType: bool) -> StructType:
+        from ..ctype import types as T
+
+        cls = T.UnionType if UnionType else T.StructType
+        table = self.union_tags if UnionType else self.struct_tags
+        tag = node.name
+        if tag is None:
+            self._anon += 1
+            tag = f"<anon:{self._anon}>"
+        rec = table.get(tag)
+        if rec is None:
+            rec = cls(tag=tag)
+            table[tag] = rec
+        if node.decls is not None and not rec.is_complete:
+            fields: List[Field] = []
+            for d in node.decls:
+                bw = self._const_int(d.bitsize) if getattr(d, "bitsize", None) else None
+                ftype = self.from_node(d.type)
+                fname = d.name
+                if fname is None:
+                    # Anonymous bit-field padding or anonymous inner record.
+                    self._anon += 1
+                    fname = f"<pad:{self._anon}>"
+                fields.append(Field(fname, ftype, bw))
+            rec.define(fields)
+        return rec
+
+    def _enum(self, node: c_ast.Enum) -> EnumType:
+        tag = node.name
+        if tag is None:
+            self._anon += 1
+            tag = f"<anon:{self._anon}>"
+        e = self.enum_tags.get(tag)
+        if e is None:
+            e = EnumType(tag=tag)
+            self.enum_tags[tag] = e
+        if node.values is not None:
+            next_val = 0
+            for en in node.values.enumerators:
+                if en.value is not None:
+                    next_val = self._const_int(en.value)
+                self.enum_consts[en.name] = next_val
+                next_val += 1
+        return e
+
+    # ------------------------------------------------------------------
+    def _const_int(self, node: c_ast.Node) -> int:
+        """Fold a constant integer expression (array sizes, enum values)."""
+        if isinstance(node, c_ast.Constant):
+            text = node.value.rstrip("uUlL")
+            try:
+                return int(text, 0)
+            except ValueError:
+                if node.type == "char":
+                    return self._char_value(node.value)
+                raise TypeBuildError(f"bad integer constant {node.value!r}")
+        if isinstance(node, c_ast.ID) and node.name in self.enum_consts:
+            return self.enum_consts[node.name]
+        if isinstance(node, c_ast.UnaryOp):
+            v = self._const_int(node.expr)
+            if node.op == "-":
+                return -v
+            if node.op == "+":
+                return v
+            if node.op == "~":
+                return ~v
+            if node.op == "!":
+                return int(not v)
+            raise TypeBuildError(f"unsupported constant unary op {node.op!r}")
+        if isinstance(node, c_ast.BinaryOp):
+            a = self._const_int(node.left)
+            b = self._const_int(node.right)
+            ops = {
+                "+": lambda: a + b,
+                "-": lambda: a - b,
+                "*": lambda: a * b,
+                "/": lambda: a // b if b else 0,
+                "%": lambda: a % b if b else 0,
+                "<<": lambda: a << b,
+                ">>": lambda: a >> b,
+                "|": lambda: a | b,
+                "&": lambda: a & b,
+                "^": lambda: a ^ b,
+            }
+            if node.op in ops:
+                return ops[node.op]()
+            raise TypeBuildError(f"unsupported constant binary op {node.op!r}")
+        if isinstance(node, c_ast.Cast):
+            return self._const_int(node.expr)
+        raise TypeBuildError(
+            f"expression is not a supported integer constant: {type(node).__name__}"
+        )
+
+    @staticmethod
+    def _char_value(literal: str) -> int:
+        inner = literal.strip("'")
+        if inner.startswith("\\"):
+            escapes = {
+                "n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39,
+                '"': 34, "a": 7, "b": 8, "f": 12, "v": 11,
+            }
+            if inner[1] in escapes:
+                return escapes[inner[1]]
+            if inner[1] in "xX":
+                return int(inner[2:], 16)
+            return int(inner[1:], 8)
+        return ord(inner[0]) if inner else 0

@@ -1,0 +1,37 @@
+"""Intermediate representation: objects, references, normalized statements."""
+
+from .objects import AbstractObject, ObjectFactory, ObjKind
+from .program import FunctionInfo, Program
+from .refs import FieldRef, OffsetRef, Ref, ref_type
+from .stmts import (
+    AddrOf,
+    Call,
+    Copy,
+    FieldAddr,
+    Load,
+    PtrArith,
+    Stmt,
+    Store,
+    declared_pointee,
+)
+
+__all__ = [
+    "AbstractObject",
+    "AddrOf",
+    "Call",
+    "Copy",
+    "FieldAddr",
+    "FieldRef",
+    "FunctionInfo",
+    "Load",
+    "ObjKind",
+    "ObjectFactory",
+    "OffsetRef",
+    "Program",
+    "PtrArith",
+    "Ref",
+    "Stmt",
+    "Store",
+    "declared_pointee",
+    "ref_type",
+]

@@ -1,0 +1,162 @@
+"""Abstract memory objects.
+
+The analysis computes points-to facts between *abstract memory objects* —
+the static names that stand for sets of run-time memory blocks:
+
+- named variables (globals and, context-insensitively, one object per
+  local/parameter per function),
+- allocation-site pseudo-variables for heap blocks (paper §2: the statement
+  ``p = malloc(...)`` at site *i* is treated as ``p = &malloc_i``),
+- functions (so function pointers can be analyzed),
+- string literals,
+- compiler temporaries introduced by normalization (paper §2),
+- the per-function return-value and varargs pseudo-objects used by the
+  context-insensitive interprocedural layer.
+
+Objects have identity semantics; the :class:`ObjectFactory` hands out
+uniquely named instances.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..ctype.types import CType
+
+__all__ = ["ObjKind", "AbstractObject", "ObjectFactory"]
+
+
+class ObjKind(enum.Enum):
+    """What sort of memory an abstract object stands for."""
+
+    GLOBAL = "global"
+    LOCAL = "local"
+    PARAM = "param"
+    HEAP = "heap"
+    FUNCTION = "function"
+    STRING = "string"
+    TEMP = "temp"
+    RETVAL = "retval"
+    VARARG = "vararg"
+
+
+@dataclass(eq=False)
+class AbstractObject:
+    """One abstract memory object.
+
+    ``name`` is unique within a program and stable across runs, so results
+    are reproducible and printable.  ``type`` is the object's *declared*
+    type — the starting point for all normalize/lookup/resolve reasoning;
+    casting is exactly the act of accessing the object through some other
+    type.  ``owner`` is the enclosing function's name for locals, params,
+    temps, retvals and varargs (``None`` for globals/heap/functions).
+    """
+
+    name: str
+    type: CType
+    kind: ObjKind
+    owner: Optional[str] = None
+    #: Source line of the declaration / allocation site, for reporting.
+    line: Optional[int] = None
+
+    def __hash__(self) -> int:  # identity hashing; dataclass(eq=False)
+        return id(self)
+
+    def __repr__(self) -> str:
+        return self.name
+
+    @property
+    def is_heap(self) -> bool:
+        return self.kind is ObjKind.HEAP
+
+    @property
+    def is_function(self) -> bool:
+        return self.kind is ObjKind.FUNCTION
+
+    @property
+    def is_temp(self) -> bool:
+        return self.kind is ObjKind.TEMP
+
+
+class ObjectFactory:
+    """Creates uniquely named :class:`AbstractObject` instances.
+
+    The factory namespaces locals by function (``f::x``), numbers heap
+    sites (``malloc@12#3``), temporaries (``f::%t7``) and string literals
+    (``@str4``) so that every object in a program has a distinct,
+    meaningful name.
+    """
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, AbstractObject] = {}
+        self._temp_count = 0
+        self._heap_count = 0
+        self._string_count = 0
+
+    # ------------------------------------------------------------------
+    def _register(self, obj: AbstractObject) -> AbstractObject:
+        if obj.name in self._by_name:
+            raise ValueError(f"duplicate object name {obj.name!r}")
+        self._by_name[obj.name] = obj
+        return obj
+
+    def lookup(self, name: str) -> Optional[AbstractObject]:
+        """Find a previously created object by its unique name."""
+        return self._by_name.get(name)
+
+    def all_objects(self):
+        """All objects created so far, in creation order."""
+        return list(self._by_name.values())
+
+    # ------------------------------------------------------------------
+    def global_var(self, name: str, type: CType, line: Optional[int] = None) -> AbstractObject:
+        return self._register(AbstractObject(name, type, ObjKind.GLOBAL, line=line))
+
+    def local_var(
+        self, func: str, name: str, type: CType, line: Optional[int] = None
+    ) -> AbstractObject:
+        return self._register(
+            AbstractObject(f"{func}::{name}", type, ObjKind.LOCAL, owner=func, line=line)
+        )
+
+    def param(
+        self, func: str, name: str, type: CType, line: Optional[int] = None
+    ) -> AbstractObject:
+        return self._register(
+            AbstractObject(f"{func}::{name}", type, ObjKind.PARAM, owner=func, line=line)
+        )
+
+    def heap(self, site: str, type: CType, line: Optional[int] = None) -> AbstractObject:
+        self._heap_count += 1
+        return self._register(
+            AbstractObject(f"{site}#{self._heap_count}", type, ObjKind.HEAP, line=line)
+        )
+
+    def function(self, name: str, type: CType, line: Optional[int] = None) -> AbstractObject:
+        return self._register(AbstractObject(name, type, ObjKind.FUNCTION, line=line))
+
+    def string_literal(self, type: CType) -> AbstractObject:
+        self._string_count += 1
+        return self._register(
+            AbstractObject(f"@str{self._string_count}", type, ObjKind.STRING)
+        )
+
+    def temp(self, func: str, type: CType, line: Optional[int] = None) -> AbstractObject:
+        self._temp_count += 1
+        return self._register(
+            AbstractObject(
+                f"{func}::%t{self._temp_count}", type, ObjKind.TEMP, owner=func, line=line
+            )
+        )
+
+    def retval(self, func: str, type: CType) -> AbstractObject:
+        return self._register(
+            AbstractObject(f"{func}::$ret", type, ObjKind.RETVAL, owner=func)
+        )
+
+    def vararg(self, func: str, type: CType) -> AbstractObject:
+        return self._register(
+            AbstractObject(f"{func}::$varargs", type, ObjKind.VARARG, owner=func)
+        )

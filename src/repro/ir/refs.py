@@ -1,0 +1,75 @@
+"""References to (parts of) abstract memory objects.
+
+Two reference forms appear in the system:
+
+- :class:`FieldRef` — an object plus a (possibly empty) sequence of field
+  names, the paper's ``t.β``.  Raw statement operands are always
+  ``FieldRef``\\ s; the three *portable* strategies also use them as their
+  normalized form.
+- :class:`OffsetRef` — an object plus a byte offset, the paper's ``t.k̂``
+  in the "Offsets" instance (§4.2.2), whose normalized references are
+  offsets under one concrete layout.
+
+Both are immutable and hashable, so they can live in the fact base.  Which
+of the two a given analysis run uses is decided entirely by the strategy's
+``normalize``; the engine never mixes the two within one run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from ..ctype.types import ArrayType, CType, StructType
+from .objects import AbstractObject
+
+__all__ = ["FieldRef", "OffsetRef", "Ref", "ref_type"]
+
+
+@dataclass(frozen=True)
+class FieldRef:
+    """``obj.path`` — an object and a sequence of field names (maybe empty)."""
+
+    obj: AbstractObject
+    path: Tuple[str, ...] = ()
+
+    def extend(self, more: Tuple[str, ...]) -> "FieldRef":
+        """The reference ``obj.path.more`` (paper's concatenation ``β.γ``)."""
+        return FieldRef(self.obj, self.path + tuple(more))
+
+    def __repr__(self) -> str:
+        if not self.path:
+            return self.obj.name
+        return self.obj.name + "." + ".".join(self.path)
+
+
+@dataclass(frozen=True)
+class OffsetRef:
+    """``obj.offset`` — an object and a byte offset into it."""
+
+    obj: AbstractObject
+    offset: int = 0
+
+    def __repr__(self) -> str:
+        return f"{self.obj.name}+{self.offset}"
+
+
+Ref = Union[FieldRef, OffsetRef]
+
+
+def ref_type(ref: FieldRef) -> CType:
+    """The declared type of the location named by a :class:`FieldRef`.
+
+    Walks the field path from the object's declared type, entering arrays
+    at their representative element.  Only meaningful for field references
+    whose path actually exists in the declared type (true for all raw
+    statement operands produced by the front end).
+    """
+    t = ref.obj.type
+    for name in ref.path:
+        while isinstance(t, ArrayType):
+            t = t.elem
+        if not isinstance(t, StructType):
+            raise TypeError(f"cannot select .{name} from {t!r} in {ref!r}")
+        t = t.field_named(name).type
+    return t

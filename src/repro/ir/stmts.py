@@ -1,0 +1,182 @@
+"""The normalized statement forms.
+
+The paper (§2) normalizes all pointer-relevant code into five assignment
+forms; the front end (:mod:`repro.frontend.normalizer`) performs that
+normalization, introducing typed temporaries:
+
+====  =======================  ===========================
+form  paper syntax             IR class
+====  =======================  ===========================
+1     ``s = (τ) &t.β``         :class:`AddrOf`
+2     ``s = (τ) &((*p).α)``    :class:`FieldAddr`
+3     ``s = (τ) t.β``          :class:`Copy`
+4     ``s = (τ) *q``           :class:`Load`
+5     ``*p = (τ_p) t``         :class:`Store`
+====  =======================  ===========================
+
+Casts never appear explicitly in the IR: a cast is represented by the
+*declared type of the destination temporary* differing from the source's
+type — exactly the information ``normalize``/``lookup``/``resolve``
+consume.  Two extra forms carry information the paper handles in prose:
+
+- :class:`PtrArith` — ``s = q ⊕ r``; under Assumption 1 the result may
+  point to any sub-field of the outermost object containing a pointee of an
+  operand (§4.2.1, discussion after Complication 3);
+- :class:`Call` — direct or through a function pointer; expanded into
+  parameter/return copies by the context-insensitive interprocedural layer.
+
+All operands are *top-level* objects except the right-hand sides of
+``AddrOf``/``Copy``, which may carry a field path (the paper's ``t.β``) —
+matching the paper's grammar, where the left-hand side of forms 1–4 is
+always a top-level name and field-writes are lowered through form 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..ctype.types import CType, PointerType, VoidType, void
+from .objects import AbstractObject
+from .refs import FieldRef
+
+__all__ = [
+    "Stmt",
+    "AddrOf",
+    "FieldAddr",
+    "Copy",
+    "Load",
+    "Store",
+    "PtrArith",
+    "Call",
+    "declared_pointee",
+]
+
+
+def declared_pointee(ptr_obj: AbstractObject) -> CType:
+    """The type ``ptr_obj`` is declared to point to (paper's ``τ_p``).
+
+    Falls back to ``void`` when the object's declared type is not a
+    pointer (possible only for ill-typed inputs); ``void`` makes every
+    downstream lookup/resolve maximally conservative.
+    """
+    t = ptr_obj.type
+    if isinstance(t, PointerType):
+        return t.pointee
+    return void
+
+
+@dataclass(eq=False)
+class Stmt:
+    """Base class: provenance shared by every statement form."""
+
+    #: Name of the containing function, or ``None`` for global initializers.
+    fn: Optional[str] = field(default=None, kw_only=True)
+    #: Source line the statement was derived from.
+    line: Optional[int] = field(default=None, kw_only=True)
+    #: True when the front end invented this statement while lowering (e.g.
+    #: the ``*tmp = e`` store produced for a source-level field write).
+    #: Synthetic dereferences are excluded from the "dereferenced pointer"
+    #: statistics of Figure 4.
+    synthetic: bool = field(default=False, kw_only=True)
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+@dataclass(eq=False)
+class AddrOf(Stmt):
+    """Form 1: ``s = (τ) &t.β`` — also used for ``p = malloc_i`` (heap)."""
+
+    lhs: AbstractObject = None  # type: ignore[assignment]
+    target: FieldRef = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"{self.lhs} = &{self.target!r}"
+
+
+@dataclass(eq=False)
+class FieldAddr(Stmt):
+    """Form 2: ``s = (τ) &((*p).α)``.
+
+    ``path`` is the field selector ``α``; it is non-empty (an empty ``α``
+    would make this a plain ``Copy`` of ``p``).
+    """
+
+    lhs: AbstractObject = None  # type: ignore[assignment]
+    ptr: AbstractObject = None  # type: ignore[assignment]
+    path: Tuple[str, ...] = ()
+
+    def __repr__(self) -> str:
+        return f"{self.lhs} = &((*{self.ptr}).{'.'.join(self.path)})"
+
+
+@dataclass(eq=False)
+class Copy(Stmt):
+    """Form 3: ``s = (τ) t.β`` — block copy of ``sizeof(typeof(s))`` bytes."""
+
+    lhs: AbstractObject = None  # type: ignore[assignment]
+    rhs: FieldRef = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"{self.lhs} = {self.rhs!r}"
+
+
+@dataclass(eq=False)
+class Load(Stmt):
+    """Form 4: ``s = (τ) *q``."""
+
+    lhs: AbstractObject = None  # type: ignore[assignment]
+    ptr: AbstractObject = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"{self.lhs} = *{self.ptr}"
+
+
+@dataclass(eq=False)
+class Store(Stmt):
+    """Form 5: ``*p = (τ_p) t`` — copies ``sizeof(τ_p)`` bytes (Complication 4)."""
+
+    ptr: AbstractObject = None  # type: ignore[assignment]
+    rhs: AbstractObject = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"*{self.ptr} = {self.rhs}"
+
+
+@dataclass(eq=False)
+class PtrArith(Stmt):
+    """``s = q ⊕ r ...`` — arithmetic whose result may carry an address.
+
+    Under Assumption 1, if an operand points into object ``t``, the result
+    may point to any sub-field of the outermost object ``t`` (but not to
+    unrelated objects).  All arithmetic, bit operations, and conditional
+    merges over possibly-pointer values are funnelled through this form.
+    """
+
+    lhs: AbstractObject = None  # type: ignore[assignment]
+    operands: Tuple[AbstractObject, ...] = ()
+
+    def __repr__(self) -> str:
+        return f"{self.lhs} = arith({', '.join(o.name for o in self.operands)})"
+
+
+@dataclass(eq=False)
+class Call(Stmt):
+    """A function call, direct (``callee`` is a FUNCTION object) or
+    indirect (``callee`` is a pointer-valued object whose points-to set
+    supplies the possible targets).
+
+    The interprocedural layer expands each (call, target) pair into
+    parameter-copy and return-copy assignments of form 3.
+    """
+
+    lhs: Optional[AbstractObject] = None
+    callee: AbstractObject = None  # type: ignore[assignment]
+    indirect: bool = False
+    args: Tuple[AbstractObject, ...] = ()
+
+    def __repr__(self) -> str:
+        head = f"{self.lhs} = " if self.lhs is not None else ""
+        star = "*" if self.indirect else ""
+        return f"{head}{star}{self.callee}({', '.join(a.name for a in self.args)})"

@@ -1,0 +1,24 @@
+"""Benchmark suite: the 20-program registry and the random generator."""
+
+from .generator import GenConfig, generate_program
+from .registry import (
+    SUITE,
+    BenchmarkProgram,
+    by_name,
+    casting_programs,
+    load_source,
+    nocast_programs,
+    program_dir,
+)
+
+__all__ = [
+    "BenchmarkProgram",
+    "GenConfig",
+    "SUITE",
+    "by_name",
+    "casting_programs",
+    "generate_program",
+    "load_source",
+    "nocast_programs",
+    "program_dir",
+]

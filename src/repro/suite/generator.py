@@ -1,0 +1,224 @@
+"""Seeded random C-program generator.
+
+Used for stress testing, scaling benchmarks, and property-based testing.
+Given a :class:`GenConfig` and a seed, :func:`generate_program` emits a
+self-contained C translation unit (parsable by the front end) containing:
+
+- a family of struct types, some sharing common initial sequences with
+  one another (so the "Common Initial Sequence" strategy has something to
+  exploit) and some not;
+- global variables of scalar, pointer, and struct types;
+- a straight-line ``main`` performing address-of assignments, field
+  reads/writes, loads/stores through pointers, struct block copies, and —
+  with configurable probability — casts between struct types;
+- optionally, helper functions called from ``main``.
+
+Generation is deterministic for a given seed.  The generator never emits
+pointer arithmetic or loops, so the straight-line semantics can be
+executed exactly by :mod:`repro.testing.interpreter`, which the property
+tests use as a soundness oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["GenConfig", "generate_program"]
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Tunable knobs for the generator."""
+
+    n_structs: int = 4
+    max_fields: int = 4
+    n_scalars: int = 6
+    n_pointers: int = 6
+    n_struct_vars: int = 4
+    n_statements: int = 40
+    cast_probability: float = 0.3
+    #: Probability that a new struct reuses a prefix of an earlier one
+    #: (creating a common initial sequence).
+    cis_probability: float = 0.5
+    n_helper_functions: int = 0
+
+
+_SCALAR_TYPES = ["int", "long", "char", "double"]
+
+
+@dataclass
+class _Struct:
+    name: str
+    #: (field name, field type) with type either a scalar keyword,
+    #: "int *", or "struct X".
+    fields: List[Tuple[str, str]]
+
+
+class _Gen:
+    def __init__(self, cfg: GenConfig, seed: int) -> None:
+        self.cfg = cfg
+        self.rng = random.Random(seed)
+        self.structs: List[_Struct] = []
+        self.scalars: List[str] = []
+        self.pointers: List[str] = []       # int * variables
+        self.struct_vars: List[Tuple[str, _Struct]] = []
+        self.struct_ptrs: List[Tuple[str, _Struct]] = []
+        self.lines: List[str] = []
+
+    # ------------------------------------------------------------------
+    def gen_structs(self) -> None:
+        for i in range(self.cfg.n_structs):
+            fields: List[Tuple[str, str]] = []
+            if self.structs and self.rng.random() < self.cfg.cis_probability:
+                donor = self.rng.choice(self.structs)
+                take = self.rng.randint(1, len(donor.fields))
+                fields = list(donor.fields[:take])
+            want = self.rng.randint(max(len(fields), 1), self.cfg.max_fields)
+            while len(fields) < want:
+                k = len(fields)
+                kind = self.rng.random()
+                if kind < 0.5:
+                    fields.append((f"f{k}", "int *"))
+                elif kind < 0.9:
+                    fields.append((f"f{k}", self.rng.choice(_SCALAR_TYPES)))
+                elif self.structs:
+                    inner = self.rng.choice(self.structs)
+                    fields.append((f"f{k}", f"struct {inner.name}"))
+                else:
+                    fields.append((f"f{k}", "int"))
+            self.structs.append(_Struct(f"S{i}", fields))
+
+    def emit_structs(self) -> None:
+        for s in self.structs:
+            self.lines.append(f"struct {s.name} {{")
+            for fname, ftype in s.fields:
+                if ftype.endswith("*"):
+                    self.lines.append(f"    {ftype}{fname};")
+                else:
+                    self.lines.append(f"    {ftype} {fname};")
+            self.lines.append("};")
+
+    def emit_globals(self) -> None:
+        for i in range(self.cfg.n_scalars):
+            name = f"g{i}"
+            self.scalars.append(name)
+            self.lines.append(f"int {name};")
+        for i in range(self.cfg.n_pointers):
+            name = f"p{i}"
+            self.pointers.append(name)
+            self.lines.append(f"int *{name};")
+        for i in range(self.cfg.n_struct_vars):
+            s = self.rng.choice(self.structs)
+            name = f"sv{i}"
+            self.struct_vars.append((name, s))
+            self.lines.append(f"struct {s.name} {name};")
+            pname = f"sp{i}"
+            self.struct_ptrs.append((pname, s))
+            self.lines.append(f"struct {s.name} *{pname};")
+
+    # ------------------------------------------------------------------
+    def _int_ptr_fields(self, s: _Struct) -> List[str]:
+        return [f for f, t in s.fields if t == "int *"]
+
+    def _stmt(self) -> Optional[str]:
+        """One random statement over the declared variables."""
+        rng = self.rng
+        kind = rng.randrange(8)
+        if kind == 0:
+            # p = &scalar
+            return f"{rng.choice(self.pointers)} = &{rng.choice(self.scalars)};"
+        if kind == 1:
+            # struct field write: sv.f = &g  (int* fields only)
+            name, s = rng.choice(self.struct_vars)
+            fields = self._int_ptr_fields(s)
+            if not fields:
+                return None
+            return f"{name}.{rng.choice(fields)} = &{rng.choice(self.scalars)};"
+        if kind == 2:
+            # p = sv.f
+            name, s = rng.choice(self.struct_vars)
+            fields = self._int_ptr_fields(s)
+            if not fields:
+                return None
+            return f"{rng.choice(self.pointers)} = {name}.{rng.choice(fields)};"
+        if kind == 3:
+            # sp = &sv  (maybe with a cast to a different struct type)
+            pname, ps = rng.choice(self.struct_ptrs)
+            vname, vs = rng.choice(self.struct_vars)
+            if vs is ps:
+                return f"{pname} = &{vname};"
+            if rng.random() < self.cfg.cast_probability:
+                return f"{pname} = (struct {ps.name} *)&{vname};"
+            return None
+        if kind == 4:
+            # field through pointer: sp->f = &g / p = sp->f
+            pname, s = rng.choice(self.struct_ptrs)
+            fields = self._int_ptr_fields(s)
+            if not fields:
+                return None
+            f = rng.choice(fields)
+            if rng.random() < 0.5:
+                return f"{pname}->{f} = &{rng.choice(self.scalars)};"
+            return f"{rng.choice(self.pointers)} = {pname}->{f};"
+        if kind == 5:
+            # struct block copy, maybe across types via cast
+            (an, as_), (bn, bs) = rng.choice(self.struct_vars), rng.choice(self.struct_vars)
+            if an == bn:
+                return None
+            if as_ is bs:
+                return f"{an} = {bn};"
+            if rng.random() < self.cfg.cast_probability:
+                return f"{an} = *(struct {as_.name} *)&{bn};"
+            return None
+        if kind == 6:
+            # *p = &g through an int** temp is too exotic; plain copy:
+            a, b = rng.choice(self.pointers), rng.choice(self.pointers)
+            if a == b:
+                return None
+            return f"{a} = {b};"
+        # load/store through struct pointer dereference of whole struct
+        pname, s = rng.choice(self.struct_ptrs)
+        vname, vs = rng.choice(self.struct_vars)
+        if vs is s:
+            return f"*{pname} = {vname};"
+        return None
+
+    def emit_main(self) -> None:
+        self.lines.append("int main(void) {")
+        emitted = 0
+        attempts = 0
+        while emitted < self.cfg.n_statements and attempts < self.cfg.n_statements * 10:
+            attempts += 1
+            st = self._stmt()
+            if st is not None:
+                self.lines.append("    " + st)
+                emitted += 1
+        self.lines.append("    return 0;")
+        self.lines.append("}")
+
+    def emit_helpers(self) -> None:
+        for i in range(self.cfg.n_helper_functions):
+            s = self.rng.choice(self.structs)
+            fields = self._int_ptr_fields(s)
+            if not fields:
+                continue
+            f = self.rng.choice(fields)
+            self.lines.append(
+                f"int *get{i}(struct {s.name} *q) {{ return q->{f}; }}"
+            )
+
+    # ------------------------------------------------------------------
+    def run(self) -> str:
+        self.gen_structs()
+        self.emit_structs()
+        self.emit_globals()
+        self.emit_helpers()
+        self.emit_main()
+        return "\n".join(self.lines) + "\n"
+
+
+def generate_program(seed: int, cfg: Optional[GenConfig] = None) -> str:
+    """Generate one deterministic random C program."""
+    return _Gen(cfg or GenConfig(), seed).run()

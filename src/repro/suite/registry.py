@@ -1,0 +1,164 @@
+"""The benchmark-program registry.
+
+The paper evaluates on 20 C programs: GNU utilities, SPEC benchmarks, and
+the Landi and Austin benchmark suites, 8 of which use structures only at
+their declared types and 12 of which involve structure casting (Figure 3).
+Those historical sources are not redistributable here, so the suite ships
+20 self-contained stand-ins, written to exercise the same pointer/structure
+idioms at smaller scale (see DESIGN.md §4 for the substitution argument):
+
+- the *no-cast* group uses structures, arrays, heap lists, and function
+  pointers, always at their declared types;
+- the *casting* group exercises generic node headers downcast to concrete
+  variants (common-initial-sequence friendly), byte buffers reinterpreted
+  as records (CIS-hostile), block copies between struct types, tagged
+  unions, custom allocators, and in-struct pointer arithmetic.
+
+Each entry records which group it belongs to, mirroring Figure 3's
+partition; the benchmark harness iterates this registry to regenerate
+every table and figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+__all__ = ["BenchmarkProgram", "SUITE", "casting_programs", "nocast_programs",
+           "program_dir", "load_source", "by_name"]
+
+
+@dataclass(frozen=True)
+class BenchmarkProgram:
+    """Metadata for one suite program."""
+
+    name: str
+    filename: str
+    casting: bool
+    #: Which historical benchmark family the stand-in imitates.
+    family: str
+    description: str
+
+
+SUITE: List[BenchmarkProgram] = [
+    # ------------------------------------------------------------- no cast
+    BenchmarkProgram(
+        "allroots", "allroots.c", False, "Landi",
+        "polynomial root finder: arrays of coefficients, pointers into arrays",
+    ),
+    BenchmarkProgram(
+        "fixoutput", "fixoutput.c", False, "Austin",
+        "text filter: character buffers and string-library traffic",
+    ),
+    BenchmarkProgram(
+        "anagram", "anagram.c", False, "Austin",
+        "anagram finder: hash table of word structs, heap allocation",
+    ),
+    BenchmarkProgram(
+        "ks", "ks.c", False, "Austin",
+        "Kernighan-Schweikert graph partitioner: linked node/net structs",
+    ),
+    BenchmarkProgram(
+        "ul", "ul.c", False, "Landi",
+        "do-underlining filter: line buffers and mode tables",
+    ),
+    BenchmarkProgram(
+        "ft", "ft.c", False, "Austin",
+        "minimum spanning tree: heap-allocated vertices and edge lists",
+    ),
+    BenchmarkProgram(
+        "compress", "compress.c", False, "SPEC",
+        "LZW compressor: code tables, no structure casting",
+    ),
+    BenchmarkProgram(
+        "football", "football.c", False, "Landi",
+        "league table: array of team structs, in-place insertion sort",
+    ),
+    # ------------------------------------------------------------- casting
+    BenchmarkProgram(
+        "bc", "bc.c", True, "GNU",
+        "calculator: AST nodes with a common header downcast per tag "
+        "(the paper's worst case for Collapse Always)",
+    ),
+    BenchmarkProgram(
+        "less177", "less177.c", True, "GNU",
+        "pager: generic doubly-linked buffers cast to typed views",
+    ),
+    BenchmarkProgram(
+        "flex247", "flex247.c", True, "GNU",
+        "scanner generator: state/rule records built from a byte-blob "
+        "allocator",
+    ),
+    BenchmarkProgram(
+        "twig", "twig.c", True, "Landi",
+        "tree pattern matcher: variant tree nodes sharing initial fields",
+    ),
+    BenchmarkProgram(
+        "li", "li.c", True, "SPEC",
+        "lisp interpreter: cons cells / symbols / numbers cast via a "
+        "generic object header",
+    ),
+    BenchmarkProgram(
+        "ansitape", "ansitape.c", True, "Landi",
+        "tape archiver: record headers reinterpreted from raw tape blocks",
+    ),
+    BenchmarkProgram(
+        "assembler", "assembler.c", True, "Landi",
+        "two-pass assembler: symbol/opcode entries through a generic "
+        "hash table",
+    ),
+    BenchmarkProgram(
+        "simulator", "simulator.c", True, "Landi",
+        "machine simulator: instruction words decoded by casting",
+    ),
+    BenchmarkProgram(
+        "loader", "loader.c", True, "Landi",
+        "object-file loader: section records parsed from byte buffers",
+    ),
+    BenchmarkProgram(
+        "lex315", "lex315.c", True, "Landi",
+        "lexer: token variants with common initial sequence, value unions",
+    ),
+    BenchmarkProgram(
+        "gzip", "gzip.c", True, "SPEC",
+        "compressor: huffman tables carved out of a shared arena",
+    ),
+    BenchmarkProgram(
+        "eqntott", "eqntott.c", True, "SPEC",
+        "truth-table generator: product terms copied between record types",
+    ),
+]
+
+
+def program_dir() -> Path:
+    """Directory holding the suite's C sources (benchmarks/c_programs)."""
+    here = Path(__file__).resolve()
+    # src/repro/suite/registry.py -> repo root -> benchmarks/c_programs
+    for parent in here.parents:
+        cand = parent / "benchmarks" / "c_programs"
+        if cand.is_dir():
+            return cand
+    raise FileNotFoundError("benchmarks/c_programs directory not found")
+
+
+def load_source(prog: BenchmarkProgram) -> str:
+    """Read one suite program's C source."""
+    return (program_dir() / prog.filename).read_text()
+
+
+def by_name(name: str) -> BenchmarkProgram:
+    for p in SUITE:
+        if p.name == name:
+            return p
+    raise KeyError(f"no suite program named {name!r}")
+
+
+def casting_programs() -> List[BenchmarkProgram]:
+    """The 12 programs involving structure casting (Figures 4-6)."""
+    return [p for p in SUITE if p.casting]
+
+
+def nocast_programs() -> List[BenchmarkProgram]:
+    """The 8 programs without structure casting (Figure 3, top block)."""
+    return [p for p in SUITE if not p.casting]

@@ -1,0 +1,19 @@
+"""Testing support: the concrete-execution soundness oracle."""
+
+from .interpreter import (
+    Machine,
+    PtrVal,
+    UnsupportedStatement,
+    check_soundness,
+    concrete_facts,
+    run_straightline,
+)
+
+__all__ = [
+    "Machine",
+    "PtrVal",
+    "UnsupportedStatement",
+    "check_soundness",
+    "concrete_facts",
+    "run_straightline",
+]

@@ -1,0 +1,244 @@
+"""Concrete straight-line interpreter — the soundness oracle.
+
+Property-based tests need ground truth: for a generated program, which
+addresses actually end up stored where?  This module executes the
+normalized IR of a *straight-line* program (no calls, no pointer
+arithmetic — the generator emits exactly that subset) over a byte-level
+memory model:
+
+- every abstract object is a run of byte cells under the ILP32 layout;
+- a pointer value is ``(object, offset)``, stored as 4 tagged byte cells,
+  so block copies that split or splice pointers (the paper's
+  Complications 2 and 3) behave exactly as on a real machine;
+- dereferencing an uninitialized/invalid pointer makes the statement a
+  no-op (one legal concrete outcome of undefined behaviour).
+
+After execution, :func:`concrete_facts` reports every complete pointer
+found in memory as ``(src_obj, src_off, dst_obj, dst_off)``.  Since the
+execution is one possible run of the program, **every** such concrete
+fact must be covered by any sound analysis result — the check implemented
+in :func:`check_soundness`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.engine import Result
+from ..ctype.layout import ILP32, Layout, LayoutError
+from ..ir.objects import AbstractObject
+from ..ir.program import Program
+from ..ir.refs import FieldRef, OffsetRef
+from ..ir.stmts import (
+    AddrOf,
+    Call,
+    Copy,
+    FieldAddr,
+    Load,
+    PtrArith,
+    Stmt,
+    Store,
+    declared_pointee,
+)
+
+__all__ = [
+    "UnsupportedStatement",
+    "Machine",
+    "run_straightline",
+    "concrete_facts",
+    "check_soundness",
+]
+
+PTR_SIZE = 4  # ILP32
+
+
+class UnsupportedStatement(Exception):
+    """Raised for IR the oracle cannot execute exactly (calls, arithmetic)."""
+
+
+@dataclass(frozen=True)
+class PtrVal:
+    """A concrete address: offset within an abstract object."""
+
+    obj: AbstractObject
+    off: int
+
+
+# One byte cell: None, or (pointer value, which of its bytes this is).
+Cell = Optional[Tuple[PtrVal, int]]
+
+
+class Machine:
+    """Byte-addressable memory over a program's abstract objects."""
+
+    def __init__(self, program: Program, layout: Optional[Layout] = None):
+        self.program = program
+        self.layout = layout or Layout(ILP32)
+        self._mem: Dict[AbstractObject, List[Cell]] = {}
+
+    # ------------------------------------------------------------------
+    def cells(self, obj: AbstractObject) -> List[Cell]:
+        m = self._mem.get(obj)
+        if m is None:
+            try:
+                size = max(self.layout.sizeof(obj.type), PTR_SIZE)
+            except LayoutError:
+                size = PTR_SIZE
+            m = [None] * size
+            self._mem[obj] = m
+        return m
+
+    def write_ptr(self, obj: AbstractObject, off: int, val: PtrVal) -> None:
+        m = self.cells(obj)
+        for i in range(PTR_SIZE):
+            if 0 <= off + i < len(m):
+                m[off + i] = (val, i)
+
+    def read_ptr(self, obj: AbstractObject, off: int) -> Optional[PtrVal]:
+        m = self.cells(obj)
+        if off < 0 or off + PTR_SIZE > len(m):
+            return None
+        first = m[off]
+        if first is None or first[1] != 0:
+            return None
+        val = first[0]
+        for i in range(1, PTR_SIZE):
+            cell = m[off + i]
+            if cell is None or cell[0] is not val or cell[1] != i:
+                return None
+        return val
+
+    def copy_bytes(
+        self,
+        dst: AbstractObject,
+        dst_off: int,
+        src: AbstractObject,
+        src_off: int,
+        n: int,
+    ) -> None:
+        dm = self.cells(dst)
+        sm = self.cells(src)
+        for i in range(n):
+            si = src_off + i
+            di = dst_off + i
+            if 0 <= di < len(dm):
+                dm[di] = sm[si] if 0 <= si < len(sm) else None
+
+    # ------------------------------------------------------------------
+    def _offsetof(self, obj: AbstractObject, path) -> int:
+        try:
+            return self.layout.offsetof(obj.type, path)
+        except (LayoutError, KeyError):
+            return 0
+
+    def _sizeof(self, t) -> int:
+        try:
+            return max(self.layout.sizeof(t), 1)
+        except LayoutError:
+            return 1
+
+    def exec_stmt(self, st: Stmt) -> None:
+        if isinstance(st, AddrOf):
+            val = PtrVal(st.target.obj, self._offsetof(st.target.obj, st.target.path))
+            self.write_ptr(st.lhs, 0, val)
+        elif isinstance(st, FieldAddr):
+            pv = self.read_ptr(st.ptr, 0)
+            if pv is None:
+                return  # UB: dereference of an indeterminate pointer
+            tau_p = declared_pointee(st.ptr)
+            try:
+                delta = self.layout.offsetof(tau_p, st.path)
+            except (LayoutError, KeyError):
+                return
+            off = pv.off + delta
+            # An address beyond the pointed-to object's storage is the
+            # result of undefined behaviour (a cast to a larger type);
+            # under the paper's Assumption 1 such values are never valid
+            # pointers, so the oracle treats them as indeterminate.
+            if off >= len(self.cells(pv.obj)):
+                return
+            self.write_ptr(st.lhs, 0, PtrVal(pv.obj, off))
+        elif isinstance(st, Copy):
+            n = self._sizeof(st.lhs.type)
+            off = self._offsetof(st.rhs.obj, st.rhs.path)
+            self.copy_bytes(st.lhs, 0, st.rhs.obj, off, n)
+        elif isinstance(st, Load):
+            pv = self.read_ptr(st.ptr, 0)
+            if pv is None:
+                return
+            n = self._sizeof(st.lhs.type)
+            self.copy_bytes(st.lhs, 0, pv.obj, pv.off, n)
+        elif isinstance(st, Store):
+            pv = self.read_ptr(st.ptr, 0)
+            if pv is None:
+                return
+            n = self._sizeof(declared_pointee(st.ptr))
+            self.copy_bytes(pv.obj, pv.off, st.rhs, 0, n)
+        elif isinstance(st, (PtrArith, Call)):
+            raise UnsupportedStatement(repr(st))
+        else:  # pragma: no cover - defensive
+            raise UnsupportedStatement(repr(st))
+
+
+def run_straightline(program: Program, entry: str = "main") -> Machine:
+    """Execute global initializers then ``entry``'s body, in order."""
+    m = Machine(program)
+    for st in program.global_stmts:
+        m.exec_stmt(st)
+    info = program.functions.get(entry)
+    if info is not None:
+        for st in info.stmts:
+            m.exec_stmt(st)
+    return m
+
+
+def concrete_facts(
+    machine: Machine,
+) -> List[Tuple[AbstractObject, int, AbstractObject, int]]:
+    """Every complete pointer stored anywhere in memory."""
+    out = []
+    for obj, cells in machine._mem.items():
+        for off in range(len(cells) - PTR_SIZE + 1):
+            pv = machine.read_ptr(obj, off)
+            if pv is not None:
+                out.append((obj, off, pv.obj, pv.off))
+    return out
+
+
+def check_soundness(result: Result, machine: Machine) -> List[str]:
+    """Check that the analysis covers every concrete fact.
+
+    For each complete pointer found at ``(src, off)`` targeting
+    ``(dst, doff)``, the analysis' points-to set of the source location
+    must contain a reference into ``dst`` (and, for the offset-based
+    strategy, a reference at the canonical target offset).  Returns a
+    list of human-readable violations (empty = sound).
+    """
+    violations: List[str] = []
+    strategy = result.strategy
+    layout = machine.layout
+    for src, off, dst, doff in concrete_facts(machine):
+        path = layout.offset_to_path(src.type, off)
+        if path is None:
+            # Spliced mid-scalar pointer bytes: no declared location names
+            # this offset, so no field-level fact is expected.
+            continue
+        norm = strategy.normalize(FieldRef(src, path))
+        pts = result.facts.points_to(norm)
+        hit_objs = {r.obj for r in pts}
+        if dst not in hit_objs:
+            violations.append(
+                f"{src.name}+{off} concretely points to {dst.name}+{doff}, "
+                f"but analysis({strategy.key}) has {sorted(map(repr, pts))}"
+            )
+            continue
+        if isinstance(norm, OffsetRef):
+            want = layout.canonical_offset(dst.type, doff)
+            offsets = {r.offset for r in pts if isinstance(r, OffsetRef) and r.obj is dst}
+            if want not in offsets:
+                violations.append(
+                    f"{src.name}+{off} points to {dst.name}+{doff} "
+                    f"(canonical {want}), analysis offsets: {sorted(offsets)}"
+                )
+    return violations

@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CollapseAlways,
+    CollapseOnCast,
+    CommonInitialSequence,
+    Offsets,
+    analyze_c,
+)
+
+
+def pts(result, name):
+    """Points-to set (as sorted repr strings) of the named object."""
+    obj = result.program.objects.lookup(name)
+    assert obj is not None, f"no object named {name!r}"
+    return sorted(map(repr, result.points_to(obj)))
+
+
+def pts_names(result, name):
+    """Names of objects pointed to by the named object."""
+    obj = result.program.objects.lookup(name)
+    assert obj is not None, f"no object named {name!r}"
+    return sorted(result.points_to_names(obj))
+
+
+@pytest.fixture(params=["collapse_always", "collapse_on_cast",
+                        "common_initial_sequence", "offsets"])
+def any_strategy(request):
+    """Parametrize a test over all four instances of the framework."""
+    return {
+        "collapse_always": CollapseAlways,
+        "collapse_on_cast": CollapseOnCast,
+        "common_initial_sequence": CommonInitialSequence,
+        "offsets": Offsets,
+    }[request.param]()
+
+
+@pytest.fixture(params=["collapse_on_cast", "common_initial_sequence", "offsets"])
+def field_strategy(request):
+    """Parametrize over the three field-distinguishing instances."""
+    return {
+        "collapse_on_cast": CollapseOnCast,
+        "common_initial_sequence": CommonInitialSequence,
+        "offsets": Offsets,
+    }[request.param]()
+
+
+def run(src: str, strategy):
+    return analyze_c(src, strategy)

@@ -1,0 +1,101 @@
+"""Tests for the may-alias client."""
+
+from repro import (
+    CollapseAlways,
+    CommonInitialSequence,
+    Offsets,
+    analyze_c,
+)
+from repro.clients import may_alias, may_point_to_same, refs_overlap
+from repro.ir.refs import FieldRef, OffsetRef
+
+SRC = """
+struct S { int *a; int *b; } s;
+int x, y, z;
+int *p, *q, *r;
+void main(void) {
+    p = &x;
+    q = &x;
+    r = &y;
+    s.a = &x;
+    s.b = &z;
+}
+"""
+
+
+class TestMayAlias:
+    def test_same_target_aliases(self):
+        res = analyze_c(SRC, CommonInitialSequence())
+        o = res.program.objects
+        assert may_alias(res, o.lookup("p"), o.lookup("q"))
+
+    def test_different_targets_do_not(self):
+        res = analyze_c(SRC, CommonInitialSequence())
+        o = res.program.objects
+        assert not may_alias(res, o.lookup("p"), o.lookup("r"))
+
+    def test_field_refs_as_queries(self):
+        res = analyze_c(SRC, CommonInitialSequence())
+        s = res.program.objects.lookup("s")
+        p = res.program.objects.lookup("p")
+        assert may_alias(res, FieldRef(s, ("a",)), p)
+        assert not may_alias(res, FieldRef(s, ("b",)), p)
+
+    def test_empty_sets_never_alias(self):
+        res = analyze_c("int *p, *q; void main(void) { }",
+                        CommonInitialSequence())
+        o = res.program.objects
+        assert not may_alias(res, o.lookup("p"), o.lookup("q"))
+
+    def test_collapse_always_overapproximates(self):
+        # Under Collapse Always a pointer to s.a and a pointer to s.b
+        # alias (both "point to s"); field-sensitively they don't.
+        src = """
+        struct S { int a; int b; } s;
+        int *pa, *pb;
+        void main(void) { pa = &s.a; pb = &s.b; }
+        """
+        coarse = analyze_c(src, CollapseAlways())
+        fine = analyze_c(src, CommonInitialSequence())
+        oc = coarse.program.objects
+        of = fine.program.objects
+        assert may_alias(coarse, oc.lookup("pa"), oc.lookup("pb"))
+        assert not may_alias(fine, of.lookup("pa"), of.lookup("pb"))
+
+    def test_may_point_to_same_stricter(self):
+        res = analyze_c(SRC, CommonInitialSequence())
+        o = res.program.objects
+        assert may_point_to_same(res, o.lookup("p"), o.lookup("q"))
+        assert not may_point_to_same(res, o.lookup("p"), o.lookup("r"))
+
+
+class TestRefsOverlap:
+    def test_field_prefix_overlap(self):
+        res = analyze_c(SRC, CommonInitialSequence())
+        s = res.program.objects.lookup("s")
+        assert refs_overlap(res, FieldRef(s, ()), FieldRef(s, ("a",)))
+        assert not refs_overlap(res, FieldRef(s, ("a",)), FieldRef(s, ("b",)))
+
+    def test_different_objects_never(self):
+        res = analyze_c(SRC, CommonInitialSequence())
+        o = res.program.objects
+        x, y = o.lookup("x"), o.lookup("y")
+        assert not refs_overlap(res, FieldRef(x, ()), FieldRef(y, ()))
+
+    def test_offset_overlap(self):
+        res = analyze_c(SRC, Offsets())
+        s = res.program.objects.lookup("s")
+        assert refs_overlap(res, OffsetRef(s, 0), OffsetRef(s, 0))
+        assert not refs_overlap(res, OffsetRef(s, 0), OffsetRef(s, 4))
+
+    def test_struct_pointer_aliases_first_field_pointer(self):
+        # The Problem-1 identity: &s and &s.a are the same location.
+        src = """
+        struct S { int *a; int *b; } s, *ps;
+        int **pa;
+        void main(void) { ps = &s; pa = &s.a; }
+        """
+        for strategy in (CommonInitialSequence(), Offsets()):
+            res = analyze_c(src, strategy)
+            o = res.program.objects
+            assert may_alias(res, o.lookup("ps"), o.lookup("pa")), strategy.key

@@ -1,0 +1,202 @@
+"""Tests for the Steensgaard and Andersen baselines, including the
+differential check Andersen ≡ framework-with-Collapse-Always."""
+
+import pytest
+
+from repro import CollapseAlways, analyze
+from repro.baselines import andersen, steensgaard
+from repro.frontend import program_from_c
+from repro.ir.objects import ObjKind
+
+
+def prog(src):
+    return program_from_c(src)
+
+
+BASIC = """
+int x, y, *p, *q;
+void main(void) {
+    p = &x;
+    q = &y;
+}
+"""
+
+FLOW = """
+int x, *p, *q;
+void main(void) {
+    p = &x;
+    q = p;
+}
+"""
+
+DEREF = """
+int x, *p, **pp, *out;
+void main(void) {
+    p = &x;
+    pp = &p;
+    out = *pp;
+}
+"""
+
+
+class TestSteensgaard:
+    def test_distinct_pointers_not_merged(self):
+        r = steensgaard(prog(BASIC))
+        p = r.program.objects.lookup("p")
+        q = r.program.objects.lookup("q")
+        assert r.points_to_names(p) == {"x"}
+        assert r.points_to_names(q) == {"y"}
+        assert not r.may_alias(p, q)
+
+    def test_copy_unifies(self):
+        r = steensgaard(prog(FLOW))
+        p = r.program.objects.lookup("p")
+        q = r.program.objects.lookup("q")
+        assert r.may_alias(p, q)
+        assert r.points_to_names(q) == {"x"}
+
+    def test_unification_imprecision(self):
+        # The hallmark of Steensgaard: assigning both &x and &y to the
+        # same pointer merges x and y into one class, polluting p2.
+        src = """
+        int x, y, *p, *p2;
+        void main(void) {
+            p = &x;
+            p = &y;
+            p2 = &x;
+        }
+        """
+        r = steensgaard(prog(src))
+        p2 = r.program.objects.lookup("p2")
+        assert r.points_to_names(p2) == {"x", "y"}
+
+    def test_load_store(self):
+        r = steensgaard(prog(DEREF))
+        out = r.program.objects.lookup("out")
+        assert "x" in r.points_to_names(out)
+
+    def test_interprocedural(self):
+        src = """
+        int *g, x;
+        void f(int *p) { g = p; }
+        void main(void) { f(&x); }
+        """
+        r = steensgaard(prog(src))
+        g = r.program.objects.lookup("g")
+        assert r.points_to_names(g) == {"x"}
+
+    def test_function_pointer_call(self):
+        src = """
+        int *g, x;
+        void f(int *p) { g = p; }
+        void main(void) { void (*fp)(int*) = f; fp(&x); }
+        """
+        r = steensgaard(prog(src))
+        g = r.program.objects.lookup("g")
+        assert r.points_to_names(g) == {"x"}
+
+    def test_class_count_positive(self):
+        r = steensgaard(prog(BASIC))
+        assert r.class_count() > 0
+
+    def test_no_facts_for_untouched(self):
+        src = "int z; int *p; void main(void) { }"
+        r = steensgaard(prog(src))
+        p = r.program.objects.lookup("p")
+        assert r.points_to_names(p) == set()
+
+
+class TestAndersen:
+    def test_basic(self):
+        r = andersen(prog(BASIC))
+        assert r.points_to_names(r.program.objects.lookup("p")) == {"x"}
+        assert r.points_to_names(r.program.objects.lookup("q")) == {"y"}
+
+    def test_inclusion_not_unification(self):
+        # Unlike Steensgaard, p = &x; p = &y; p2 = &x keeps p2 exact.
+        src = """
+        int x, y, *p, *p2;
+        void main(void) { p = &x; p = &y; p2 = &x; }
+        """
+        r = andersen(prog(src))
+        assert r.points_to_names(r.program.objects.lookup("p2")) == {"x"}
+
+    def test_deref_chain(self):
+        r = andersen(prog(DEREF))
+        assert "x" in r.points_to_names(r.program.objects.lookup("out"))
+
+    def test_edge_count(self):
+        r = andersen(prog(BASIC))
+        assert r.edge_count() >= 2
+
+
+DIFFERENTIAL_PROGRAMS = [
+    BASIC,
+    FLOW,
+    DEREF,
+    """
+    struct S { int *a; int *b; } s;
+    int x, y, *p;
+    void main(void) { s.a = &x; s.b = &y; p = s.a; }
+    """,
+    """
+    struct N { struct N *next; int *v; };
+    int x;
+    void main(void) {
+        struct N *n = (struct N*)malloc(sizeof(struct N));
+        n->next = n;
+        n->v = &x;
+    }
+    """,
+    """
+    int x, *g;
+    int *id(int *p) { return p; }
+    void main(void) { g = id(&x); }
+    """,
+    """
+    int x, *g;
+    void cb(int *p) { g = p; }
+    void main(void) { void (*fp)(int*) = cb; fp(&x); }
+    """,
+    """
+    int a, b;
+    int *arr[4];
+    int **pp, *o;
+    void main(void) {
+        arr[0] = &a;
+        arr[3] = &b;
+        pp = &arr[1];
+        o = *pp;
+    }
+    """,
+]
+
+
+class TestDifferentialAndersenVsCollapseAlways:
+    """The standalone Andersen baseline and the framework's Collapse
+    Always instance implement the same abstraction: their object-level
+    points-to relations must be identical."""
+
+    @pytest.mark.parametrize("src", DIFFERENTIAL_PROGRAMS)
+    def test_same_object_relation(self, src):
+        program = prog(src)
+        base = andersen(program)
+        res = analyze(program, CollapseAlways())
+        for obj in program.objects.all_objects():
+            if obj.kind in (ObjKind.FUNCTION,):
+                continue
+            got = res.points_to_names(obj)
+            want = base.points_to_names(obj)
+            assert got == want, f"{obj.name}: engine={got} baseline={want}"
+
+    @pytest.mark.parametrize("src", DIFFERENTIAL_PROGRAMS)
+    def test_steensgaard_at_least_as_coarse(self, src):
+        # Steensgaard over-approximates Andersen: every Andersen pointee
+        # must appear in the Steensgaard class.
+        program = prog(src)
+        fine = andersen(program)
+        coarse = steensgaard(program)
+        for obj in program.objects.all_objects():
+            f = fine.points_to_names(obj)
+            c = coarse.points_to_names(obj)
+            assert f <= c, f"{obj.name}: andersen={f} steensgaard={c}"

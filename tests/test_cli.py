@@ -1,0 +1,103 @@
+"""Tests for the command-line interface (``python -m repro``)."""
+
+import io
+import sys
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+@pytest.fixture
+def c_file(tmp_path):
+    f = tmp_path / "prog.c"
+    f.write_text(
+        """
+        struct S { int *s1; int *s2; } s;
+        int x, y, *p;
+        void main(void) { s.s1 = &x; s.s2 = &y; p = s.s1; }
+        """
+    )
+    return str(f)
+
+
+def run_cli(args, capsys):
+    rc = main(args)
+    out = capsys.readouterr().out
+    return rc, out
+
+
+class TestCLI:
+    def test_default_dump(self, c_file, capsys):
+        rc, out = run_cli([c_file], capsys)
+        assert rc == 0
+        assert "strategy: Common Initial Sequence" in out
+        assert "p -> {x}" in out
+
+    def test_query(self, c_file, capsys):
+        rc, out = run_cli([c_file, "-q", "p", "-q", "s.s2"], capsys)
+        assert rc == 0
+        assert "p -> ['x']" in out
+        assert "s.s2 -> ['y']" in out
+
+    def test_query_unknown_name(self, c_file, capsys):
+        with pytest.raises(SystemExit):
+            main([c_file, "-q", "zzz"])
+
+    def test_strategy_choice(self, c_file, capsys):
+        rc, out = run_cli([c_file, "-s", "collapse_always", "-q", "p"], capsys)
+        assert rc == 0
+        assert "'x'" in out and "'y'" in out  # collapsed result
+
+    def test_offsets_abi(self, c_file, capsys):
+        rc32, out32 = run_cli([c_file, "-s", "offsets", "-q", "s.s2"], capsys)
+        rc64, out64 = run_cli(
+            [c_file, "-s", "offsets", "--abi", "lp64", "-q", "s.s2"], capsys
+        )
+        assert rc32 == rc64 == 0
+        assert "y+0" in out32 and "y+0" in out64
+
+    def test_derefs_mode(self, tmp_path, capsys):
+        f = tmp_path / "d.c"
+        f.write_text("int *p, x; void main(void) { x = *p; p = &x; x = *p; }")
+        rc, out = run_cli([str(f), "--derefs"], capsys)
+        assert rc == 0
+        assert "sites" in out
+
+    def test_compare_mode(self, c_file, capsys):
+        rc, out = run_cli([c_file, "--compare"], capsys)
+        assert rc == 0
+        for name in ("Collapse Always", "Collapse on Cast",
+                     "Common Initial Sequence", "Offsets"):
+            assert name in out
+
+    def test_pessimistic_mode(self, tmp_path, capsys):
+        f = tmp_path / "bad.c"
+        f.write_text(
+            """
+            struct G { int *a; int *b; } g;
+            int x, out;
+            int **q;
+            void main(void) {
+                g.a = &x;
+                q = (int **)((char *)&g + 4);
+                out = **q;
+            }
+            """
+        )
+        rc, out = run_cli([str(f), "--no-assumption-1"], capsys)
+        assert rc == 0
+        assert "possibly-corrupted" in out
+
+    def test_local_name_resolution(self, tmp_path, capsys):
+        f = tmp_path / "loc.c"
+        f.write_text("int x; void main(void) { int *lp = &x; }")
+        rc, out = run_cli([str(f), "-q", "lp"], capsys)
+        assert rc == 0
+        assert "lp -> ['x']" in out
+
+    def test_parser_help_strategies(self):
+        parser = build_parser()
+        # All five registered strategies (4 paper + strided) accepted.
+        ns = parser.parse_args(["f.c", "-s", "strided_offsets"])
+        assert ns.strategy == "strided_offsets"

@@ -1,0 +1,151 @@
+"""Tests for the analysis clients: deref stats, call graph, MOD/REF."""
+
+from repro import (
+    CollapseAlways,
+    CollapseOnCast,
+    CommonInitialSequence,
+    analyze_c,
+)
+from repro.clients import build_call_graph, deref_stats, mod_ref
+
+
+class TestDerefStats:
+    SRC = """
+    struct S { int *s1; int *s2; } s;
+    int x, y, *p, out;
+    void main(void) {
+        s.s1 = &x;
+        s.s2 = &y;
+        p = s.s1;
+        out = *p;
+    }
+    """
+
+    def test_single_site(self):
+        r = analyze_c(self.SRC, CollapseOnCast())
+        st = deref_stats(r)
+        assert st.count == 1
+        assert st.sites[0].pointer_name == "p"
+
+    def test_field_sensitive_average(self):
+        r = analyze_c(self.SRC, CollapseOnCast())
+        assert deref_stats(r).average == 1.0
+
+    def test_collapse_always_expanded(self):
+        # p points to s (a 2-field struct): the fact expands to 2 per the
+        # paper's Figure 4 comparability rule.
+        r = analyze_c(self.SRC, CollapseAlways())
+        assert deref_stats(r).average == 2.0
+
+    def test_empty_deref(self):
+        src = "int *p, x; void main(void) { x = *p; }"
+        r = analyze_c(src, CollapseOnCast())
+        st = deref_stats(r)
+        assert st.count == 1
+        assert st.empty_sites == 1
+        assert st.average == 0.0
+
+    def test_max_and_total(self):
+        r = analyze_c(self.SRC, CollapseAlways())
+        st = deref_stats(r)
+        assert st.maximum == 2
+        assert st.total == 2
+
+    def test_indirect_call_is_a_site(self):
+        src = """
+        void f(void) {}
+        void main(void) { void (*fp)(void) = f; fp(); }
+        """
+        r = analyze_c(src, CollapseOnCast())
+        st = deref_stats(r)
+        assert st.count == 1
+        assert st.sites[0].set_size == 1
+
+
+class TestCallGraph:
+    SRC = """
+    int add(int a, int b) { return a + b; }
+    int sub(int a, int b) { return a - b; }
+    int apply(int (*op)(int, int), int a, int b) { return op(a, b); }
+    void main(void) {
+        apply(add, 1, 2);
+        apply(sub, 3, 4);
+    }
+    """
+
+    def test_direct_edges(self):
+        r = analyze_c(self.SRC, CollapseOnCast())
+        cg = build_call_graph(r)
+        assert cg.callees("main") == {"apply"}
+
+    def test_indirect_edges_resolved(self):
+        r = analyze_c(self.SRC, CollapseOnCast())
+        cg = build_call_graph(r)
+        # Context-insensitive: op may be add or sub.
+        assert cg.callees("apply") == {"add", "sub"}
+
+    def test_reachability(self):
+        r = analyze_c(self.SRC, CollapseOnCast())
+        cg = build_call_graph(r)
+        assert cg.reachable_from("main") == {"main", "apply", "add", "sub"}
+
+    def test_indirect_site_bookkeeping(self):
+        r = analyze_c(self.SRC, CollapseOnCast())
+        cg = build_call_graph(r)
+        assert len(cg.indirect_sites) == 1
+        assert not cg.unresolved_indirect_sites()
+
+    def test_edge_count(self):
+        r = analyze_c(self.SRC, CollapseOnCast())
+        assert build_call_graph(r).edge_count() == 3
+
+
+class TestModRef:
+    SRC = """
+    int g1, g2;
+    int *p;
+    void writer(void) { *p = 1; }
+    void reader(int *q) { g2 = *q; }
+    void main(void) {
+        p = &g1;
+        writer();
+        reader(&g1);
+    }
+    """
+
+    def test_store_through_pointer_mods_target(self):
+        r = analyze_c(self.SRC, CollapseOnCast())
+        mr = mod_ref(r)
+        assert "g1" in mr.mod_of("writer")
+
+    def test_load_refs_target(self):
+        r = analyze_c(self.SRC, CollapseOnCast())
+        mr = mod_ref(r)
+        assert "g1" in mr.ref_of("reader")
+        assert "g2" in mr.mod_of("reader")
+
+    def test_transitive_through_calls(self):
+        r = analyze_c(self.SRC, CollapseOnCast())
+        mr = mod_ref(r)
+        assert {"g1", "g2", "p"} <= mr.mod_of("main")
+
+    def test_temps_not_reported(self):
+        r = analyze_c(self.SRC, CollapseOnCast())
+        mr = mod_ref(r)
+        for name in mr.mod_of("main") | mr.ref_of("main"):
+            assert "%t" not in name
+
+    def test_precision_shows_up(self):
+        # Field-sensitive MOD is smaller than collapse-always MOD when a
+        # struct field pointer is written through.
+        src = """
+        struct S { int *a; int *b; } s;
+        int x, y;
+        void f(void) { *s.a = 1; }
+        void main(void) { s.a = &x; s.b = &y; f(); }
+        """
+        fine = mod_ref(analyze_c(src, CommonInitialSequence()))
+        coarse = mod_ref(analyze_c(src, CollapseAlways()))
+        assert fine.mod_of("f") == {"x"}
+        assert fine.mod_of("f") <= coarse.mod_of("f")
+        assert "y" in coarse.mod_of("f")

@@ -1,0 +1,157 @@
+"""Unit tests for ANSI type compatibility and common initial sequences."""
+
+from repro.ctype.compat import common_initial_sequence, compatible
+from repro.ctype.types import (
+    EnumType,
+    Field,
+    StructType,
+    UnionType,
+    array_of,
+    char,
+    double_t,
+    func,
+    int_t,
+    long_t,
+    ptr,
+    uint,
+    void,
+)
+
+
+def mkstruct(tag, *fields):
+    out = []
+    for f in fields:
+        name, t = f[0], f[1]
+        bw = f[2] if len(f) > 2 else None
+        out.append(Field(name, t, bw))
+    return StructType(tag).define(out)
+
+
+class TestCompatibleScalars:
+    def test_identical(self):
+        assert compatible(int_t, int_t)
+        assert compatible(double_t, double_t)
+
+    def test_signedness_matters(self):
+        assert not compatible(int_t, uint)
+
+    def test_kind_matters(self):
+        assert not compatible(int_t, long_t)
+        assert not compatible(char, int_t)
+
+    def test_enum_compatible_with_int(self):
+        # Paper footnote 1: "An int is compatible with an enum".
+        e = EnumType("color")
+        assert compatible(e, int_t)
+        assert compatible(int_t, e)
+        assert compatible(e, EnumType("other"))
+        assert not compatible(e, uint)
+        assert not compatible(e, long_t)
+
+    def test_quals_must_match(self):
+        # Paper footnote 1: volatile/const only compatible with same.
+        v = int_t.with_quals(["volatile"])
+        assert not compatible(v, int_t)
+        assert compatible(v, int_t.with_quals(["volatile"]))
+
+    def test_void(self):
+        assert compatible(void, void)
+        assert not compatible(void, int_t)
+
+
+class TestCompatibleDerived:
+    def test_pointers_need_compatible_pointees(self):
+        assert compatible(ptr(int_t), ptr(int_t))
+        assert not compatible(ptr(int_t), ptr(uint))
+        assert not compatible(ptr(int_t), ptr(void))
+
+    def test_arrays(self):
+        assert compatible(array_of(int_t, 5), array_of(int_t, 5))
+        assert compatible(array_of(int_t, 5), array_of(int_t))  # incomplete ok
+        assert not compatible(array_of(int_t, 5), array_of(int_t, 6))
+        assert not compatible(array_of(int_t, 5), array_of(char, 5))
+
+    def test_functions(self):
+        f1 = func(int_t, ptr(char))
+        f2 = func(int_t, ptr(char))
+        assert compatible(f1, f2)
+        assert not compatible(f1, func(int_t, ptr(char), varargs=True))
+        assert not compatible(f1, func(void, ptr(char)))
+
+
+class TestCompatibleRecords:
+    def test_same_object(self):
+        s = mkstruct("A", ("x", int_t))
+        assert compatible(s, s)
+
+    def test_structural_same_tag(self):
+        a = mkstruct("Pt", ("x", int_t), ("y", int_t))
+        b = mkstruct("Pt2", ("x", int_t), ("y", int_t))
+        b.tag = "Pt"  # simulate declaration in another translation unit
+        assert compatible(a, b)
+
+    def test_different_tags_incompatible(self):
+        a = mkstruct("A1", ("x", int_t))
+        b = mkstruct("B1", ("x", int_t))
+        assert not compatible(a, b)
+
+    def test_different_field_names_incompatible(self):
+        a = mkstruct("N", ("x", int_t))
+        b = mkstruct("N2", ("y", int_t))
+        b.tag = "N"
+        assert not compatible(a, b)
+
+    def test_struct_vs_union(self):
+        s = mkstruct("SU", ("x", int_t))
+        u = UnionType("SU").define([Field("x", int_t)])
+        assert not compatible(s, u)
+
+    def test_incomplete_same_tag_compatible(self):
+        a = mkstruct("F", ("x", int_t))
+        fwd = StructType("F")
+        assert compatible(a, fwd)
+
+    def test_recursive_types(self):
+        n1 = StructType("Node")
+        n1.define([Field("v", int_t), Field("next", ptr(n1))])
+        n2 = StructType("Node")
+        n2.define([Field("v", int_t), Field("next", ptr(n2))])
+        assert compatible(n1, n2)
+
+
+class TestCommonInitialSequence:
+    def test_full_match(self):
+        a = mkstruct("CA", ("x", int_t), ("y", ptr(char)))
+        b = mkstruct("CB", ("u", int_t), ("v", ptr(char)))
+        cis = common_initial_sequence(a, b)
+        assert [(f.name, g.name) for f, g in cis] == [("x", "u"), ("y", "v")]
+
+    def test_partial_match(self):
+        # Paper §4.3.3 example: S{int*,int*,int*} vs T{int*,int*,char,int*}.
+        s = mkstruct("S", ("s1", ptr(int_t)), ("s2", ptr(int_t)), ("s3", ptr(int_t)))
+        t = mkstruct("T", ("t1", ptr(int_t)), ("t2", ptr(int_t)), ("t3", char),
+                     ("t4", ptr(int_t)))
+        cis = common_initial_sequence(s, t)
+        assert [(f.name, g.name) for f, g in cis] == [("s1", "t1"), ("s2", "t2")]
+
+    def test_empty_when_first_differs(self):
+        a = mkstruct("EA", ("x", ptr(int_t)))
+        b = mkstruct("EB", ("y", char))
+        assert common_initial_sequence(a, b) == []
+
+    def test_incomplete_gives_empty(self):
+        a = mkstruct("IA", ("x", int_t))
+        assert common_initial_sequence(a, StructType("Fwd2")) == []
+
+    def test_bitfield_width_must_match(self):
+        a = StructType("BA").define([Field("x", int_t, 3), Field("y", int_t)])
+        b = StructType("BB").define([Field("u", int_t, 4), Field("v", int_t)])
+        assert common_initial_sequence(a, b) == []
+        c = StructType("BC").define([Field("u", int_t, 3), Field("v", int_t)])
+        assert len(common_initial_sequence(a, c)) == 2
+
+    def test_enum_int_fields_pair(self):
+        e = EnumType("mode")
+        a = mkstruct("MA", ("tag", e), ("p", ptr(char)))
+        b = mkstruct("MB", ("tag", int_t), ("q", ptr(char)))
+        assert len(common_initial_sequence(a, b)) == 2

@@ -1,0 +1,183 @@
+"""Unit tests for the layout engine (sizeof / offsetof / canonicalization)."""
+
+import pytest
+
+from repro.ctype.layout import ILP32, LP64, Layout, LayoutError
+from repro.ctype.types import (
+    ArrayType,
+    Field,
+    StructType,
+    UnionType,
+    array_of,
+    char,
+    double_t,
+    func,
+    int_t,
+    longlong,
+    ptr,
+    short,
+    void,
+)
+
+
+@pytest.fixture
+def lay32():
+    return Layout(ILP32)
+
+
+@pytest.fixture
+def lay64():
+    return Layout(LP64)
+
+
+def S(tag, *fields):
+    return StructType(tag).define([Field(n, t) for n, t in fields])
+
+
+class TestSizeof:
+    def test_scalars_ilp32(self, lay32):
+        assert lay32.sizeof(char) == 1
+        assert lay32.sizeof(short) == 2
+        assert lay32.sizeof(int_t) == 4
+        assert lay32.sizeof(longlong) == 8
+        assert lay32.sizeof(double_t) == 8
+        assert lay32.sizeof(ptr(int_t)) == 4
+
+    def test_pointer_differs_by_abi(self, lay32, lay64):
+        assert lay32.sizeof(ptr(char)) == 4
+        assert lay64.sizeof(ptr(char)) == 8
+
+    def test_array(self, lay32):
+        assert lay32.sizeof(array_of(int_t, 10)) == 40
+        assert lay32.sizeof(array_of(char, 3)) == 3
+        # Incomplete arrays are one representative element.
+        assert lay32.sizeof(array_of(int_t)) == 4
+
+    def test_struct_padding(self, lay32):
+        s = S("P", ("c", char), ("i", int_t))
+        assert lay32.field_offset(s, "c") == 0
+        assert lay32.field_offset(s, "i") == 4
+        assert lay32.sizeof(s) == 8
+
+    def test_struct_tail_padding(self, lay32):
+        s = S("T", ("i", int_t), ("c", char))
+        assert lay32.sizeof(s) == 8  # padded to int alignment
+
+    def test_union_size_is_max(self, lay32):
+        u = UnionType("U").define([Field("i", int_t), Field("d", double_t)])
+        assert lay32.sizeof(u) == 8
+        assert lay32.field_offset(u, "i") == 0
+        assert lay32.field_offset(u, "d") == 0
+
+    def test_incomplete_struct_raises(self, lay32):
+        with pytest.raises(LayoutError):
+            lay32.sizeof(StructType("Fwd"))
+
+    def test_void_sizeof_one(self, lay32):
+        assert lay32.sizeof(void) == 1
+
+    def test_function_sizeof(self, lay32):
+        assert lay32.sizeof(func(void)) == 1
+
+
+class TestOffsetof:
+    def test_nested(self, lay32):
+        inner = S("I", ("a", int_t), ("b", int_t))
+        outer = S("O", ("x", char), ("i", inner), ("y", int_t))
+        assert lay32.offsetof(outer, ("i",)) == 4
+        assert lay32.offsetof(outer, ("i", "b")) == 8
+        assert lay32.offsetof(outer, ("y",)) == 12
+
+    def test_array_entered_at_zero(self, lay32):
+        inner = S("E", ("a", int_t), ("b", int_t))
+        outer = S("AO", ("arr", array_of(inner, 5)), ("tail", int_t))
+        assert lay32.offsetof(outer, ("arr", "b")) == 4
+        assert lay32.offsetof(outer, ("tail",)) == 40
+
+    def test_empty_path(self, lay32):
+        s = S("Z", ("a", int_t))
+        assert lay32.offsetof(s, ()) == 0
+
+    def test_type_at_path(self, lay32):
+        inner = S("I2", ("a", int_t))
+        outer = S("O2", ("i", inner))
+        assert lay32.type_at_path(outer, ("i", "a")) is int_t
+
+    def test_non_record_path_raises(self, lay32):
+        with pytest.raises(LayoutError):
+            lay32.offsetof(int_t, ("a",))
+
+
+class TestCanonicalOffset:
+    def test_plain_struct_identity(self, lay32):
+        s = S("C1", ("a", int_t), ("b", int_t))
+        assert lay32.canonical_offset(s, 4) == 4
+
+    def test_array_folding(self, lay32):
+        arr = array_of(int_t, 8)
+        # Offset 12 is element 3, folded to element 0.
+        assert lay32.canonical_offset(arr, 12) == 0
+
+    def test_array_of_structs_folding(self, lay32):
+        e = S("C2", ("x", int_t), ("y", int_t))
+        arr = array_of(e, 4)
+        # Element 2's y field (off 20) folds to representative's y (off 4).
+        assert lay32.canonical_offset(arr, 20) == 4
+
+    def test_struct_containing_array(self, lay32):
+        e = S("C3", ("x", int_t), ("y", int_t))
+        outer = S("C4", ("hdr", int_t), ("body", array_of(e, 3)), ("tail", int_t))
+        # body[1].y is at 4 + 8 + 4 = 16 -> folds to body[0].y at 8.
+        assert lay32.canonical_offset(outer, 16) == 8
+        # tail (off 28) is untouched.
+        assert lay32.canonical_offset(outer, 28) == 28
+
+    def test_negative_clamped(self, lay32):
+        assert lay32.canonical_offset(int_t, -3) == 0
+
+    def test_union_member_canonicalized(self, lay32):
+        inner = S("C5", ("a", int_t), ("b", int_t))
+        u = UnionType("CU").define([Field("s", inner), Field("i", int_t)])
+        assert lay32.canonical_offset(u, 4) == 4  # within first member
+
+
+class TestSubfieldOffsets:
+    def test_flat(self, lay32):
+        s = S("F1", ("a", int_t), ("b", int_t))
+        assert lay32.subfield_offsets(s) == [0, 4]
+
+    def test_nested_and_array(self, lay32):
+        inner = S("F2", ("x", int_t), ("y", int_t))
+        outer = S("F3", ("h", int_t), ("arr", array_of(inner, 4)), ("t", char))
+        # h@0, arr@4 (rep elem x@4, y@8), t@36
+        assert lay32.subfield_offsets(outer) == [0, 4, 8, 36]
+
+    def test_scalar(self, lay32):
+        assert lay32.subfield_offsets(int_t) == [0]
+
+
+class TestOffsetToPath:
+    def test_exact_field(self, lay32):
+        inner = S("P1", ("x", int_t), ("y", int_t))
+        outer = S("P2", ("h", char), ("i", inner))
+        assert lay32.offset_to_path(outer, 8) == ("i", "y")
+        assert lay32.offset_to_path(outer, 0) == ()
+
+    def test_padding_returns_none(self, lay32):
+        s = S("P3", ("c", char), ("i", int_t))
+        assert lay32.offset_to_path(s, 2) is None  # padding byte
+
+
+class TestBitfields:
+    def test_bitfields_share_storage(self, lay32):
+        s = StructType("B").define(
+            [
+                Field("a", int_t, bit_width=3),
+                Field("b", int_t, bit_width=5),
+                Field("c", int_t),
+            ]
+        )
+        assert lay32.field_offset(s, "a") == 0
+        assert lay32.field_offset(s, "b") == 0
+        assert lay32.field_offset(s, "c") == 4
+        assert lay32.sizeof(s) == 8

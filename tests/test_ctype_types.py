@@ -1,0 +1,139 @@
+"""Unit tests for the C type representation."""
+
+import pytest
+
+from repro.ctype.types import (
+    ArrayType,
+    Field,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    UnionType,
+    array_of,
+    char,
+    double_t,
+    func,
+    int_t,
+    is_aggregate,
+    is_pointerlike,
+    is_scalar,
+    ptr,
+    strip_quals,
+    uint,
+    void,
+)
+
+
+class TestScalars:
+    def test_int_kinds(self):
+        assert repr(int_t) == "int"
+        assert repr(uint) == "unsigned int"
+        assert repr(IntType("long long", False)) == "unsigned long long"
+
+    def test_bad_int_kind_rejected(self):
+        with pytest.raises(ValueError):
+            IntType("quad")
+
+    def test_bad_float_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FloatType("half")
+
+    def test_scalar_predicates(self):
+        assert is_scalar(int_t)
+        assert is_scalar(ptr(int_t))
+        assert is_scalar(double_t)
+        assert not is_scalar(void)
+
+    def test_quals_round_trip(self):
+        ci = int_t.with_quals(["const"])
+        assert ci.quals == ("const",)
+        assert int_t.quals == ()  # original untouched
+        assert strip_quals(ci).quals == ()
+
+    def test_with_quals_identity_when_unchanged(self):
+        assert int_t.with_quals([]) is int_t
+
+
+class TestDerived:
+    def test_pointer_repr(self):
+        assert repr(ptr(ptr(char))) == "char**"
+
+    def test_array(self):
+        a = array_of(int_t, 10)
+        assert a.length == 10
+        assert repr(a) == "int[10]"
+        assert repr(array_of(int_t)) == "int[]"
+        assert is_aggregate(a)
+
+    def test_function(self):
+        f = func(int_t, ptr(char), varargs=True)
+        assert f.ret is int_t
+        assert f.varargs
+        assert "..." in repr(f)
+
+    def test_pointerlike(self):
+        assert is_pointerlike(ptr(int_t))
+        assert is_pointerlike(array_of(char, 4))
+        assert is_pointerlike(func(void))
+        assert not is_pointerlike(int_t)
+
+
+class TestStructs:
+    def make_s(self):
+        return StructType("S").define([Field("a", ptr(int_t)), Field("b", int_t)])
+
+    def test_complete_and_members(self):
+        s = self.make_s()
+        assert s.is_complete
+        assert [f.name for f in s.members()] == ["a", "b"]
+        assert s.field_named("b").type is int_t
+        assert s.has_field("a") and not s.has_field("z")
+
+    def test_field_index_and_following(self):
+        s = self.make_s()
+        assert s.field_index("a") == 0
+        assert [f.name for f in s.fields_after("a")] == ["b"]
+        assert s.fields_after("b") == ()
+
+    def test_incomplete_struct(self):
+        s = StructType("Fwd")
+        assert not s.is_complete
+        with pytest.raises(ValueError):
+            s.members()
+
+    def test_double_define_rejected(self):
+        s = self.make_s()
+        with pytest.raises(ValueError):
+            s.define([])
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError):
+            StructType("D").define([Field("x", int_t), Field("x", char)])
+
+    def test_missing_field_raises(self):
+        with pytest.raises(KeyError):
+            self.make_s().field_named("nope")
+
+    def test_identity_semantics(self):
+        a = self.make_s()
+        b = self.make_s()
+        assert a is not b
+        assert a != b  # identity equality
+        assert len({a, b}) == 2
+
+    def test_self_referential(self):
+        node = StructType("Node")
+        node.define([Field("data", int_t), Field("next", ptr(node))])
+        assert node.field_named("next").type.pointee is node
+
+    def test_union_is_record(self):
+        u = UnionType("U").define([Field("i", int_t), Field("p", ptr(char))])
+        assert u.is_union
+        assert u.is_record
+        assert not u.is_struct
+
+    def test_struct_predicates(self):
+        s = self.make_s()
+        assert s.is_struct and s.is_record and not s.is_union

@@ -1,0 +1,332 @@
+"""Integration tests of the inference engine: interprocedural analysis,
+heap objects, function pointers, library summaries, and engine mechanics."""
+
+import pytest
+
+from conftest import pts, pts_names, run
+
+from repro import (
+    CollapseAlways,
+    CollapseOnCast,
+    CommonInitialSequence,
+    Offsets,
+    analyze_c,
+)
+from repro.core.engine import AnalysisBudgetExceeded
+
+
+class TestInterprocedural:
+    def test_param_passing(self, any_strategy):
+        src = """
+        int *g;
+        void f(int *p) { g = p; }
+        int x;
+        void main(void) { f(&x); }
+        """
+        r = run(src, any_strategy)
+        assert pts_names(r, "g") == ["x"]
+
+    def test_return_value(self, any_strategy):
+        src = """
+        int x;
+        int *id(int *p) { return p; }
+        int *q;
+        void main(void) { q = id(&x); }
+        """
+        r = run(src, any_strategy)
+        assert pts_names(r, "q") == ["x"]
+
+    def test_context_insensitive_merging(self, any_strategy):
+        # One abstract param object per function: both call sites merge.
+        src = """
+        int *id(int *p) { return p; }
+        int x, y, *a, *b;
+        void main(void) { a = id(&x); b = id(&y); }
+        """
+        r = run(src, any_strategy)
+        assert pts_names(r, "a") == ["x", "y"]
+        assert pts_names(r, "b") == ["x", "y"]
+
+    def test_recursion_terminates(self, any_strategy):
+        src = """
+        struct N { struct N *next; int v; };
+        struct N *walk(struct N *n) {
+            if (n->v) return walk(n->next);
+            return n;
+        }
+        struct N a, b, *res;
+        void main(void) { a.next = &b; res = walk(&a); }
+        """
+        r = run(src, any_strategy)
+        assert set(pts_names(r, "res")) >= {"a", "b"}
+
+    def test_struct_passed_by_value(self, field_strategy):
+        src = """
+        struct S { int *a; int *b; } g;
+        int *out;
+        void take(struct S s) { out = s.b; }
+        int x, y;
+        void main(void) { g.a = &x; g.b = &y; take(g); }
+        """
+        r = run(src, field_strategy)
+        assert pts_names(r, "out") == ["y"]
+
+    def test_global_initializer_flows(self, any_strategy):
+        src = """
+        int x;
+        int *gp = &x;
+        int *q;
+        void main(void) { q = gp; }
+        """
+        r = run(src, any_strategy)
+        assert pts_names(r, "q") == ["x"]
+
+
+class TestFunctionPointers:
+    SRC = """
+    int x, y, *gx, *gy;
+    int *fx(int *p) { gx = p; return p; }
+    int *fy(int *p) { gy = p; return p; }
+    void main(void) {
+        int *(*fp)(int *);
+        fp = fx;
+        fp(&x);
+    }
+    """
+
+    def test_indirect_call_binds_only_pointed_to_target(self, any_strategy):
+        # Flow-insensitive analysis processes every function body, but a
+        # call through fp only binds arguments to functions fp may point
+        # to: fx's parameter receives &x, fy's does not.
+        r = run(self.SRC, any_strategy)
+        assert pts_names(r, "main::fp") == ["fx"]
+        assert pts_names(r, "gx") == ["x"]
+        assert pts_names(r, "gy") == []
+
+    def test_fp_through_table(self, any_strategy):
+        src = """
+        int x, y, *g;
+        void fx(void) { g = &x; }
+        void fy(void) { g = &y; }
+        void (*table[2])(void) = { fx, fy };
+        void main(void) { table[1](); }
+        """
+        r = run(src, any_strategy)
+        # Array collapsing merges both entries.
+        assert pts_names(r, "g") == ["x", "y"]
+
+    def test_fp_param_callback(self, any_strategy):
+        src = """
+        int x, *g;
+        void cb(int *p) { g = p; }
+        void invoke(void (*f)(int *), int *arg) { f(arg); }
+        void main(void) { invoke(cb, &x); }
+        """
+        r = run(src, any_strategy)
+        assert pts_names(r, "g") == ["x"]
+
+
+class TestHeap:
+    def test_malloc_flow(self, any_strategy):
+        src = """
+        struct S { struct S *next; } *head;
+        void main(void) {
+            head = (struct S*)malloc(sizeof(struct S));
+            head->next = head;
+        }
+        """
+        r = run(src, any_strategy)
+        names = pts_names(r, "head")
+        assert len(names) == 1 and names[0].startswith("malloc@")
+
+    def test_list_building(self, field_strategy):
+        src = """
+        struct N { struct N *next; int *data; };
+        int x;
+        struct N *head;
+        void main(void) {
+            struct N *n = (struct N*)malloc(sizeof(struct N));
+            n->data = &x;
+            n->next = head;
+            head = n;
+        }
+        """
+        r = run(src, field_strategy)
+        heap = [o for o in r.program.objects.all_objects() if o.is_heap][0]
+        from repro.ir.refs import FieldRef
+
+        data_pts = r.points_to_names(FieldRef(heap, ("data",)))
+        assert data_pts == {"x"}
+
+    def test_two_sites_distinguished(self, field_strategy):
+        src = """
+        int **p1, **p2;
+        int x, y;
+        void main(void) {
+            p1 = (int**)malloc(sizeof(int*));
+            p2 = (int**)malloc(sizeof(int*));
+            *p1 = &x;
+            *p2 = &y;
+        }
+        """
+        r = run(src, field_strategy)
+        assert pts_names(r, "p1") != pts_names(r, "p2")
+
+
+class TestLibrarySummaries:
+    def test_strdup_fresh_heap(self, any_strategy):
+        src = """
+        char *a;
+        void main(void) { a = strdup("hi"); }
+        """
+        r = run(src, any_strategy)
+        names = pts_names(r, "a")
+        assert len(names) == 1 and names[0].startswith("strdup@")
+
+    def test_strcpy_returns_dst(self, any_strategy):
+        src = """
+        char buf[16], *r;
+        void main(void) { r = strcpy(buf, "x"); }
+        """
+        r = run(src, any_strategy)
+        assert pts_names(r, "r") == ["buf"]
+
+    def test_memcpy_copies_pointers(self, any_strategy):
+        src = """
+        struct S { int *a; int *b; } s1, s2;
+        int x, y, *o;
+        void main(void) {
+            s1.a = &x; s1.b = &y;
+            memcpy(&s2, &s1, sizeof(struct S));
+            o = s2.a;
+        }
+        """
+        r = run(src, any_strategy)
+        assert "x" in pts_names(r, "o")
+
+    def test_memcpy_field_precision(self, field_strategy):
+        src = """
+        struct S { int *a; int *b; } s1, s2;
+        int x, y, *o;
+        void main(void) {
+            s1.a = &x; s1.b = &y;
+            memcpy(&s2, &s1, sizeof(struct S));
+            o = s2.a;
+        }
+        """
+        r = run(src, field_strategy)
+        assert pts_names(r, "o") == ["x"]
+
+    def test_qsort_callback_bound(self, any_strategy):
+        src = """
+        int *seen;
+        int cmp(void *a, void *b) { seen = (int*)a; return 0; }
+        int arr[10];
+        void main(void) { qsort(arr, 10, sizeof(int), cmp); }
+        """
+        r = run(src, any_strategy)
+        assert "arr" in pts_names(r, "seen")
+
+    def test_printf_no_effect(self, any_strategy):
+        src = """
+        int x, *p;
+        void main(void) { p = &x; printf("%p", p); }
+        """
+        r = run(src, any_strategy)
+        assert pts_names(r, "p") == ["x"]
+
+    def test_unknown_extern_ret_aliases_args(self, any_strategy):
+        src = """
+        extern char *mystery(char *s);
+        char buf[8], *r;
+        void main(void) { r = mystery(buf); }
+        """
+        r = run(src, any_strategy)
+        assert pts_names(r, "r") == ["buf"]
+
+
+class TestUnions:
+    SRC = """
+    union U { int *ip; char *cp; } u;
+    int x, *o1;
+    char *o2;
+    void main(void) {
+        u.ip = &x;
+        o1 = u.ip;
+        o2 = u.cp;
+    }
+    """
+
+    def test_union_members_alias(self, any_strategy):
+        r = run(self.SRC, any_strategy)
+        assert pts_names(r, "o1") == ["x"]
+        assert pts_names(r, "o2") == ["x"]  # same storage
+
+    def test_union_inside_struct(self, field_strategy):
+        src = """
+        struct V { int tag; union { int *i; char *c; } u; } v;
+        int x; char *o;
+        void main(void) { v.u.i = &x; o = v.u.c; }
+        """
+        r = run(src, field_strategy)
+        assert pts_names(r, "o") == ["x"]
+
+
+class TestEngineMechanics:
+    def test_budget_exceeded(self):
+        src = """
+        struct Big { int *a[1]; } x, y;
+        int v;
+        void main(void) { x.a[0] = &v; y = x; }
+        """
+        with pytest.raises(AnalysisBudgetExceeded):
+            analyze_c(src, CollapseOnCast(), max_facts=1)
+
+    def test_stats_populated(self):
+        src = """
+        struct S { int *a; } s, t;
+        void main(void) { t = s; }
+        """
+        r = analyze_c(src, CollapseOnCast())
+        assert r.stats.resolve_calls >= 1
+        assert r.stats.solve_seconds >= 0
+        assert r.stats.facts == r.facts.edge_count()
+
+    def test_lookup_counted_on_rule2(self):
+        src = """
+        struct S { int a; int b; } s, *p;
+        int *q;
+        void main(void) { p = &s; q = &p->b; }
+        """
+        r = analyze_c(src, CollapseOnCast())
+        assert r.stats.lookup_calls >= 1
+        assert r.stats.lookup_struct_calls >= 1
+
+    def test_result_points_to_accepts_object(self):
+        src = "int x, *p; void main(void) { p = &x; }"
+        r = analyze_c(src, CollapseOnCast())
+        p = r.program.objects.lookup("p")
+        assert r.points_to_names(p) == {"x"}
+
+    def test_fixpoint_idempotent(self, any_strategy):
+        # Running twice gives identical fact counts.
+        src = """
+        struct N { struct N *next; } a, b, c;
+        void main(void) { a.next = &b; b.next = &c; c.next = &a; }
+        """
+        r1 = run(src, any_strategy)
+        r2 = run(src, type(any_strategy)())
+        assert r1.facts.edge_count() == r2.facts.edge_count()
+
+
+class TestDerefStatsPlumbing:
+    def test_deref_sites_have_pointer(self):
+        src = """
+        int *p, x;
+        void main(void) { x = *p; *p = x; }
+        """
+        r = analyze_c(src, CollapseOnCast())
+        sites = list(r.program.deref_stmts())
+        assert len(sites) == 2
+        for st in sites:
+            assert r.pointer_of_deref(st).name == "p"

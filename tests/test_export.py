@@ -1,0 +1,86 @@
+"""Tests for the DOT/JSON export client."""
+
+import json
+
+from repro import CommonInitialSequence, analyze_c
+from repro.clients import call_graph_dot, facts_json, points_to_dot
+
+SRC = """
+struct S { int *a; } s;
+int x;
+void helper(void) { s.a = &x; }
+void other(void) { }
+void main(void) {
+    void (*fp)(void) = other;
+    helper();
+    fp();
+}
+"""
+
+
+def result():
+    return analyze_c(SRC, CommonInitialSequence())
+
+
+class TestPointsToDot:
+    def test_valid_digraph(self):
+        dot = points_to_dot(result())
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_contains_facts(self):
+        dot = points_to_dot(result())
+        assert '"s.a" -> "x"' in dot
+
+    def test_temps_hidden_by_default(self):
+        dot = points_to_dot(result())
+        assert "%t" not in dot
+
+    def test_custom_filter(self):
+        dot = points_to_dot(result(), include=lambda obj: obj.name == "s")
+        assert '"s.a" -> "x"' in dot
+        assert "fp" not in dot
+
+    def test_heap_nodes_elliptical(self):
+        src = "int *p; void main(void) { p = (int*)malloc(4); }"
+        dot = points_to_dot(analyze_c(src, CommonInitialSequence()))
+        assert "shape=ellipse" in dot
+
+    def test_quoting(self):
+        dot = points_to_dot(result(), title='a"b')
+        assert 'a\\"b' in dot
+
+
+class TestCallGraphDot:
+    def test_direct_edge_solid(self):
+        dot = call_graph_dot(result())
+        assert '"main" -> "helper";' in dot
+
+    def test_indirect_edge_dashed(self):
+        dot = call_graph_dot(result())
+        assert '"main" -> "other" [style=dashed];' in dot
+
+
+class TestFactsJson:
+    def test_round_trips(self):
+        payload = json.loads(facts_json(result()))
+        assert payload["strategy"] == "common_initial_sequence"
+        assert payload["portable"] is True
+        assert payload["facts"]["s.a"] == ["x"]
+        assert payload["edge_count"] >= len(payload["facts"])
+
+    def test_deterministic(self):
+        assert facts_json(result()) == facts_json(result())
+
+    def test_include_temps(self):
+        small = json.loads(facts_json(result()))
+        big = json.loads(facts_json(result(), include_temps=True))
+        assert len(big["facts"]) > len(small["facts"])
+
+    def test_diffable_between_strategies(self):
+        from repro import CollapseAlways
+
+        a = json.loads(facts_json(analyze_c(SRC, CollapseAlways())))
+        b = json.loads(facts_json(analyze_c(SRC, CommonInitialSequence())))
+        assert a["strategy"] != b["strategy"]
+        assert a["facts"] != b["facts"]

@@ -1,0 +1,137 @@
+"""Tests for the extension features beyond the paper's four instances:
+
+- StridedOffsets (Wilson–Lam stride refinement, paper §6),
+- the pessimistic Unknown mode (the alternative to Assumption 1 the
+  paper sketches in §4.2.1).
+"""
+
+from conftest import pts, pts_names, run
+
+from repro import Offsets, analyze_c
+from repro.core import StridedOffsets
+from repro.core.engine import Engine
+from repro.frontend import program_from_c
+
+ARRAY_WALK = """
+struct buf {
+    int *meta;
+    char data[64];
+    int *tail;
+};
+struct buf b;
+int m, t;
+char *p, *q;
+void main(void) {
+    b.meta = &m;
+    b.tail = &t;
+    p = &b.data[0];
+    q = p + 5;
+}
+"""
+
+
+class TestStridedOffsets:
+    def test_plain_offsets_smears_whole_struct(self):
+        r = analyze_c(ARRAY_WALK, Offsets())
+        # q may point to every sub-field of b, including meta and tail.
+        q = pts(r, "q")
+        # ILP32 layout of struct buf: meta@0, data@4..67, tail@68.
+        assert q == ["b+0", "b+4", "b+68"]
+
+    def test_strided_keeps_pointer_in_array(self):
+        r = analyze_c(ARRAY_WALK, StridedOffsets())
+        assert pts(r, "q") == ["b+4"]  # the data array's canonical offset
+
+    def test_strided_falls_back_outside_arrays(self):
+        src = """
+        struct pair { int *a; int *b; } s;
+        int x, y;
+        int **p, **q;
+        void main(void) {
+            s.a = &x;
+            s.b = &y;
+            p = &s.a;
+            q = (int **)((char *)p + 4);
+        }
+        """
+        r = analyze_c(src, StridedOffsets())
+        # No array involved: Assumption-1 smearing still applies.
+        assert pts(r, "q") == ["s+0", "s+4"]
+
+    def test_strided_inherits_offsets_machinery(self):
+        s = StridedOffsets()
+        assert s.portable is False
+        assert s.key == "strided_offsets"
+        # Paper examples still hold (inherited lookup/resolve).
+        src = """
+        struct S { int *s1; int *s2; } s;
+        int x, y, *p;
+        void main(void) { s.s1 = &x; s.s2 = &y; p = s.s1; }
+        """
+        r = analyze_c(src, StridedOffsets())
+        assert pts_names(r, "p") == ["x"]
+
+    def test_top_level_array_object(self):
+        src = """
+        char line[128];
+        char *p, *q;
+        void main(void) {
+            p = line;
+            q = p + 10;
+        }
+        """
+        r = analyze_c(src, StridedOffsets())
+        assert pts(r, "q") == ["line+0"]
+
+
+class TestUnknownMode:
+    SRC = """
+    struct G { int *g1; int *g2; } g;
+    int a, b, out;
+    int **p, **q;
+    void main(void) {
+        g.g1 = &a;
+        g.g2 = &b;
+        p = &g.g1;
+        q = (int **)((char *)p + 4);
+        out = **q;
+    }
+    """
+
+    def test_assumption1_default_no_flags(self):
+        from repro import CommonInitialSequence
+
+        r = analyze_c(self.SRC, CommonInitialSequence())
+        assert r.corrupted_deref_sites() == []
+
+    def test_pessimistic_flags_arith_derived_deref(self):
+        from repro import CommonInitialSequence
+
+        program = program_from_c(self.SRC)
+        r = Engine(program, CommonInitialSequence(),
+                   assume_valid_pointers=False).solve()
+        flagged = r.corrupted_deref_sites()
+        assert flagged, "deref of arithmetic-derived pointer must be flagged"
+        assert any(r.pointer_of_deref(st).name == "q" for st in flagged)
+
+    def test_pessimistic_does_not_flag_clean_derefs(self):
+        from repro import CommonInitialSequence
+
+        src = """
+        int x, *p, out;
+        void main(void) { p = &x; out = *p; }
+        """
+        program = program_from_c(src)
+        r = Engine(program, CommonInitialSequence(),
+                   assume_valid_pointers=False).solve()
+        assert r.corrupted_deref_sites() == []
+
+    def test_pessimistic_drops_arith_targets(self):
+        from repro import CommonInitialSequence
+
+        program = program_from_c(self.SRC)
+        r = Engine(program, CommonInitialSequence(),
+                   assume_valid_pointers=False).solve()
+        q = program.objects.lookup("q")
+        names = r.points_to_names(q)
+        assert names == {"<unknown>"}

@@ -1,0 +1,114 @@
+"""Unit tests for the mini-preprocessor and parse wrapper."""
+
+import pytest
+
+from repro.frontend.parse import PreprocessorError, parse_c, preprocess
+
+
+class TestComments:
+    def test_block_comment_stripped(self):
+        out = preprocess("int x; /* hello */ int y;")
+        assert "hello" not in out
+        assert "int x;" in out and "int y;" in out
+
+    def test_line_comment_stripped(self):
+        out = preprocess("int x; // trailing\nint y;")
+        assert "trailing" not in out
+
+    def test_multiline_comment_preserves_line_count(self):
+        src = "int a;\n/* one\ntwo\nthree */\nint b;"
+        out = preprocess(src)
+        assert out.count("\n") == src.count("\n")
+
+    def test_comment_containing_directive(self):
+        out = preprocess("/* #include <foo.h> */ int x;")
+        assert "int x;" in out
+
+
+class TestDefines:
+    def test_object_macro(self):
+        out = preprocess("#define N 10\nint a[N];")
+        assert "int a[10];" in out
+
+    def test_macro_chains(self):
+        out = preprocess("#define A B\n#define B 3\nint x = A;")
+        assert "int x = 3;" in out
+
+    def test_word_boundary_respected(self):
+        out = preprocess("#define N 10\nint NN = N;")
+        assert "int NN = 10;" in out
+
+    def test_undef(self):
+        out = preprocess("#define N 10\n#undef N\nint N;")
+        assert "int N;" in out
+
+    def test_function_like_macro_rejected(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#define SQ(x) ((x)*(x))\n")
+
+    def test_null_predefined(self):
+        out = preprocess("char *p = NULL;")
+        assert "((void*)0)" in out
+
+    def test_external_defines(self):
+        out = preprocess("int x = FLAG;", defines={"FLAG": "7"})
+        assert "int x = 7;" in out
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        out = preprocess("#define DEBUG 1\n#ifdef DEBUG\nint d;\n#endif\n")
+        assert "int d;" in out
+
+    def test_ifdef_skipped(self):
+        out = preprocess("#ifdef DEBUG\nint d;\n#endif\nint k;")
+        assert "int d;" not in out
+        assert "int k;" in out
+
+    def test_ifndef_else(self):
+        out = preprocess("#ifndef X\nint a;\n#else\nint b;\n#endif\n")
+        assert "int a;" in out and "int b;" not in out
+
+    def test_nested(self):
+        src = "#define A 1\n#ifdef A\n#ifdef B\nint x;\n#endif\nint y;\n#endif\n"
+        out = preprocess(src)
+        assert "int x;" not in out and "int y;" in out
+
+    def test_unterminated_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#ifdef A\nint x;")
+
+    def test_stray_endif_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#endif\n")
+
+    def test_defines_inside_inactive_region_ignored(self):
+        out = preprocess("#ifdef NO\n#define N 1\n#endif\nint a[N];",
+                         defines={"N": "4"})
+        assert "int a[4];" in out
+
+
+class TestIncludesAndUnknown:
+    def test_include_dropped(self):
+        out = preprocess('#include <stdio.h>\nint x;')
+        assert "stdio" not in out
+
+    def test_unknown_directive_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#pragma pack(1)\nint x;")
+
+
+class TestParse:
+    def test_prelude_provides_libc(self):
+        ast = parse_c("void f(void) { char *p = malloc(10); free(p); }")
+        assert ast is not None
+
+    def test_line_numbers_survive_prelude(self):
+        ast = parse_c("int x;\nint y;\n\nint z;", filename="t.c")
+        decl = [d for d in ast.ext if getattr(d, "name", None) == "z"][0]
+        assert decl.coord.line == 4
+        assert "t.c" in str(decl.coord.file)
+
+    def test_without_prelude(self):
+        ast = parse_c("int main(void) { return 0; }", use_prelude=False)
+        assert len(ast.ext) == 1

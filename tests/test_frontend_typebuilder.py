@@ -1,0 +1,187 @@
+"""Unit tests for the pycparser → CType builder."""
+
+import pytest
+
+from pycparser import c_parser
+
+from repro.ctype.types import (
+    ArrayType,
+    EnumType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    UnionType,
+    VoidType,
+)
+from repro.frontend.typebuilder import TypeBuildError, TypeBuilder
+
+
+def decl_type(src: str, index: int = 0):
+    """Type of the index-th declaration in ``src``."""
+    ast = c_parser.CParser().parse(src)
+    tb = TypeBuilder()
+    result = None
+    count = 0
+    for ext in ast.ext:
+        if ext.__class__.__name__ == "Typedef":
+            tb.add_typedef(ext.name, ext.type)
+            continue
+        t = tb.from_decl(ext)
+        if count == index:
+            result = t
+        count += 1
+    return result, tb
+
+
+class TestScalars:
+    def test_int_variants(self):
+        t, _ = decl_type("unsigned long x;")
+        assert isinstance(t, IntType) and t.kind == "long" and not t.signed
+
+    def test_long_long(self):
+        t, _ = decl_type("long long x;")
+        assert isinstance(t, IntType) and t.kind == "long long"
+
+    def test_plain_unsigned(self):
+        t, _ = decl_type("unsigned x;")
+        assert isinstance(t, IntType) and t.kind == "int" and not t.signed
+
+    def test_double(self):
+        t, _ = decl_type("double d;")
+        assert isinstance(t, FloatType) and t.kind == "double"
+
+    def test_long_double(self):
+        t, _ = decl_type("long double d;")
+        assert isinstance(t, FloatType) and t.kind == "long double"
+
+    def test_qualifiers(self):
+        t, _ = decl_type("const volatile int x;")
+        assert t.quals == ("const", "volatile")
+
+
+class TestDerived:
+    def test_pointer_chain(self):
+        t, _ = decl_type("char **pp;")
+        assert isinstance(t, PointerType)
+        assert isinstance(t.pointee, PointerType)
+
+    def test_array_with_constant_expr(self):
+        t, _ = decl_type("int a[4 * 2 + 1];")
+        assert isinstance(t, ArrayType) and t.length == 9
+
+    def test_array_unsized(self):
+        t, _ = decl_type("extern int a[];")
+        assert isinstance(t, ArrayType) and t.length is None
+
+    def test_matrix(self):
+        t, _ = decl_type("int m[3][5];")
+        assert isinstance(t, ArrayType) and t.length == 3
+        assert isinstance(t.elem, ArrayType) and t.elem.length == 5
+
+    def test_function_type(self):
+        t, _ = decl_type("int f(char *s, double d);")
+        assert isinstance(t, FunctionType)
+        assert len(t.params) == 2 and not t.varargs
+
+    def test_varargs(self):
+        t, _ = decl_type("int printf(char *fmt, ...);")
+        assert t.varargs
+
+    def test_void_param_means_none(self):
+        t, _ = decl_type("int f(void);")
+        assert t.params == ()
+
+    def test_array_param_decays(self):
+        t, _ = decl_type("int f(int a[10]);")
+        assert isinstance(t.params[0], PointerType)
+
+    def test_function_param_decays(self):
+        t, _ = decl_type("int f(int g(void));")
+        assert isinstance(t.params[0], PointerType)
+        assert isinstance(t.params[0].pointee, FunctionType)
+
+    def test_function_pointer_var(self):
+        t, _ = decl_type("int (*fp)(int);")
+        assert isinstance(t, PointerType)
+        assert isinstance(t.pointee, FunctionType)
+
+
+class TestRecords:
+    def test_struct_definition(self):
+        t, _ = decl_type("struct P { int x; int y; } p;")
+        assert isinstance(t, StructType) and t.is_complete
+        assert [f.name for f in t.members()] == ["x", "y"]
+
+    def test_struct_interned_by_tag(self):
+        src = "struct P { int x; } a; struct P b;"
+        t0, tb = decl_type(src, 0)
+        t1, _tb = decl_type(src, 1)
+        # Same builder interns by tag; different builders create new types.
+        ast = c_parser.CParser().parse(src)
+        tb = TypeBuilder()
+        ta = tb.from_decl(ast.ext[0])
+        tbb = tb.from_decl(ast.ext[1])
+        assert ta is tbb
+
+    def test_forward_declaration_completed(self):
+        src = "struct N; struct N { struct N *next; } n;"
+        ast = c_parser.CParser().parse(src)
+        tb = TypeBuilder()
+        fwd = tb.from_node(ast.ext[0].type)
+        full = tb.from_decl(ast.ext[1])
+        assert fwd is full and full.is_complete
+
+    def test_self_referential(self):
+        t, _ = decl_type("struct L { struct L *next; int v; } l;")
+        assert t.field_named("next").type.pointee is t
+
+    def test_union(self):
+        t, _ = decl_type("union U { int i; char *p; } u;")
+        assert isinstance(t, UnionType)
+
+    def test_anonymous_struct_gets_tag(self):
+        t, _ = decl_type("struct { int x; } s;")
+        assert t.tag.startswith("<anon:")
+
+    def test_nested_anonymous(self):
+        t, _ = decl_type("struct O { struct { int a; } inner; } o;")
+        inner = t.field_named("inner").type
+        assert isinstance(inner, StructType) and inner.is_complete
+
+    def test_bitfields(self):
+        t, _ = decl_type("struct B { unsigned a : 3; unsigned b : 5; } x;")
+        assert t.members()[0].bit_width == 3
+        assert t.members()[1].bit_width == 5
+
+
+class TestEnumsAndTypedefs:
+    def test_enum_constants_recorded(self):
+        src = "enum color { RED, GREEN = 5, BLUE } c;"
+        t, tb = decl_type(src)
+        assert isinstance(t, EnumType)
+        assert tb.enum_consts == {"RED": 0, "GREEN": 5, "BLUE": 6}
+
+    def test_enum_constant_in_array_size(self):
+        src = "enum k { N = 4 }; int a[N];"
+        t, _ = decl_type(src, 1)
+        assert isinstance(t, ArrayType) and t.length == 4
+
+    def test_typedef_resolution(self):
+        src = "typedef unsigned long size_t; size_t n;"
+        t, _ = decl_type(src)
+        assert isinstance(t, IntType) and t.kind == "long" and not t.signed
+
+    def test_typedef_of_struct(self):
+        src = "typedef struct Pt { int x; } Pt; Pt p;"
+        t, _ = decl_type(src)
+        assert isinstance(t, StructType) and t.tag == "Pt"
+
+    def test_char_constant_in_size(self):
+        t, _ = decl_type("int a['A'];")
+        assert t.length == 65
+
+    def test_escape_char_constant(self):
+        t, _ = decl_type(r"int a['\n'];")
+        assert t.length == 10

@@ -1,0 +1,217 @@
+"""Direct tests of the five inference rules (paper Figure 2).
+
+These construct normalized IR statements by hand — no C front end — and
+check each rule's derivations, mirroring the paper's step-by-step
+derivations in §3.
+"""
+
+import pytest
+
+from repro.core import CollapseOnCast, CommonInitialSequence, Offsets, analyze
+from repro.ctype.types import Field, StructType, int_t, ptr
+from repro.ir.objects import ObjectFactory
+from repro.ir.program import FunctionInfo, Program
+from repro.ir.refs import FieldRef
+from repro.ir.stmts import AddrOf, Copy, FieldAddr, Load, PtrArith, Store
+
+
+S = StructType("S").define([Field("s1", ptr(int_t)), Field("s2", ptr(int_t))])
+
+
+def make_program(stmts):
+    """Wrap hand-built statements into a one-function program."""
+    prog = Program("<handmade>")
+    # Objects were created by the caller's factory; adopt it.
+    return prog, stmts
+
+
+@pytest.fixture
+def env():
+    class Env:
+        def __init__(self):
+            self.prog = Program("<handmade>")
+            self.obj = self.prog.objects
+
+        def run(self, stmts, strategy=None):
+            info = FunctionInfo(
+                name="f",
+                obj=self.obj.function("f", int_t) if self.obj.lookup("f") is None
+                else self.obj.lookup("f"),
+            )
+            info.stmts = list(stmts)
+            self.prog.add_function(info)
+            return analyze(self.prog, strategy or CollapseOnCast())
+
+    return Env()
+
+
+class TestRule1AddrOf:
+    def test_plain(self, env):
+        x = env.obj.global_var("x", int_t)
+        p = env.obj.global_var("p", ptr(int_t))
+        r = env.run([AddrOf(lhs=p, target=FieldRef(x, ()))])
+        assert r.points_to_names(p) == {"x"}
+
+    def test_field_target(self, env):
+        s = env.obj.global_var("s", S)
+        p = env.obj.global_var("p", ptr(ptr(int_t)))
+        r = env.run([AddrOf(lhs=p, target=FieldRef(s, ("s2",)))])
+        assert list(r.points_to(p)) == [FieldRef(s, ("s2",))]
+
+    def test_struct_target_normalizes_to_first_field(self, env):
+        s = env.obj.global_var("s", S)
+        p = env.obj.global_var("p", ptr(S))
+        r = env.run([AddrOf(lhs=p, target=FieldRef(s, ()))])
+        # Problem 1: &s and &s.s1 are the same normalized location.
+        assert list(r.points_to(p)) == [FieldRef(s, ("s1",))]
+
+
+class TestRule2FieldAddr:
+    def test_matching_type(self, env):
+        s = env.obj.global_var("s", S)
+        p = env.obj.global_var("p", ptr(S))
+        q = env.obj.global_var("q", ptr(ptr(int_t)))
+        r = env.run([
+            AddrOf(lhs=p, target=FieldRef(s, ())),
+            FieldAddr(lhs=q, ptr=p, path=("s2",)),
+        ])
+        assert list(r.points_to(q)) == [FieldRef(s, ("s2",))]
+
+    def test_counts_lookup(self, env):
+        s = env.obj.global_var("s", S)
+        p = env.obj.global_var("p", ptr(S))
+        q = env.obj.global_var("q", ptr(ptr(int_t)))
+        r = env.run([
+            AddrOf(lhs=p, target=FieldRef(s, ())),
+            FieldAddr(lhs=q, ptr=p, path=("s2",)),
+        ])
+        assert r.stats.lookup_calls == 1
+
+
+class TestRule3Copy:
+    def test_scalar_copy(self, env):
+        x = env.obj.global_var("x", int_t)
+        p = env.obj.global_var("p", ptr(int_t))
+        q = env.obj.global_var("q", ptr(int_t))
+        r = env.run([
+            AddrOf(lhs=p, target=FieldRef(x, ())),
+            Copy(lhs=q, rhs=FieldRef(p, ())),
+        ])
+        assert r.points_to_names(q) == {"x"}
+
+    def test_struct_copy_fieldwise(self, env):
+        x = env.obj.global_var("x", int_t)
+        y = env.obj.global_var("y", int_t)
+        a = env.obj.global_var("a", S)
+        b = env.obj.global_var("b", S)
+        tmp1 = env.obj.global_var("tmp1", ptr(int_t))
+        tmp2 = env.obj.global_var("tmp2", ptr(int_t))
+        r = env.run([
+            AddrOf(lhs=tmp1, target=FieldRef(x, ())),
+            AddrOf(lhs=tmp2, target=FieldRef(y, ())),
+            # a.s1 = &x; a.s2 = &y  (via stores through field addresses)
+            AddrOf(lhs=env.obj.global_var("a1", ptr(ptr(int_t))),
+                   target=FieldRef(a, ("s1",))),
+            Store(ptr=env.obj.lookup("a1"), rhs=tmp1),
+            AddrOf(lhs=env.obj.global_var("a2", ptr(ptr(int_t))),
+                   target=FieldRef(a, ("s2",))),
+            Store(ptr=env.obj.lookup("a2"), rhs=tmp2),
+            Copy(lhs=b, rhs=FieldRef(a, ())),
+        ])
+        assert r.points_to_names(FieldRef(b, ("s1",))) == {"x"}
+        assert r.points_to_names(FieldRef(b, ("s2",))) == {"y"}
+        # Fields stay separate: no cross-pollution.
+        assert r.points_to_names(FieldRef(b, ("s1",))) != {"x", "y"}
+
+    def test_copy_counts_resolve(self, env):
+        a = env.obj.global_var("a", S)
+        b = env.obj.global_var("b", S)
+        r = env.run([Copy(lhs=b, rhs=FieldRef(a, ()))])
+        assert r.stats.resolve_calls == 1
+        assert r.stats.resolve_struct_calls == 1
+        assert r.stats.resolve_mismatch_calls == 0
+
+
+class TestRule4Load:
+    def test_load_through_pointer(self, env):
+        x = env.obj.global_var("x", int_t)
+        cell = env.obj.global_var("cell", ptr(int_t))
+        pp = env.obj.global_var("pp", ptr(ptr(int_t)))
+        out = env.obj.global_var("out", ptr(int_t))
+        r = env.run([
+            AddrOf(lhs=cell, target=FieldRef(x, ())),
+            AddrOf(lhs=pp, target=FieldRef(cell, ())),
+            Load(lhs=out, ptr=pp),
+        ])
+        assert r.points_to_names(out) == {"x"}
+
+    def test_load_from_struct_start(self, env):
+        # *q where q points to a struct: copies sizeof(lhs) bytes from
+        # the struct start, i.e. its first field's facts.
+        x = env.obj.global_var("x", int_t)
+        s = env.obj.global_var("s", S)
+        sp = env.obj.global_var("sp", ptr(S))
+        t1 = env.obj.global_var("t1", ptr(ptr(int_t)))
+        t2 = env.obj.global_var("t2", ptr(int_t))
+        out = env.obj.global_var("out", ptr(int_t))
+        r = env.run([
+            AddrOf(lhs=t1, target=FieldRef(s, ("s1",))),
+            AddrOf(lhs=t2, target=FieldRef(x, ())),
+            Store(ptr=t1, rhs=t2),
+            AddrOf(lhs=sp, target=FieldRef(s, ())),
+            Load(lhs=out, ptr=sp),
+        ])
+        assert "x" in r.points_to_names(out)
+
+
+class TestRule5Store:
+    def test_store_through_pointer(self, env):
+        x = env.obj.global_var("x", int_t)
+        target = env.obj.global_var("target", ptr(int_t))
+        pp = env.obj.global_var("pp", ptr(ptr(int_t)))
+        val = env.obj.global_var("val", ptr(int_t))
+        r = env.run([
+            AddrOf(lhs=pp, target=FieldRef(target, ())),
+            AddrOf(lhs=val, target=FieldRef(x, ())),
+            Store(ptr=pp, rhs=val),
+        ])
+        assert r.points_to_names(target) == {"x"}
+
+    def test_weak_update(self, env):
+        # Flow-insensitive stores are weak: both values accumulate.
+        x = env.obj.global_var("x", int_t)
+        y = env.obj.global_var("y", int_t)
+        target = env.obj.global_var("target", ptr(int_t))
+        pp = env.obj.global_var("pp", ptr(ptr(int_t)))
+        v1 = env.obj.global_var("v1", ptr(int_t))
+        v2 = env.obj.global_var("v2", ptr(int_t))
+        r = env.run([
+            AddrOf(lhs=pp, target=FieldRef(target, ())),
+            AddrOf(lhs=v1, target=FieldRef(x, ())),
+            AddrOf(lhs=v2, target=FieldRef(y, ())),
+            Store(ptr=pp, rhs=v1),
+            Store(ptr=pp, rhs=v2),
+        ])
+        assert r.points_to_names(target) == {"x", "y"}
+
+
+class TestPtrArithRule:
+    def test_smears_outermost_object(self, env):
+        x = env.obj.global_var("x", int_t)
+        s = env.obj.global_var("s", S)
+        p = env.obj.global_var("p", ptr(ptr(int_t)))
+        q = env.obj.global_var("q", ptr(ptr(int_t)))
+        r = env.run([
+            AddrOf(lhs=p, target=FieldRef(s, ("s1",))),
+            PtrArith(lhs=q, operands=(p,)),
+        ])
+        assert set(r.points_to(q)) == {
+            FieldRef(s, ("s1",)), FieldRef(s, ("s2",))
+        }
+
+    def test_non_pointer_operand_no_facts(self, env):
+        a = env.obj.global_var("a", int_t)
+        b = env.obj.global_var("b", int_t)
+        c = env.obj.global_var("c", int_t)
+        r = env.run([PtrArith(lhs=c, operands=(a, b))])
+        assert r.points_to_names(c) == set()

@@ -1,0 +1,157 @@
+"""Unit tests for the concrete byte-level interpreter (soundness oracle)."""
+
+import pytest
+
+from repro.frontend import program_from_c
+from repro.testing import (
+    Machine,
+    UnsupportedStatement,
+    check_soundness,
+    concrete_facts,
+    run_straightline,
+)
+from repro.testing.interpreter import PtrVal
+
+
+def facts_as_names(machine):
+    return {
+        (src.name, soff, dst.name, doff)
+        for src, soff, dst, doff in concrete_facts(machine)
+    }
+
+
+class TestBasicExecution:
+    def test_address_of(self):
+        prog = program_from_c("int x, *p; void main(void) { p = &x; }")
+        m = run_straightline(prog)
+        p = prog.objects.lookup("p")
+        x = prog.objects.lookup("x")
+        assert m.read_ptr(p, 0) == PtrVal(x, 0)
+
+    def test_copy_chain(self):
+        prog = program_from_c(
+            "int x, *p, *q, *r; void main(void) { p = &x; q = p; r = q; }"
+        )
+        m = run_straightline(prog)
+        r = prog.objects.lookup("r")
+        assert m.read_ptr(r, 0).obj.name == "x"
+
+    def test_store_and_load(self):
+        prog = program_from_c(
+            "int x, *p, **pp, *out;"
+            "void main(void) { pp = &p; *pp = &x; out = *pp; }"
+        )
+        m = run_straightline(prog)
+        out = prog.objects.lookup("out")
+        assert m.read_ptr(out, 0).obj.name == "x"
+
+    def test_field_write_via_store(self):
+        prog = program_from_c(
+            "struct S { int *a; int *b; } s; int x;"
+            "void main(void) { s.b = &x; }"
+        )
+        m = run_straightline(prog)
+        s = prog.objects.lookup("s")
+        assert m.read_ptr(s, 4) is not None
+        assert m.read_ptr(s, 4).obj.name == "x"
+        assert m.read_ptr(s, 0) is None
+
+    def test_struct_block_copy_moves_pointers(self):
+        prog = program_from_c(
+            "struct S { int *a; int *b; } s, t; int x, y;"
+            "void main(void) { s.a = &x; s.b = &y; t = s; }"
+        )
+        m = run_straightline(prog)
+        t = prog.objects.lookup("t")
+        assert m.read_ptr(t, 0).obj.name == "x"
+        assert m.read_ptr(t, 4).obj.name == "y"
+
+    def test_uninitialized_deref_is_noop(self):
+        prog = program_from_c(
+            "int *p, x; void main(void) { x = *p; }"
+        )
+        m = run_straightline(prog)  # must not raise
+        assert m.read_ptr(prog.objects.lookup("p"), 0) is None
+
+    def test_flow_sensitivity_of_oracle(self):
+        # The interpreter IS flow-sensitive: the last write wins, unlike
+        # the flow-insensitive analysis (which keeps both).
+        prog = program_from_c(
+            "int x, y, *p; void main(void) { p = &x; p = &y; }"
+        )
+        m = run_straightline(prog)
+        assert m.read_ptr(prog.objects.lookup("p"), 0).obj.name == "y"
+
+
+class TestPointerSplicing:
+    def test_partial_overwrite_destroys_pointer(self):
+        # Copying only half of a pointer's bytes must not read back as a
+        # complete pointer (the paper's Complication 3 model).
+        prog = program_from_c(
+            "struct H { short h1; short h2; } h;"
+            "int x, *p; char *c;"
+            "void main(void) { p = &x; }"
+        )
+        m = run_straightline(prog)
+        p = prog.objects.lookup("p")
+        h = prog.objects.lookup("h")
+        # Manually splice: copy 2 of p's 4 bytes into h.
+        m.copy_bytes(h, 0, p, 0, 2)
+        assert m.read_ptr(h, 0) is None
+
+    def test_whole_pointer_survives_byte_copy(self):
+        prog = program_from_c("int x, *p; void main(void) { p = &x; }")
+        m = run_straightline(prog)
+        p = prog.objects.lookup("p")
+        h = prog.objects.lookup("x")  # reuse x's 4 bytes as scratch
+        m.copy_bytes(h, 0, p, 0, 4)
+        assert m.read_ptr(h, 0).obj.name == "x"
+
+    def test_double_absorbs_two_pointers(self):
+        # Complication 2 end-to-end: struct R -> double -> struct R.
+        prog = program_from_c(
+            "struct R { int *r1; int *r2; } r, r2v; double d; int x, y;"
+            "void main(void) {"
+            "  r.r1 = &x; r.r2 = &y;"
+            "  d = *(double *)&r;"
+            "  r2v = *(struct R *)&d;"
+            "}"
+        )
+        m = run_straightline(prog)
+        r2v = prog.objects.lookup("r2v")
+        assert m.read_ptr(r2v, 0).obj.name == "x"
+        assert m.read_ptr(r2v, 4).obj.name == "y"
+
+
+class TestConcreteFacts:
+    def test_reports_all_pointers(self):
+        prog = program_from_c(
+            "struct S { int *a; int *b; } s; int x, y;"
+            "void main(void) { s.a = &x; s.b = &y; }"
+        )
+        m = run_straightline(prog)
+        names = facts_as_names(m)
+        assert ("s", 0, "x", 0) in names
+        assert ("s", 4, "y", 0) in names
+
+    def test_unsupported_statement(self):
+        prog = program_from_c(
+            "int a, b, c; void main(void) { c = a + b; }"
+        )
+        with pytest.raises(UnsupportedStatement):
+            run_straightline(prog)
+
+
+class TestCheckSoundness:
+    def test_reports_missing_fact(self):
+        from repro import CommonInitialSequence, analyze
+
+        prog = program_from_c("int x, *p; void main(void) { p = &x; }")
+        result = analyze(prog, CommonInitialSequence())
+        m = run_straightline(prog)
+        assert check_soundness(result, m) == []
+        # Corrupt the result by clearing facts: violation must surface.
+        result.facts._succ.clear()
+        result.facts._by_obj.clear()
+        violations = check_soundness(result, m)
+        assert violations and "p" in violations[0]

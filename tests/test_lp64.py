@@ -1,0 +1,95 @@
+"""The paper's examples under the LP64 ABI.
+
+The portable strategies must produce identical results under any ABI;
+the Offsets strategy produces different *references* but must stay sound
+and precise on layout-independent programs.  These tests re-run key
+paper examples under LP64 (8-byte pointers/longs).
+"""
+
+import pytest
+
+from repro import (
+    ILP32,
+    LP64,
+    CollapseOnCast,
+    CommonInitialSequence,
+    Layout,
+    Offsets,
+    analyze_c,
+)
+
+INTRO = """
+struct S { int *s1; int *s2; } s;
+int x, y, *p;
+void main(void) { s.s1 = &x; s.s2 = &y; p = s.s1; }
+"""
+
+
+def names(res, name):
+    return sorted(res.points_to_names(res.program.objects.lookup(name)))
+
+
+class TestLP64:
+    def test_intro_example_offsets_lp64(self):
+        r = analyze_c(INTRO, Offsets(Layout(LP64)))
+        assert names(r, "p") == ["x"]
+
+    def test_offsets_refs_differ_across_abis(self):
+        r32 = analyze_c(INTRO, Offsets(Layout(ILP32)))
+        r64 = analyze_c(INTRO, Offsets(Layout(LP64)))
+        s32 = r32.program.objects.lookup("s")
+        s64 = r64.program.objects.lookup("s")
+        from repro.ir.refs import FieldRef
+
+        ref32 = r32.strategy.normalize(FieldRef(s32, ("s2",)))
+        ref64 = r64.strategy.normalize(FieldRef(s64, ("s2",)))
+        assert ref32.offset == 4 and ref64.offset == 8
+
+    def test_portable_strategies_abi_invariant(self):
+        for cls in (CollapseOnCast, CommonInitialSequence):
+            r32 = analyze_c(INTRO, cls(Layout(ILP32)))
+            r64 = analyze_c(INTRO, cls(Layout(LP64)))
+            assert r32.facts.edge_count() == r64.facts.edge_count()
+            assert names(r32, "p") == names(r64, "p")
+
+    def test_complication2_lp64(self):
+        # Under LP64 a double (8 bytes) holds only ONE pointer, so only
+        # r1's address is recoverable through the double — the concrete
+        # portability hazard the paper warns about, visible in analysis.
+        src = """
+        struct R { int *r1; int *r2; } r, r2v;
+        double d;
+        int x, y;
+        int *ox, *oy;
+        void main(void) {
+            r.r1 = &x;
+            r.r2 = &y;
+            d = *(double *)&r;
+            r2v = *(struct R *)&d;
+            ox = r2v.r1;
+            oy = r2v.r2;
+        }
+        """
+        r64 = analyze_c(src, Offsets(Layout(LP64)))
+        assert names(r64, "ox") == ["x"]
+        # r2 (offset 8) is beyond the 8-byte double: nothing recoverable.
+        assert names(r64, "oy") == []
+        # Under ILP32 both pointers fit and both are recovered.
+        r32 = analyze_c(src, Offsets(Layout(ILP32)))
+        assert names(r32, "ox") == ["x"]
+        assert names(r32, "oy") == ["y"]
+
+    def test_cis_example_lp64(self):
+        src = """
+        struct S { int s1; int s2; int s3; } *p;
+        struct T { int t1; int t2; char t3; int t4; } t;
+        int *x, *y;
+        void main(void) {
+            p = (struct S *)&t;
+            x = (int*)&(*p).s2;
+            y = (int*)&(*p).s3;
+        }
+        """
+        r = analyze_c(src, CommonInitialSequence(Layout(LP64)))
+        assert [repr(q) for q in sorted(r.points_to(
+            r.program.objects.lookup("x")), key=repr)] == ["t.t2"]

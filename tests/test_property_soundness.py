@@ -1,0 +1,107 @@
+"""Property-based soundness tests.
+
+For randomly generated straight-line C programs, a concrete byte-level
+execution is one possible run; every pointer it actually stores must be
+covered by every strategy's points-to result.  This is the fundamental
+safety property of the paper's framework ("a safe approximation
+(superset) of the set of locations to which a pointer may point", §1).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ALL_STRATEGIES, analyze
+from repro.frontend import program_from_c
+from repro.suite import GenConfig, generate_program
+from repro.testing import check_soundness, run_straightline
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def run_one(seed: int, cfg: GenConfig, strategy_cls) -> None:
+    src = generate_program(seed, cfg)
+    program = program_from_c(src, name=f"gen{seed}")
+    result = analyze(program, strategy_cls())
+    machine = run_straightline(program)
+    violations = check_soundness(result, machine)
+    assert not violations, (
+        f"seed={seed} strategy={strategy_cls.key}:\n"
+        + "\n".join(violations)
+        + "\n--- program ---\n"
+        + src
+    )
+
+
+@pytest.mark.parametrize("strategy_cls", ALL_STRATEGIES)
+class TestSoundnessOnGeneratedPrograms:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(**SETTINGS)
+    def test_default_config(self, strategy_cls, seed):
+        run_one(seed, GenConfig(), strategy_cls)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(**SETTINGS)
+    def test_cast_heavy(self, strategy_cls, seed):
+        cfg = GenConfig(cast_probability=0.9, cis_probability=0.8,
+                        n_statements=60)
+        run_one(seed, cfg, strategy_cls)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(**SETTINGS)
+    def test_deep_structs(self, strategy_cls, seed):
+        cfg = GenConfig(n_structs=6, max_fields=6, cast_probability=0.5)
+        run_one(seed, cfg, strategy_cls)
+
+
+class TestPrecisionOrdering:
+    """Offsets ⊑ portable strategies at object granularity.
+
+    The portable strategies must over-approximate the concrete layout
+    the Offsets instance assumes: for every location, the set of
+    *objects* Offsets says it may point to must be a subset of what each
+    portable strategy reports (when queried at the same source object).
+    This is a statistical check over generated programs rather than a
+    theorem about arbitrary C, but any violation is a real bug.
+    """
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(**SETTINGS)
+    def test_collapse_always_is_coarsest(self, seed):
+        from repro import CollapseAlways, Offsets
+        from repro.ir.refs import FieldRef
+
+        src = generate_program(seed, GenConfig(cast_probability=0.6))
+        program = program_from_c(src)
+        fine = analyze(program, Offsets())
+        coarse = analyze(program, CollapseAlways())
+        for obj in program.objects.all_objects():
+            fine_objs = set()
+            for ref in fine.facts.refs_of_obj(obj):
+                for tgt in fine.facts.points_to(ref):
+                    fine_objs.add(tgt.obj)
+            coarse_objs = set()
+            for ref in coarse.facts.refs_of_obj(obj):
+                for tgt in coarse.facts.points_to(ref):
+                    coarse_objs.add(tgt.obj)
+            missing = {o.name for o in fine_objs - coarse_objs}
+            assert not missing, f"{obj.name}: CollapseAlways misses {missing}"
+
+
+class TestGeneratorProperties:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic(self, seed):
+        cfg = GenConfig()
+        assert generate_program(seed, cfg) == generate_program(seed, cfg)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_parses(self, seed):
+        src = generate_program(seed, GenConfig(cast_probability=1.0))
+        program = program_from_c(src)
+        assert program.stmt_count() > 0

@@ -1,0 +1,259 @@
+"""Unit tests of the four strategies' normalize / lookup / resolve.
+
+These exercise the tunable functions directly, against types and objects
+built by hand, mirroring the worked examples of paper §§4.2.2–4.3.3.
+"""
+
+import pytest
+
+from repro.core import (
+    CollapseAlways,
+    CollapseOnCast,
+    CommonInitialSequence,
+    Offsets,
+    Window,
+)
+from repro.ctype.layout import ILP32, LP64, Layout
+from repro.ctype.types import (
+    Field,
+    StructType,
+    array_of,
+    char,
+    double_t,
+    int_t,
+    ptr,
+)
+from repro.ir.objects import ObjectFactory
+from repro.ir.refs import FieldRef, OffsetRef
+
+
+def mk(tag, *fields):
+    return StructType(tag).define([Field(n, t) for n, t in fields])
+
+
+# Paper §4.3.2 example types.
+S_SMALL = mk("S", ("s1", int_t), ("s2", char))
+T_NEST = mk("T", ("t1", S_SMALL), ("t2", int_t), ("t3", char))
+
+# Paper §4.3.3 example types.
+S_CIS = mk("Scis", ("s1", int_t), ("s2", int_t), ("s3", int_t))
+T_CIS = mk("Tcis", ("t1", int_t), ("t2", int_t), ("t3", char), ("t4", int_t))
+
+
+@pytest.fixture
+def objs():
+    return ObjectFactory()
+
+
+class TestCollapseAlways:
+    def test_normalize_drops_path(self, objs):
+        s = objs.global_var("s", T_NEST)
+        ca = CollapseAlways()
+        assert ca.normalize(FieldRef(s, ("t1", "s2"))) == FieldRef(s, ())
+
+    def test_lookup_returns_whole_object(self, objs):
+        t = objs.global_var("t", T_NEST)
+        ca = CollapseAlways()
+        refs, info = ca.lookup(S_SMALL, ("s2",), FieldRef(t, ()))
+        assert refs == [FieldRef(t, ())]
+        assert info.involved_struct
+
+    def test_resolve_single_pair(self, objs):
+        a = objs.global_var("a", S_SMALL)
+        b = objs.global_var("b", T_NEST)
+        ca = CollapseAlways()
+        pairs, _ = ca.resolve(FieldRef(a, ()), FieldRef(b, ()), S_SMALL)
+        assert pairs == [(FieldRef(a, ()), FieldRef(b, ()))]
+
+    def test_target_weight_expands_structs(self, objs):
+        t = objs.global_var("t", T_NEST)
+        x = objs.global_var("x", int_t)
+        ca = CollapseAlways()
+        assert ca.target_weight(FieldRef(t, ())) == 4  # s1,s2,t2,t3
+        assert ca.target_weight(FieldRef(x, ())) == 1
+
+
+class TestCollapseOnCastNormalize:
+    def test_struct_normalizes_to_innermost_first(self, objs):
+        t = objs.global_var("t", T_NEST)
+        coc = CollapseOnCast()
+        assert coc.normalize(FieldRef(t, ())) == FieldRef(t, ("t1", "s1"))
+        assert coc.normalize(FieldRef(t, ("t1",))) == FieldRef(t, ("t1", "s1"))
+        assert coc.normalize(FieldRef(t, ("t2",))) == FieldRef(t, ("t2",))
+
+
+class TestCollapseOnCastLookup:
+    def test_matching_type_is_precise(self, objs):
+        # Paper §4.3.2: lookup(struct S, s2, t.t1.s1) with p = &t.t1.
+        t = objs.global_var("t", T_NEST)
+        coc = CollapseOnCast()
+        refs, info = coc.lookup(S_SMALL, ("s2",), FieldRef(t, ("t1", "s1")))
+        assert refs == [FieldRef(t, ("t1", "s2"))]
+        assert not info.mismatch
+
+    def test_mismatch_returns_following_fields(self, objs):
+        # Paper §4.3.2: lookup(struct S, s2, t.t2) → {t.t2, t.t3}.
+        t = objs.global_var("t", T_NEST)
+        coc = CollapseOnCast()
+        refs, info = coc.lookup(S_SMALL, ("s2",), FieldRef(t, ("t2",)))
+        assert set(refs) == {FieldRef(t, ("t2",)), FieldRef(t, ("t3",))}
+        assert info.mismatch and info.involved_struct
+
+    def test_scalar_exact(self, objs):
+        x = objs.global_var("x", int_t)
+        coc = CollapseOnCast()
+        refs, info = coc.lookup(int_t, (), FieldRef(x, ()))
+        assert refs == [FieldRef(x, ())]
+        assert not info.mismatch
+
+
+class TestCollapseOnCastResolve:
+    def test_same_type_pairs_fieldwise(self, objs):
+        a = objs.global_var("a", S_CIS)
+        b = objs.global_var("b", S_CIS)
+        coc = CollapseOnCast()
+        pairs, info = coc.resolve(
+            coc.normalize(FieldRef(a, ())), coc.normalize(FieldRef(b, ())), S_CIS
+        )
+        assert set(pairs) == {
+            (FieldRef(a, ("s1",)), FieldRef(b, ("s1",))),
+            (FieldRef(a, ("s2",)), FieldRef(b, ("s2",))),
+            (FieldRef(a, ("s3",)), FieldRef(b, ("s3",))),
+        }
+        assert not info.mismatch
+
+    def test_mismatched_copy_cross_product(self, objs):
+        # Copying a T over an S: conservative cross product.
+        a = objs.global_var("a", S_CIS)
+        b = objs.global_var("b", T_CIS)
+        coc = CollapseOnCast()
+        pairs, info = coc.resolve(
+            coc.normalize(FieldRef(a, ())), coc.normalize(FieldRef(b, ())), S_CIS
+        )
+        assert info.mismatch
+        dsts = {d for d, _ in pairs}
+        srcs = {s for _, s in pairs}
+        assert dsts == {FieldRef(a, ("s1",)), FieldRef(a, ("s2",)), FieldRef(a, ("s3",))}
+        assert srcs == {FieldRef(b, (f,)) for f in ("t1", "t2", "t3", "t4")}
+
+    def test_complication_2_double_absorbs_struct(self, objs):
+        # d = (double) r, struct R {int *r1; int *r2}: d pairs with both.
+        R = mk("R", ("r1", ptr(int_t)), ("r2", ptr(int_t)))
+        r = objs.global_var("r", R)
+        d = objs.global_var("d", double_t)
+        coc = CollapseOnCast()
+        pairs, _ = coc.resolve(
+            coc.normalize(FieldRef(d, ())), coc.normalize(FieldRef(r, ())), double_t
+        )
+        assert set(pairs) == {
+            (FieldRef(d, ()), FieldRef(r, ("r1",))),
+            (FieldRef(d, ()), FieldRef(r, ("r2",))),
+        }
+
+
+class TestCommonInitialSequenceLookup:
+    def test_within_cis_precise(self, objs):
+        # Paper §4.3.3: lookup(S, s2, normalize(t)) → {t.t2}.
+        t = objs.global_var("t", T_CIS)
+        cis = CommonInitialSequence()
+        refs, info = cis.lookup(S_CIS, ("s2",), FieldRef(t, ("t1",)))
+        assert refs == [FieldRef(t, ("t2",))]
+
+    def test_beyond_cis_conservative(self, objs):
+        # Paper §4.3.3: lookup(S, s3, normalize(t)) → {t.t3, t.t4}.
+        t = objs.global_var("t", T_CIS)
+        cis = CommonInitialSequence()
+        refs, info = cis.lookup(S_CIS, ("s3",), FieldRef(t, ("t1",)))
+        assert set(refs) == {FieldRef(t, ("t3",)), FieldRef(t, ("t4",))}
+        assert info.mismatch
+
+    def test_nested_first_field_cis(self, objs):
+        # commonInitialSeq must look through enclosing structs whose
+        # innermost first field is the target (δ search).
+        t = objs.global_var("t", T_NEST)
+        cis = CommonInitialSequence()
+        # S2 shares an initial int with struct S (t.t1's type).
+        S2 = mk("S2", ("a", int_t), ("b", double_t))
+        refs, _ = cis.lookup(S2, ("a",), FieldRef(t, ("t1", "s1")))
+        assert refs == [FieldRef(t, ("t1", "s1"))]
+
+    def test_no_cis_falls_back_to_suffix(self, objs):
+        A = mk("A", ("x", ptr(char)))
+        t = objs.global_var("t", T_CIS)
+        cis = CommonInitialSequence()
+        refs, info = cis.lookup(A, ("x",), FieldRef(t, ("t2",)))
+        assert set(refs) == {
+            FieldRef(t, ("t2",)), FieldRef(t, ("t3",)), FieldRef(t, ("t4",))
+        }
+        assert info.mismatch
+
+
+class TestOffsets:
+    def test_normalize_offsets(self, objs):
+        t = objs.global_var("t", T_NEST)
+        off = Offsets(Layout(ILP32))
+        assert off.normalize(FieldRef(t, ())) == OffsetRef(t, 0)
+        assert off.normalize(FieldRef(t, ("t1", "s2"))) == OffsetRef(t, 4)
+        assert off.normalize(FieldRef(t, ("t2",))) == OffsetRef(t, 8)
+
+    def test_lookup_is_pure_arithmetic(self, objs):
+        t = objs.global_var("t", T_NEST)
+        off = Offsets(Layout(ILP32))
+        refs, info = off.lookup(S_SMALL, ("s2",), OffsetRef(t, 8))
+        assert refs == [OffsetRef(t, 12)]
+        assert not info.mismatch
+
+    def test_lookup_out_of_bounds_dropped(self, objs):
+        x = objs.global_var("x", int_t)
+        off = Offsets(Layout(ILP32))
+        refs, _ = off.lookup(T_NEST, ("t3",), OffsetRef(x, 0))
+        assert refs == []
+
+    def test_resolve_returns_window(self, objs):
+        a = objs.global_var("a", S_CIS)
+        b = objs.global_var("b", T_CIS)
+        off = Offsets(Layout(ILP32))
+        res, info = off.resolve(OffsetRef(a, 0), OffsetRef(b, 0), S_CIS)
+        assert isinstance(res, Window)
+        assert res.size == 12  # sizeof(struct Scis) under ILP32
+
+    def test_canon_ref_folds_arrays(self, objs):
+        E = mk("E", ("x", int_t), ("y", int_t))
+        holder = mk("Holder", ("arr", array_of(E, 4)))
+        h = objs.global_var("h", holder)
+        off = Offsets(Layout(ILP32))
+        # arr[2].y at offset 20 folds to arr[0].y at offset 4.
+        assert off.canon_offset_ref(OffsetRef(h, 20)) == OffsetRef(h, 4)
+
+    def test_canon_ref_out_of_bounds_none(self, objs):
+        x = objs.global_var("x", int_t)
+        off = Offsets(Layout(ILP32))
+        assert off.canon_offset_ref(OffsetRef(x, 4)) is None
+        assert off.canon_offset_ref(OffsetRef(x, -1)) is None
+
+    def test_abi_dependence(self, objs):
+        # The whole point of non-portability: offsets differ across ABIs.
+        P = mk("P", ("p", ptr(char)), ("i", int_t))
+        a32 = Offsets(Layout(ILP32))
+        a64 = Offsets(Layout(LP64))
+        o = objs.global_var("o", P)
+        assert a32.normalize(FieldRef(o, ("i",))) == OffsetRef(o, 4)
+        assert a64.normalize(FieldRef(o, ("i",))) == OffsetRef(o, 8)
+
+
+class TestAllRefs:
+    def test_collapse_always_single(self, objs):
+        t = objs.global_var("t", T_NEST)
+        assert CollapseAlways().all_refs(t) == [FieldRef(t, ())]
+
+    def test_coc_all_positions(self, objs):
+        t = objs.global_var("t", T_NEST)
+        refs = CollapseOnCast().all_refs(t)
+        assert FieldRef(t, ("t1", "s1")) in refs
+        assert FieldRef(t, ("t3",)) in refs
+        assert len(refs) == 4
+
+    def test_offsets_subfields(self, objs):
+        t = objs.global_var("t", T_NEST)
+        refs = Offsets(Layout(ILP32)).all_refs(t)
+        assert OffsetRef(t, 0) in refs and OffsetRef(t, 8) in refs

@@ -1,0 +1,106 @@
+"""Tests of the benchmark suite registry, the harness, and a full-suite
+integration sweep (every program under every strategy)."""
+
+import pytest
+
+from repro import ALL_STRATEGIES, analyze
+from repro.bench.harness import (
+    analyze_suite_program,
+    figure6,
+    loc_of,
+    load_program,
+)
+from repro.clients import deref_stats
+from repro.suite.registry import (
+    SUITE,
+    by_name,
+    casting_programs,
+    load_source,
+    nocast_programs,
+    program_dir,
+)
+
+
+class TestRegistry:
+    def test_twenty_programs(self):
+        assert len(SUITE) == 20
+
+    def test_partition_8_12(self):
+        assert len(nocast_programs()) == 8
+        assert len(casting_programs()) == 12
+
+    def test_unique_names(self):
+        names = [p.name for p in SUITE]
+        assert len(names) == len(set(names))
+
+    def test_all_sources_exist(self):
+        d = program_dir()
+        for p in SUITE:
+            assert (d / p.filename).is_file(), p.filename
+
+    def test_by_name(self):
+        assert by_name("bc").casting
+        assert not by_name("anagram").casting
+        with pytest.raises(KeyError):
+            by_name("nope")
+
+    def test_families_documented(self):
+        for p in SUITE:
+            assert p.family in ("GNU", "SPEC", "Landi", "Austin")
+            assert p.description
+
+
+class TestFullSuiteIntegration:
+    """Every suite program must analyze cleanly under every strategy."""
+
+    @pytest.mark.parametrize("bp", SUITE, ids=lambda b: b.name)
+    def test_all_strategies_run(self, bp):
+        program = load_program(bp)
+        sizes = {}
+        for cls in ALL_STRATEGIES:
+            result = analyze(program, cls())
+            assert result.facts.edge_count() > 0, cls.key
+            ds = deref_stats(result)
+            assert ds.count > 0, f"{bp.name} has no deref sites"
+            sizes[cls.key] = ds.average
+        # Qualitative ordering: the collapsed analysis is never *more*
+        # precise than CIS at the Figure-4 metric.
+        assert sizes["collapse_always"] >= sizes["common_initial_sequence"] - 1e-9
+
+    @pytest.mark.parametrize("bp", nocast_programs(), ids=lambda b: b.name)
+    def test_nocast_programs_have_low_mismatch(self, bp):
+        result = analyze_suite_program(bp, "collapse_on_cast")
+        s = result.stats
+        struct = s.lookup_struct_calls + s.resolve_struct_calls
+        mism = s.lookup_mismatch_calls + s.resolve_mismatch_calls
+        rate = mism / struct if struct else 0.0
+        assert rate < 0.10, f"{bp.name}: mismatch rate {rate:.2%}"
+
+    @pytest.mark.parametrize("bp", casting_programs(), ids=lambda b: b.name)
+    def test_casting_programs_have_mismatches(self, bp):
+        result = analyze_suite_program(bp, "collapse_on_cast")
+        s = result.stats
+        assert s.lookup_mismatch_calls + s.resolve_mismatch_calls > 0, bp.name
+
+
+class TestHarness:
+    def test_loc_of(self):
+        assert loc_of("a\n\n  \nb\n") == 2
+
+    def test_figure6_rows(self):
+        rows = figure6()
+        assert len(rows) == 12
+        for r in rows:
+            assert set(r.values) == {
+                "collapse_always", "collapse_on_cast",
+                "common_initial_sequence", "offsets",
+            }
+            norm = r.normalized()
+            assert norm["offsets"] == pytest.approx(1.0)
+
+    def test_analyze_suite_program_accepts_cached_program(self):
+        bp = by_name("ul")
+        program = load_program(bp)
+        r1 = analyze_suite_program(bp, "offsets", program)
+        r2 = analyze_suite_program(bp, "offsets", program)
+        assert r1.facts.edge_count() == r2.facts.edge_count()

@@ -1,0 +1,136 @@
+"""Unit tests for the library-summary registry (repro.core.interproc)."""
+
+from conftest import pts_names, run
+
+from repro import CollapseOnCast, CommonInitialSequence, analyze_c
+from repro.core.engine import Engine
+from repro.core.interproc import SummaryRegistry
+from repro.frontend import program_from_c
+
+
+class TestRegistryMechanics:
+    def test_register_and_apply(self):
+        src = """
+        extern int *frob(int *p);
+        int x, *r;
+        void main(void) { r = frob(&x); }
+        """
+        program = program_from_c(src)
+        engine = Engine(program, CollapseOnCast())
+        calls = []
+
+        def spy(eng, call):
+            calls.append(call)
+
+        engine.summaries = SummaryRegistry()
+        engine.summaries.register("frob", spy)
+        engine.solve()
+        assert len(calls) == 1
+        assert calls[0].callee.name == "frob"
+
+    def test_default_for_unknown(self):
+        r = run(
+            """
+            extern char *mystery(char *a, char *b);
+            char b1[4], b2[4], *out;
+            void main(void) { out = mystery(b1, b2); }
+            """,
+            CollapseOnCast(),
+        )
+        assert pts_names(r, "out") == ["b1", "b2"]
+
+    def test_defined_function_shadows_summary(self):
+        # A function defined in the program must be analyzed, not
+        # summarized, even if it shares a libc name.
+        src = """
+        int x, *g;
+        char *strcpy(char *d, char *s) { g = &x; return d; }
+        char buf[4];
+        void main(void) { strcpy(buf, "a"); }
+        """
+        r = run(src, CollapseOnCast())
+        assert pts_names(r, "g") == ["x"]
+
+
+class TestStockSummaries:
+    def test_strcat_returns_dst(self):
+        r = run(
+            'char a[8], *r; void main(void) { r = strcat(a, "x"); }',
+            CommonInitialSequence(),
+        )
+        assert pts_names(r, "r") == ["a"]
+
+    def test_strtok_returns_arg(self):
+        r = run(
+            'char a[8], *r; void main(void) { r = strtok(a, ","); }',
+            CommonInitialSequence(),
+        )
+        assert pts_names(r, "r") == ["a"]
+
+    def test_free_no_effect(self):
+        r = run(
+            "int *p; void main(void) { p = (int*)malloc(4); free(p); }",
+            CommonInitialSequence(),
+        )
+        assert len(pts_names(r, "p")) == 1
+
+    def test_bsearch_result_points_into_base(self):
+        src = """
+        int cmp(void *a, void *b) { return 0; }
+        int arr[8], key, *hit;
+        void main(void) {
+            hit = (int *)bsearch(&key, arr, 8, sizeof(int), cmp);
+        }
+        """
+        r = run(src, CommonInitialSequence())
+        assert "arr" in pts_names(r, "hit")
+
+    def test_bsearch_callback_params(self):
+        src = """
+        int *seen_key, *seen_elem;
+        int cmp(void *a, void *b) {
+            seen_key = (int *)a;
+            seen_elem = (int *)b;
+            return 0;
+        }
+        int arr[8], key;
+        void main(void) {
+            bsearch(&key, arr, 8, sizeof(int), cmp);
+        }
+        """
+        r = run(src, CommonInitialSequence())
+        assert "key" in pts_names(r, "seen_key")
+        assert "arr" in pts_names(r, "seen_elem")
+
+    def test_memmove_like_memcpy(self):
+        src = """
+        struct S { int *a; } s1, s2;
+        int x; int *o;
+        void main(void) {
+            s1.a = &x;
+            memmove(&s2, &s1, sizeof(struct S));
+            o = s2.a;
+        }
+        """
+        r = run(src, CommonInitialSequence())
+        assert pts_names(r, "o") == ["x"]
+
+    def test_memcpy_returns_dst(self):
+        src = """
+        struct S { int a; } s1, s2;
+        struct S *r;
+        void main(void) { r = (struct S*)memcpy(&s2, &s1, sizeof(struct S)); }
+        """
+        r = run(src, CommonInitialSequence())
+        assert pts_names(r, "r") == ["s2"]
+
+    def test_fgets_returns_buffer(self):
+        src = """
+        char line[64], *got;
+        void main(void) {
+            FILE *f = fopen("x", "r");
+            got = fgets(line, 64, f);
+        }
+        """
+        r = run(src, CommonInitialSequence())
+        assert pts_names(r, "got") == ["line"]
