@@ -1,0 +1,138 @@
+"""Microbenchmarks for the solver's hot path.
+
+Times the primitives the delta-driven fixpoint engine leans on — fact
+insertion, delta-batched drain over copy-edge chains, window-index
+matching, and the memoized strategy layer — plus one end-to-end solve of
+the largest suite program per strategy.  These targets track the
+per-operation cost that ``BENCH_engine.json`` tracks end-to-end; refresh
+that baseline with ``python -m repro.bench --write-baseline`` after
+engine changes.
+
+Run with ``pytest benchmarks/bench_engine_hotpath.py --benchmark-only``.
+"""
+
+import pytest
+
+from repro.core import STRATEGY_BY_KEY, analyze
+from repro.core.engine import Engine, _WindowIndex
+from repro.core.facts import FactBase
+from repro.core.offsets import Offsets
+from repro.core.strategy import Window
+from repro.ctype.types import int_t, ptr
+from repro.ir.objects import ObjectFactory
+from repro.ir.program import Program
+from repro.ir.refs import FieldRef, OffsetRef
+
+from conftest import cached_program
+
+
+def _mk_refs(n, prefix="v"):
+    objs = ObjectFactory()
+    return [FieldRef(objs.global_var(f"{prefix}{i}", ptr(int_t))) for i in range(n)]
+
+
+def test_factbase_add_throughput(benchmark):
+    """Fresh-fact insertion: 200 sources x 50 targets."""
+    srcs = _mk_refs(200, "s")
+    dsts = _mk_refs(50, "d")
+
+    def run():
+        fb = FactBase()
+        for s in srcs:
+            for d in dsts:
+                fb.add(s, d)
+        return fb
+
+    fb = benchmark(run)
+    assert fb.edge_count() == 200 * 50
+
+
+def test_factbase_duplicate_add(benchmark):
+    """Duplicate suppression — the dominant case at fixpoint."""
+    srcs = _mk_refs(100, "s")
+    dsts = _mk_refs(20, "d")
+    fb = FactBase()
+    for s in srcs:
+        for d in dsts:
+            fb.add(s, d)
+
+    def run():
+        for s in srcs:
+            for d in dsts:
+                fb.add(s, d)
+
+    benchmark(run)
+    assert fb.edge_count() == 100 * 20
+
+
+def test_drain_copy_edge_chain(benchmark):
+    """Delta batching: 64 facts pushed through a 100-edge chain."""
+
+    def run():
+        program = Program()
+        engine = Engine(program, STRATEGY_BY_KEY["collapse_on_cast"]())
+        chain = [
+            FieldRef(program.objects.global_var(f"c{i}", ptr(int_t)))
+            for i in range(101)
+        ]
+        targets = [
+            FieldRef(program.objects.global_var(f"t{i}", int_t))
+            for i in range(64)
+        ]
+        for a, b in zip(chain, chain[1:]):
+            engine.install_copy_edge(a, b)
+        for t in targets:
+            engine.add_fact(chain[0], t)
+        engine.drain()
+        return engine
+
+    engine = benchmark(run)
+    assert engine.facts.edge_count() == 101 * 64
+
+
+def test_window_index_matching(benchmark):
+    """Interval-index lookups against 64 windows of mixed extent."""
+    index = _WindowIndex()
+    objs = ObjectFactory()
+    dst = objs.global_var("w_dst", int_t)
+    for i in range(64):
+        index.insert(i * 8, 8 + (i % 4) * 16, dst, i * 8)
+
+    def run():
+        hits = 0
+        for off in range(0, 64 * 8, 4):
+            hits += len(index.matches(off))
+        return hits
+
+    hits = benchmark(run)
+    assert hits > 0
+
+
+def test_window_drain(benchmark):
+    """Facts flowing through byte windows under the Offsets strategy."""
+
+    def run():
+        program = Program()
+        strategy = Offsets()
+        engine = Engine(program, strategy)
+        a = program.objects.global_var("wa", int_t)
+        b = program.objects.global_var("wb", int_t)
+        engine.install_window(Window(dst=OffsetRef(b, 0), src=OffsetRef(a, 0), size=4))
+        for i in range(128):
+            tgt = program.objects.global_var(f"wt{i}", int_t)
+            engine.add_fact(OffsetRef(a, 0), OffsetRef(tgt, 0))
+        engine.drain()
+        return engine
+
+    engine = benchmark(run)
+    # Every fact at a+0 crossed the window to b+0.
+    assert len(engine.facts.points_to(OffsetRef(
+        engine.program.objects.lookup("wb"), 0))) == 128
+
+
+@pytest.mark.parametrize("key", sorted(STRATEGY_BY_KEY), ids=str)
+def test_strategy_memoized_solve(benchmark, key):
+    """End-to-end solve of the largest suite program (memo caches warm
+    within a run, cold across runs — each round builds a fresh strategy)."""
+    program = cached_program("bc")
+    benchmark(lambda: analyze(program, STRATEGY_BY_KEY[key]()))

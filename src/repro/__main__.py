@@ -66,6 +66,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--temps", action="store_true",
         help="include compiler temporaries in the full dump",
     )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="profile the analysis run with cProfile and print the top 20 "
+        "functions by cumulative time",
+    )
     return p
 
 
@@ -114,7 +119,18 @@ def main(argv: List[str] = None) -> int:
 
     engine = Engine(program, strategy,
                     assume_valid_pointers=not args.no_assumption_1)
-    result = engine.solve()
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = engine.solve()
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(20)
+    else:
+        result = engine.solve()
     print(f"# {program.summary()}")
     print(f"# strategy: {strategy.name}   facts: {result.facts.edge_count()}   "
           f"time: {result.stats.solve_seconds * 1000:.1f}ms")

@@ -1,6 +1,89 @@
-"""``python -m repro.bench`` — regenerate every table and figure."""
+"""``python -m repro.bench`` — regenerate every table and figure.
 
-from .harness import run_all
+Options::
+
+    python -m repro.bench                       # all four figures, 3 repeats
+    python -m repro.bench --repeats 1           # fast smoke run
+    python -m repro.bench --jobs 8              # fan programs over 8 workers
+    python -m repro.bench --programs bc,yacr2   # subset of the suite
+    python -m repro.bench --figures 3,4,6       # deterministic figures only
+    python -m repro.bench --write-baseline      # refresh BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from ..suite.registry import SUITE, by_name
+from .harness import run_all, write_baseline
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures (§5).",
+    )
+    p.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="timed solves per (program, strategy) for Figure 5 "
+        "(minimum is reported; default: 3)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the suite fan-out "
+        "(default: CPU count; 1 = serial)",
+    )
+    p.add_argument(
+        "--programs", default=None, metavar="NAME[,NAME...]",
+        help="run only these suite programs (comma-separated)",
+    )
+    p.add_argument(
+        "--figures", default="3,4,5,6", metavar="N[,N...]",
+        help="which figures to produce (default: 3,4,5,6)",
+    )
+    p.add_argument(
+        "--write-baseline", nargs="?", const="BENCH_engine.json",
+        default=None, metavar="PATH",
+        help="also dump the per-program/per-strategy measurements as JSON "
+        "(default path: BENCH_engine.json)",
+    )
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    programs = None
+    if args.programs:
+        programs = []
+        for name in (n.strip() for n in args.programs.split(",") if n.strip()):
+            try:
+                programs.append(by_name(name))
+            except KeyError:
+                known = ", ".join(bp.name for bp in SUITE)
+                print(f"error: unknown program {name!r}; known: {known}",
+                      file=sys.stderr)
+                return 2
+    figures = [f.strip() for f in args.figures.split(",") if f.strip()]
+    bad = [f for f in figures if f not in ("3", "4", "5", "6")]
+    if bad or not figures:
+        print(f"error: --figures must name figures 3-6, got {args.figures!r}",
+              file=sys.stderr)
+        return 2
+
+    t0 = time.perf_counter()
+    data = run_all(repeats=args.repeats, jobs=args.jobs, programs=programs,
+                   figures=figures)
+    wall = time.perf_counter() - t0
+    if args.write_baseline:
+        write_baseline(args.write_baseline, data, repeats=args.repeats,
+                       wall_seconds=wall)
+        print(f"# baseline written to {args.write_baseline} "
+              f"({len(data)} measurements, {wall:.1f}s wall)", file=sys.stderr)
+    return 0
+
 
 if __name__ == "__main__":
-    run_all()
+    sys.exit(main())

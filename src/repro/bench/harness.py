@@ -17,30 +17,52 @@ Each ``figureN`` returns structured rows; ``format_figureN`` renders the
 paper-style text table.  :func:`run_all` regenerates everything (used by
 ``python -m repro.bench``).
 
-Timing methodology: :func:`figure5` re-runs each analysis ``repeats``
-times and keeps the minimum solve time, which is the standard way to
-reduce scheduler noise for ratio reporting; the pytest-benchmark targets
-in ``benchmarks/bench_figure5.py`` provide statistically richer timings.
+Shared collection pass
+----------------------
+
+The four exhibits consume overlapping slices of the same underlying
+measurements, so the harness runs one *collection pass*
+(:func:`collect_results`): each suite program is parsed once, analyzed
+under every strategy it needs (with ``repeats`` timed solves per
+casting-program/strategy pair for Figure 5), and every exhibit then
+assembles its rows from the shared :class:`SuiteResult` records.  The
+per-program jobs are embarrassingly parallel and fan out across worker
+processes (``jobs=``); each worker keeps the Figure 5 timing loop fully
+inside the process so solve times are never polluted by IPC.  Results
+are returned in deterministic (suite) order regardless of ``jobs``.
+
+Timing methodology: Figure 5 keeps the minimum solve time over
+``repeats`` runs, which is the standard way to reduce scheduler noise
+for ratio reporting; the pytest-benchmark targets in
+``benchmarks/bench_figure5.py`` provide statistically richer timings.
+
+:func:`write_baseline` dumps the collection pass as JSON
+(``BENCH_engine.json`` at the repo root is the committed baseline) so
+the perf trajectory of the engine is tracked across changes.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 from dataclasses import dataclass
-from typing import Dict, List, Optional, TextIO
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
 
 from ..clients.derefstats import deref_stats
 from ..core import ALL_STRATEGIES, analyze
-from ..core.engine import Result
+from ..core.engine import EngineStats, Result
 from ..frontend import program_from_c
 from ..ir.program import Program
-from ..suite.registry import SUITE, BenchmarkProgram, casting_programs, load_source
+from ..suite.registry import SUITE, BenchmarkProgram, by_name, casting_programs, load_source
 
 __all__ = [
     "Figure3Row",
     "Figure4Row",
     "RatioRow",
+    "SuiteResult",
     "analyze_suite_program",
+    "collect_results",
     "figure3",
     "figure4",
     "figure5",
@@ -49,9 +71,12 @@ __all__ = [
     "format_figure4",
     "format_ratios",
     "run_all",
+    "write_baseline",
 ]
 
 STRATEGY_ORDER = [cls.key for cls in ALL_STRATEGIES]
+#: The two portable casting-aware algorithms Figure 3 instruments.
+FIGURE3_KEYS = ("collapse_on_cast", "common_initial_sequence")
 _HEADERS = {
     "collapse_always": "Collapse Always",
     "collapse_on_cast": "Collapse on Cast",
@@ -81,6 +106,144 @@ def analyze_suite_program(bp: BenchmarkProgram, strategy_key: str,
 
 
 # ---------------------------------------------------------------------------
+# The shared collection pass.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SuiteResult:
+    """One (program, strategy) measurement from the collection pass.
+
+    Picklable (plain strings/numbers/dicts only), so records cross the
+    worker-process boundary unchanged.
+    """
+
+    program: str
+    strategy: str
+    casting: bool
+    loc: int
+    stmts: int
+    #: :meth:`EngineStats.as_dict` of the first (result-bearing) run.
+    stats: Dict[str, float]
+    edges: int
+    deref_average: float
+    #: Minimum solve time over ``repeats`` runs (Figure 5 methodology).
+    solve_seconds: float
+    repeats: int
+
+    @property
+    def engine_stats(self) -> EngineStats:
+        return EngineStats.from_dict(self.stats)
+
+
+#: key of the collection mapping: (program name, strategy key).
+ResultMap = Dict[Tuple[str, str], SuiteResult]
+
+
+def _suite_worker(job: Tuple[str, Tuple[str, ...], int]) -> List[dict]:
+    """Analyze one program under several strategies (runs in a worker).
+
+    Parses the program once, performs ``repeats`` timed solves per
+    strategy (timing stays inside this process), and returns plain-dict
+    records.  The analysis result (stats, edges, deref average) is taken
+    from the first run — solves are deterministic, so re-runs only serve
+    the timing minimum.
+    """
+    name, keys, repeats = job
+    bp = by_name(name)
+    source = load_source(bp)
+    program = program_from_c(source, name=bp.name)
+    loc = loc_of(source)
+    stmts = program.stmt_count()
+    out: List[dict] = []
+    for key in keys:
+        first: Optional[Result] = None
+        best: Optional[float] = None
+        for _ in range(max(repeats, 1)):
+            res = analyze_suite_program(bp, key, program)
+            if first is None:
+                first = res
+            t = res.stats.solve_seconds
+            best = t if best is None or t < best else best
+        assert first is not None
+        out.append(
+            dict(
+                program=name,
+                strategy=key,
+                casting=bp.casting,
+                loc=loc,
+                stmts=stmts,
+                stats=first.stats.as_dict(),
+                edges=first.facts.edge_count(),
+                deref_average=deref_stats(first).average,
+                solve_seconds=best or 0.0,
+                repeats=max(repeats, 1),
+            )
+        )
+    return out
+
+
+def _default_jobs() -> int:
+    return os.cpu_count() or 1
+
+
+def collect_results(
+    repeats: int = 3,
+    jobs: Optional[int] = None,
+    programs: Optional[Sequence[BenchmarkProgram]] = None,
+    figures: Iterable[str] = ("3", "4", "5", "6"),
+) -> ResultMap:
+    """Run the shared collection pass.
+
+    ``jobs=None`` or ``1`` runs serially in-process; ``jobs>1`` fans the
+    per-program jobs out over a process pool.  ``figures`` trims the work
+    to what the requested exhibits need (e.g. without Figure 5 no timing
+    repeats are run; without Figure 3 the no-cast programs are skipped).
+    """
+    figures = {str(f) for f in figures}
+    suite = list(programs) if programs is not None else list(SUITE)
+    want_casting = bool(figures & {"4", "5", "6"})
+    timing_repeats = repeats if "5" in figures else 1
+
+    jobs_list: List[Tuple[str, Tuple[str, ...], int]] = []
+    for bp in suite:
+        if bp.casting and want_casting:
+            keys = tuple(
+                dict.fromkeys(
+                    (list(FIGURE3_KEYS) if "3" in figures else []) + STRATEGY_ORDER
+                )
+            )
+            jobs_list.append((bp.name, keys, timing_repeats))
+        elif "3" in figures:
+            jobs_list.append((bp.name, FIGURE3_KEYS, 1))
+
+    if jobs is None or jobs <= 1 or len(jobs_list) <= 1:
+        batches = [_suite_worker(j) for j in jobs_list]
+    else:
+        import multiprocessing as mp
+
+        method = "fork" if "fork" in mp.get_all_start_methods() else None
+        ctx = mp.get_context(method)
+        with ctx.Pool(min(jobs, len(jobs_list))) as pool:
+            batches = pool.map(_suite_worker, jobs_list)
+
+    data: ResultMap = {}
+    for batch in batches:
+        for rec in batch:
+            sr = SuiteResult(**rec)
+            data[(sr.program, sr.strategy)] = sr
+    return data
+
+
+def _ensure(data: Optional[ResultMap], figures: Iterable[str],
+            repeats: int = 1) -> ResultMap:
+    """Use ``data`` if given, else run a minimal serial collection."""
+    if data is not None:
+        return data
+    return collect_results(repeats=repeats, jobs=None, figures=figures)
+
+
+# ---------------------------------------------------------------------------
 # Figure 3
 # ---------------------------------------------------------------------------
 
@@ -97,28 +260,32 @@ class Figure3Row:
     mismatch_pct: Dict[str, float]
 
 
-def figure3() -> List[Figure3Row]:
+def figure3(data: Optional[ResultMap] = None) -> List[Figure3Row]:
     """Figure 3: program sizes and lookup/resolve instrumentation."""
+    data = _ensure(data, figures=("3",))
     rows: List[Figure3Row] = []
     for bp in SUITE:
-        source = load_source(bp)
-        program = program_from_c(source, name=bp.name)
         struct_pct: Dict[str, float] = {}
         mismatch_pct: Dict[str, float] = {}
-        for key in ("collapse_on_cast", "common_initial_sequence"):
-            res = analyze_suite_program(bp, key, program)
-            s = res.stats
-            calls = s.lookup_calls + s.resolve_calls
-            struct = s.lookup_struct_calls + s.resolve_struct_calls
-            mismatch = s.lookup_mismatch_calls + s.resolve_mismatch_calls
+        rec = None
+        for key in FIGURE3_KEYS:
+            rec = data.get((bp.name, key))
+            if rec is None:
+                continue
+            s = rec.stats
+            calls = s["lookup_calls"] + s["resolve_calls"]
+            struct = s["lookup_struct_calls"] + s["resolve_struct_calls"]
+            mismatch = s["lookup_mismatch_calls"] + s["resolve_mismatch_calls"]
             struct_pct[key] = 100.0 * struct / calls if calls else 0.0
             mismatch_pct[key] = 100.0 * mismatch / struct if struct else 0.0
+        if rec is None:
+            continue
         rows.append(
             Figure3Row(
                 name=bp.name,
                 casting=bp.casting,
-                loc=loc_of(source),
-                stmts=program.stmt_count(),
+                loc=rec.loc,
+                stmts=rec.stmts,
                 struct_pct=struct_pct,
                 mismatch_pct=mismatch_pct,
             )
@@ -163,17 +330,24 @@ class Figure4Row:
     averages: Dict[str, float]
 
 
-def figure4() -> List[Figure4Row]:
+def _casting_names(data: ResultMap) -> List[str]:
+    """Casting programs present in ``data``, in suite order."""
+    present = {name for (name, _key) in data}
+    return [bp.name for bp in casting_programs() if bp.name in present]
+
+
+def figure4(data: Optional[ResultMap] = None) -> List[Figure4Row]:
     """Figure 4: average deref points-to set size, 12 casting programs."""
-    rows: List[Figure4Row] = []
-    for bp in casting_programs():
-        program = load_program(bp)
-        averages = {
-            key: deref_stats(analyze_suite_program(bp, key, program)).average
-            for key in STRATEGY_ORDER
-        }
-        rows.append(Figure4Row(name=bp.name, averages=averages))
-    return rows
+    data = _ensure(data, figures=("4",))
+    return [
+        Figure4Row(
+            name=name,
+            averages={
+                key: data[(name, key)].deref_average for key in STRATEGY_ORDER
+            },
+        )
+        for name in _casting_names(data)
+    ]
 
 
 def format_figure4(rows: List[Figure4Row]) -> str:
@@ -206,34 +380,32 @@ class RatioRow:
         return {k: v / base for k, v in self.values.items()}
 
 
-def figure5(repeats: int = 3) -> List[RatioRow]:
+def figure5(repeats: int = 3, data: Optional[ResultMap] = None) -> List[RatioRow]:
     """Figure 5: analysis time per algorithm (normalize to Offsets)."""
-    rows: List[RatioRow] = []
-    for bp in casting_programs():
-        program = load_program(bp)
-        values: Dict[str, float] = {}
-        for key in STRATEGY_ORDER:
-            best = None
-            for _ in range(max(repeats, 1)):
-                res = analyze_suite_program(bp, key, program)
-                t = res.stats.solve_seconds
-                best = t if best is None or t < best else best
-            values[key] = best or 0.0
-        rows.append(RatioRow(name=bp.name, values=values))
-    return rows
+    data = _ensure(data, figures=("5",), repeats=repeats)
+    return [
+        RatioRow(
+            name=name,
+            values={
+                key: data[(name, key)].solve_seconds for key in STRATEGY_ORDER
+            },
+        )
+        for name in _casting_names(data)
+    ]
 
 
-def figure6() -> List[RatioRow]:
+def figure6(data: Optional[ResultMap] = None) -> List[RatioRow]:
     """Figure 6: total points-to edges per algorithm."""
-    rows: List[RatioRow] = []
-    for bp in casting_programs():
-        program = load_program(bp)
-        values = {
-            key: float(analyze_suite_program(bp, key, program).facts.edge_count())
-            for key in STRATEGY_ORDER
-        }
-        rows.append(RatioRow(name=bp.name, values=values))
-    return rows
+    data = _ensure(data, figures=("6",))
+    return [
+        RatioRow(
+            name=name,
+            values={
+                key: float(data[(name, key)].edges) for key in STRATEGY_ORDER
+            },
+        )
+        for name in _casting_names(data)
+    ]
 
 
 def format_ratios(rows: List[RatioRow], title: str, unit: str) -> str:
@@ -258,18 +430,89 @@ def format_ratios(rows: List[RatioRow], title: str, unit: str) -> str:
 
 
 # ---------------------------------------------------------------------------
-def run_all(out: TextIO = sys.stdout, repeats: int = 3) -> None:
-    """Regenerate all four exhibits and print them."""
-    print(format_figure3(figure3()), file=out)
-    print("", file=out)
-    print(format_figure4(figure4()), file=out)
-    print("", file=out)
-    print(
-        format_ratios(figure5(repeats), "Figure 5: analysis-time ratios", "seconds"),
-        file=out,
-    )
-    print("", file=out)
-    print(
-        format_ratios(figure6(), "Figure 6: points-to edge ratios", "edges"),
-        file=out,
-    )
+# Baseline writer (perf trajectory tracking).
+# ---------------------------------------------------------------------------
+
+
+def write_baseline(path: str, data: ResultMap, repeats: int,
+                   wall_seconds: Optional[float] = None) -> None:
+    """Dump a collection pass to JSON (``BENCH_engine.json`` schema v1).
+
+    Per program and strategy: min solve seconds, points-to edges, and the
+    full :class:`EngineStats` record; plus field-wise totals (via
+    :meth:`EngineStats.merged` — no hand-rolled field lists).
+    """
+    programs: Dict[str, dict] = {}
+    for (name, key), rec in sorted(data.items()):
+        entry = programs.setdefault(
+            name,
+            {"casting": rec.casting, "loc": rec.loc, "stmts": rec.stmts,
+             "strategies": {}},
+        )
+        entry["strategies"][key] = {
+            "solve_seconds": round(rec.solve_seconds, 6),
+            "edges": rec.edges,
+            "deref_average": round(rec.deref_average, 6),
+            "stats": rec.stats,
+        }
+    totals = EngineStats.merged(r.engine_stats for r in data.values())
+    doc = {
+        "schema": 1,
+        "tool": "python -m repro.bench --write-baseline",
+        "repeats": repeats,
+        "strategy_order": STRATEGY_ORDER,
+        "programs": programs,
+        "totals": {
+            "measurements": len(data),
+            "min_solve_seconds_sum": round(
+                sum(r.solve_seconds for r in data.values()), 6
+            ),
+            "edges_sum": sum(r.edges for r in data.values()),
+            "stats": totals.as_dict(),
+        },
+    }
+    if wall_seconds is not None:
+        doc["wall_seconds"] = round(wall_seconds, 3)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+def run_all(
+    out: Optional[TextIO] = None,
+    repeats: int = 3,
+    jobs: Optional[int] = None,
+    programs: Optional[Sequence[BenchmarkProgram]] = None,
+    figures: Iterable[str] = ("3", "4", "5", "6"),
+) -> ResultMap:
+    """Regenerate the requested exhibits and print them.
+
+    One shared collection pass feeds every figure; ``jobs`` defaults to
+    the machine's CPU count.  Returns the collected data so callers
+    (e.g. the baseline writer) can reuse it.
+    """
+    figures = [str(f) for f in figures]
+    if out is None:
+        out = sys.stdout
+    if jobs is None:
+        jobs = _default_jobs()
+    data = collect_results(repeats=repeats, jobs=jobs, programs=programs,
+                           figures=figures)
+    blocks: List[str] = []
+    if "3" in figures:
+        blocks.append(format_figure3(figure3(data)))
+    if "4" in figures:
+        blocks.append(format_figure4(figure4(data)))
+    if "5" in figures:
+        blocks.append(
+            format_ratios(figure5(repeats, data),
+                          "Figure 5: analysis-time ratios", "seconds")
+        )
+    if "6" in figures:
+        blocks.append(
+            format_ratios(figure6(data), "Figure 6: points-to edge ratios",
+                          "edges")
+        )
+    print("\n\n".join(blocks), file=out)
+    return data

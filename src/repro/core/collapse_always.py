@@ -36,8 +36,21 @@ class CollapseAlways(Strategy):
     key = "collapse_always"
     portable = True
 
+    def __init__(self, layout=None) -> None:
+        super().__init__(layout)
+        # Every ref of an object collapses to the same whole-object ref;
+        # cache it per object (keys use id(obj), values pin the object).
+        self._whole_cache: dict = {}
+
+    def _whole(self, obj: AbstractObject) -> FieldRef:
+        hit = self._whole_cache.get(id(obj))
+        if hit is None:
+            hit = (obj, FieldRef(obj, ()))
+            self._whole_cache[id(obj)] = hit
+        return hit[1]
+
     def normalize(self, ref: FieldRef) -> Ref:
-        return FieldRef(ref.obj, ())
+        return self._whole(ref.obj)
 
     def lookup(
         self, tau: CType, alpha: Sequence[str], target: Ref
@@ -47,7 +60,7 @@ class CollapseAlways(Strategy):
             or isinstance(target.obj.type, StructType),
             mismatch=False,  # Collapse Always never tests types (paper §5).
         )
-        return [FieldRef(target.obj, ())], info
+        return [self._whole(target.obj)], info
 
     def resolve(
         self, dst: Ref, src: Ref, tau: CType
@@ -58,11 +71,11 @@ class CollapseAlways(Strategy):
             or isinstance(src.obj.type, StructType),
             mismatch=False,
         )
-        pair = (FieldRef(dst.obj, ()), FieldRef(src.obj, ()))
+        pair = (self._whole(dst.obj), self._whole(src.obj))
         return [pair], info
 
     def all_refs(self, obj: AbstractObject) -> List[Ref]:
-        return [FieldRef(obj, ())]
+        return [self._whole(obj)]
 
     def target_weight(self, ref: Ref) -> int:
         return leaf_count(ref.obj.type)

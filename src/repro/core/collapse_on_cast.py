@@ -62,6 +62,13 @@ class CollapseOnCast(Strategy):
     key = "collapse_on_cast"
     portable = True
 
+    def __init__(self, layout=None) -> None:
+        super().__init__(layout)
+        # Memo for the private ``_lookup`` (the entry resolve() iterates
+        # per field position, uncounted per footnote 7).  Values pin τ
+        # because keys use id(τ).
+        self._priv_lookup_cache: dict = {}
+
     # ------------------------------------------------------------------
     def normalize(self, ref: FieldRef) -> Ref:
         return FieldRef(ref.obj, normalize_path(ref.obj.type, ref.path))
@@ -78,6 +85,19 @@ class CollapseOnCast(Strategy):
         return refs, info
 
     def _lookup(
+        self, tau: CType, alpha: Tuple[str, ...], target: FieldRef
+    ) -> Tuple[List[Ref], bool]:
+        """Memoized core lookup; results depend only on the arguments
+        (plus the fixed layout), never on analysis facts.  Callers must
+        not mutate the returned list."""
+        key = (id(tau), alpha, target)
+        hit = self._priv_lookup_cache.get(key)
+        if hit is None:
+            hit = (tau, self._lookup_uncached(tau, alpha, target))
+            self._priv_lookup_cache[key] = hit
+        return hit[1]
+
+    def _lookup_uncached(
         self, tau: CType, alpha: Tuple[str, ...], target: FieldRef
     ) -> Tuple[List[Ref], bool]:
         """Core lookup; returns (refs, type-matched?).

@@ -55,17 +55,21 @@ class CommonInitialSequence(CollapseOnCast):
     key = "common_initial_sequence"
     portable = True
 
-    def _lookup(
+    def _lookup_uncached(
         self, tau: CType, alpha: Tuple[str, ...], target: FieldRef
     ) -> Tuple[List[Ref], bool]:
+        # (The memoizing ``_lookup`` wrapper is inherited from
+        # CollapseOnCast; this override supplies the CIS semantics.)
         obj_type = target.obj.type
         tau = _skip_arrays(tau)
         candidates = prefix_candidates(obj_type, target.path)
 
         # Non-structure τ (and unions, which are collapsed): behave like
         # Collapse on Cast — exact compatibility or conservative suffix.
+        # Call the raw implementation: going through the memo wrapper
+        # here would collide with this call's own cache key.
         if not isinstance(tau, StructType) or isinstance(tau, UnionType):
-            return super()._lookup(tau, alpha, target)
+            return super()._lookup_uncached(tau, alpha, target)
 
         # Normalize the selector within τ's own frame so that an empty α
         # (a whole-object access) becomes τ's first-field chain and its

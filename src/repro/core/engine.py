@@ -30,9 +30,10 @@ route them through their private ``_lookup``).
 from __future__ import annotations
 
 import time
+from bisect import bisect_right
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..ctype.types import CType
 from ..ir.objects import AbstractObject, ObjKind
@@ -103,6 +104,33 @@ class EngineStats:
             else 0.0
         )
 
+    # ------------------------------------------------------------------
+    # Serialization / aggregation (bench harness, JSON baselines).
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, float]:
+        """All counters as a flat ``field name -> value`` dict."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, float]) -> "EngineStats":
+        """Rebuild stats from :meth:`as_dict` output (extra keys ignored)."""
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in d.items() if k in names})
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Field-wise sum of two stats records (counters and seconds)."""
+        return EngineStats(
+            **{f.name: getattr(self, f.name) + getattr(other, f.name) for f in fields(self)}
+        )
+
+    @classmethod
+    def merged(cls, stats: Iterable["EngineStats"]) -> "EngineStats":
+        """Field-wise sum of any number of stats records."""
+        total = cls()
+        for s in stats:
+            total = total.merge(s)
+        return total
+
 
 @dataclass
 class Result:
@@ -159,6 +187,53 @@ class Result:
 _Callback = Callable[[Ref], None]
 
 
+class _WindowIndex:
+    """Interval index over one object's windows: sorted by ``lo`` + bisect.
+
+    ``matches(off)`` finds every window ``[lo, hi)`` containing ``off``
+    without scanning the whole list: windows are kept sorted by ``lo``,
+    a bisect bounds the candidates to those with ``lo <= off``, and a
+    prefix-maximum over ``hi`` lets the right-to-left scan stop as soon
+    as no remaining candidate can still cover ``off``.  Inserts are
+    O(n) (rare — once per installed window); queries are O(log n + k).
+    """
+
+    __slots__ = ("los", "his", "dsts", "pmax")
+
+    def __init__(self) -> None:
+        self.los: List[int] = []
+        self.his: List[int] = []
+        self.dsts: List[Tuple[AbstractObject, int]] = []
+        #: pmax[j] = max(his[0..j]) — the early-out bound for matches().
+        self.pmax: List[int] = []
+
+    def insert(self, lo: int, size: int, dst_obj: AbstractObject, dst_base: int) -> None:
+        hi = lo + size
+        i = bisect_right(self.los, lo)
+        self.los.insert(i, lo)
+        self.his.insert(i, hi)
+        self.dsts.insert(i, (dst_obj, dst_base))
+        self.pmax.insert(i, 0)
+        run = self.pmax[i - 1] if i else 0
+        for j in range(i, len(self.los)):
+            h = self.his[j]
+            if h > run:
+                run = h
+            self.pmax[j] = run
+
+    def matches(self, off: int) -> List[Tuple[int, AbstractObject, int]]:
+        """All ``(lo, dst_obj, dst_base)`` whose window contains ``off``."""
+        out: List[Tuple[int, AbstractObject, int]] = []
+        los, his, dsts, pmax = self.los, self.his, self.dsts, self.pmax
+        j = bisect_right(los, off) - 1
+        while j >= 0 and pmax[j] > off:
+            if his[j] > off:
+                d = dsts[j]
+                out.append((los[j], d[0], d[1]))
+            j -= 1
+        return out
+
+
 class Engine:
     """Run one strategy over one program to the least fixpoint."""
 
@@ -180,11 +255,15 @@ class Engine:
         self._unknown: Optional[AbstractObject] = None
         self.facts = FactBase()
         self.stats = EngineStats()
+        # Delta batching: sources with pending facts, and the per-source
+        # delta lists.  A source appears in the worklist at most once per
+        # pending batch; drain pops the whole batch at a time.
         self._worklist: deque = deque()
+        self._pending: Dict[Ref, List[Ref]] = {}
         self._copy_edges: Dict[Ref, List[Ref]] = {}
         self._edge_set: Set[Tuple[Ref, Ref]] = set()
-        # Windows indexed by source object: (lo, size, dst_obj, dst_base).
-        self._windows: Dict[AbstractObject, List[Tuple[int, int, AbstractObject, int]]] = {}
+        # Windows indexed by source object (interval index per object).
+        self._windows: Dict[AbstractObject, _WindowIndex] = {}
         self._window_set: Set[Tuple[AbstractObject, int, int, AbstractObject, int]] = set()
         self._subs: Dict[Ref, List[_Callback]] = {}
         self._bound: Set[Tuple[int, AbstractObject]] = set()
@@ -225,7 +304,9 @@ class Engine:
     # Instrumented strategy calls.
     # ------------------------------------------------------------------
     def _lookup(self, tau: CType, alpha: Sequence[str], target: Ref):
-        refs, info = self.strategy.lookup(tau, alpha, target)
+        # The memo cache sits below this boundary: counters bump per
+        # *call* (hit or miss), keeping Figure 3 bit-identical.
+        refs, info = self.strategy.cached_lookup(tau, alpha, target)
         self.stats.lookup_calls += 1
         if info.involved_struct:
             self.stats.lookup_struct_calls += 1
@@ -234,7 +315,7 @@ class Engine:
         return refs
 
     def _resolve(self, dst: Ref, src: Ref, tau: CType):
-        res, info = self.strategy.resolve(dst, src, tau)
+        res, info = self.strategy.cached_resolve(dst, src, tau)
         self.stats.resolve_calls += 1
         if info.involved_struct:
             self.stats.resolve_struct_calls += 1
@@ -252,7 +333,12 @@ class Engine:
                 raise AnalysisBudgetExceeded(
                     f"more than {self.max_facts} facts; aborting"
                 )
-            self._worklist.append((src, dst))
+            pending = self._pending.get(src)
+            if pending is None:
+                self._pending[src] = [dst]
+                self._worklist.append(src)
+            else:
+                pending.append(dst)
 
     def install_copy_edge(self, src: Ref, dst: Ref) -> None:
         """Facts at ``src`` flow to ``dst``, now and in the future."""
@@ -264,7 +350,9 @@ class Engine:
         self._edge_set.add(key)
         self.stats.copy_edges += 1
         self._copy_edges.setdefault(src, []).append(dst)
-        for tgt in self.facts.points_to(src):
+        # Live view is safe here: add_fact only touches dst's target set,
+        # and dst != src.
+        for tgt in self.facts.points_to_view(src):
             self.add_fact(dst, tgt)
 
     def install_window(self, w: Window) -> None:
@@ -274,10 +362,12 @@ class Engine:
             return
         self._window_set.add(key)
         self.stats.windows += 1
-        self._windows.setdefault(w.src.obj, []).append(
-            (w.src.offset, w.size, w.dst.obj, w.dst.offset)
-        )
-        for ref in self.facts.refs_of_obj(w.src.obj):
+        index = self._windows.get(w.src.obj)
+        if index is None:
+            index = self._windows[w.src.obj] = _WindowIndex()
+        index.insert(w.src.offset, w.size, w.dst.obj, w.dst.offset)
+        # Snapshot: window hits may add facts on refs of this same object.
+        for ref in tuple(self.facts.refs_of_obj_view(w.src.obj)):
             if isinstance(ref, OffsetRef) and w.src.offset <= ref.offset < w.src.offset + w.size:
                 self._window_hit(ref, w.src.offset, w.dst.obj, w.dst.offset)
 
@@ -289,7 +379,9 @@ class Engine:
         dst_ref = self.strategy.canon_offset_ref(OffsetRef(dst_obj, m))
         if dst_ref is None:
             return
-        for tgt in self.facts.points_to(src_ref):
+        # Live view is safe: when dst_ref == src_ref every add is a
+        # duplicate (no mutation); otherwise a different set is touched.
+        for tgt in self.facts.points_to_view(src_ref):
             self.add_fact(dst_ref, tgt)
 
     def install_resolve_result(self, res) -> None:
@@ -310,7 +402,9 @@ class Engine:
                 cb(tgt)
 
         self._subs.setdefault(ptr_ref, []).append(wrapped)
-        for tgt in self.facts.points_to(ptr_ref):
+        # Snapshot: the callback may add facts on ptr_ref itself (e.g. a
+        # self-referential statement), which would mutate the live set.
+        for tgt in tuple(self.facts.points_to_view(ptr_ref)):
             wrapped(tgt)
 
     def cross_subscribe(
@@ -439,20 +533,46 @@ class Engine:
     # The fixpoint loop.
     # ------------------------------------------------------------------
     def drain(self) -> None:
-        """Process pending facts until the worklist is empty."""
-        while self._worklist:
-            src, dst = self._worklist.popleft()
-            for edge_dst in self._copy_edges.get(src, ()):
-                self.add_fact(edge_dst, dst)
-            if isinstance(src, OffsetRef):
-                for lo, size, dobj, dbase in self._windows.get(src.obj, ()):
-                    if lo <= src.offset < lo + size:
-                        m = dbase + (src.offset - lo)
-                        dref = self.strategy.canon_offset_ref(OffsetRef(dobj, m))  # type: ignore[attr-defined]
+        """Process pending facts until the worklist is empty.
+
+        Delta-batched: each worklist entry is a *source* whose pending
+        facts are flushed as one batch, so edge lists, the window index,
+        and subscriber lists are consulted once per batch instead of once
+        per fact.  Subscriber lists are iterated in place (list iteration
+        tolerates appends; a subscriber added mid-batch replays existing
+        facts itself and its per-pointee dedup absorbs the overlap).
+        """
+        worklist = self._worklist
+        pending = self._pending
+        copy_edges = self._copy_edges
+        windows = self._windows
+        subs = self._subs
+        add_fact = self.add_fact
+        while worklist:
+            src = worklist.popleft()
+            delta = pending.pop(src, None)
+            if not delta:
+                continue
+            edges = copy_edges.get(src)
+            if edges:
+                for edge_dst in edges:
+                    for dst in delta:
+                        add_fact(edge_dst, dst)
+            if type(src) is OffsetRef:
+                index = windows.get(src.obj)
+                if index is not None:
+                    off = src.offset
+                    canon = self.strategy.canon_offset_ref  # type: ignore[attr-defined]
+                    for lo, dobj, dbase in index.matches(off):
+                        dref = canon(OffsetRef(dobj, dbase + (off - lo)))
                         if dref is not None:
-                            self.add_fact(dref, dst)
-            for cb in list(self._subs.get(src, ())):
-                cb(dst)
+                            for dst in delta:
+                                add_fact(dref, dst)
+            cbs = subs.get(src)
+            if cbs:
+                for cb in cbs:
+                    for dst in delta:
+                        cb(dst)
 
     def solve(self) -> Result:
         t0 = time.perf_counter()

@@ -12,7 +12,19 @@ The base maintains two indices:
   matching of the "Offsets" resolve.
 
 The total number of facts is the paper's "number of points-to edges"
-(Figure 6), used as the space-cost proxy for each algorithm.
+(Figure 6), used as the space-cost proxy for each algorithm; it is
+maintained incrementally in :meth:`add` so ``edge_count`` is O(1).
+
+Two access layers
+-----------------
+
+``points_to``/``refs_of_obj`` return *frozenset copies* — the stable
+public API for clients and tests.  The engine's hot loops instead use
+``points_to_view``/``refs_of_obj_view``, which expose the live internal
+sets without allocating.  A view must not be iterated across a mutation
+of the same source's target set (resp. the same object's ref set);
+engine call sites that may re-enter ``add`` on the iterated key snapshot
+the view first (see ``Engine.subscribe`` / ``Engine.install_window``).
 """
 
 from __future__ import annotations
@@ -24,6 +36,8 @@ from ..ir.refs import Ref
 
 __all__ = ["FactBase"]
 
+_EMPTY: frozenset = frozenset()
+
 
 class FactBase:
     """Set of ``pointsTo`` facts with the indices the engine needs."""
@@ -31,6 +45,7 @@ class FactBase:
     def __init__(self) -> None:
         self._succ: Dict[Ref, Set[Ref]] = {}
         self._by_obj: Dict[AbstractObject, Set[Ref]] = {}
+        self._count = 0
 
     # ------------------------------------------------------------------
     def add(self, src: Ref, dst: Ref) -> bool:
@@ -43,12 +58,25 @@ class FactBase:
         if dst in targets:
             return False
         targets.add(dst)
+        self._count += 1
         return True
 
     def points_to(self, src: Ref) -> FrozenSet[Ref]:
-        """The current points-to set of ``src`` (empty if none)."""
+        """The current points-to set of ``src`` (empty if none).
+
+        Returns an immutable copy, safe to hold across further ``add``
+        calls; the engine's hot loops use :meth:`points_to_view` instead.
+        """
         targets = self._succ.get(src)
-        return frozenset(targets) if targets else frozenset()
+        return frozenset(targets) if targets else _EMPTY
+
+    def points_to_view(self, src: Ref):
+        """Allocation-free view of ``src``'s points-to set.
+
+        The returned set is the live internal index: do not iterate it
+        across an ``add(src, ...)`` on the same source.
+        """
+        return self._succ.get(src, _EMPTY)
 
     def has(self, src: Ref, dst: Ref) -> bool:
         targets = self._succ.get(src)
@@ -58,7 +86,11 @@ class FactBase:
     def refs_of_obj(self, obj: AbstractObject) -> FrozenSet[Ref]:
         """All source references into ``obj`` that currently hold facts."""
         refs = self._by_obj.get(obj)
-        return frozenset(refs) if refs else frozenset()
+        return frozenset(refs) if refs else _EMPTY
+
+    def refs_of_obj_view(self, obj: AbstractObject):
+        """Allocation-free view of ``obj``'s source references (live set)."""
+        return self._by_obj.get(obj, _EMPTY)
 
     def sources(self) -> Iterator[Ref]:
         """All references with a non-empty points-to set."""
@@ -71,14 +103,14 @@ class FactBase:
 
     # ------------------------------------------------------------------
     def edge_count(self) -> int:
-        """Total number of points-to facts (Figure 6's metric)."""
-        return sum(len(t) for t in self._succ.values())
+        """Total number of points-to facts (Figure 6's metric); O(1)."""
+        return self._count
 
     def __len__(self) -> int:
-        return self.edge_count()
+        return self._count
 
     def __repr__(self) -> str:
-        return f"<FactBase: {self.edge_count()} facts, {len(self._succ)} sources>"
+        return f"<FactBase: {self._count} facts, {len(self._succ)} sources>"
 
     # ------------------------------------------------------------------
     def pretty(self, limit: int = 0) -> str:

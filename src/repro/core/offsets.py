@@ -44,6 +44,13 @@ class Offsets(Strategy):
     key = "offsets"
     portable = False
 
+    def __init__(self, layout=None) -> None:
+        super().__init__(layout)
+        # canon_offset_ref is called once per (window, delta-batch) in the
+        # engine's drain loop; memoize per (object, offset).  Values pin
+        # the object because keys use id(obj).
+        self._canon_cache: dict = {}
+
     # ------------------------------------------------------------------
     def normalize(self, ref: FieldRef) -> Ref:
         try:
@@ -88,6 +95,15 @@ class Offsets(Strategy):
 
     # ------------------------------------------------------------------
     def canon_offset_ref(self, ref: OffsetRef) -> Optional[OffsetRef]:
+        """Memoized canonicalization; see :meth:`_canon_offset_ref_uncached`."""
+        key = (id(ref.obj), ref.offset)
+        hit = self._canon_cache.get(key)
+        if hit is None:
+            hit = (ref.obj, self._canon_offset_ref_uncached(ref))
+            self._canon_cache[key] = hit
+        return hit[1]
+
+    def _canon_offset_ref_uncached(self, ref: OffsetRef) -> Optional[OffsetRef]:
         """Canonicalize an offset reference; ``None`` when out of bounds.
 
         Folds array offsets to the representative element and drops

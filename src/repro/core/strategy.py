@@ -94,6 +94,45 @@ class Strategy(abc.ABC):
         #: Layout engine; only the non-portable strategy consults it, but
         #: all strategies carry one so clients can ask layout questions.
         self.layout = layout or Layout()
+        # Memo tables for cached_lookup/cached_resolve.  Values pin the
+        # type object (cache keys use id(τ) — cheaper than structural
+        # hashing — so the entry must keep τ alive against id reuse).
+        self._lookup_cache: dict = {}
+        self._resolve_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # Memoized entry points (used by the engine's hot path).
+    # ------------------------------------------------------------------
+    def cached_lookup(
+        self, tau: CType, alpha: Sequence[str], target: Ref
+    ) -> Tuple[List[Ref], CallInfo]:
+        """Memoized :meth:`lookup`.
+
+        Strategies are stateless with respect to analysis facts, so a
+        ``lookup`` result depends only on ``(τ, α, target)`` (plus the
+        layout, fixed per instance) and can be cached for the lifetime of
+        the strategy.  The cache sits *below* the engine's instrumentation
+        boundary: the engine counts every call, hit or miss, so Figure 3
+        percentages are unchanged.  Callers must not mutate the returned
+        list.
+        """
+        key = (id(tau), tuple(alpha), target)
+        hit = self._lookup_cache.get(key)
+        if hit is None:
+            hit = (tau, self.lookup(tau, alpha, target))
+            self._lookup_cache[key] = hit
+        return hit[1]
+
+    def cached_resolve(
+        self, dst: Ref, src: Ref, tau: CType
+    ) -> Tuple["ResolveResult", CallInfo]:
+        """Memoized :meth:`resolve`; same contract as :meth:`cached_lookup`."""
+        key = (id(tau), dst, src)
+        hit = self._resolve_cache.get(key)
+        if hit is None:
+            hit = (tau, self.resolve(dst, src, tau))
+            self._resolve_cache[key] = hit
+        return hit[1]
 
     # ------------------------------------------------------------------
     # The three functions of the paper.

@@ -37,6 +37,17 @@ class FieldRef:
         """The reference ``obj.path.more`` (paper's concatenation ``β.γ``)."""
         return FieldRef(self.obj, self.path + tuple(more))
 
+    def __hash__(self) -> int:
+        # Refs are the keys of every fact-base and worklist index, so the
+        # hash is cached on first use.  Objects hash by identity, so
+        # hashing id(obj) is equivalent and skips a method call.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            h = hash((id(self.obj), self.path))
+            object.__setattr__(self, "_hash", h)
+            return h
+
     def __repr__(self) -> str:
         if not self.path:
             return self.obj.name
@@ -49,6 +60,14 @@ class OffsetRef:
 
     obj: AbstractObject
     offset: int = 0
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            h = hash((id(self.obj), self.offset))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self) -> str:
         return f"{self.obj.name}+{self.offset}"

@@ -1,0 +1,137 @@
+"""Tests for the parallel bench harness collection pass, the
+``python -m repro.bench`` CLI, and the JSON baseline writer."""
+
+import io
+import json
+
+import pytest
+
+from repro.bench.__main__ import build_parser, main
+from repro.bench.harness import (
+    FIGURE3_KEYS,
+    STRATEGY_ORDER,
+    collect_results,
+    figure3,
+    figure4,
+    figure6,
+    format_figure3,
+    format_figure4,
+    run_all,
+    write_baseline,
+)
+from repro.suite.registry import by_name
+
+# Two small casting programs keep the collection pass fast.
+SMOKE = [by_name("twig"), by_name("bc")]
+
+
+def _strip_timing(data):
+    """Collection results minus the (non-deterministic) solve times."""
+    out = {}
+    for key, rec in data.items():
+        d = dict(rec.__dict__)
+        d.pop("solve_seconds")
+        d["stats"] = {k: v for k, v in d["stats"].items() if k != "solve_seconds"}
+        out[key] = d
+    return out
+
+
+class TestCollectionPass:
+    def test_serial_matches_parallel(self):
+        serial = collect_results(repeats=1, jobs=1, programs=SMOKE)
+        parallel = collect_results(repeats=1, jobs=2, programs=SMOKE)
+        assert _strip_timing(serial) == _strip_timing(parallel)
+
+    def test_figures_trim_the_work(self):
+        only6 = collect_results(repeats=1, jobs=1, programs=SMOKE, figures=("6",))
+        # No figure 3 -> every record belongs to a casting program and
+        # covers exactly the four strategies.
+        assert {key for (_name, key) in only6} == set(STRATEGY_ORDER)
+        only3 = collect_results(
+            repeats=1, jobs=1, programs=[by_name("ul")], figures=("3",)
+        )
+        assert {key for (_name, key) in only3} == set(FIGURE3_KEYS)
+
+    def test_figures_assemble_from_shared_data(self):
+        data = collect_results(repeats=1, jobs=1, programs=SMOKE)
+        rows3 = figure3(data)
+        assert [r.name for r in rows3] == ["twig", "bc"]  # sorted by LOC
+        rows4 = figure4(data)
+        assert {r.name for r in rows4} == {"twig", "bc"}
+        for r in rows4:
+            assert set(r.averages) == set(STRATEGY_ORDER)
+        rows6 = figure6(data)
+        for r in rows6:
+            assert r.normalized()["offsets"] == pytest.approx(1.0)
+        # The formatted tables render without error.
+        assert "twig" in format_figure3(rows3)
+        assert "bc" in format_figure4(rows4)
+
+    def test_standalone_figures_still_work(self):
+        # Without a shared pass the figures collect their own data.
+        rows = figure6(collect_results(repeats=1, jobs=1, programs=SMOKE))
+        assert len(rows) == 2
+
+
+class TestRunAll:
+    def test_run_all_prints_requested_figures(self):
+        buf = io.StringIO()
+        data = run_all(out=buf, repeats=1, jobs=1, programs=SMOKE,
+                       figures=("4", "6"))
+        text = buf.getvalue()
+        assert "Figure 4" in text and "Figure 6" in text
+        assert "Figure 3" not in text and "Figure 5" not in text
+        assert ("bc", "offsets") in data
+
+
+class TestBenchCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.repeats == 3 and args.jobs is None
+        assert args.write_baseline is None
+
+    def test_main_smoke(self, capsys):
+        rc = main(["--repeats", "1", "--jobs", "1",
+                   "--programs", "twig", "--figures", "4,6"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "twig" in out
+
+    def test_main_rejects_unknown_program(self, capsys):
+        assert main(["--programs", "nope"]) == 2
+        assert "unknown program" in capsys.readouterr().err
+
+    def test_main_rejects_bad_figure(self, capsys):
+        assert main(["--figures", "7"]) == 2
+        assert "--figures" in capsys.readouterr().err
+
+
+class TestBaselineWriter:
+    def test_write_baseline_schema(self, tmp_path):
+        data = collect_results(repeats=1, jobs=1, programs=[by_name("twig")])
+        path = tmp_path / "BENCH_engine.json"
+        write_baseline(str(path), data, repeats=1, wall_seconds=1.5)
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == 1
+        assert doc["strategy_order"] == STRATEGY_ORDER
+        assert doc["wall_seconds"] == 1.5
+        prog = doc["programs"]["twig"]
+        assert prog["casting"] is True
+        assert set(prog["strategies"]) == set(STRATEGY_ORDER)
+        offsets = prog["strategies"]["offsets"]
+        assert offsets["edges"] > 0
+        assert offsets["stats"]["facts"] == offsets["edges"]
+        # Totals are EngineStats field sums — spot-check one counter.
+        assert doc["totals"]["stats"]["facts"] == sum(
+            s["stats"]["facts"] for s in prog["strategies"].values()
+        )
+        assert doc["totals"]["measurements"] == len(data)
+
+    def test_main_writes_baseline(self, tmp_path, capsys):
+        path = tmp_path / "base.json"
+        rc = main(["--repeats", "1", "--jobs", "1", "--programs", "twig",
+                   "--figures", "6", "--write-baseline", str(path)])
+        assert rc == 0
+        doc = json.loads(path.read_text())
+        assert doc["repeats"] == 1
+        assert set(doc["programs"]) == {"twig"}

@@ -1,0 +1,238 @@
+"""Tests for the delta-driven engine's performance layer: incremental
+fact counting, allocation-free views, the window interval index, the
+memoized strategy layer (and its Figure-3 invariant), EngineStats
+serialization/merging, analysis-budget behaviour on real programs, and
+the parallel bench harness."""
+
+import pytest
+
+from repro.core import ALL_STRATEGIES, STRATEGY_BY_KEY, analyze
+from repro.core.engine import (
+    AnalysisBudgetExceeded,
+    Engine,
+    EngineStats,
+    _WindowIndex,
+)
+from repro.core.facts import FactBase
+from repro.ctype.types import int_t, ptr
+from repro.frontend import program_from_c
+from repro.ir.objects import ObjectFactory
+from repro.ir.refs import FieldRef
+
+
+def fr(obj, *path):
+    return FieldRef(obj, tuple(path))
+
+
+SRC = """
+struct node { struct node *next; int *payload; };
+struct node a, b, c;
+int x, y;
+void main(void) {
+    a.next = &b;
+    b.next = &c;
+    c.next = &a;
+    a.payload = &x;
+    b.payload = &y;
+    c.payload = a.next->payload;
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# FactBase: incremental counting and views.
+# ---------------------------------------------------------------------------
+
+
+class TestFactBaseCounting:
+    def test_count_incremental_with_duplicates(self):
+        objs = ObjectFactory()
+        fb = FactBase()
+        t = objs.global_var("t", int_t)
+        srcs = [objs.global_var(f"s{i}", ptr(int_t)) for i in range(5)]
+        for s in srcs:
+            assert fb.add(fr(s), fr(t)) is True
+            assert fb.add(fr(s), fr(t)) is False  # duplicate: count unchanged
+        assert fb.edge_count() == 5
+        assert len(fb) == 5
+
+    def test_views_match_public_api(self):
+        objs = ObjectFactory()
+        fb = FactBase()
+        a = objs.global_var("a", ptr(int_t))
+        x = objs.global_var("x", int_t)
+        y = objs.global_var("y", int_t)
+        fb.add(fr(a), fr(x))
+        fb.add(fr(a), fr(y))
+        assert set(fb.points_to_view(fr(a))) == set(fb.points_to(fr(a)))
+        assert set(fb.refs_of_obj_view(a)) == set(fb.refs_of_obj(a))
+        # Missing keys: empty, and no index entry is created by the probe.
+        assert fb.points_to_view(fr(x)) == frozenset()
+        assert fb.refs_of_obj_view(x) == frozenset()
+        assert fb.edge_count() == 2
+
+    def test_public_api_returns_stable_copies(self):
+        objs = ObjectFactory()
+        fb = FactBase()
+        a = objs.global_var("a", ptr(int_t))
+        x = objs.global_var("x", int_t)
+        y = objs.global_var("y", int_t)
+        fb.add(fr(a), fr(x))
+        snapshot = fb.points_to(fr(a))
+        fb.add(fr(a), fr(y))
+        assert snapshot == frozenset({fr(x)})  # unaffected by later adds
+
+
+# ---------------------------------------------------------------------------
+# Window interval index.
+# ---------------------------------------------------------------------------
+
+
+class TestWindowIndex:
+    @staticmethod
+    def _key(hit):
+        lo, dobj, dbase = hit
+        return (lo, id(dobj), dbase)
+
+    def _brute(self, windows, off):
+        return sorted(
+            (
+                (lo, dobj, dbase)
+                for lo, size, dobj, dbase in windows
+                if lo <= off < lo + size
+            ),
+            key=self._key,
+        )
+
+    def test_matches_brute_force(self):
+        objs = ObjectFactory()
+        dsts = [objs.global_var(f"d{i}", int_t) for i in range(4)]
+        windows = [
+            (0, 8, dsts[0], 0),
+            (4, 16, dsts[1], 8),
+            (4, 2, dsts[2], 0),
+            (24, 8, dsts[3], 4),
+            (0, 40, dsts[0], 100),  # long window spanning everything
+        ]
+        index = _WindowIndex()
+        for lo, size, dobj, dbase in windows:
+            index.insert(lo, size, dobj, dbase)
+        for off in range(-2, 48):
+            got = sorted(index.matches(off), key=self._key)
+            assert got == self._brute(windows, off), f"offset {off}"
+
+    def test_incremental_inserts_keep_index_consistent(self):
+        objs = ObjectFactory()
+        d = objs.global_var("d", int_t)
+        index = _WindowIndex()
+        windows = []
+        for lo, size in [(10, 4), (0, 30), (12, 2), (8, 1), (20, 10)]:
+            windows.append((lo, size, d, lo))
+            index.insert(lo, size, d, lo)
+            for off in range(0, 35):
+                assert sorted(index.matches(off), key=self._key) == self._brute(windows, off)
+
+
+# ---------------------------------------------------------------------------
+# Memoized strategy layer.
+# ---------------------------------------------------------------------------
+
+
+class TestStrategyMemoization:
+    @pytest.mark.parametrize("cls", ALL_STRATEGIES, ids=lambda c: c.key)
+    def test_reused_strategy_instance_matches_fresh(self, cls):
+        """A strategy reused across programs (warm caches) must produce
+        the same facts and the same Figure-3 counters as fresh ones."""
+        shared = cls()
+        progs = [program_from_c(SRC, name=f"p{i}") for i in range(2)]
+        for prog in progs:
+            warm = analyze(prog, shared)
+            cold = analyze(prog, cls())
+            assert warm.facts.edge_count() == cold.facts.edge_count()
+            assert {(repr(s), repr(d)) for s, d in warm.facts.all_facts()} == {
+                (repr(s), repr(d)) for s, d in cold.facts.all_facts()
+            }
+            wd, cd = warm.stats.as_dict(), cold.stats.as_dict()
+            wd.pop("solve_seconds"), cd.pop("solve_seconds")
+            assert wd == cd
+
+    def test_cached_lookup_counts_every_call(self):
+        """The memo cache sits below the instrumentation boundary: hits
+        still increment the engine's per-call counters."""
+        prog = program_from_c(SRC)
+        res = analyze(prog, STRATEGY_BY_KEY["common_initial_sequence"]())
+        strategy = res.strategy
+        before = res.stats.lookup_calls
+        assert before > 0
+        # Re-running one instrumented lookup through a fresh engine on the
+        # same (warm) strategy instance must bump the counter again.
+        engine = Engine(prog, strategy)
+        engine.solve()
+        assert engine.stats.lookup_calls == before
+
+    def test_cached_results_are_consistent(self):
+        prog = program_from_c(SRC)
+        strategy = STRATEGY_BY_KEY["offsets"]()
+        analyze(prog, strategy)
+        obj = prog.objects.lookup("a")
+        target = strategy.normalize(FieldRef(obj, ()))
+        tau = obj.type
+        r1 = strategy.cached_lookup(tau, ("next",), target)
+        r2 = strategy.cached_lookup(tau, ("next",), target)
+        assert r1 == r2
+        cold = strategy.lookup(tau, ("next",), target)
+        assert r1[0] == cold[0] and r1[1] == cold[1]
+
+
+# ---------------------------------------------------------------------------
+# EngineStats serialization / aggregation.
+# ---------------------------------------------------------------------------
+
+
+class TestEngineStatsHelpers:
+    def test_as_dict_round_trip(self):
+        s = EngineStats(lookup_calls=3, resolve_calls=5, facts=7,
+                        solve_seconds=0.25)
+        d = s.as_dict()
+        assert d["lookup_calls"] == 3 and d["solve_seconds"] == 0.25
+        assert EngineStats.from_dict(d) == s
+        # Unknown keys (e.g. from a newer baseline schema) are ignored.
+        d["future_field"] = 1
+        assert EngineStats.from_dict(d) == s
+
+    def test_merge_sums_fields(self):
+        a = EngineStats(lookup_calls=1, facts=2, solve_seconds=0.5)
+        b = EngineStats(lookup_calls=10, facts=20, solve_seconds=0.25)
+        m = a.merge(b)
+        assert m.lookup_calls == 11 and m.facts == 22
+        assert m.solve_seconds == pytest.approx(0.75)
+
+    def test_merged_many(self):
+        parts = [EngineStats(resolve_calls=i) for i in range(5)]
+        assert EngineStats.merged(parts).resolve_calls == 10
+        assert EngineStats.merged([]) == EngineStats()
+
+
+# ---------------------------------------------------------------------------
+# Analysis budget on a real program.
+# ---------------------------------------------------------------------------
+
+
+class TestAnalysisBudget:
+    @pytest.mark.parametrize("cls", ALL_STRATEGIES, ids=lambda c: c.key)
+    def test_tiny_budget_raises_with_partial_stats(self, cls):
+        prog = program_from_c(SRC)
+        engine = Engine(prog, cls(), max_facts=1)
+        with pytest.raises(AnalysisBudgetExceeded):
+            engine.solve()
+        # The partial run is observable: the counter crossed the budget
+        # and the facts added before the abort are still in the base.
+        assert engine.stats.facts == 2
+        assert engine.facts.edge_count() == 2
+        assert engine.stats.facts == engine.facts.edge_count()
+
+    def test_generous_budget_unaffected(self):
+        prog = program_from_c(SRC)
+        res = analyze(prog, STRATEGY_BY_KEY["common_initial_sequence"](),
+                      max_facts=1_000_000)
+        assert res.stats.facts == res.facts.edge_count() > 0
