@@ -8,6 +8,7 @@ Options::
     python -m repro.bench --programs bc,yacr2   # subset of the suite
     python -m repro.bench --figures 3,4,6       # deterministic figures only
     python -m repro.bench --write-baseline      # refresh BENCH_engine.json
+    python -m repro.bench --check-baseline      # fail on precision drift
 """
 
 from __future__ import annotations
@@ -18,7 +19,7 @@ import time
 from typing import List, Optional
 
 from ..suite.registry import SUITE, by_name
-from .harness import run_all, write_baseline
+from .harness import compare_to_baseline, run_all, write_baseline
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,6 +50,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None, metavar="PATH",
         help="also dump the per-program/per-strategy measurements as JSON "
         "(default path: BENCH_engine.json)",
+    )
+    p.add_argument(
+        "--check-baseline", nargs="?", const="BENCH_engine.json",
+        default=None, metavar="PATH",
+        help="diff the run against a baseline JSON: edges, fact counts and "
+        "deref averages must match exactly (timings are reported, not "
+        "gated); exits 1 on precision drift (default path: BENCH_engine.json)",
     )
     return p
 
@@ -82,6 +90,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                        wall_seconds=wall)
         print(f"# baseline written to {args.write_baseline} "
               f"({len(data)} measurements, {wall:.1f}s wall)", file=sys.stderr)
+    if args.check_baseline:
+        ok, report = compare_to_baseline(args.check_baseline, data)
+        print(report, file=sys.stderr)
+        if not ok:
+            return 1
     return 0
 
 

@@ -72,6 +72,7 @@ __all__ = [
     "format_ratios",
     "run_all",
     "write_baseline",
+    "compare_to_baseline",
 ]
 
 STRATEGY_ORDER = [cls.key for cls in ALL_STRATEGIES]
@@ -476,6 +477,75 @@ def write_baseline(path: str, data: ResultMap, repeats: int,
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+#: Stats fields excluded from the precision gate: timings, and the
+#: collapse counters (they describe *how* the fixpoint was reached —
+#: propagation-order dependent — not *what* it computed).
+_UNGATED_STATS = ("solve_seconds", "sccs_collapsed", "props_saved")
+
+
+def compare_to_baseline(path: str, data: ResultMap) -> Tuple[bool, str]:
+    """Diff a collection pass against a committed baseline JSON.
+
+    The precision-bearing measurements — points-to edge counts, logical
+    fact counts and the rest of the order-independent
+    :class:`EngineStats` counters, and per-dereference averages — must
+    match the baseline *exactly* for every (program, strategy) pair the
+    baseline records; any drift is a failure.  Timings are reported for
+    context but never gated (CI machines are too noisy to gate on).
+
+    Returns ``(ok, report)``; ``report`` is a human-readable summary.
+    """
+    with open(path) as fh:
+        base = json.load(fh)
+
+    problems: List[str] = []
+    checked = 0
+    for name, entry in sorted(base.get("programs", {}).items()):
+        for key, brec in sorted(entry.get("strategies", {}).items()):
+            rec = data.get((name, key))
+            if rec is None:
+                problems.append(f"{name}/{key}: measurement missing from run")
+                continue
+            checked += 1
+            if rec.edges != brec["edges"]:
+                problems.append(
+                    f"{name}/{key}: edges {rec.edges} != baseline {brec['edges']}"
+                )
+            if round(rec.deref_average, 6) != brec["deref_average"]:
+                problems.append(
+                    f"{name}/{key}: deref_average {rec.deref_average:.6f} "
+                    f"!= baseline {brec['deref_average']:.6f}"
+                )
+            for field, bval in sorted(brec["stats"].items()):
+                if field in _UNGATED_STATS:
+                    continue
+                got = rec.stats.get(field, 0)
+                if got != bval:
+                    problems.append(
+                        f"{name}/{key}: stats.{field} {got} != baseline {bval}"
+                    )
+
+    base_time = base.get("totals", {}).get("min_solve_seconds_sum")
+    run_time = sum(
+        data[k].solve_seconds
+        for k in data
+        if k[0] in base.get("programs", {})
+        and k[1] in base["programs"][k[0]].get("strategies", {})
+    )
+    lines = [
+        f"baseline check vs {path}: {checked} measurements compared, "
+        f"{len(problems)} mismatches"
+    ]
+    if base_time is not None:
+        delta = 100.0 * (run_time - base_time) / base_time if base_time else 0.0
+        lines.append(
+            f"timing (informational): min-solve sum {run_time:.3f}s "
+            f"vs baseline {base_time:.3f}s ({delta:+.1f}%)"
+        )
+    lines.extend(problems)
+    return (not problems, "\n".join(lines))
 
 
 # ---------------------------------------------------------------------------

@@ -40,12 +40,12 @@ class CollapseAlways(Strategy):
         super().__init__(layout)
         # Every ref of an object collapses to the same whole-object ref;
         # cache it per object (keys use id(obj), values pin the object).
-        self._whole_cache: dict = {}
+        self._whole_cache: dict = self.shared_cache("whole")
 
     def _whole(self, obj: AbstractObject) -> FieldRef:
         hit = self._whole_cache.get(id(obj))
         if hit is None:
-            hit = (obj, FieldRef(obj, ()))
+            hit = (obj, self.canon_ref(FieldRef(obj, ())))
             self._whole_cache[id(obj)] = hit
         return hit[1]
 

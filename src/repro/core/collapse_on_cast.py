@@ -67,11 +67,11 @@ class CollapseOnCast(Strategy):
         # Memo for the private ``_lookup`` (the entry resolve() iterates
         # per field position, uncounted per footnote 7).  Values pin τ
         # because keys use id(τ).
-        self._priv_lookup_cache: dict = {}
+        self._priv_lookup_cache: dict = self.shared_cache("priv_lookup")
 
     # ------------------------------------------------------------------
     def normalize(self, ref: FieldRef) -> Ref:
-        return FieldRef(ref.obj, normalize_path(ref.obj.type, ref.path))
+        return self.canon_ref(FieldRef(ref.obj, normalize_path(ref.obj.type, ref.path)))
 
     # ------------------------------------------------------------------
     def lookup(
@@ -90,12 +90,12 @@ class CollapseOnCast(Strategy):
         """Memoized core lookup; results depend only on the arguments
         (plus the fixed layout), never on analysis facts.  Callers must
         not mutate the returned list."""
-        key = (id(tau), alpha, target)
+        key = (id(tau), alpha, id(target))
         hit = self._priv_lookup_cache.get(key)
         if hit is None:
-            hit = (tau, self._lookup_uncached(tau, alpha, target))
+            hit = (tau, target, self._lookup_uncached(tau, alpha, target))
             self._priv_lookup_cache[key] = hit
-        return hit[1]
+        return hit[2]
 
     def _lookup_uncached(
         self, tau: CType, alpha: Tuple[str, ...], target: FieldRef
@@ -112,14 +112,16 @@ class CollapseOnCast(Strategy):
             if compatible(_skip_arrays(delta_type), tau):
                 full = delta + alpha
                 try:
-                    return [FieldRef(target.obj, normalize_path(obj_type, full))], True
+                    return [
+                        self.canon_ref(FieldRef(target.obj, normalize_path(obj_type, full)))
+                    ], True
                 except (KeyError, TypeError):
                     # α names fields τ has but the candidate lacks (possible
                     # only with exotic compatibility edge cases): fall back
                     # to the conservative branch.
                     break
         refs: List[Ref] = [
-            FieldRef(target.obj, p)
+            self.canon_ref(FieldRef(target.obj, p))
             for p in positions_at_or_after(obj_type, target.path)
         ]
         return refs, False
@@ -137,10 +139,13 @@ class CollapseOnCast(Strategy):
             matched_all = matched_all and dm and sm
             for d in dst_refs:
                 for s in src_refs:
-                    key = (d, s)
+                    # _lookup returns canonical instances, so the dedup
+                    # can key on identity (int hashes) instead of
+                    # re-hashing both refs per pair.
+                    key = (id(d), id(s))
                     if key not in seen:
                         seen.add(key)
-                        pairs.append(key)
+                        pairs.append((d, s))
         info = CallInfo(
             involved_struct=self._involves_struct(tau, dst)
             or self._involves_struct(tau, src),
@@ -160,7 +165,7 @@ class CollapseOnCast(Strategy):
 
     # ------------------------------------------------------------------
     def all_refs(self, obj: AbstractObject) -> List[Ref]:
-        return [FieldRef(obj, p) for p in normalized_positions(obj.type)]
+        return [self.canon_ref(FieldRef(obj, p)) for p in normalized_positions(obj.type)]
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -102,7 +102,9 @@ class CommonInitialSequence(CollapseOnCast):
                 fa, fb = pair
                 full = best_delta + (fb.name,) + alpha_n[1:]
                 try:
-                    refs = [FieldRef(target.obj, normalize_path(obj_type, full))]
+                    refs = [
+                        self.canon_ref(FieldRef(target.obj, normalize_path(obj_type, full)))
+                    ]
                     # The access is covered by the guarantee; report a type
                     # mismatch only when it was not a full-type match.
                     exact = compatible(tau, _skip_arrays(
@@ -117,10 +119,10 @@ class CommonInitialSequence(CollapseOnCast):
         if best_cis:
             last = best_delta + (best_cis[-1][1].name,)
             start = self._position_after_subtree(obj_type, last)
-            refs = [FieldRef(target.obj, p) for p in (start or [])]
+            refs = [self.canon_ref(FieldRef(target.obj, p)) for p in (start or [])]
         else:
             refs = [
-                FieldRef(target.obj, p)
+                self.canon_ref(FieldRef(target.obj, p))
                 for p in positions_at_or_after(obj_type, target.path)
             ]
         if not refs and target.obj.is_heap:
@@ -132,7 +134,7 @@ class CommonInitialSequence(CollapseOnCast):
             # writes and reads through mismatched casts still meet.
             tail = normalized_positions(obj_type)
             if tail:
-                refs = [FieldRef(target.obj, tail[-1])]
+                refs = [self.canon_ref(FieldRef(target.obj, tail[-1]))]
         return refs, False
 
     @staticmethod

@@ -13,6 +13,23 @@ The engine evaluates the rules of Figure 2 *incrementally* (semi-naive):
   pairs, the portable strategies) or *windows* (byte ranges, the "Offsets"
   strategy), along which every present and future fact flows.
 
+Data plane (see :mod:`repro.core.facts`): every normalized reference is
+interned to a dense integer ID, points-to sets are Python-int bitsets,
+and copy edges live in an ID-indexed adjacency map, so one propagation
+step is a single big-int union instead of per-fact set traffic.  On top
+of that the engine performs **online cycle collapsing**: copy-edge
+cycles — ubiquitous once ``resolve`` installs bidirectional field
+copies — are detected lazily (a propagation that adds nothing triggers a
+reachability probe back along the copy graph, à la Hardekopf–Lin's Lazy
+Cycle Detection) and their sources are merged in a union-find, after
+which the whole SCC holds one shared set and propagates once.  The
+worklist is a priority heap ordered by ref discovery index, so
+propagation roughly follows topological order of the constraint graph.
+Collapsing changes neither the least fixpoint nor any Figure 3/4/6
+number: SCC members provably hold identical sets at fixpoint, and all
+per-reference counts (``facts``, ``edge_count``) are maintained
+per *member*, not per class.
+
 Because edges/windows/subscriptions are installed persistently and
 de-duplicated, draining the worklist reaches exactly the least fixpoint of
 the paper's inference rules.  The engine also implements the
@@ -24,7 +41,10 @@ Instrumentation mirrors the paper's Figure 3: every ``lookup`` call (rule
 2) and ``resolve`` call (rules 3, 4, 5) is counted, along with whether it
 involved structures and whether the types failed to match; the ``lookup``
 calls made *inside* ``resolve`` are not counted (footnote 7 — strategies
-route them through their private ``_lookup``).
+route them through their private ``_lookup``).  Two engine-level counters
+track the collapsing machinery: ``sccs_collapsed`` (cycle-collapse
+events) and ``props_saved`` (edge propagations skipped because the edge
+became internal to a collapsed class).
 """
 
 from __future__ import annotations
@@ -33,6 +53,7 @@ import time
 from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass, field, fields
+from heapq import heappop, heappush
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..ctype.types import CType
@@ -76,6 +97,11 @@ class EngineStats:
     copy_edges: int = 0
     windows: int = 0
     calls_bound: int = 0
+    #: Copy-edge cycle-collapse events (each merges >= 2 sources).
+    sccs_collapsed: int = 0
+    #: Edge propagations skipped because the edge is internal to a
+    #: collapsed class (the work cycle collapsing eliminated).
+    props_saved: int = 0
     solve_seconds: float = 0.0
 
     @property
@@ -113,7 +139,8 @@ class EngineStats:
 
     @classmethod
     def from_dict(cls, d: Dict[str, float]) -> "EngineStats":
-        """Rebuild stats from :meth:`as_dict` output (extra keys ignored)."""
+        """Rebuild stats from :meth:`as_dict` output (extra keys ignored,
+        missing keys — e.g. a pre-collapse baseline — default to 0)."""
         names = {f.name for f in fields(cls)}
         return cls(**{k: v for k, v in d.items() if k in names})
 
@@ -255,17 +282,30 @@ class Engine:
         self._unknown: Optional[AbstractObject] = None
         self.facts = FactBase()
         self.stats = EngineStats()
-        # Delta batching: sources with pending facts, and the per-source
-        # delta lists.  A source appears in the worklist at most once per
-        # pending batch; drain pops the whole batch at a time.
-        self._worklist: deque = deque()
-        self._pending: Dict[Ref, List[Ref]] = {}
-        self._copy_edges: Dict[Ref, List[Ref]] = {}
-        self._edge_set: Set[Tuple[Ref, Ref]] = set()
+        # Priority worklist: a heap of ref IDs (the ID *is* the discovery
+        # index, so pops roughly follow topological order).  ``_pending``
+        # maps a class representative to its accumulated delta bitset; a
+        # rep is pushed when its pending entry is created and stale heap
+        # entries (drained or merged reps) are skipped on pop.
+        self._heap: List[int] = []
+        self._pending: Dict[int, int] = {}
+        # Copy edges: representative ID -> destination IDs (originals;
+        # mapped through union-find at propagation time).  ``_edge_bits``
+        # dedups on the *original* (src, dst) ID pair — a bitset of dst
+        # IDs per src ID — so the Figure 3 ``copy_edges`` counter is
+        # identical with and without collapsing.
+        self._copy_adj: Dict[int, List[int]] = {}
+        self._edge_bits: Dict[int, int] = {}
+        # Lazy cycle detection: (src_rep, dst_rep) pairs already probed.
+        self._lcd_done: Set[Tuple[int, int]] = set()
+        # Resolve results already installed, by identity (value pins the
+        # result object so its id cannot be reused).
+        self._installed_res: Dict[int, object] = {}
         # Windows indexed by source object (interval index per object).
         self._windows: Dict[AbstractObject, _WindowIndex] = {}
         self._window_set: Set[Tuple[AbstractObject, int, int, AbstractObject, int]] = set()
-        self._subs: Dict[Ref, List[_Callback]] = {}
+        # Subscribers, keyed by class representative (merged on collapse).
+        self._subs: Dict[int, List[_Callback]] = {}
         self._bound: Set[Tuple[int, AbstractObject]] = set()
         self._norm_cache: Dict[AbstractObject, Ref] = {}
         # Import here to avoid a module cycle (interproc imports Engine types).
@@ -324,36 +364,65 @@ class Engine:
         return res
 
     # ------------------------------------------------------------------
-    # Fact / edge / subscription plumbing.
+    # Fact / edge / subscription plumbing (ID layer).
     # ------------------------------------------------------------------
+    def _account(self, gained: int) -> None:
+        self.stats.facts += gained
+        if self.stats.facts > self.max_facts:
+            raise AnalysisBudgetExceeded(
+                f"more than {self.max_facts} facts; aborting"
+            )
+
+    def _enqueue(self, rep: int, bits: int) -> None:
+        pending = self._pending
+        cur = pending.get(rep)
+        if cur is None:
+            pending[rep] = bits
+            heappush(self._heap, rep)
+        else:
+            pending[rep] = cur | bits
+
     def add_fact(self, src: Ref, dst: Ref) -> None:
-        if self.facts.add(src, dst):
-            self.stats.facts += 1
-            if self.stats.facts > self.max_facts:
-                raise AnalysisBudgetExceeded(
-                    f"more than {self.max_facts} facts; aborting"
-                )
-            pending = self._pending.get(src)
-            if pending is None:
-                self._pending[src] = [dst]
-                self._worklist.append(src)
-            else:
-                pending.append(dst)
+        facts = self.facts
+        self._add_fact_ids(facts.intern(src), facts.intern(dst))
+
+    def _add_fact_ids(self, sid: int, did: int) -> None:
+        gain, rep = self.facts.add_id(sid, did)
+        if gain:
+            self._account(gain)
+            self._enqueue(rep, 1 << did)
+
+    def _add_bits(self, dst_id: int, bits: int) -> int:
+        """Union a delta bitset into ``dst``'s set; returns the new bits."""
+        new, gain, rep = self.facts.add_bits(dst_id, bits)
+        if gain:
+            self._account(gain)
+            self._enqueue(rep, new)
+        return new
 
     def install_copy_edge(self, src: Ref, dst: Ref) -> None:
         """Facts at ``src`` flow to ``dst``, now and in the future."""
         if src == dst:
             return
-        key = (src, dst)
-        if key in self._edge_set:
+        facts = self.facts
+        sid = facts.intern(src)
+        did = facts.intern(dst)
+        edge_bits = self._edge_bits
+        seen = edge_bits.get(sid, 0)
+        bit = 1 << did
+        if seen & bit:
             return
-        self._edge_set.add(key)
+        edge_bits[sid] = seen | bit
         self.stats.copy_edges += 1
-        self._copy_edges.setdefault(src, []).append(dst)
-        # Live view is safe here: add_fact only touches dst's target set,
-        # and dst != src.
-        for tgt in self.facts.points_to_view(src):
-            self.add_fact(dst, tgt)
+        rs = facts.find(sid)
+        if rs == facts.find(did):
+            # Edge internal to an already-collapsed class: the shared set
+            # makes it a permanent no-op.
+            return
+        self._copy_adj.setdefault(rs, []).append(did)
+        bits = facts.pts_bits(rs)
+        if bits:
+            self._add_bits(did, bits)
 
     def install_window(self, w: Window) -> None:
         """Byte-window copy edge (the "Offsets" resolve result)."""
@@ -379,13 +448,26 @@ class Engine:
         dst_ref = self.strategy.canon_offset_ref(OffsetRef(dst_obj, m))
         if dst_ref is None:
             return
-        # Live view is safe: when dst_ref == src_ref every add is a
-        # duplicate (no mutation); otherwise a different set is touched.
-        for tgt in self.facts.points_to_view(src_ref):
-            self.add_fact(dst_ref, tgt)
+        facts = self.facts
+        bits = facts.pts_bits(facts.intern(src_ref))
+        if bits:
+            self._add_bits(facts.intern(dst_ref), bits)
 
     def install_resolve_result(self, res) -> None:
-        """Install resolve output, whichever shape the strategy returned."""
+        """Install resolve output, whichever shape the strategy returned.
+
+        Results come from the strategy's memo tables, so the same list or
+        window object is handed back for every recurrence of a (dst, src,
+        τ) triple; once installed, re-installing it is a guaranteed no-op
+        (edges and windows are persistent and deduplicated), so the whole
+        pass is skipped by object identity.  The entry pins ``res``
+        against id reuse.
+        """
+        key = id(res)
+        installed = self._installed_res
+        if key in installed:
+            return
+        installed[key] = res
         if isinstance(res, Window):
             self.install_window(res)
         else:
@@ -394,18 +476,27 @@ class Engine:
 
     def subscribe(self, ptr_ref: Ref, cb: _Callback) -> None:
         """Run ``cb`` once for each distinct pointee of ``ptr_ref``."""
-        seen: Set[Ref] = set()
+        # Delivered refs are always the fact base's interned instances
+        # (decode returns them), one instance per logical ref, so the
+        # per-subscription dedup can key on object identity — an int
+        # hash — instead of structural ref hashing.
+        seen: Set[int] = set()
 
         def wrapped(tgt: Ref) -> None:
-            if tgt not in seen:
-                seen.add(tgt)
+            k = id(tgt)
+            if k not in seen:
+                seen.add(k)
                 cb(tgt)
 
-        self._subs.setdefault(ptr_ref, []).append(wrapped)
-        # Snapshot: the callback may add facts on ptr_ref itself (e.g. a
-        # self-referential statement), which would mutate the live set.
-        for tgt in tuple(self.facts.points_to_view(ptr_ref)):
-            wrapped(tgt)
+        facts = self.facts
+        rep = facts.find(facts.intern(ptr_ref))
+        self._subs.setdefault(rep, []).append(wrapped)
+        # decode() materializes a list, so the replay is safe even if the
+        # callback adds facts on ptr_ref itself (a self-referential stmt).
+        bits = facts.pts_bits(rep)
+        if bits:
+            for tgt in facts.decode(bits):
+                wrapped(tgt)
 
     def cross_subscribe(
         self, a_ref: Ref, b_ref: Ref, fn: Callable[[Ref, Ref], None]
@@ -432,6 +523,107 @@ class Engine:
         self.subscribe(b_ref, on_b)
 
     # ------------------------------------------------------------------
+    # Online cycle collapsing (lazy cycle detection + union-find).
+    # ------------------------------------------------------------------
+    def _maybe_collapse(self, src_rep: int, dst_rep: int) -> None:
+        """A no-op propagation along ``src -> dst`` hints at a cycle:
+        probe the copy graph for a path ``dst ->* src`` and, if one
+        exists, merge every class on it (they form a copy-edge cycle and
+        share one fixpoint set).  Each (src, dst) class pair is probed at
+        most once."""
+        key = (src_rep, dst_rep)
+        done = self._lcd_done
+        if key in done:
+            return
+        done.add(key)
+        path = self._cycle_path(dst_rep, src_rep)
+        if path is not None:
+            self._collapse(path)
+
+    def _cycle_path(self, start: int, goal: int) -> Optional[List[int]]:
+        """DFS over class-level copy edges for a path ``start ->* goal``.
+
+        Returns the classes on the path (including ``start`` and
+        ``goal``), or None when ``goal`` is unreachable.  The search only
+        expands classes whose points-to set equals the cycle candidates'
+        (the probe fires when ``start``'s and ``goal``'s sets have
+        converged, and every member of a copy cycle converges to that
+        same set) — pruning the DFS to the candidate SCC region instead
+        of the whole copy graph.  A path missed because an intermediate
+        set has not converged yet is only a deferred opportunity: a later
+        no-op propagation re-probes.
+        """
+        facts = self.facts
+        find = facts.find
+        pts = facts._pts
+        adj = self._copy_adj
+        start = find(start)
+        goal = find(goal)
+        if start == goal:
+            return None
+        want = pts[start]
+        stack: List[Tuple[int, Iterable[int]]] = [(start, iter(adj.get(start, ())))]
+        on_path = [start]
+        visited = {start}
+        while stack:
+            _node, edge_iter = stack[-1]
+            advanced = False
+            for tid in edge_iter:
+                t = find(tid)
+                if t == goal:
+                    on_path.append(goal)
+                    return on_path
+                if t not in visited:
+                    visited.add(t)
+                    if pts[t] != want:
+                        continue
+                    stack.append((t, iter(adj.get(t, ()))))
+                    on_path.append(t)
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                on_path.pop()
+        return None
+
+    def _collapse(self, nodes: List[int]) -> None:
+        """Merge the classes in ``nodes`` into one; move their adjacency,
+        subscribers, and pending deltas onto the surviving representative
+        and schedule the set difference for re-delivery."""
+        facts = self.facts
+        adj = self._copy_adj
+        subs = self._subs
+        pending = self._pending
+        root = nodes[0]
+        merged_any = False
+        for node in nodes[1:]:
+            rep, dead, gain, fresh = facts.union(root, node)
+            if rep == dead:  # already one class
+                root = rep
+                continue
+            merged_any = True
+            root = rep
+            if gain:
+                self._account(gain)
+            dead_adj = adj.pop(dead, None)
+            if dead_adj:
+                live = adj.get(rep)
+                if live is None:
+                    adj[rep] = dead_adj
+                else:
+                    live.extend(dead_adj)
+            dead_subs = subs.pop(dead, None)
+            if dead_subs:
+                live_subs = subs.get(rep)
+                # A fresh list: an in-flight drain iteration keeps the old.
+                subs[rep] = dead_subs if live_subs is None else live_subs + dead_subs
+            bits = pending.pop(dead, 0) | fresh
+            if bits:
+                self._enqueue(rep, bits)
+        if merged_any:
+            self.stats.sccs_collapsed += 1
+
+    # ------------------------------------------------------------------
     # Statement setup (rule installation).
     # ------------------------------------------------------------------
     def _setup_stmt(self, st: Stmt) -> None:
@@ -441,11 +633,13 @@ class Engine:
         elif isinstance(st, FieldAddr):
             # Rule 2: s = (τ) &((*p).α)
             tau_p = declared_pointee(st.ptr)
-            lhs_ref = self.norm_obj(st.lhs)
+            lhs_id = self.facts.intern(self.norm_obj(st.lhs))
 
-            def on_pointee(tgt: Ref, tau_p=tau_p, path=st.path, lhs_ref=lhs_ref) -> None:
+            def on_pointee(tgt: Ref, tau_p=tau_p, path=st.path, lhs_id=lhs_id) -> None:
+                intern = self.facts.intern
+                add = self._add_fact_ids
                 for r in self._lookup(tau_p, path, tgt):
-                    self.add_fact(lhs_ref, r)
+                    add(lhs_id, intern(r))
 
             self.subscribe(self.norm_obj(st.ptr), on_pointee)
         elif isinstance(st, Copy):
@@ -475,14 +669,16 @@ class Engine:
             # Assumption 1: the result may point to any sub-field of the
             # outermost object containing a pointee of any operand (or,
             # for refining strategies, a narrower arith_refs set).
-            lhs_ref = self.norm_obj(st.lhs)
+            lhs_id = self.facts.intern(self.norm_obj(st.lhs))
             for op in st.operands:
-                def on_pointee(tgt: Ref, lhs_ref=lhs_ref) -> None:
+                def on_pointee(tgt: Ref, lhs_id=lhs_id) -> None:
+                    intern = self.facts.intern
+                    add = self._add_fact_ids
                     if not self.assume_valid_pointers:
-                        self.add_fact(lhs_ref, self.unknown_ref())
+                        add(lhs_id, intern(self.unknown_ref()))
                         return
                     for r in self.strategy.arith_refs(tgt):
-                        self.add_fact(lhs_ref, r)
+                        add(lhs_id, intern(r))
 
                 self.subscribe(self.norm_obj(op), on_pointee)
         elif isinstance(st, Call):
@@ -533,45 +729,72 @@ class Engine:
     # The fixpoint loop.
     # ------------------------------------------------------------------
     def drain(self) -> None:
-        """Process pending facts until the worklist is empty.
+        """Process pending deltas until the worklist is empty.
 
-        Delta-batched: each worklist entry is a *source* whose pending
-        facts are flushed as one batch, so edge lists, the window index,
-        and subscriber lists are consulted once per batch instead of once
-        per fact.  Subscriber lists are iterated in place (list iteration
-        tolerates appends; a subscriber added mid-batch replays existing
-        facts itself and its per-pointee dedup absorbs the overlap).
+        Each heap entry names a class whose accumulated delta bitset is
+        flushed as one batch: copy edges receive the delta as a single
+        big-int union each, windows are matched once per member offset,
+        and subscribers get the decoded refs.  A propagation that adds
+        nothing triggers the lazy cycle probe (:meth:`_maybe_collapse`);
+        a collapse may merge the class being drained mid-batch, in which
+        case the remaining work re-resolves representatives on the fly
+        and over-deliveries are absorbed by bit- and seen-set dedup.
         """
-        worklist = self._worklist
+        heap = self._heap
         pending = self._pending
-        copy_edges = self._copy_edges
+        facts = self.facts
+        find = facts.find
+        adj = self._copy_adj
         windows = self._windows
         subs = self._subs
-        add_fact = self.add_fact
-        while worklist:
-            src = worklist.popleft()
-            delta = pending.pop(src, None)
+        add_bits = self._add_bits
+        while heap:
+            rep = find(heappop(heap))
+            delta = pending.pop(rep, 0)
             if not delta:
                 continue
-            edges = copy_edges.get(src)
+            edges = adj.get(rep)
             if edges:
-                for edge_dst in edges:
-                    for dst in delta:
-                        add_fact(edge_dst, dst)
-            if type(src) is OffsetRef:
-                index = windows.get(src.obj)
-                if index is not None:
-                    off = src.offset
-                    canon = self.strategy.canon_offset_ref  # type: ignore[attr-defined]
-                    for lo, dobj, dbase in index.matches(off):
-                        dref = canon(OffsetRef(dobj, dbase + (off - lo)))
-                        if dref is not None:
-                            for dst in delta:
-                                add_fact(dref, dst)
-            cbs = subs.get(src)
+                pts = facts._pts
+                for tid in tuple(edges):
+                    rt = find(tid)
+                    rep = find(rep)
+                    if rt == rep:
+                        self.stats.props_saved += 1
+                        continue
+                    if not add_bits(tid, delta):
+                        # No-op propagation: probe for a cycle, but only
+                        # once the two sets have converged — members of a
+                        # copy cycle always equalize before their final
+                        # no-op, and the equality test is a single big-int
+                        # compare vs. a full DFS over the copy graph.
+                        rt = find(tid)
+                        rep = find(rep)
+                        if rt != rep and pts[rep] == pts[rt]:
+                            self._maybe_collapse(rep, rt)
+            rep = find(rep)
+            if windows:
+                canon = self.strategy.canon_offset_ref  # type: ignore[attr-defined]
+                refs = facts._refs
+                intern = facts.intern
+                for m in tuple(facts._members[rep]):
+                    ref = refs[m]
+                    if type(ref) is OffsetRef:
+                        index = windows.get(ref.obj)
+                        if index is not None:
+                            off = ref.offset
+                            for lo, dobj, dbase in index.matches(off):
+                                dref = canon(OffsetRef(dobj, dbase + (off - lo)))
+                                if dref is not None:
+                                    add_bits(intern(dref), delta)
+            cbs = subs.get(rep)
             if cbs:
+                delta_refs = facts.decode(delta)
+                # List iteration tolerates appends; a subscriber added
+                # mid-batch replays existing facts itself and its
+                # per-pointee dedup absorbs the overlap.
                 for cb in cbs:
-                    for dst in delta:
+                    for dst in delta_refs:
                         cb(dst)
 
     def solve(self) -> Result:

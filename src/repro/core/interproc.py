@@ -87,7 +87,7 @@ def _qsort(engine: "Engine", call: Call) -> None:
         if info is None:
             return
         for param in info.params[:2]:
-            for r in engine.strategy.all_refs(t.obj):
+            for r in engine.strategy.cached_all_refs(t.obj):
                 engine.add_fact(engine.norm_obj(param), r)
 
     engine.cross_subscribe(engine.norm_obj(cmp_arg), engine.norm_obj(base_arg), on_pair)

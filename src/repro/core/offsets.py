@@ -49,7 +49,7 @@ class Offsets(Strategy):
         # canon_offset_ref is called once per (window, delta-batch) in the
         # engine's drain loop; memoize per (object, offset).  Values pin
         # the object because keys use id(obj).
-        self._canon_cache: dict = {}
+        self._canon_cache: dict = self.shared_cache("canon_offset")
 
     # ------------------------------------------------------------------
     def normalize(self, ref: FieldRef) -> Ref:
@@ -57,7 +57,9 @@ class Offsets(Strategy):
             off = self.layout.offsetof(ref.obj.type, ref.path)
         except (LayoutError, KeyError):
             off = 0
-        return OffsetRef(ref.obj, self.layout.canonical_offset(ref.obj.type, off))
+        return self.canon_ref(
+            OffsetRef(ref.obj, self.layout.canonical_offset(ref.obj.type, off))
+        )
 
     # ------------------------------------------------------------------
     def lookup(
@@ -127,7 +129,7 @@ class Offsets(Strategy):
                 limit = None
             if limit is not None and ref.offset >= limit:
                 return None
-        return OffsetRef(ref.obj, self.layout.canonical_offset(t, ref.offset))
+        return self.canon_ref(OffsetRef(ref.obj, self.layout.canonical_offset(t, ref.offset)))
 
     # ------------------------------------------------------------------
     def all_refs(self, obj: AbstractObject) -> List[Ref]:
@@ -135,4 +137,4 @@ class Offsets(Strategy):
             offs = self.layout.subfield_offsets(obj.type)
         except LayoutError:
             offs = [0]
-        return [OffsetRef(obj, o) for o in offs]
+        return [self.canon_ref(OffsetRef(obj, o)) for o in offs]

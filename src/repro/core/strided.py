@@ -48,7 +48,7 @@ class StridedOffsets(Offsets):
         assert isinstance(ref, OffsetRef)
         region = self._enclosing_array(ref.obj.type, ref.offset)
         if region is None:
-            return self.all_refs(ref.obj)
+            return self.cached_all_refs(ref.obj)
         # The pointee lies inside an array: element-stride arithmetic can
         # only reach the same intra-element offset of other elements, all
         # of which share the canonical (representative-element) offset.

@@ -98,11 +98,17 @@ def _align_up(n: int, a: int) -> int:
 
 @dataclass
 class _RecordLayout:
-    """Cached layout of one struct/union: offsets parallel to members."""
+    """Cached layout of one struct/union: offsets parallel to members.
+
+    ``type`` pins the keyed type object: the cache is keyed on
+    ``id(type)``, and a Layout instance may be shared process-wide, so
+    the entry must keep the type alive against id reuse.
+    """
 
     size: int
     align: int
     offsets: Tuple[int, ...]
+    type: object = None
 
 
 class Layout:
@@ -207,7 +213,7 @@ class Layout:
                 off += self._member_size(f)
                 align = max(align, a)
             size = _align_up(max(off, 1), align)
-        lay = _RecordLayout(size=size, align=align, offsets=tuple(offsets))
+        lay = _RecordLayout(size=size, align=align, offsets=tuple(offsets), type=t)
         self._records[id(t)] = lay
         return lay
 

@@ -42,7 +42,7 @@ class ObjKind(enum.Enum):
     VARARG = "vararg"
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class AbstractObject:
     """One abstract memory object.
 

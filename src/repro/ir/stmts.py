@@ -66,7 +66,7 @@ def declared_pointee(ptr_obj: AbstractObject) -> CType:
     return void
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Stmt:
     """Base class: provenance shared by every statement form."""
 
@@ -84,7 +84,7 @@ class Stmt:
         return id(self)
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class AddrOf(Stmt):
     """Form 1: ``s = (τ) &t.β`` — also used for ``p = malloc_i`` (heap)."""
 
@@ -95,7 +95,7 @@ class AddrOf(Stmt):
         return f"{self.lhs} = &{self.target!r}"
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class FieldAddr(Stmt):
     """Form 2: ``s = (τ) &((*p).α)``.
 
@@ -111,7 +111,7 @@ class FieldAddr(Stmt):
         return f"{self.lhs} = &((*{self.ptr}).{'.'.join(self.path)})"
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Copy(Stmt):
     """Form 3: ``s = (τ) t.β`` — block copy of ``sizeof(typeof(s))`` bytes."""
 
@@ -122,7 +122,7 @@ class Copy(Stmt):
         return f"{self.lhs} = {self.rhs!r}"
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Load(Stmt):
     """Form 4: ``s = (τ) *q``."""
 
@@ -133,7 +133,7 @@ class Load(Stmt):
         return f"{self.lhs} = *{self.ptr}"
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Store(Stmt):
     """Form 5: ``*p = (τ_p) t`` — copies ``sizeof(τ_p)`` bytes (Complication 4)."""
 
@@ -144,7 +144,7 @@ class Store(Stmt):
         return f"*{self.ptr} = {self.rhs}"
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class PtrArith(Stmt):
     """``s = q ⊕ r ...`` — arithmetic whose result may carry an address.
 
@@ -161,7 +161,7 @@ class PtrArith(Stmt):
         return f"{self.lhs} = arith({', '.join(o.name for o in self.operands)})"
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Call(Stmt):
     """A function call, direct (``callee`` is a FUNCTION object) or
     indirect (``callee`` is a pointer-valued object whose points-to set

@@ -11,6 +11,7 @@ from repro.bench.harness import (
     FIGURE3_KEYS,
     STRATEGY_ORDER,
     collect_results,
+    compare_to_baseline,
     figure3,
     figure4,
     figure6,
@@ -135,3 +136,62 @@ class TestBaselineWriter:
         doc = json.loads(path.read_text())
         assert doc["repeats"] == 1
         assert set(doc["programs"]) == {"twig"}
+
+
+class TestBaselineChecker:
+    def test_matching_run_passes(self, tmp_path):
+        data = collect_results(repeats=1, jobs=1, programs=[by_name("twig")])
+        path = tmp_path / "base.json"
+        write_baseline(str(path), data, repeats=1)
+        ok, report = compare_to_baseline(str(path), data)
+        assert ok
+        assert "0 mismatches" in report
+        assert "timing (informational)" in report
+
+    def test_precision_drift_fails(self, tmp_path):
+        data = collect_results(repeats=1, jobs=1, programs=[by_name("twig")])
+        path = tmp_path / "base.json"
+        write_baseline(str(path), data, repeats=1)
+        doc = json.loads(path.read_text())
+        doc["programs"]["twig"]["strategies"]["offsets"]["edges"] += 1
+        doc["programs"]["twig"]["strategies"]["offsets"]["stats"]["facts"] += 1
+        path.write_text(json.dumps(doc))
+        ok, report = compare_to_baseline(str(path), data)
+        assert not ok
+        assert "edges" in report and "stats.facts" in report
+
+    def test_timing_drift_does_not_fail(self, tmp_path):
+        data = collect_results(repeats=1, jobs=1, programs=[by_name("twig")])
+        path = tmp_path / "base.json"
+        write_baseline(str(path), data, repeats=1)
+        doc = json.loads(path.read_text())
+        for rec in doc["programs"]["twig"]["strategies"].values():
+            rec["solve_seconds"] *= 100
+            rec["stats"]["solve_seconds"] *= 100
+        doc["totals"]["min_solve_seconds_sum"] *= 100
+        path.write_text(json.dumps(doc))
+        ok, _report = compare_to_baseline(str(path), data)
+        assert ok
+
+    def test_missing_measurement_fails(self, tmp_path):
+        data = collect_results(repeats=1, jobs=1, programs=SMOKE)
+        path = tmp_path / "base.json"
+        write_baseline(str(path), data, repeats=1)
+        twig_only = {k: v for k, v in data.items() if k[0] == "twig"}
+        ok, report = compare_to_baseline(str(path), twig_only)
+        assert not ok
+        assert "missing from run" in report
+
+    def test_main_check_baseline_exit_codes(self, tmp_path, capsys):
+        path = tmp_path / "base.json"
+        rc = main(["--repeats", "1", "--jobs", "1", "--programs", "twig",
+                   "--figures", "6", "--write-baseline", str(path),
+                   "--check-baseline", str(path)])
+        assert rc == 0
+        assert "0 mismatches" in capsys.readouterr().err
+        doc = json.loads(path.read_text())
+        doc["programs"]["twig"]["strategies"]["offsets"]["edges"] += 7
+        path.write_text(json.dumps(doc))
+        rc = main(["--repeats", "1", "--jobs", "1", "--programs", "twig",
+                   "--figures", "6", "--check-baseline", str(path)])
+        assert rc == 1

@@ -151,7 +151,7 @@ class TestCheckSoundness:
         m = run_straightline(prog)
         assert check_soundness(result, m) == []
         # Corrupt the result by clearing facts: violation must surface.
-        result.facts._succ.clear()
+        result.facts._pts = [0] * len(result.facts._pts)
         result.facts._by_obj.clear()
         violations = check_soundness(result, m)
         assert violations and "p" in violations[0]
