@@ -1,0 +1,65 @@
+"""Tracing must not tax the default path.
+
+Two guards:
+
+- ``test_untraced_vs_traced_*`` — a traced solve strictly does more work
+  (provenance arenas, no cycle collapsing), so the *untraced* solve must
+  stay at least as fast.  This is the bench-level assertion that the
+  ``Engine(trace=True)`` opt-in did not leak cost into the hot path.
+- ``test_traced_solve_*`` — pytest-benchmark targets for the traced
+  solve itself, so provenance-recording regressions show up as numbers
+  rather than as anecdotes.
+
+Run with ``pytest benchmarks/bench_trace_overhead.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import STRATEGY_BY_KEY
+from repro.core.engine import Engine
+
+from conftest import cached_program
+
+# Largest suite program paired with the cheapest and the most expensive
+# strategies: overhead hides in small programs, so measure where the
+# solve is long enough to be timeable.
+CASES = [("bc", "collapse_always"), ("bc", "common_initial_sequence")]
+
+
+def _min_solve(program, strategy_cls, *, trace, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        engine = Engine(program, strategy_cls(), trace=trace)
+        t0 = time.perf_counter()
+        engine.solve()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.mark.parametrize("name,key", CASES, ids=lambda v: str(v))
+def test_untraced_not_slower_than_traced(name, key):
+    program = cached_program(name)
+    cls = STRATEGY_BY_KEY[key]
+    untraced = _min_solve(program, cls, trace=False)
+    traced = _min_solve(program, cls, trace=True)
+    # Generous margin: the point is the *ordering* (tracing pays, the
+    # default path doesn't), not a precise ratio on a noisy machine.
+    assert untraced <= traced * 1.25, (
+        f"untraced solve ({untraced * 1000:.1f}ms) slower than traced "
+        f"({traced * 1000:.1f}ms) on {name}/{key}: tracing overhead has "
+        f"leaked into the default path"
+    )
+
+
+@pytest.mark.parametrize("name,key", CASES, ids=lambda v: str(v))
+def test_traced_solve_benchmark(benchmark, name, key):
+    program = cached_program(name)
+    cls = STRATEGY_BY_KEY[key]
+
+    result = benchmark(lambda: Engine(program, cls(), trace=True).solve())
+    assert result.tracer is not None
+    assert len(result.tracer) == result.facts.edge_count()

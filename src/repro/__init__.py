@@ -37,7 +37,7 @@ from .core import (
     analyze,
 )
 from .ctype import ILP32, LP64, Layout
-from .frontend import analyze_c, parse_c, program_from_c
+from .frontend import analyze_c, analyze_file, parse_c, program_from_c
 
 __version__ = "1.0.0"
 
@@ -56,6 +56,7 @@ __all__ = [
     "Strategy",
     "analyze",
     "analyze_c",
+    "analyze_file",
     "parse_c",
     "program_from_c",
     "__version__",

@@ -10,6 +10,7 @@ Examples::
     python -m repro prog.c -q p -q 's.field'        # specific queries
     python -m repro prog.c --compare                # all four, summary
     python -m repro prog.c --derefs                 # Figure-4 style sites
+    python -m repro explain prog.c offsets "p -> x" # derivation tree
 """
 
 from __future__ import annotations
@@ -107,6 +108,13 @@ def run_compare(program_path: str, args) -> None:
 
 
 def main(argv: List[str] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Subcommand dispatch; bare `python -m repro file.c` keeps working.
+    if argv and argv[0] == "explain":
+        from .obs.explain import main as explain_main
+
+        return explain_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.compare:

@@ -9,6 +9,7 @@ Options::
     python -m repro.bench --figures 3,4,6       # deterministic figures only
     python -m repro.bench --write-baseline      # refresh BENCH_engine.json
     python -m repro.bench --check-baseline      # fail on precision drift
+    python -m repro.bench --metrics-jsonl m.jsonl  # per-measurement records
 """
 
 from __future__ import annotations
@@ -19,7 +20,7 @@ import time
 from typing import List, Optional
 
 from ..suite.registry import SUITE, by_name
-from .harness import compare_to_baseline, run_all, write_baseline
+from .harness import compare_to_baseline, metrics_records, run_all, write_baseline
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
         "deref averages must match exactly (timings are reported, not "
         "gated); exits 1 on precision drift (default path: BENCH_engine.json)",
     )
+    p.add_argument(
+        "--metrics-jsonl", default=None, metavar="PATH",
+        help="append one JSON metrics record per (program, strategy) "
+        "measurement to PATH (see docs/observability.md)",
+    )
     return p
 
 
@@ -90,6 +96,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                        wall_seconds=wall)
         print(f"# baseline written to {args.write_baseline} "
               f"({len(data)} measurements, {wall:.1f}s wall)", file=sys.stderr)
+    if args.metrics_jsonl:
+        from ..obs.metrics import write_jsonl
+
+        n = write_jsonl(args.metrics_jsonl, metrics_records(data))
+        print(f"# {n} metrics records appended to {args.metrics_jsonl}",
+              file=sys.stderr)
     if args.check_baseline:
         ok, report = compare_to_baseline(args.check_baseline, data)
         print(report, file=sys.stderr)

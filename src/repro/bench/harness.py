@@ -70,6 +70,7 @@ __all__ = [
     "format_figure3",
     "format_figure4",
     "format_ratios",
+    "metrics_records",
     "run_all",
     "write_baseline",
     "compare_to_baseline",
@@ -477,6 +478,35 @@ def write_baseline(path: str, data: ResultMap, repeats: int,
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+def metrics_records(data: ResultMap) -> List[dict]:
+    """One ``repro.obs``-style metrics record per measurement.
+
+    The collection pass crosses a process boundary, so these records are
+    assembled from the picklable :class:`SuiteResult` slice (EngineStats
+    incl. per-rule firing counters, edges, deref average, min solve);
+    per-instance memo counters and tracer summaries only exist for
+    in-process runs — use :func:`repro.obs.metrics` on a single
+    :class:`~repro.core.engine.Result` for those.
+    """
+    out: List[dict] = []
+    for (name, key), rec in sorted(data.items()):
+        out.append(
+            {
+                "program": name,
+                "strategy": key,
+                "casting": rec.casting,
+                "loc": rec.loc,
+                "stmts": rec.stmts,
+                "stats": rec.stats,
+                "facts": rec.edges,
+                "deref_average": rec.deref_average,
+                "min_solve_seconds": rec.solve_seconds,
+                "repeats": rec.repeats,
+            }
+        )
+    return out
 
 
 #: Stats fields excluded from the precision gate: timings, and the

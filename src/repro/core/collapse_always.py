@@ -77,5 +77,13 @@ class CollapseAlways(Strategy):
     def all_refs(self, obj: AbstractObject) -> List[Ref]:
         return [self._whole(obj)]
 
+    def describe_call(self, call) -> str:
+        base = super().describe_call(call)
+        if call.kind == "lookup":
+            why = "every structure is one variable, so the dereference touches the whole target object (§4.3.1)"
+        else:
+            why = "a copy transfers between the whole collapsed objects (§4.3.1)"
+        return f"{base} — {why}"
+
     def target_weight(self, ref: Ref) -> int:
         return leaf_count(ref.obj.type)

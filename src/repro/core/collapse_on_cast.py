@@ -168,6 +168,28 @@ class CollapseOnCast(Strategy):
         return [self.canon_ref(FieldRef(obj, p)) for p in normalized_positions(obj.type)]
 
     # ------------------------------------------------------------------
+    def describe_call(self, call) -> str:
+        base = super().describe_call(call)
+        if call.kind == "lookup":
+            if call.mismatch:
+                why = (
+                    "no enclosing sub-object has the declared type — the "
+                    "access is through a cast, so the target collapses to "
+                    "every field at or after the pointed-to position (§4.3.2)"
+                )
+            else:
+                why = (
+                    "the declared type τ matches an enclosing sub-object δ, "
+                    "so the field is selected precisely (§4.3.2)"
+                )
+        else:
+            why = (
+                "fields are paired per position δ of τ through lookup on "
+                "both sides (§4.3.2, footnote 7: inner lookups uncounted)"
+            )
+        return f"{base} — {why}"
+
+    # ------------------------------------------------------------------
     @staticmethod
     def _involves_struct(tau: CType, ref: Ref) -> bool:
         if isinstance(tau, StructType):

@@ -38,6 +38,7 @@ from .fieldpaths import (
     positions_at_or_after,
     prefix_candidates,
 )
+from .strategy import Strategy
 
 __all__ = ["CommonInitialSequence"]
 
@@ -136,6 +137,28 @@ class CommonInitialSequence(CollapseOnCast):
             if tail:
                 refs = [self.canon_ref(FieldRef(target.obj, tail[-1]))]
         return refs, False
+
+    def describe_call(self, call) -> str:
+        base = Strategy.describe_call(self, call)
+        if call.kind == "lookup":
+            if call.mismatch:
+                why = (
+                    "the access falls outside any common initial sequence "
+                    "of τ and the target, so fields from the first "
+                    "post-sequence position onward are collapsed (§4.3.3)"
+                )
+            else:
+                why = (
+                    "ANSI's common-initial-sequence guarantee fixes the "
+                    "accessed field's layout, so it is selected precisely "
+                    "(§4.3.3)"
+                )
+        else:
+            why = (
+                "fields are paired per position δ of τ through the CIS-"
+                "aware lookup on both sides (§4.3.3)"
+            )
+        return f"{base} — {why}"
 
     @staticmethod
     def _position_after_subtree(

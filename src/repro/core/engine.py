@@ -93,6 +93,16 @@ class EngineStats:
     resolve_calls: int = 0
     resolve_struct_calls: int = 0
     resolve_mismatch_calls: int = 0
+    #: Figure-2 rule firings.  Rule 1 fires once per AddrOf statement;
+    #: rules 2, 4 and 5 fire once per (statement, distinct pointee) —
+    #: the granularity of the paper's inference rules — and rule 3 once
+    #: per Copy statement.  All five are order-independent (determined
+    #: by the least fixpoint), so they are safe to gate in baselines.
+    rule1_firings: int = 0
+    rule2_firings: int = 0
+    rule3_firings: int = 0
+    rule4_firings: int = 0
+    rule5_firings: int = 0
     facts: int = 0
     copy_edges: int = 0
     windows: int = 0
@@ -167,6 +177,9 @@ class Result:
     strategy: Strategy
     facts: FactBase
     stats: EngineStats
+    #: Provenance store of a traced run (``Engine(..., trace=True)``),
+    #: else None.  See :mod:`repro.obs`.
+    tracer: Optional[object] = None
 
     def points_to(self, what) -> frozenset:
         """Points-to set of an object or reference.
@@ -270,10 +283,30 @@ class Engine:
         strategy: Strategy,
         max_facts: int = 5_000_000,
         assume_valid_pointers: bool = True,
+        trace: bool = False,
     ) -> None:
         self.program = program
         self.strategy = strategy
         self.max_facts = max_facts
+        #: Provenance recorder (:class:`repro.obs.Tracer`) or None.  The
+        #: untraced hot path pays only ``is None`` tests on the new-fact
+        #: branches; the traced run additionally disables online cycle
+        #: collapsing (identical least fixpoint, see
+        #: :func:`repro.core.reference.traced_equals_untraced`) so that
+        #: one (source ID, target ID) pair names one logical fact.
+        if trace:
+            from ..obs.provenance import Tracer
+
+            self.tracer: Optional["Tracer"] = Tracer()
+        else:
+            self.tracer = None
+        #: Current provenance context ID (0 = unattributed); only read
+        #: when ``tracer`` is not None.
+        self._ctx: int = 0
+        #: Traced mode only: (src ID, dst ID) copy edge -> context that
+        #: installed it; (src obj, lo, dst obj, dst base) window -> ctx.
+        self._edge_prov: Dict[Tuple[int, int], int] = {}
+        self._win_prov: Dict[Tuple[AbstractObject, int, AbstractObject, int], int] = {}
         #: Paper §4.2.1 Assumption 1.  When False, the engine takes the
         #: pessimistic alternative the paper sketches: the result of
         #: arithmetic on a (potential) pointer is the special ``Unknown``
@@ -331,14 +364,20 @@ class Engine:
     def norm_obj(self, obj: AbstractObject) -> Ref:
         ref = self._norm_cache.get(obj)
         if ref is None:
-            ref = self.strategy.normalize(FieldRef(obj, ()))
+            raw = FieldRef(obj, ())
+            ref = self.strategy.normalize(raw)
             self._norm_cache[obj] = ref
+            if self.tracer is not None:
+                self.tracer.note_normalize(raw, ref)
         return ref
 
     def norm_ref(self, ref: FieldRef) -> Ref:
         if not ref.path:
             return self.norm_obj(ref.obj)
-        return self.strategy.normalize(ref)
+        normed = self.strategy.normalize(ref)
+        if self.tracer is not None:
+            self.tracer.note_normalize(ref, normed)
+        return normed
 
     # ------------------------------------------------------------------
     # Instrumented strategy calls.
@@ -352,6 +391,10 @@ class Engine:
             self.stats.lookup_struct_calls += 1
             if info.mismatch:
                 self.stats.lookup_mismatch_calls += 1
+        if self.tracer is not None and self._ctx:
+            self.tracer.set_call(self._ctx, "lookup", tau,
+                                 (tuple(alpha), target), refs,
+                                 info.involved_struct, info.mismatch)
         return refs
 
     def _resolve(self, dst: Ref, src: Ref, tau: CType):
@@ -361,6 +404,9 @@ class Engine:
             self.stats.resolve_struct_calls += 1
             if info.mismatch:
                 self.stats.resolve_mismatch_calls += 1
+        if self.tracer is not None and self._ctx:
+            self.tracer.set_call(self._ctx, "resolve", tau, (dst, src), res,
+                                 info.involved_struct, info.mismatch)
         return res
 
     # ------------------------------------------------------------------
@@ -391,6 +437,8 @@ class Engine:
         if gain:
             self._account(gain)
             self._enqueue(rep, 1 << did)
+            if self.tracer is not None:
+                self.tracer.record_fact(sid, did, self._ctx)
 
     def _add_bits(self, dst_id: int, bits: int) -> int:
         """Union a delta bitset into ``dst``'s set; returns the new bits."""
@@ -420,9 +468,13 @@ class Engine:
             # makes it a permanent no-op.
             return
         self._copy_adj.setdefault(rs, []).append(did)
+        if self.tracer is not None:
+            self._edge_prov.setdefault((sid, did), self._ctx)
         bits = facts.pts_bits(rs)
         if bits:
-            self._add_bits(did, bits)
+            new = self._add_bits(did, bits)
+            if new and self.tracer is not None:
+                self.tracer.record_flow(did, new, self._ctx, sid)
 
     def install_window(self, w: Window) -> None:
         """Byte-window copy edge (the "Offsets" resolve result)."""
@@ -431,6 +483,10 @@ class Engine:
             return
         self._window_set.add(key)
         self.stats.windows += 1
+        if self.tracer is not None:
+            self._win_prov.setdefault(
+                (w.src.obj, w.src.offset, w.dst.obj, w.dst.offset), self._ctx
+            )
         index = self._windows.get(w.src.obj)
         if index is None:
             index = self._windows[w.src.obj] = _WindowIndex()
@@ -449,9 +505,16 @@ class Engine:
         if dst_ref is None:
             return
         facts = self.facts
-        bits = facts.pts_bits(facts.intern(src_ref))
+        sid = facts.intern(src_ref)
+        bits = facts.pts_bits(sid)
         if bits:
-            self._add_bits(facts.intern(dst_ref), bits)
+            did = facts.intern(dst_ref)
+            new = self._add_bits(did, bits)
+            if new and self.tracer is not None:
+                ctx = self._win_prov.get(
+                    (src_ref.obj, lo, dst_obj, dst_base), 0
+                )
+                self.tracer.record_flow(did, new, ctx, sid)
 
     def install_resolve_result(self, res) -> None:
         """Install resolve output, whichever shape the strategy returned.
@@ -629,58 +692,108 @@ class Engine:
     def _setup_stmt(self, st: Stmt) -> None:
         if isinstance(st, AddrOf):
             # Rule 1: s = (τ) &t.β
+            self.stats.rule1_firings += 1
+            if self.tracer is not None:
+                self._ctx = self.tracer.new_ctx(1, st)
             self.add_fact(self.norm_obj(st.lhs), self.norm_ref(st.target))
+            self._ctx = 0
         elif isinstance(st, FieldAddr):
             # Rule 2: s = (τ) &((*p).α)
             tau_p = declared_pointee(st.ptr)
+            ptr_ref = self.norm_obj(st.ptr)
             lhs_id = self.facts.intern(self.norm_obj(st.lhs))
+            ptr_id = self.facts.intern(ptr_ref)
 
-            def on_pointee(tgt: Ref, tau_p=tau_p, path=st.path, lhs_id=lhs_id) -> None:
+            def on_pointee(
+                tgt: Ref, tau_p=tau_p, path=st.path, lhs_id=lhs_id,
+                ptr_id=ptr_id, st=st,
+            ) -> None:
                 intern = self.facts.intern
                 add = self._add_fact_ids
+                self.stats.rule2_firings += 1
+                if self.tracer is not None:
+                    self._ctx = self.tracer.new_ctx(
+                        2, st, ((ptr_id, intern(tgt)),)
+                    )
                 for r in self._lookup(tau_p, path, tgt):
                     add(lhs_id, intern(r))
+                self._ctx = 0
 
-            self.subscribe(self.norm_obj(st.ptr), on_pointee)
+            self.subscribe(ptr_ref, on_pointee)
         elif isinstance(st, Copy):
             # Rule 3: s = (τ) t.β — sizeof(typeof(s)) bytes are copied.
+            self.stats.rule3_firings += 1
+            if self.tracer is not None:
+                self._ctx = self.tracer.new_ctx(3, st)
             res = self._resolve(self.norm_obj(st.lhs), self.norm_ref(st.rhs), st.lhs.type)
             self.install_resolve_result(res)
+            self._ctx = 0
         elif isinstance(st, Load):
             # Rule 4: s = (τ) *q
             lhs_ref = self.norm_obj(st.lhs)
             lhs_type = st.lhs.type
+            ptr_ref = self.norm_obj(st.ptr)
+            ptr_id = self.facts.intern(ptr_ref)
 
-            def on_pointee(tgt: Ref, lhs_ref=lhs_ref, lhs_type=lhs_type) -> None:
+            def on_pointee(
+                tgt: Ref, lhs_ref=lhs_ref, lhs_type=lhs_type,
+                ptr_id=ptr_id, st=st,
+            ) -> None:
+                self.stats.rule4_firings += 1
+                if self.tracer is not None:
+                    self._ctx = self.tracer.new_ctx(
+                        4, st, ((ptr_id, self.facts.intern(tgt)),)
+                    )
                 self.install_resolve_result(self._resolve(lhs_ref, tgt, lhs_type))
+                self._ctx = 0
 
-            self.subscribe(self.norm_obj(st.ptr), on_pointee)
+            self.subscribe(ptr_ref, on_pointee)
         elif isinstance(st, Store):
             # Rule 5: *p = (τ_p) t — the type p is declared to point to
             # determines how many bytes are copied (Complication 4).
             tau_p = declared_pointee(st.ptr)
             rhs_ref = self.norm_obj(st.rhs)
+            ptr_ref = self.norm_obj(st.ptr)
+            ptr_id = self.facts.intern(ptr_ref)
 
-            def on_pointee(tgt: Ref, tau_p=tau_p, rhs_ref=rhs_ref) -> None:
+            def on_pointee(
+                tgt: Ref, tau_p=tau_p, rhs_ref=rhs_ref, ptr_id=ptr_id, st=st
+            ) -> None:
+                self.stats.rule5_firings += 1
+                if self.tracer is not None:
+                    self._ctx = self.tracer.new_ctx(
+                        5, st, ((ptr_id, self.facts.intern(tgt)),)
+                    )
                 self.install_resolve_result(self._resolve(tgt, rhs_ref, tau_p))
+                self._ctx = 0
 
-            self.subscribe(self.norm_obj(st.ptr), on_pointee)
+            self.subscribe(ptr_ref, on_pointee)
         elif isinstance(st, PtrArith):
             # Assumption 1: the result may point to any sub-field of the
             # outermost object containing a pointee of any operand (or,
             # for refining strategies, a narrower arith_refs set).
             lhs_id = self.facts.intern(self.norm_obj(st.lhs))
             for op in st.operands:
-                def on_pointee(tgt: Ref, lhs_id=lhs_id) -> None:
+                op_ref = self.norm_obj(op)
+                op_id = self.facts.intern(op_ref)
+
+                def on_pointee(tgt: Ref, lhs_id=lhs_id, op_id=op_id, st=st) -> None:
                     intern = self.facts.intern
                     add = self._add_fact_ids
+                    if self.tracer is not None:
+                        self._ctx = self.tracer.new_ctx(
+                            0, st, ((op_id, intern(tgt)),),
+                            label="assumption-1 (pointer arithmetic)",
+                        )
                     if not self.assume_valid_pointers:
                         add(lhs_id, intern(self.unknown_ref()))
+                        self._ctx = 0
                         return
                     for r in self.strategy.arith_refs(tgt):
                         add(lhs_id, intern(r))
+                    self._ctx = 0
 
-                self.subscribe(self.norm_obj(op), on_pointee)
+                self.subscribe(op_ref, on_pointee)
         elif isinstance(st, Call):
             if st.indirect:
                 def on_pointee(tgt: Ref, st=st) -> None:
@@ -708,22 +821,41 @@ class Engine:
             return
         self._bound.add(key)
         self.stats.calls_bound += 1
+        tracer = self.tracer
         info = self.program.function_for_object(fobj)
         if info is None:
+            if tracer is not None:
+                self._ctx = tracer.new_ctx(
+                    0, call, label=f"summary:{fobj.name}"
+                )
             self.summaries.apply(self, call, fobj.name)
+            self._ctx = 0
             return
         for i, arg in enumerate(call.args):
             if i < len(info.params):
                 param = info.params[i]
+                if tracer is not None:
+                    self._ctx = tracer.new_ctx(
+                        0, call, label=f"rule 3 (parameter copy: {param.name})"
+                    )
                 res = self._resolve(self.norm_obj(param), self.norm_obj(arg), param.type)
                 self.install_resolve_result(res)
             elif info.vararg is not None:
+                if tracer is not None:
+                    self._ctx = tracer.new_ctx(
+                        0, call, label="rule 3 (vararg sink copy)"
+                    )
                 self.install_copy_edge(self.norm_obj(arg), self.norm_obj(info.vararg))
         if call.lhs is not None and info.retval is not None:
+            if tracer is not None:
+                self._ctx = tracer.new_ctx(
+                    0, call, label="rule 3 (return copy)"
+                )
             res = self._resolve(
                 self.norm_obj(call.lhs), self.norm_obj(info.retval), call.lhs.type
             )
             self.install_resolve_result(res)
+        self._ctx = 0
 
     # ------------------------------------------------------------------
     # The fixpoint loop.
@@ -740,6 +872,9 @@ class Engine:
         case the remaining work re-resolves representatives on the fly
         and over-deliveries are absorbed by bit- and seen-set dedup.
         """
+        if self.tracer is not None:
+            self._drain_traced()
+            return
         heap = self._heap
         pending = self._pending
         facts = self.facts
@@ -797,13 +932,79 @@ class Engine:
                     for dst in delta_refs:
                         cb(dst)
 
+    def _drain_traced(self) -> None:
+        """The traced twin of :meth:`drain`: identical propagation minus
+        the lazy cycle probe (collapsing is a pure optimization and stays
+        off under tracing so the union-find is the identity and each
+        ``(source ID, target ID)`` pair names one logical fact), plus a
+        :meth:`~repro.obs.provenance.Tracer.record_flow` call on every
+        propagation that added facts.  ``self._ctx`` is cleared before
+        subscriber callbacks run: rule callbacks open their own contexts,
+        and anything that does not (library-summary closures) records as
+        context 0 ("unattributed")."""
+        tracer = self.tracer
+        heap = self._heap
+        pending = self._pending
+        facts = self.facts
+        find = facts.find
+        adj = self._copy_adj
+        windows = self._windows
+        subs = self._subs
+        add_bits = self._add_bits
+        edge_prov = self._edge_prov
+        win_prov = self._win_prov
+        while heap:
+            rep = find(heappop(heap))
+            delta = pending.pop(rep, 0)
+            if not delta:
+                continue
+            edges = adj.get(rep)
+            if edges:
+                for tid in tuple(edges):
+                    new = add_bits(tid, delta)
+                    if new:
+                        tracer.record_flow(
+                            tid, new, edge_prov.get((rep, tid), 0), rep
+                        )
+            if windows:
+                canon = self.strategy.canon_offset_ref  # type: ignore[attr-defined]
+                refs = facts._refs
+                intern = facts.intern
+                for m in tuple(facts._members[rep]):
+                    ref = refs[m]
+                    if type(ref) is OffsetRef:
+                        index = windows.get(ref.obj)
+                        if index is not None:
+                            off = ref.offset
+                            for lo, dobj, dbase in index.matches(off):
+                                dref = canon(OffsetRef(dobj, dbase + (off - lo)))
+                                if dref is not None:
+                                    did = intern(dref)
+                                    new = add_bits(did, delta)
+                                    if new:
+                                        tracer.record_flow(
+                                            did, new,
+                                            win_prov.get((ref.obj, lo, dobj, dbase), 0),
+                                            m,
+                                        )
+            cbs = subs.get(rep)
+            if cbs:
+                delta_refs = facts.decode(delta)
+                self._ctx = 0
+                for cb in cbs:
+                    for dst in delta_refs:
+                        cb(dst)
+
     def solve(self) -> Result:
         t0 = time.perf_counter()
         for st in self.program.all_stmts():
             self._setup_stmt(st)
         self.drain()
         self.stats.solve_seconds = time.perf_counter() - t0
-        return Result(self.program, self.strategy, self.facts, self.stats)
+        return Result(
+            self.program, self.strategy, self.facts, self.stats,
+            tracer=self.tracer,
+        )
 
 
 def analyze(program: Program, strategy: Strategy, **kwargs) -> Result:

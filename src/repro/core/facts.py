@@ -309,6 +309,10 @@ class FactBase:
                     yield src, dst
 
     # ------------------------------------------------------------------
+    def num_refs(self) -> int:
+        """How many distinct references have been interned so far."""
+        return len(self._refs)
+
     def edge_count(self) -> int:
         """Total number of points-to facts (Figure 6's metric); O(1)."""
         return self._count

@@ -132,6 +132,22 @@ class Offsets(Strategy):
         return self.canon_ref(OffsetRef(ref.obj, self.layout.canonical_offset(t, ref.offset)))
 
     # ------------------------------------------------------------------
+    def describe_call(self, call) -> str:
+        base = super().describe_call(call)
+        if call.kind == "lookup":
+            why = (
+                "byte-offset arithmetic n = k + offsetof(τ, α) under the "
+                "configured layout; array offsets fold to the "
+                "representative element (§4.2.2, non-portable)"
+            )
+        else:
+            why = (
+                "a sizeof(τ)-byte window pairing every byte of the copy, "
+                "matched lazily against extant source facts (§4.2.2)"
+            )
+        return f"{base} — {why}"
+
+    # ------------------------------------------------------------------
     def all_refs(self, obj: AbstractObject) -> List[Ref]:
         try:
             offs = self.layout.subfield_offsets(obj.type)

@@ -38,11 +38,16 @@ from ..ir.stmts import (
     Store,
     declared_pointee,
 )
-from .engine import AnalysisBudgetExceeded, EngineStats, Result, _WindowIndex
+from .engine import AnalysisBudgetExceeded, Engine, EngineStats, Result, _WindowIndex
 from .offsets import Offsets
 from .strategy import Strategy, Window
 
-__all__ = ["ReferenceFactBase", "ReferenceEngine", "reference_analyze"]
+__all__ = [
+    "ReferenceFactBase",
+    "ReferenceEngine",
+    "reference_analyze",
+    "traced_equals_untraced",
+]
 
 _EMPTY: frozenset = frozenset()
 
@@ -266,18 +271,24 @@ class ReferenceEngine:
 
     # ------------------------------------------------------------------
     def _setup_stmt(self, st: Stmt) -> None:
+        # Rule-firing counters mirror Engine._setup_stmt exactly (same
+        # granularity, same placement); the differential test compares
+        # them field-for-field.
         if isinstance(st, AddrOf):
+            self.stats.rule1_firings += 1
             self.add_fact(self.norm_obj(st.lhs), self.norm_ref(st.target))
         elif isinstance(st, FieldAddr):
             tau_p = declared_pointee(st.ptr)
             lhs_ref = self.norm_obj(st.lhs)
 
             def on_pointee(tgt: Ref, tau_p=tau_p, path=st.path, lhs_ref=lhs_ref) -> None:
+                self.stats.rule2_firings += 1
                 for r in self._lookup(tau_p, path, tgt):
                     self.add_fact(lhs_ref, r)
 
             self.subscribe(self.norm_obj(st.ptr), on_pointee)
         elif isinstance(st, Copy):
+            self.stats.rule3_firings += 1
             res = self._resolve(self.norm_obj(st.lhs), self.norm_ref(st.rhs), st.lhs.type)
             self.install_resolve_result(res)
         elif isinstance(st, Load):
@@ -285,6 +296,7 @@ class ReferenceEngine:
             lhs_type = st.lhs.type
 
             def on_pointee(tgt: Ref, lhs_ref=lhs_ref, lhs_type=lhs_type) -> None:
+                self.stats.rule4_firings += 1
                 self.install_resolve_result(self._resolve(lhs_ref, tgt, lhs_type))
 
             self.subscribe(self.norm_obj(st.ptr), on_pointee)
@@ -293,6 +305,7 @@ class ReferenceEngine:
             rhs_ref = self.norm_obj(st.rhs)
 
             def on_pointee(tgt: Ref, tau_p=tau_p, rhs_ref=rhs_ref) -> None:
+                self.stats.rule5_firings += 1
                 self.install_resolve_result(self._resolve(tgt, rhs_ref, tau_p))
 
             self.subscribe(self.norm_obj(st.ptr), on_pointee)
@@ -395,3 +408,31 @@ class ReferenceEngine:
 def reference_analyze(program: Program, strategy: Strategy, **kwargs) -> Result:
     """Run the reference solver to fixpoint (differential-test oracle)."""
     return ReferenceEngine(program, strategy, **kwargs).solve()
+
+
+def traced_equals_untraced(
+    program: Program, strategy: Strategy, **kwargs
+) -> Tuple[Result, Result]:
+    """Run the production engine untraced and traced and assert parity.
+
+    Tracing must not perturb the analysis: it turns off online cycle
+    collapsing (a pure optimization) and records provenance on the side,
+    so both runs must reach the same least fixpoint with identical
+    logical facts and identical gateable stats.  Raises
+    ``AssertionError`` on any divergence; returns ``(untraced, traced)``
+    so callers can inspect the tracer.
+    """
+    untraced = Engine(program, strategy, **kwargs).solve()
+    traced = Engine(program, strategy, trace=True, **kwargs).solve()
+    uf = set(untraced.facts.all_facts())
+    tf = set(traced.facts.all_facts())
+    assert uf == tf, (
+        f"traced/untraced fact divergence: {len(uf ^ tf)} facts differ "
+        f"(only-untraced={sorted(map(repr, uf - tf))[:5]}, "
+        f"only-traced={sorted(map(repr, tf - uf))[:5]})"
+    )
+    skip = {"solve_seconds", "sccs_collapsed", "props_saved"}
+    us = {k: v for k, v in untraced.stats.as_dict().items() if k not in skip}
+    ts = {k: v for k, v in traced.stats.as_dict().items() if k not in skip}
+    assert us == ts, f"traced/untraced stats divergence: {us} != {ts}"
+    return untraced, traced

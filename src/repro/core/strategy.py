@@ -146,6 +146,17 @@ class Strategy(abc.ABC):
         self._canon_refs: dict = self.shared_cache("canon")
         # Memo for cached_all_refs; keyed id(obj), value pins the object.
         self._all_refs_cache: dict = self.shared_cache("all_refs")
+        # Per-instance memo instrumentation for the cached_* entry points
+        # (surfaced by repro.obs.metrics).  Deliberately *not* part of
+        # EngineStats: the memo tables are shared per (class, layout), so
+        # hit rates depend on what ran earlier in the process — they are
+        # observability data, not gateable analysis results.
+        self.memo_lookup_hits: int = 0
+        self.memo_lookup_misses: int = 0
+        self.memo_resolve_hits: int = 0
+        self.memo_resolve_misses: int = 0
+        self.memo_all_refs_hits: int = 0
+        self.memo_all_refs_misses: int = 0
 
     def shared_cache(self, name: str) -> dict:
         """A memo dict shared by every same-class strategy over this layout.
@@ -189,8 +200,11 @@ class Strategy(abc.ABC):
         key = (id(tau), tuple(alpha), id(target))
         hit = self._lookup_cache.get(key)
         if hit is None:
+            self.memo_lookup_misses += 1
             hit = (tau, target, self.lookup(tau, alpha, target))
             self._lookup_cache[key] = hit
+        else:
+            self.memo_lookup_hits += 1
         return hit[2]
 
     def cached_resolve(
@@ -200,8 +214,11 @@ class Strategy(abc.ABC):
         key = (id(tau), id(dst), id(src))
         hit = self._resolve_cache.get(key)
         if hit is None:
+            self.memo_resolve_misses += 1
             hit = (tau, dst, src, self.resolve(dst, src, tau))
             self._resolve_cache[key] = hit
+        else:
+            self.memo_resolve_hits += 1
         return hit[3]
 
     # ------------------------------------------------------------------
@@ -257,8 +274,11 @@ class Strategy(abc.ABC):
         key = id(obj)
         hit = self._all_refs_cache.get(key)
         if hit is None:
+            self.memo_all_refs_misses += 1
             hit = (obj, self.all_refs(obj))
             self._all_refs_cache[key] = hit
+        else:
+            self.memo_all_refs_hits += 1
         return hit[1]
 
     def arith_refs(self, ref: Ref) -> List[Ref]:
@@ -270,6 +290,53 @@ class Strategy(abc.ABC):
         the pointee lies inside an array.
         """
         return self.cached_all_refs(ref.obj)
+
+    def memo_counters(self) -> dict:
+        """This instance's memo hit/miss counters (``repro.obs.metrics``)."""
+        return {
+            "lookup_memo_hits": self.memo_lookup_hits,
+            "lookup_memo_misses": self.memo_lookup_misses,
+            "resolve_memo_hits": self.memo_resolve_hits,
+            "resolve_memo_misses": self.memo_resolve_misses,
+            "all_refs_memo_hits": self.memo_all_refs_hits,
+            "all_refs_memo_misses": self.memo_all_refs_misses,
+        }
+
+    # ------------------------------------------------------------------
+    # Provenance rendering hooks (the explain CLI's interception point).
+    # ------------------------------------------------------------------
+    def describe_call(self, call) -> str:
+        """One-line prose rendering of a recorded strategy call.
+
+        ``call`` is a :class:`repro.obs.provenance.CallRecord` (duck-
+        typed so core does not import obs).  The default wording is
+        generic; each shipped instance overrides it with its own §4.3.x
+        reasoning so a derivation tree says *why* this strategy produced
+        these fields.
+        """
+        flags = []
+        if call.involved_struct:
+            flags.append("involved structures")
+        if call.mismatch:
+            flags.append("types did not match")
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        if call.kind == "lookup":
+            alpha, target = call.args
+            sel = ".".join(alpha) if alpha else "ε"
+            outs = ", ".join(repr(r) for r in call.out) if call.out else "∅"
+            return (
+                f"lookup(τ={call.tau}, α={sel}, {target!r}) = "
+                f"{{{outs}}}{suffix}"
+            )
+        dst, src = call.args
+        if isinstance(call.out, Window):
+            w = call.out
+            return (
+                f"resolve({dst!r}, {src!r}, τ={call.tau}) = window "
+                f"{w.dst!r} ← {w.src!r} ({w.size} bytes){suffix}"
+            )
+        pairs = ", ".join(f"{d!r}←{s!r}" for d, s in call.out) if call.out else "∅"
+        return f"resolve({dst!r}, {src!r}, τ={call.tau}) = {{{pairs}}}{suffix}"
 
     def target_weight(self, ref: Ref) -> int:
         """How many per-field facts ``ref`` stands for in Figure 4's metric.

@@ -1,0 +1,38 @@
+"""Observability: derivation provenance, explain trees, and metrics.
+
+This package is the *read side* of the engine's opt-in tracing layer
+(``Engine(program, strategy, trace=True)``):
+
+- :mod:`repro.obs.provenance` — the :class:`Tracer` arena the engine
+  records into, plus :func:`replays` (re-derive a recorded fact from its
+  recorded inputs — the property the tests gate on);
+- :mod:`repro.obs.explain` — minimal derivation trees and the
+  ``python -m repro explain`` CLI (``--dot`` for Graphviz export);
+- :mod:`repro.obs.metrics` — :func:`metrics` (one flat dict per run:
+  EngineStats incl. per-rule firing counters, strategy memo hit rates,
+  fact-base sizes, tracer summary) and a JSON-lines emitter used by
+  ``python -m repro.bench --metrics-jsonl``.
+
+Nothing here is imported by the untraced hot path; ``repro.obs`` is
+pulled in lazily when tracing, explaining, or metrics are requested.
+See ``docs/observability.md`` for the full model.
+"""
+
+from .explain import DerivationNode, build_tree, render_tree, to_dot
+from .metrics import JsonlEmitter, metrics, write_jsonl
+from .provenance import RULE_LABELS, CallRecord, FactKey, Tracer, replays
+
+__all__ = [
+    "CallRecord",
+    "DerivationNode",
+    "FactKey",
+    "JsonlEmitter",
+    "RULE_LABELS",
+    "Tracer",
+    "build_tree",
+    "metrics",
+    "render_tree",
+    "replays",
+    "to_dot",
+    "write_jsonl",
+]

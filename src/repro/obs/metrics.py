@@ -1,0 +1,87 @@
+"""Flat metrics for one analysis run, and a JSON-lines emitter.
+
+:func:`metrics` turns a :class:`~repro.core.engine.Result` into one
+JSON-serializable dict: the full :class:`~repro.core.engine.EngineStats`
+record (including the per-rule firing counters), the derived Figure-3
+percentages, fact-base size measures, the strategy's memo hit/miss
+counters, and — for traced runs — the tracer's arena summary.  See
+``docs/observability.md`` for the field reference.
+
+:class:`JsonlEmitter` appends such records to a ``.jsonl`` file, one
+object per line — the format the bench harness's ``--metrics-jsonl``
+flag uses, chosen so runs can be concatenated and streamed with
+standard tools (``jq``, ``pandas.read_json(lines=True)``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Iterable, Optional, Union
+
+from ..core.engine import Result
+
+__all__ = ["metrics", "JsonlEmitter", "write_jsonl"]
+
+
+def metrics(result: Result) -> Dict[str, object]:
+    """One flat, JSON-serializable metrics record for ``result``."""
+    stats = result.stats
+    facts = result.facts
+    rec: Dict[str, object] = {
+        "program": getattr(result.program, "name", None),
+        "strategy": result.strategy.key,
+        "stats": stats.as_dict(),
+        "derived": {
+            "lookup_struct_pct": stats.lookup_struct_pct,
+            "lookup_mismatch_pct": stats.lookup_mismatch_pct,
+            "resolve_struct_pct": stats.resolve_struct_pct,
+            "resolve_mismatch_pct": stats.resolve_mismatch_pct,
+        },
+        "facts": facts.edge_count(),
+        "memo": result.strategy.memo_counters(),
+    }
+    num_refs = getattr(facts, "num_refs", None)
+    if num_refs is not None:
+        rec["refs"] = num_refs()
+    tracer = result.tracer
+    if tracer is not None:
+        rec["trace"] = tracer.summary()
+    return rec
+
+
+class JsonlEmitter:
+    """Append JSON records to a file (or stream), one per line."""
+
+    def __init__(self, dest: Union[str, IO[str]]) -> None:
+        if isinstance(dest, str):
+            self._fh: IO[str] = open(dest, "a")
+            self._owned = True
+        else:
+            self._fh = dest
+            self._owned = False
+
+    def emit(self, record: Dict[str, object]) -> None:
+        json.dump(record, self._fh, sort_keys=True, default=str)
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owned:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlEmitter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def write_jsonl(dest: Union[str, IO[str]],
+                records: Iterable[Dict[str, object]]) -> int:
+    """Write ``records`` to ``dest`` as JSON lines; returns the count."""
+    n = 0
+    with JsonlEmitter(dest) as em:
+        for rec in records:
+            em.emit(rec)
+            n += 1
+    return n

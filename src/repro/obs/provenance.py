@@ -1,0 +1,320 @@
+"""Derivation provenance: *why* does ``pointsTo(x̂, ŷ)`` hold?
+
+When :class:`~repro.core.engine.Engine` is constructed with
+``trace=True`` it carries a :class:`Tracer`.  Every derived fact then
+records, at the moment it is first added, a compact **provenance node**:
+
+- the Figure-2 rule that fired (``1``–``5``; rule ``0`` covers the
+  derivations the paper handles in prose — Assumption-1 pointer
+  arithmetic, library summaries, interprocedural parameter/return
+  binding);
+- the normalized statement the rule was installed for;
+- the *premise facts* (the ``pointsTo(p̂, …)`` antecedents of rules
+  2/4/5, and — for facts that flowed along a copy edge or window — the
+  source-side fact that flowed);
+- the strategy call the rule made (``lookup`` inputs → outputs for rule
+  2, ``resolve`` inputs → outputs for rules 3/4/5), with its Figure-3
+  :class:`~repro.core.strategy.CallInfo` flags.
+
+Storage is two append-only arenas of parallel lists keyed by the fact
+base's interned IDs, so tracing allocates no per-fact objects beyond
+one small tuple:
+
+- the **context arena** (:attr:`Tracer.ctx_rules` …): one entry per
+  *rule application* (a statement setup or a subscription callback
+  firing).  Many facts share one context — e.g. every fact produced by
+  one ``resolve``'s copy edges points at the single context that
+  installed them.
+- the **node arena** (:attr:`Tracer.node_facts` …): one entry per
+  *derived fact*, recording its context and its premise fact keys.  A
+  fact key is the ``(source ID, target ID)`` pair from
+  :meth:`~repro.core.facts.FactBase.intern`.  Only the *first*
+  derivation of a fact is kept (:attr:`Tracer.fact_node`), which makes
+  the derivation graph acyclic: premises are always recorded before
+  their conclusions, so walking premises strictly decreases node
+  indices and yields a minimal derivation tree.
+
+The untraced engine never touches any of this — ``Engine.tracer`` is
+``None`` and the hot paths only pay an ``is None`` test on the *new
+fact* branch (see ``benchmarks/bench_trace_overhead.py`` and
+``tests/test_trace_overhead.py`` for the guard that the untraced path
+keeps its speed).  In traced mode the engine also disables online
+cycle collapsing — a pure optimization with an identical least
+fixpoint, re-verified by
+:func:`repro.core.reference.traced_equals_untraced` — so that one
+``(source, target)`` ID pair always names one logical fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.refs import FieldRef, Ref
+from ..ir.stmts import Stmt
+
+__all__ = [
+    "FactKey",
+    "CallRecord",
+    "RULE_LABELS",
+    "Tracer",
+    "replays",
+]
+
+#: A fact ``pointsTo(src, dst)`` as its interned ``(src ID, dst ID)`` pair.
+FactKey = Tuple[int, int]
+
+#: Human-readable labels for the ``rule`` field of a context.
+RULE_LABELS: Dict[int, str] = {
+    0: "outside Figure 2",
+    1: "rule 1 (s = &t.b)",
+    2: "rule 2 (s = &((*p).a))",
+    3: "rule 3 (s = t.b)",
+    4: "rule 4 (s = *q)",
+    5: "rule 5 (*p = t)",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class CallRecord:
+    """One instrumented strategy call: inputs → outputs (Figure-3 flags).
+
+    ``kind`` is ``"lookup"`` or ``"resolve"``.  For a lookup, ``args``
+    is ``(alpha, target_ref)`` and ``out`` the list of produced refs;
+    for a resolve, ``args`` is ``(dst_ref, src_ref)`` and ``out`` the
+    pair list or :class:`~repro.core.strategy.Window`.
+    """
+
+    kind: str
+    tau: object
+    args: tuple
+    out: object
+    involved_struct: bool
+    mismatch: bool
+
+
+class Tracer:
+    """Append-only provenance store for one traced engine run."""
+
+    __slots__ = (
+        "ctx_rules",
+        "ctx_labels",
+        "ctx_stmts",
+        "ctx_premises",
+        "ctx_calls",
+        "node_facts",
+        "node_ctxs",
+        "node_premises",
+        "fact_node",
+        "normalizations",
+    )
+
+    #: Context 0 is the shared fallback for unattributed derivations
+    #: (library-summary plumbing fires from inside summary closures).
+    UNATTRIBUTED = 0
+
+    def __init__(self) -> None:
+        # Context arena (one entry per rule application).
+        self.ctx_rules: List[int] = [0]
+        self.ctx_labels: List[str] = ["unattributed"]
+        self.ctx_stmts: List[Optional[Stmt]] = [None]
+        self.ctx_premises: List[Tuple[FactKey, ...]] = [()]
+        self.ctx_calls: List[Optional[CallRecord]] = [None]
+        # Node arena (one entry per first-derived fact).
+        self.node_facts: List[FactKey] = []
+        self.node_ctxs: List[int] = []
+        self.node_premises: List[Tuple[FactKey, ...]] = []
+        #: fact key -> node index of its first (kept) derivation.
+        self.fact_node: Dict[FactKey, int] = {}
+        #: raw reference -> normalized reference, as seen by the engine.
+        self.normalizations: Dict[FieldRef, Ref] = {}
+
+    # ------------------------------------------------------------------
+    # Recording (engine-facing; every call is O(1) or O(new facts)).
+    # ------------------------------------------------------------------
+    def new_ctx(
+        self,
+        rule: int,
+        stmt: Optional[Stmt] = None,
+        premises: Tuple[FactKey, ...] = (),
+        label: Optional[str] = None,
+    ) -> int:
+        """Open a context for one rule application; returns its ID."""
+        cid = len(self.ctx_rules)
+        self.ctx_rules.append(rule)
+        self.ctx_labels.append(label or RULE_LABELS[rule])
+        self.ctx_stmts.append(stmt)
+        self.ctx_premises.append(premises)
+        self.ctx_calls.append(None)
+        return cid
+
+    def set_call(
+        self,
+        ctx: int,
+        kind: str,
+        tau: object,
+        args: tuple,
+        out: object,
+        involved_struct: bool,
+        mismatch: bool,
+    ) -> None:
+        """Attach the strategy call a context made to the context."""
+        self.ctx_calls[ctx] = CallRecord(kind, tau, args, out,
+                                         involved_struct, mismatch)
+
+    def note_normalize(self, raw: FieldRef, normed: Ref) -> None:
+        """Record one ``normalize`` input → output mapping."""
+        self.normalizations.setdefault(raw, normed)
+
+    def record_fact(self, sid: int, did: int, ctx: int) -> None:
+        """Record the first derivation of ``pointsTo(sid, did)``."""
+        key = (sid, did)
+        if key in self.fact_node:
+            return
+        self.fact_node[key] = len(self.node_facts)
+        self.node_facts.append(key)
+        self.node_ctxs.append(ctx)
+        self.node_premises.append(self.ctx_premises[ctx])
+
+    def record_flow(self, dst_id: int, new_bits: int, ctx: int,
+                    src_id: int) -> None:
+        """Record facts that flowed ``src → dst`` along an edge/window.
+
+        ``new_bits`` is the delta bitset of targets newly added at
+        ``dst_id``; each corresponds to the premise fact
+        ``pointsTo(src_id, bit)`` plus whatever premised the edge
+        itself (a pointer fact, for rules 4 and 5).
+        """
+        fact_node = self.fact_node
+        base = self.ctx_premises[ctx]
+        while new_bits:
+            low = new_bits & -new_bits
+            new_bits ^= low
+            did = low.bit_length() - 1
+            key = (dst_id, did)
+            if key in fact_node:
+                continue
+            fact_node[key] = len(self.node_facts)
+            self.node_facts.append(key)
+            self.node_ctxs.append(ctx)
+            self.node_premises.append(((src_id, did),) + base)
+
+    # ------------------------------------------------------------------
+    # Queries (explain CLI, tests).
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.node_facts)
+
+    def node_of(self, key: FactKey) -> Optional[int]:
+        return self.fact_node.get(key)
+
+    def rule_counts(self) -> Dict[int, int]:
+        """Derived-fact counts per Figure-2 rule (0 = outside Figure 2)."""
+        counts: Dict[int, int] = {}
+        rules = self.ctx_rules
+        for cid in self.node_ctxs:
+            r = rules[cid]
+            counts[r] = counts.get(r, 0) + 1
+        return counts
+
+    def summary(self) -> Dict[str, object]:
+        """Compact arena statistics for :func:`repro.obs.metrics`."""
+        return {
+            "nodes": len(self.node_facts),
+            "contexts": len(self.ctx_rules) - 1,
+            "normalizations": len(self.normalizations),
+            "facts_by_rule": {
+                RULE_LABELS[r].split(" (")[0]: n
+                for r, n in sorted(self.rule_counts().items())
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# Replay: re-run the recorded rule application and check the fact falls out.
+# ---------------------------------------------------------------------------
+def replays(tracer: Tracer, facts, strategy, key: FactKey) -> bool:
+    """Does ``key``'s recorded derivation re-derive the same fact?
+
+    Re-executes the node's rule application from its recorded inputs —
+    the strategy call for rules 2–5, the premise facts for flows — and
+    checks that the recorded fact is among the rule's conclusions.
+    Used by the property tests: every traced fact's provenance must
+    replay to the fact itself.
+    """
+    from ..core.strategy import Window
+
+    node = tracer.fact_node.get(key)
+    if node is None:
+        return False
+    sid, did = key
+    src_ref = facts.ref_of(sid)
+    dst_ref = facts.ref_of(did)
+    ctx = tracer.node_ctxs[node]
+    rule = tracer.ctx_rules[ctx]
+    premises = tracer.node_premises[node]
+    call = tracer.ctx_calls[ctx]
+    stmt = tracer.ctx_stmts[ctx]
+
+    # Every premise must itself have been derived (and before this node).
+    for p in premises:
+        pn = tracer.fact_node.get(p)
+        if pn is None or pn >= node:
+            return False
+
+    if rule == 1:
+        # Seed fact: re-normalize the statement's operands.
+        if stmt is None:
+            return False
+        lhs = strategy.normalize(FieldRef(stmt.lhs, ()))
+        tgt = strategy.normalize(stmt.target)
+        return lhs == src_ref and tgt == dst_ref
+
+    if rule == 2:
+        # lookup(τ_p, α, t̂) produced dst_ref; src_ref is the lhs.
+        if call is None or call.kind != "lookup":
+            return False
+        alpha, target = call.args
+        out, _info = strategy.cached_lookup(call.tau, alpha, target)
+        return dst_ref in out
+
+    if call is not None and call.kind == "resolve":
+        # Rules 3/4/5 (and call binding): the fact flowed along an edge
+        # or window produced by this resolve.  Re-run it and check the
+        # (dst, src) pair — or the byte window — covers the flow, and
+        # that the flowed target matches the premise fact's target.
+        flow = premises[0] if premises else None
+        if flow is None or flow[1] != did:
+            return False
+        flow_src = facts.ref_of(flow[0])
+        out, _info = strategy.cached_resolve(*call.args, call.tau)
+        if isinstance(out, Window):
+            if flow_src.obj is not out.src.obj or src_ref.obj is not out.dst.obj:
+                return False
+            i = flow_src.offset - out.src.offset
+            if not 0 <= i < out.size:
+                return False
+            canon = strategy.canon_offset_ref(
+                type(out.dst)(out.dst.obj, out.dst.offset + i)
+            )
+            return canon == src_ref
+        return any(d == src_ref and s == flow_src for d, s in out)
+
+    if tracer.ctx_labels[ctx].startswith("assumption-1"):
+        # Arithmetic smear: dst must be an arith ref of the premise's
+        # pointee (or the Unknown pseudo-object in pessimistic mode).
+        if not premises:
+            return False
+        pointee = facts.ref_of(premises[0][1])
+        if dst_ref.obj.name == "<unknown>":
+            return True
+        return dst_ref in strategy.arith_refs(pointee)
+
+    # Rule 0 without a resolve record: copy-edge plumbing from library
+    # summaries or vararg binding.  The flow premise must name the same
+    # target.
+    if premises:
+        return premises[0][1] == did
+    # Direct rule-0 seeds (summary-installed facts): only the context
+    # label vouches for them.
+    return True

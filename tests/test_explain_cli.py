@@ -1,0 +1,191 @@
+"""The ``python -m repro explain`` CLI: golden trees and behaviors.
+
+One golden derivation tree per framework instance over the README
+quickstart program — each exercises a different strategy rendering
+(whole-object pairs, field pairs, CIS field pairs, byte windows) while
+deriving the same logical chain:
+
+    rule 1 (&x, &s.s1 axioms) → rule 5 (*t2 = t1) → rule 3 (t5 = s.s1)
+    → rule 3 (p = t5)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main as repro_main
+
+QUICKSTART = """\
+struct S { int *s1; int *s2; } s;
+int x, y, *p;
+void main(void) { s.s1 = &x; s.s2 = &y; p = s.s1; }
+"""
+
+GOLDEN = {
+    "collapse_always": """\
+pointsTo(p, x)
+  by rule 3 (s = t.b)  [main:3]  p = main::%t5
+  via resolve(p, main::%t5, τ=int*) = {p←main::%t5} — a copy transfers between the whole collapsed objects (§4.3.1)
+└─ pointsTo(main::%t5, x)
+     by rule 3 (s = t.b)  [main:3]  main::%t5 = s.s1
+     via resolve(main::%t5, s, τ=int*) = {main::%t5←s}  [involved structures] — a copy transfers between the whole collapsed objects (§4.3.1)
+   └─ pointsTo(s, x)
+        by rule 5 (*p = t)  [main:3]  *main::%t2 = main::%t1
+        via resolve(s, main::%t1, τ=int*) = {s←main::%t1}  [involved structures] — a copy transfers between the whole collapsed objects (§4.3.1)
+      ├─ pointsTo(main::%t1, x)
+      │    by rule 1 (s = &t.b)  [main:3]  main::%t1 = &x
+      └─ pointsTo(main::%t2, s)
+           by rule 1 (s = &t.b)  [main:3]  main::%t2 = &s.s1""",
+    "collapse_on_cast": """\
+pointsTo(p, x)
+  by rule 3 (s = t.b)  [main:3]  p = main::%t5
+  via resolve(p, main::%t5, τ=int*) = {p←main::%t5} — fields are paired per position δ of τ through lookup on both sides (§4.3.2, footnote 7: inner lookups uncounted)
+└─ pointsTo(main::%t5, x)
+     by rule 3 (s = t.b)  [main:3]  main::%t5 = s.s1
+     via resolve(main::%t5, s.s1, τ=int*) = {main::%t5←s.s1}  [involved structures] — fields are paired per position δ of τ through lookup on both sides (§4.3.2, footnote 7: inner lookups uncounted)
+   └─ pointsTo(s.s1, x)
+        by rule 5 (*p = t)  [main:3]  *main::%t2 = main::%t1
+        via resolve(s.s1, main::%t1, τ=int*) = {s.s1←main::%t1}  [involved structures] — fields are paired per position δ of τ through lookup on both sides (§4.3.2, footnote 7: inner lookups uncounted)
+      ├─ pointsTo(main::%t1, x)
+      │    by rule 1 (s = &t.b)  [main:3]  main::%t1 = &x
+      └─ pointsTo(main::%t2, s.s1)
+           by rule 1 (s = &t.b)  [main:3]  main::%t2 = &s.s1""",
+    "common_initial_sequence": """\
+pointsTo(p, x)
+  by rule 3 (s = t.b)  [main:3]  p = main::%t5
+  via resolve(p, main::%t5, τ=int*) = {p←main::%t5} — fields are paired per position δ of τ through the CIS-aware lookup on both sides (§4.3.3)
+└─ pointsTo(main::%t5, x)
+     by rule 3 (s = t.b)  [main:3]  main::%t5 = s.s1
+     via resolve(main::%t5, s.s1, τ=int*) = {main::%t5←s.s1}  [involved structures] — fields are paired per position δ of τ through the CIS-aware lookup on both sides (§4.3.3)
+   └─ pointsTo(s.s1, x)
+        by rule 5 (*p = t)  [main:3]  *main::%t2 = main::%t1
+        via resolve(s.s1, main::%t1, τ=int*) = {s.s1←main::%t1}  [involved structures] — fields are paired per position δ of τ through the CIS-aware lookup on both sides (§4.3.3)
+      ├─ pointsTo(main::%t1, x)
+      │    by rule 1 (s = &t.b)  [main:3]  main::%t1 = &x
+      └─ pointsTo(main::%t2, s.s1)
+           by rule 1 (s = &t.b)  [main:3]  main::%t2 = &s.s1""",
+    "offsets": """\
+pointsTo(p+0, x+0)
+  by rule 3 (s = t.b)  [main:3]  p = main::%t5
+  via resolve(p+0, main::%t5+0, τ=int*) = window p+0 ← main::%t5+0 (4 bytes) — a sizeof(τ)-byte window pairing every byte of the copy, matched lazily against extant source facts (§4.2.2)
+└─ pointsTo(main::%t5+0, x+0)
+     by rule 3 (s = t.b)  [main:3]  main::%t5 = s.s1
+     via resolve(main::%t5+0, s+0, τ=int*) = window main::%t5+0 ← s+0 (4 bytes)  [involved structures] — a sizeof(τ)-byte window pairing every byte of the copy, matched lazily against extant source facts (§4.2.2)
+   └─ pointsTo(s+0, x+0)
+        by rule 5 (*p = t)  [main:3]  *main::%t2 = main::%t1
+        via resolve(s+0, main::%t1+0, τ=int*) = window s+0 ← main::%t1+0 (4 bytes)  [involved structures] — a sizeof(τ)-byte window pairing every byte of the copy, matched lazily against extant source facts (§4.2.2)
+      ├─ pointsTo(main::%t1+0, x+0)
+      │    by rule 1 (s = &t.b)  [main:3]  main::%t1 = &x
+      └─ pointsTo(main::%t2+0, s+0)
+           by rule 1 (s = &t.b)  [main:3]  main::%t2 = &s.s1""",
+}
+
+
+@pytest.fixture()
+def quickstart(tmp_path):
+    path = tmp_path / "quickstart.c"
+    path.write_text(QUICKSTART)
+    return str(path)
+
+
+def _tree_lines(output: str) -> str:
+    """The derivation tree only (drop the leading ``#`` header lines)."""
+    lines = [l for l in output.splitlines() if not l.startswith("#")]
+    return "\n".join(lines).rstrip()
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_explain_golden_tree(quickstart, key, capsys):
+    rc = repro_main(["explain", quickstart, key, "p -> x"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert _tree_lines(out) == GOLDEN[key]
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_explain_tree_replays(quickstart, key):
+    """Every fact in the rendered tree replays (tree ↔ arena coherence)."""
+    from repro.core import STRATEGY_BY_KEY
+    from repro.core.engine import Engine
+    from repro.frontend import program_from_file
+    from repro.obs import build_tree, replays
+
+    program = program_from_file(quickstart)
+    strategy = STRATEGY_BY_KEY[key]()
+    result = Engine(program, strategy, trace=True).solve()
+    p = program.objects.lookup("p")
+    x = program.objects.lookup("x")
+    from repro.ir.refs import FieldRef
+
+    facts = result.facts
+    key_ids = (
+        facts.id_of(strategy.normalize(FieldRef(p, ()))),
+        facts.id_of(strategy.normalize(FieldRef(x, ()))),
+    )
+    node = build_tree(result.tracer, facts, key_ids)
+    assert node is not None
+
+    def walk(n):
+        yield n
+        for c in n.premises:
+            yield from walk(c)
+
+    seen = 0
+    for n in walk(node):
+        if not (n.repeated or n.missing):
+            assert replays(result.tracer, facts, strategy, n.key)
+            seen += 1
+    assert seen >= 5  # the full 5-fact chain is expanded
+
+
+def test_explain_dot_export(quickstart, capsys):
+    rc = repro_main(["explain", quickstart, "collapse_always", "p -> y", "--dot"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph derivation {")
+    assert 'label="pointsTo(p, y)' in out
+    assert "->" in out and out.rstrip().endswith("}")
+
+
+def test_explain_underived_fact(quickstart, capsys):
+    rc = repro_main(["explain", quickstart, "common_initial_sequence", "p -> y"])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "was not derived" in out
+    assert "points to: x" in out  # the hint lists the actual targets
+
+
+def test_explain_no_calls_flag(quickstart, capsys):
+    rc = repro_main(
+        ["explain", quickstart, "offsets", "p -> x", "--no-calls"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "via resolve" not in out
+    assert "by rule 1 (s = &t.b)" in out
+
+
+def test_explain_field_query(quickstart, capsys):
+    rc = repro_main(
+        ["explain", quickstart, "common_initial_sequence", "s.s2 -> y"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "pointsTo(s.s2, y)" in out
+    assert "by rule 5 (*p = t)" in out
+
+
+def test_explain_bad_query(quickstart):
+    with pytest.raises(SystemExit):
+        repro_main(["explain", quickstart, "offsets", "p x"])  # no ->
+    with pytest.raises(SystemExit):
+        repro_main(["explain", quickstart, "nonsense", "p -> x"])
+    with pytest.raises(SystemExit):
+        repro_main(["explain", quickstart, "offsets", "missing_var -> x"])
+
+
+def test_plain_cli_still_works(quickstart, capsys):
+    """The subcommand dispatch must not break positional file usage."""
+    rc = repro_main([quickstart, "-q", "p"])
+    assert rc == 0
+    assert "p ->" in capsys.readouterr().out

@@ -1,0 +1,193 @@
+"""The tracing layer: traced==untraced parity and provenance replay.
+
+Two properties gate the provenance arena (``repro.obs.provenance``):
+
+1. **Non-perturbation** — ``Engine(trace=True)`` reaches exactly the
+   least fixpoint of the untraced engine (identical logical facts,
+   identical order-independent stats), even though tracing disables
+   online cycle collapsing.
+2. **Replay** — every traced fact's recorded derivation re-derives the
+   fact: re-running the recorded rule application (the strategy call for
+   rules 2–5, the normalize for rule 1, the flow premise for edge and
+   window propagation) from its recorded inputs yields the fact among
+   its conclusions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CollapseAlways,
+    CollapseOnCast,
+    CommonInitialSequence,
+    Offsets,
+    analyze_c,
+)
+from repro.core.engine import Engine
+from repro.core.reference import traced_equals_untraced
+from repro.frontend import program_from_c
+from repro.obs import RULE_LABELS, Tracer, replays
+from repro.suite.generator import generate_program
+
+STRATEGIES = (CollapseAlways, CollapseOnCast, CommonInitialSequence, Offsets)
+
+CASTY = """
+struct A { int *a1; struct A *next; };
+struct B { int *b1; int *b2; };
+int x, y, z, *p, *q;
+struct A a; struct B b;
+void main(void) {
+    struct A *pa; struct B *pb;
+    a.a1 = &x; a.next = &a;
+    pb = (struct B *) &a;
+    pb->b2 = &y;
+    pa = a.next;
+    p = pa->a1;
+    q = b.b1;
+    b = *pb;
+}
+"""
+
+
+def _traced(src_or_prog, strategy):
+    if isinstance(src_or_prog, str):
+        program = program_from_c(src_or_prog)
+    else:
+        program = src_or_prog
+    return Engine(program, strategy, trace=True).solve()
+
+
+# ---------------------------------------------------------------------------
+# Property 1: tracing does not perturb the analysis.
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("cls", STRATEGIES, ids=lambda c: c.key)
+def test_traced_equals_untraced_casty(cls):
+    program = program_from_c(CASTY)
+    untraced, traced = traced_equals_untraced(program, cls())
+    assert traced.tracer is not None
+    assert untraced.tracer is None
+    # Collapsing is off under tracing; everything else must agree
+    # (traced_equals_untraced asserts facts and gateable stats itself).
+    assert traced.stats.sccs_collapsed == 0
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_traced_equals_untraced_generated(seed):
+    program = program_from_c(generate_program(seed))
+    for cls in STRATEGIES:
+        traced_equals_untraced(program, cls())
+
+
+# ---------------------------------------------------------------------------
+# Property 2: every traced fact's provenance replays to the same fact.
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("cls", STRATEGIES, ids=lambda c: c.key)
+def test_every_fact_replays_casty(cls):
+    strategy = cls()
+    result = _traced(CASTY, strategy)
+    tracer = result.tracer
+    assert len(tracer) > 0
+    for key in tracer.fact_node:
+        assert replays(tracer, result.facts, strategy, key), (
+            f"fact {result.facts.ref_of(key[0])!r} -> "
+            f"{result.facts.ref_of(key[1])!r} does not replay"
+        )
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_every_fact_replays_generated(seed):
+    program = program_from_c(generate_program(seed + 100))
+    for cls in STRATEGIES:
+        strategy = cls()
+        result = Engine(program, strategy, trace=True).solve()
+        tracer = result.tracer
+        for key in tracer.fact_node:
+            assert replays(tracer, result.facts, strategy, key)
+
+
+def test_replays_pessimistic_mode():
+    """Assumption-1-off runs record Unknown facts that must replay too."""
+    src = """
+    int arr[4]; int *p, *q;
+    void main(void) { p = &arr[0]; q = p + 1; *q = 0; }
+    """
+    program = program_from_c(src)
+    strategy = CommonInitialSequence()
+    result = Engine(program, strategy, trace=True,
+                    assume_valid_pointers=False).solve()
+    tracer = result.tracer
+    assert any(
+        result.facts.ref_of(d).obj.name == "<unknown>"
+        for (_s, d) in tracer.fact_node
+    )
+    for key in tracer.fact_node:
+        assert replays(tracer, result.facts, strategy, key)
+
+
+# ---------------------------------------------------------------------------
+# Arena invariants.
+# ---------------------------------------------------------------------------
+def test_tracer_arena_invariants(any_strategy):
+    result = _traced(CASTY, any_strategy)
+    t = result.tracer
+    # One node per logical fact; node arenas stay parallel.
+    assert len(t.node_facts) == len(t.node_ctxs) == len(t.node_premises)
+    assert len(t.fact_node) == len(t.node_facts) == result.facts.edge_count()
+    # Premises precede conclusions (acyclicity of the derivation graph).
+    for idx, prems in enumerate(t.node_premises):
+        for p in prems:
+            assert t.fact_node[p] < idx
+    # Context 0 is the pre-seeded unattributed context.
+    assert t.ctx_rules[Tracer.UNATTRIBUTED] == 0
+    assert t.ctx_labels[Tracer.UNATTRIBUTED] == "unattributed"
+    # Every context rule has a Figure-2 label.
+    assert set(t.ctx_rules) <= set(RULE_LABELS)
+
+
+def test_rule_counts_sum_to_nodes(any_strategy):
+    result = _traced(CASTY, any_strategy)
+    t = result.tracer
+    counts = t.rule_counts()
+    assert sum(counts.values()) == len(t)
+    summary = t.summary()
+    assert summary["nodes"] == len(t)
+    assert summary["contexts"] == len(t.ctx_rules) - 1
+
+
+def test_rule1_nodes_match_stats_firings():
+    """Each AddrOf firing yields at most one rule-1 node (dups collapse)."""
+    program = program_from_c(CASTY)
+    result = Engine(program, CommonInitialSequence(), trace=True).solve()
+    t = result.tracer
+    rule1_nodes = t.rule_counts().get(1, 0)
+    assert 0 < rule1_nodes <= result.stats.rule1_firings
+
+
+# ---------------------------------------------------------------------------
+# Rule-firing counters (untraced path; order-independent).
+# ---------------------------------------------------------------------------
+def test_rule_firings_counted_untraced():
+    result = analyze_c(CASTY, CommonInitialSequence())
+    s = result.stats
+    assert s.rule1_firings > 0          # AddrOf statements exist
+    assert s.rule3_firings > 0          # plain copies exist
+    assert s.rule4_firings > 0          # p = pa->a1 loads
+    assert s.rule5_firings > 0          # pb->b2 = &y stores
+    # Rule 2/4/5 fire per (statement, pointee): at least one per call.
+    assert s.rule2_firings >= 0
+
+
+def test_strategy_memo_counters_accumulate():
+    strategy = CommonInitialSequence()
+    before = strategy.memo_counters()
+    analyze_c(CASTY, strategy)
+    after = strategy.memo_counters()
+    assert after["resolve_memo_hits"] + after["resolve_memo_misses"] > (
+        before["resolve_memo_hits"] + before["resolve_memo_misses"]
+    )
+    assert set(after) == {
+        "lookup_memo_hits", "lookup_memo_misses",
+        "resolve_memo_hits", "resolve_memo_misses",
+        "all_refs_memo_hits", "all_refs_memo_misses",
+    }
