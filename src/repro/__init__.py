@@ -38,11 +38,13 @@ from .core import (
 )
 from .ctype import ILP32, LP64, Layout
 from .frontend import analyze_c, analyze_file, parse_c, program_from_c
+from .session import AnalysisSession
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALL_STRATEGIES",
+    "AnalysisSession",
     "CollapseAlways",
     "CollapseOnCast",
     "CommonInitialSequence",

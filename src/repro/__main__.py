@@ -20,11 +20,11 @@ import sys
 from typing import List
 
 from .clients.derefstats import deref_stats
-from .core import ALL_STRATEGIES, STRATEGY_BY_KEY, analyze
+from .core import ALL_STRATEGIES, STRATEGY_BY_KEY
 from .ctype.layout import ILP32, LP64, Layout
-from .frontend import program_from_file
 from .ir.objects import ObjKind
 from .ir.refs import FieldRef
+from .session import AnalysisSession
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -96,10 +96,12 @@ def _resolve_query(program, text: str):
 
 
 def run_compare(program_path: str, args) -> None:
+    # One session: the file is parsed and normalized once, each instance
+    # gets its own solve over the shared Program.
+    session = AnalysisSession.from_file(program_path)
     print(f"{'algorithm':25s} {'time':>9s} {'facts':>8s} {'avg |pts|':>10s}")
     for cls in ALL_STRATEGIES:
-        program = program_from_file(program_path)
-        result = analyze(program, cls(_layout(args)))
+        result = session.solve(cls(_layout(args)))
         ds = deref_stats(result)
         print(
             f"{cls().name:25s} {result.stats.solve_seconds * 1000:7.1f}ms "
@@ -121,24 +123,23 @@ def main(argv: List[str] = None) -> int:
         run_compare(args.file, args)
         return 0
 
-    program = program_from_file(args.file)
+    session = AnalysisSession.from_file(
+        args.file, assume_valid_pointers=not args.no_assumption_1
+    )
+    program = session.program
     strategy = STRATEGY_BY_KEY[args.strategy](_layout(args))
-    from .core.engine import Engine
-
-    engine = Engine(program, strategy,
-                    assume_valid_pointers=not args.no_assumption_1)
     if args.profile:
         import cProfile
         import pstats
 
         profiler = cProfile.Profile()
         profiler.enable()
-        result = engine.solve()
+        result = session.solve(strategy)
         profiler.disable()
         stats = pstats.Stats(profiler, stream=sys.stderr)
         stats.sort_stats("cumulative").print_stats(20)
     else:
-        result = engine.solve()
+        result = session.solve(strategy)
     print(f"# {program.summary()}")
     print(f"# strategy: {strategy.name}   facts: {result.facts.edge_count()}   "
           f"time: {result.stats.solve_seconds * 1000:.1f}ms")

@@ -151,18 +151,24 @@ def _suite_worker(job: Tuple[str, Tuple[str, ...], int]) -> List[dict]:
     from the first run — solves are deterministic, so re-runs only serve
     the timing minimum.
     """
+    from ..core import STRATEGY_BY_KEY
+    from ..session import AnalysisSession
+
     name, keys, repeats = job
     bp = by_name(name)
     source = load_source(bp)
-    program = program_from_c(source, name=bp.name)
+    session = AnalysisSession(program_from_c(source, name=bp.name))
     loc = loc_of(source)
-    stmts = program.stmt_count()
+    stmts = session.program.stmt_count()
     out: List[dict] = []
     for key in keys:
         first: Optional[Result] = None
         best: Optional[float] = None
         for _ in range(max(repeats, 1)):
-            res = analyze_suite_program(bp, key, program)
+            # fresh=True: every timed run drains the full worklist on a
+            # new engine (the session only amortizes the front end and
+            # the strategy layer's shared memo tables).
+            res = session.solve(STRATEGY_BY_KEY[key](), fresh=True)
             if first is None:
                 first = res
             t = res.stats.solve_seconds
@@ -509,10 +515,18 @@ def metrics_records(data: ResultMap) -> List[dict]:
     return out
 
 
-#: Stats fields excluded from the precision gate: timings, and the
-#: collapse counters (they describe *how* the fixpoint was reached —
-#: propagation-order dependent — not *what* it computed).
-_UNGATED_STATS = ("solve_seconds", "sccs_collapsed", "props_saved")
+#: Stats fields excluded from the precision gate: timings, the collapse
+#: counters, and the session counters (they describe *how* the fixpoint
+#: was reached — propagation order, incremental vs. from scratch — not
+#: *what* it computed).
+_UNGATED_STATS = (
+    "solve_seconds",
+    "sccs_collapsed",
+    "props_saved",
+    "incremental_solves",
+    "delta_stmts",
+    "reused_graph_refs",
+)
 
 
 def compare_to_baseline(path: str, data: ResultMap) -> Tuple[bool, str]:

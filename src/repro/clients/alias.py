@@ -21,7 +21,6 @@ from __future__ import annotations
 from typing import Union
 
 from ..core.engine import Result
-from ..ctype.layout import LayoutError
 from ..ir.objects import AbstractObject
 from ..ir.refs import FieldRef, OffsetRef, Ref
 

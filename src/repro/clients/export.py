@@ -19,7 +19,6 @@ from typing import Callable, Optional, Set
 
 from ..core.engine import Result
 from ..ir.objects import AbstractObject, ObjKind
-from ..ir.refs import Ref
 from .callgraph import CallGraph, build_call_graph
 
 __all__ = ["points_to_dot", "call_graph_dot", "facts_json"]

@@ -42,7 +42,6 @@ from .fieldpaths import (
     normalized_positions,
     positions_at_or_after,
     prefix_candidates,
-    type_at,
 )
 from .strategy import CallInfo, ResolveResult, Strategy
 

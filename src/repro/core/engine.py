@@ -1,281 +1,78 @@
-"""The inference engine: a worklist fixpoint over the paper's five rules.
+"""The solver orchestrator: wiring graph + rules + worklist to fixpoint.
 
-The engine evaluates the rules of Figure 2 *incrementally* (semi-naive):
+The engine evaluates the rules of Figure 2 *incrementally* (semi-naive),
+but since the layered refactor it owns almost none of the machinery —
+each concern lives in a dedicated module with a narrow interface:
 
-- **Rule 1** (``s = &t.β``) fires once per statement, seeding facts.
-- **Rules 2/4/5** have a premise ``pointsTo(p̂, ...)``; each such statement
-  *subscribes* to the normalized reference of its pointer, and the
-  subscription callback runs once per distinct pointee, performing the
-  ``lookup``/``resolve`` call and installing the resulting propagation
-  edges.
-- **Rules 3/4/5** copy facts from source fields to destination fields; the
-  ``resolve`` pair sets are installed as persistent *copy edges* (explicit
-  pairs, the portable strategies) or *windows* (byte ranges, the "Offsets"
-  strategy), along which every present and future fact flows.
+- :mod:`repro.core.graph` — the **constraint store**
+  (:class:`~repro.core.graph.ConstraintGraph`): interned refs, bitset
+  points-to sets, copy edges, windows, subscriptions, and the
+  union-find merge used by online cycle collapsing.
+- :mod:`repro.core.rules` — **rule installation**: Figure-2 rules 1–5
+  (plus Assumption-1 pointer arithmetic and call binding) as functions
+  that compile each statement into persistent graph structure; the
+  closures they install are shared verbatim by the traced and untraced
+  drains.
+- :mod:`repro.core.worklist` — **drain policy and propagation**: the
+  :class:`~repro.core.worklist.Worklist` protocol (priority
+  discovery-order by default, FIFO as the order-independence witness)
+  and the two drain loops.
+- :mod:`repro.core.interproc` — library summaries for externs.
+- :mod:`repro.core.stats` — counters (Figure 3, rule firings, session
+  counters) and the :class:`AnalysisBudgetExceeded` fact budget.
 
-Data plane (see :mod:`repro.core.facts`): every normalized reference is
-interned to a dense integer ID, points-to sets are Python-int bitsets,
-and copy edges live in an ID-indexed adjacency map, so one propagation
-step is a single big-int union instead of per-fact set traffic.  On top
-of that the engine performs **online cycle collapsing**: copy-edge
-cycles — ubiquitous once ``resolve`` installs bidirectional field
-copies — are detected lazily (a propagation that adds nothing triggers a
-reachability probe back along the copy graph, à la Hardekopf–Lin's Lazy
-Cycle Detection) and their sources are merged in a union-find, after
-which the whole SCC holds one shared set and propagates once.  The
-worklist is a priority heap ordered by ref discovery index, so
-propagation roughly follows topological order of the constraint graph.
-Collapsing changes neither the least fixpoint nor any Figure 3/4/6
-number: SCC members provably hold identical sets at fixpoint, and all
-per-reference counts (``facts``, ``edge_count``) are maintained
-per *member*, not per class.
+What remains *here* is the orchestration the layers hang off: the
+instrumented ``lookup``/``resolve`` boundary (Figure-3 counters bump per
+call, memo caches sit below — footnote 7), normalization memos, the
+fact/edge/window installation services the rules call, budget
+accounting, the lazy-cycle-probe trigger, provenance context plumbing
+for traced runs, and the solve/re-solve lifecycle.
 
-Because edges/windows/subscriptions are installed persistently and
-de-duplicated, draining the worklist reaches exactly the least fixpoint of
-the paper's inference rules.  The engine also implements the
-context-insensitive interprocedural layer (parameter/return copies,
-function pointers, library summaries — see :mod:`repro.core.interproc`)
-and the Assumption-1 treatment of pointer arithmetic.
-
-Instrumentation mirrors the paper's Figure 3: every ``lookup`` call (rule
-2) and ``resolve`` call (rules 3, 4, 5) is counted, along with whether it
-involved structures and whether the types failed to match; the ``lookup``
-calls made *inside* ``resolve`` are not counted (footnote 7 — strategies
-route them through their private ``_lookup``).  Two engine-level counters
-track the collapsing machinery: ``sccs_collapsed`` (cycle-collapse
-events) and ``props_saved`` (edge propagations skipped because the edge
-became internal to a collapsed class).
+Because rules are installed persistently and de-duplicated, draining the
+worklist reaches exactly the least fixpoint of the paper's inference
+rules — from *any* seeding order.  That monotonicity is what makes
+:meth:`Engine.add_statements` sound: an incremental re-solve seeds only
+the new statements into the existing graph and re-drains, provably
+reaching the same fixpoint as a from-scratch solve of the grown program
+(the differential tests assert exact equality of points-to sets and all
+order-independent counters).  :class:`repro.session.AnalysisSession` is
+the user-facing facade over that lifecycle.
 """
 
 from __future__ import annotations
 
 import time
-from bisect import bisect_right
-from collections import deque
-from dataclasses import dataclass, field, fields
-from heapq import heappop, heappush
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, Optional, Sequence, Set, Tuple, Union
 
 from ..ctype.types import CType
 from ..ir.objects import AbstractObject, ObjKind
 from ..ir.program import Program
 from ..ir.refs import FieldRef, OffsetRef, Ref
-from ..ir.stmts import (
-    AddrOf,
-    Call,
-    Copy,
-    FieldAddr,
-    Load,
-    PtrArith,
-    Stmt,
-    Store,
-    declared_pointee,
-)
-from .facts import FactBase
+from ..ir.stmts import Stmt
+from .graph import ConstraintGraph, _WindowIndex  # noqa: F401  (re-export)
 from .offsets import Offsets
-from .strategy import CallInfo, Strategy, Window
+from .result import Result
+from .rules import setup_stmt
+from .stats import AnalysisBudgetExceeded, EngineStats
+from .strategy import Strategy, Window
+from .worklist import WORKLISTS, Worklist, drain, drain_traced
 
 __all__ = ["AnalysisBudgetExceeded", "EngineStats", "Result", "Engine", "analyze"]
-
-
-class AnalysisBudgetExceeded(Exception):
-    """Raised when the fact count exceeds the configured budget."""
-
-
-@dataclass
-class EngineStats:
-    """Counters reproducing the paper's instrumentation (Figure 3) plus
-    engine-level measurements (Figures 5 and 6)."""
-
-    lookup_calls: int = 0
-    lookup_struct_calls: int = 0
-    lookup_mismatch_calls: int = 0
-    resolve_calls: int = 0
-    resolve_struct_calls: int = 0
-    resolve_mismatch_calls: int = 0
-    #: Figure-2 rule firings.  Rule 1 fires once per AddrOf statement;
-    #: rules 2, 4 and 5 fire once per (statement, distinct pointee) —
-    #: the granularity of the paper's inference rules — and rule 3 once
-    #: per Copy statement.  All five are order-independent (determined
-    #: by the least fixpoint), so they are safe to gate in baselines.
-    rule1_firings: int = 0
-    rule2_firings: int = 0
-    rule3_firings: int = 0
-    rule4_firings: int = 0
-    rule5_firings: int = 0
-    facts: int = 0
-    copy_edges: int = 0
-    windows: int = 0
-    calls_bound: int = 0
-    #: Copy-edge cycle-collapse events (each merges >= 2 sources).
-    sccs_collapsed: int = 0
-    #: Edge propagations skipped because the edge is internal to a
-    #: collapsed class (the work cycle collapsing eliminated).
-    props_saved: int = 0
-    solve_seconds: float = 0.0
-
-    @property
-    def lookup_struct_pct(self) -> float:
-        """Figure 3 column "calls to lookup ... involving structures" (%)."""
-        return 100.0 * self.lookup_struct_calls / self.lookup_calls if self.lookup_calls else 0.0
-
-    @property
-    def resolve_struct_pct(self) -> float:
-        return 100.0 * self.resolve_struct_calls / self.resolve_calls if self.resolve_calls else 0.0
-
-    @property
-    def lookup_mismatch_pct(self) -> float:
-        """Figure 3 column "of those, types did not match" (%)."""
-        return (
-            100.0 * self.lookup_mismatch_calls / self.lookup_struct_calls
-            if self.lookup_struct_calls
-            else 0.0
-        )
-
-    @property
-    def resolve_mismatch_pct(self) -> float:
-        return (
-            100.0 * self.resolve_mismatch_calls / self.resolve_struct_calls
-            if self.resolve_struct_calls
-            else 0.0
-        )
-
-    # ------------------------------------------------------------------
-    # Serialization / aggregation (bench harness, JSON baselines).
-    # ------------------------------------------------------------------
-    def as_dict(self) -> Dict[str, float]:
-        """All counters as a flat ``field name -> value`` dict."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
-
-    @classmethod
-    def from_dict(cls, d: Dict[str, float]) -> "EngineStats":
-        """Rebuild stats from :meth:`as_dict` output (extra keys ignored,
-        missing keys — e.g. a pre-collapse baseline — default to 0)."""
-        names = {f.name for f in fields(cls)}
-        return cls(**{k: v for k, v in d.items() if k in names})
-
-    def merge(self, other: "EngineStats") -> "EngineStats":
-        """Field-wise sum of two stats records (counters and seconds)."""
-        return EngineStats(
-            **{f.name: getattr(self, f.name) + getattr(other, f.name) for f in fields(self)}
-        )
-
-    @classmethod
-    def merged(cls, stats: Iterable["EngineStats"]) -> "EngineStats":
-        """Field-wise sum of any number of stats records."""
-        total = cls()
-        for s in stats:
-            total = total.merge(s)
-        return total
-
-
-@dataclass
-class Result:
-    """Outcome of one analysis run."""
-
-    program: Program
-    strategy: Strategy
-    facts: FactBase
-    stats: EngineStats
-    #: Provenance store of a traced run (``Engine(..., trace=True)``),
-    #: else None.  See :mod:`repro.obs`.
-    tracer: Optional[object] = None
-
-    def points_to(self, what) -> frozenset:
-        """Points-to set of an object or reference.
-
-        Accepts an :class:`AbstractObject` (meaning the whole top-level
-        object), a raw :class:`FieldRef`, or an already-normalized
-        reference.
-        """
-        if isinstance(what, AbstractObject):
-            what = FieldRef(what, ())
-        if isinstance(what, FieldRef):
-            what = self.strategy.normalize(what)
-        return self.facts.points_to(what)
-
-    def points_to_names(self, what) -> Set[str]:
-        """Names of pointed-to objects (handy in tests and examples)."""
-        return {r.obj.name for r in self.points_to(what)}
-
-    def corrupted_deref_sites(self):
-        """Dereferences of possibly-corrupted pointers (pessimistic mode).
-
-        When the engine ran with ``assume_valid_pointers=False``, pointer
-        arithmetic yields the special ``Unknown`` value; this reports the
-        source dereference statements whose pointer may hold it — the
-        "flagging potential misuses of memory" application the paper
-        mentions (§4.2.1).  Empty under Assumption 1.
-        """
-        flagged = []
-        for st in self.program.deref_stmts():
-            ptr = self.pointer_of_deref(st)
-            if any(r.obj.name == "<unknown>" for r in self.points_to(ptr)):
-                flagged.append(st)
-        return flagged
-
-    def pointer_of_deref(self, st: Stmt) -> AbstractObject:
-        """The pointer object dereferenced by statement ``st``."""
-        if isinstance(st, (Load, Store, FieldAddr)):
-            return st.ptr
-        if isinstance(st, Call) and st.indirect:
-            return st.callee
-        raise TypeError(f"{st!r} does not dereference a pointer")
 
 
 # Callback invoked with each new pointee of a subscribed reference.
 _Callback = Callable[[Ref], None]
 
 
-class _WindowIndex:
-    """Interval index over one object's windows: sorted by ``lo`` + bisect.
-
-    ``matches(off)`` finds every window ``[lo, hi)`` containing ``off``
-    without scanning the whole list: windows are kept sorted by ``lo``,
-    a bisect bounds the candidates to those with ``lo <= off``, and a
-    prefix-maximum over ``hi`` lets the right-to-left scan stop as soon
-    as no remaining candidate can still cover ``off``.  Inserts are
-    O(n) (rare — once per installed window); queries are O(log n + k).
-    """
-
-    __slots__ = ("los", "his", "dsts", "pmax")
-
-    def __init__(self) -> None:
-        self.los: List[int] = []
-        self.his: List[int] = []
-        self.dsts: List[Tuple[AbstractObject, int]] = []
-        #: pmax[j] = max(his[0..j]) — the early-out bound for matches().
-        self.pmax: List[int] = []
-
-    def insert(self, lo: int, size: int, dst_obj: AbstractObject, dst_base: int) -> None:
-        hi = lo + size
-        i = bisect_right(self.los, lo)
-        self.los.insert(i, lo)
-        self.his.insert(i, hi)
-        self.dsts.insert(i, (dst_obj, dst_base))
-        self.pmax.insert(i, 0)
-        run = self.pmax[i - 1] if i else 0
-        for j in range(i, len(self.los)):
-            h = self.his[j]
-            if h > run:
-                run = h
-            self.pmax[j] = run
-
-    def matches(self, off: int) -> List[Tuple[int, AbstractObject, int]]:
-        """All ``(lo, dst_obj, dst_base)`` whose window contains ``off``."""
-        out: List[Tuple[int, AbstractObject, int]] = []
-        los, his, dsts, pmax = self.los, self.his, self.dsts, self.pmax
-        j = bisect_right(los, off) - 1
-        while j >= 0 and pmax[j] > off:
-            if his[j] > off:
-                d = dsts[j]
-                out.append((los[j], d[0], d[1]))
-            j -= 1
-        return out
-
-
 class Engine:
-    """Run one strategy over one program to the least fixpoint."""
+    """Run one strategy over one program to the least fixpoint.
+
+    ``worklist`` selects the drain policy: a key from
+    :data:`repro.core.worklist.WORKLISTS` (``"priority"`` — the default
+    discovery-order heap — or ``"fifo"``) or a ready
+    :class:`~repro.core.worklist.Worklist` instance.  The policy cannot
+    change the fixpoint or any order-independent counter.
+    """
 
     def __init__(
         self,
@@ -284,6 +81,7 @@ class Engine:
         max_facts: int = 5_000_000,
         assume_valid_pointers: bool = True,
         trace: bool = False,
+        worklist: Union[str, Worklist] = "priority",
     ) -> None:
         self.program = program
         self.strategy = strategy
@@ -313,34 +111,21 @@ class Engine:
         #: value, which can be used to flag potential misuses of memory.
         self.assume_valid_pointers = assume_valid_pointers
         self._unknown: Optional[AbstractObject] = None
-        self.facts = FactBase()
+        #: The constraint store (facts + edges + windows + subscriptions).
+        self.graph = ConstraintGraph()
+        #: The fact base, aliased for the public query API.
+        self.facts = self.graph.facts
         self.stats = EngineStats()
-        # Priority worklist: a heap of ref IDs (the ID *is* the discovery
-        # index, so pops roughly follow topological order).  ``_pending``
-        # maps a class representative to its accumulated delta bitset; a
-        # rep is pushed when its pending entry is created and stale heap
-        # entries (drained or merged reps) are skipped on pop.
-        self._heap: List[int] = []
-        self._pending: Dict[int, int] = {}
-        # Copy edges: representative ID -> destination IDs (originals;
-        # mapped through union-find at propagation time).  ``_edge_bits``
-        # dedups on the *original* (src, dst) ID pair — a bitset of dst
-        # IDs per src ID — so the Figure 3 ``copy_edges`` counter is
-        # identical with and without collapsing.
-        self._copy_adj: Dict[int, List[int]] = {}
-        self._edge_bits: Dict[int, int] = {}
-        # Lazy cycle detection: (src_rep, dst_rep) pairs already probed.
-        self._lcd_done: Set[Tuple[int, int]] = set()
-        # Resolve results already installed, by identity (value pins the
-        # result object so its id cannot be reused).
-        self._installed_res: Dict[int, object] = {}
-        # Windows indexed by source object (interval index per object).
-        self._windows: Dict[AbstractObject, _WindowIndex] = {}
-        self._window_set: Set[Tuple[AbstractObject, int, int, AbstractObject, int]] = set()
-        # Subscribers, keyed by class representative (merged on collapse).
-        self._subs: Dict[int, List[_Callback]] = {}
+        if isinstance(worklist, str):
+            self.worklist: Worklist = WORKLISTS[worklist]()
+        else:
+            self.worklist = worklist
+        #: Hot-path alias: the rules/propagation layers enqueue through
+        #: the engine, which is just the policy's own method.
+        self._enqueue = self.worklist.enqueue
         self._bound: Set[Tuple[int, AbstractObject]] = set()
         self._norm_cache: Dict[AbstractObject, Ref] = {}
+        self._solved = False
         # Import here to avoid a module cycle (interproc imports Engine types).
         from .interproc import SummaryRegistry
 
@@ -380,7 +165,7 @@ class Engine:
         return normed
 
     # ------------------------------------------------------------------
-    # Instrumented strategy calls.
+    # Instrumented strategy calls (the Figure-3 boundary).
     # ------------------------------------------------------------------
     def _lookup(self, tau: CType, alpha: Sequence[str], target: Ref):
         # The memo cache sits below this boundary: counters bump per
@@ -410,23 +195,18 @@ class Engine:
         return res
 
     # ------------------------------------------------------------------
-    # Fact / edge / subscription plumbing (ID layer).
+    # Fact / edge / subscription services (called by the rules layer).
     # ------------------------------------------------------------------
     def _account(self, gained: int) -> None:
+        # The single budget chokepoint: every drain variant (layered,
+        # traced, incremental) adds facts through here, so ``max_facts``
+        # bounds them identically.  Read dynamically — tests tighten the
+        # budget on a live engine.
         self.stats.facts += gained
         if self.stats.facts > self.max_facts:
             raise AnalysisBudgetExceeded(
                 f"more than {self.max_facts} facts; aborting"
             )
-
-    def _enqueue(self, rep: int, bits: int) -> None:
-        pending = self._pending
-        cur = pending.get(rep)
-        if cur is None:
-            pending[rep] = bits
-            heappush(self._heap, rep)
-        else:
-            pending[rep] = cur | bits
 
     def add_fact(self, src: Ref, dst: Ref) -> None:
         facts = self.facts
@@ -455,19 +235,15 @@ class Engine:
         facts = self.facts
         sid = facts.intern(src)
         did = facts.intern(dst)
-        edge_bits = self._edge_bits
-        seen = edge_bits.get(sid, 0)
-        bit = 1 << did
-        if seen & bit:
+        if not self.graph.add_edge_ids(sid, did):
             return
-        edge_bits[sid] = seen | bit
         self.stats.copy_edges += 1
         rs = facts.find(sid)
         if rs == facts.find(did):
             # Edge internal to an already-collapsed class: the shared set
             # makes it a permanent no-op.
             return
-        self._copy_adj.setdefault(rs, []).append(did)
+        self.graph.attach_edge(rs, did)
         if self.tracer is not None:
             self._edge_prov.setdefault((sid, did), self._ctx)
         bits = facts.pts_bits(rs)
@@ -478,19 +254,13 @@ class Engine:
 
     def install_window(self, w: Window) -> None:
         """Byte-window copy edge (the "Offsets" resolve result)."""
-        key = (w.src.obj, w.src.offset, w.size, w.dst.obj, w.dst.offset)
-        if key in self._window_set:
+        if not self.graph.add_window(w.src.obj, w.src.offset, w.size, w.dst.obj, w.dst.offset):
             return
-        self._window_set.add(key)
         self.stats.windows += 1
         if self.tracer is not None:
             self._win_prov.setdefault(
                 (w.src.obj, w.src.offset, w.dst.obj, w.dst.offset), self._ctx
             )
-        index = self._windows.get(w.src.obj)
-        if index is None:
-            index = self._windows[w.src.obj] = _WindowIndex()
-        index.insert(w.src.offset, w.size, w.dst.obj, w.dst.offset)
         # Snapshot: window hits may add facts on refs of this same object.
         for ref in tuple(self.facts.refs_of_obj_view(w.src.obj)):
             if isinstance(ref, OffsetRef) and w.src.offset <= ref.offset < w.src.offset + w.size:
@@ -523,14 +293,10 @@ class Engine:
         window object is handed back for every recurrence of a (dst, src,
         τ) triple; once installed, re-installing it is a guaranteed no-op
         (edges and windows are persistent and deduplicated), so the whole
-        pass is skipped by object identity.  The entry pins ``res``
-        against id reuse.
+        pass is skipped by object identity.
         """
-        key = id(res)
-        installed = self._installed_res
-        if key in installed:
+        if self.graph.seen_resolve_result(res):
             return
-        installed[key] = res
         if isinstance(res, Window):
             self.install_window(res)
         else:
@@ -553,7 +319,7 @@ class Engine:
 
         facts = self.facts
         rep = facts.find(facts.intern(ptr_ref))
-        self._subs.setdefault(rep, []).append(wrapped)
+        self.graph.add_subscriber(rep, wrapped)
         # decode() materializes a list, so the replay is safe even if the
         # callback adds facts on ptr_ref itself (a self-referential stmt).
         bits = facts.pts_bits(rep)
@@ -569,8 +335,8 @@ class Engine:
         Used by library summaries such as ``memcpy`` (destination ×
         source) and ``qsort`` (comparator × base array).
         """
-        a_seen: List[Ref] = []
-        b_seen: List[Ref] = []
+        a_seen: list = []
+        b_seen: list = []
 
         def on_a(t: Ref) -> None:
             a_seen.append(t)
@@ -586,7 +352,7 @@ class Engine:
         self.subscribe(b_ref, on_b)
 
     # ------------------------------------------------------------------
-    # Online cycle collapsing (lazy cycle detection + union-find).
+    # Online cycle collapsing (the trigger; mechanics live in graph.py).
     # ------------------------------------------------------------------
     def _maybe_collapse(self, src_rep: int, dst_rep: int) -> None:
         """A no-op propagation along ``src -> dst`` hints at a cycle:
@@ -594,419 +360,91 @@ class Engine:
         exists, merge every class on it (they form a copy-edge cycle and
         share one fixpoint set).  Each (src, dst) class pair is probed at
         most once."""
-        key = (src_rep, dst_rep)
-        done = self._lcd_done
-        if key in done:
+        if not self.graph.lcd_mark(src_rep, dst_rep):
             return
-        done.add(key)
-        path = self._cycle_path(dst_rep, src_rep)
-        if path is not None:
-            self._collapse(path)
-
-    def _cycle_path(self, start: int, goal: int) -> Optional[List[int]]:
-        """DFS over class-level copy edges for a path ``start ->* goal``.
-
-        Returns the classes on the path (including ``start`` and
-        ``goal``), or None when ``goal`` is unreachable.  The search only
-        expands classes whose points-to set equals the cycle candidates'
-        (the probe fires when ``start``'s and ``goal``'s sets have
-        converged, and every member of a copy cycle converges to that
-        same set) — pruning the DFS to the candidate SCC region instead
-        of the whole copy graph.  A path missed because an intermediate
-        set has not converged yet is only a deferred opportunity: a later
-        no-op propagation re-probes.
-        """
-        facts = self.facts
-        find = facts.find
-        pts = facts._pts
-        adj = self._copy_adj
-        start = find(start)
-        goal = find(goal)
-        if start == goal:
-            return None
-        want = pts[start]
-        stack: List[Tuple[int, Iterable[int]]] = [(start, iter(adj.get(start, ())))]
-        on_path = [start]
-        visited = {start}
-        while stack:
-            _node, edge_iter = stack[-1]
-            advanced = False
-            for tid in edge_iter:
-                t = find(tid)
-                if t == goal:
-                    on_path.append(goal)
-                    return on_path
-                if t not in visited:
-                    visited.add(t)
-                    if pts[t] != want:
-                        continue
-                    stack.append((t, iter(adj.get(t, ()))))
-                    on_path.append(t)
-                    advanced = True
-                    break
-            if not advanced:
-                stack.pop()
-                on_path.pop()
-        return None
-
-    def _collapse(self, nodes: List[int]) -> None:
-        """Merge the classes in ``nodes`` into one; move their adjacency,
-        subscribers, and pending deltas onto the surviving representative
-        and schedule the set difference for re-delivery."""
-        facts = self.facts
-        adj = self._copy_adj
-        subs = self._subs
-        pending = self._pending
-        root = nodes[0]
-        merged_any = False
-        for node in nodes[1:]:
-            rep, dead, gain, fresh = facts.union(root, node)
-            if rep == dead:  # already one class
-                root = rep
-                continue
-            merged_any = True
-            root = rep
-            if gain:
-                self._account(gain)
-            dead_adj = adj.pop(dead, None)
-            if dead_adj:
-                live = adj.get(rep)
-                if live is None:
-                    adj[rep] = dead_adj
-                else:
-                    live.extend(dead_adj)
-            dead_subs = subs.pop(dead, None)
-            if dead_subs:
-                live_subs = subs.get(rep)
-                # A fresh list: an in-flight drain iteration keeps the old.
-                subs[rep] = dead_subs if live_subs is None else live_subs + dead_subs
-            bits = pending.pop(dead, 0) | fresh
-            if bits:
-                self._enqueue(rep, bits)
-        if merged_any:
+        path = self.graph.cycle_path(dst_rep, src_rep)
+        if path is not None and self.graph.merge_classes(
+            path, self.worklist, self._account
+        ):
             self.stats.sccs_collapsed += 1
 
     # ------------------------------------------------------------------
-    # Statement setup (rule installation).
+    # Statement setup and the fixpoint lifecycle.
     # ------------------------------------------------------------------
     def _setup_stmt(self, st: Stmt) -> None:
-        if isinstance(st, AddrOf):
-            # Rule 1: s = (τ) &t.β
-            self.stats.rule1_firings += 1
-            if self.tracer is not None:
-                self._ctx = self.tracer.new_ctx(1, st)
-            self.add_fact(self.norm_obj(st.lhs), self.norm_ref(st.target))
-            self._ctx = 0
-        elif isinstance(st, FieldAddr):
-            # Rule 2: s = (τ) &((*p).α)
-            tau_p = declared_pointee(st.ptr)
-            ptr_ref = self.norm_obj(st.ptr)
-            lhs_id = self.facts.intern(self.norm_obj(st.lhs))
-            ptr_id = self.facts.intern(ptr_ref)
+        """Install one statement's rule (see :mod:`repro.core.rules`)."""
+        setup_stmt(self, st)
 
-            def on_pointee(
-                tgt: Ref, tau_p=tau_p, path=st.path, lhs_id=lhs_id,
-                ptr_id=ptr_id, st=st,
-            ) -> None:
-                intern = self.facts.intern
-                add = self._add_fact_ids
-                self.stats.rule2_firings += 1
-                if self.tracer is not None:
-                    self._ctx = self.tracer.new_ctx(
-                        2, st, ((ptr_id, intern(tgt)),)
-                    )
-                for r in self._lookup(tau_p, path, tgt):
-                    add(lhs_id, intern(r))
-                self._ctx = 0
-
-            self.subscribe(ptr_ref, on_pointee)
-        elif isinstance(st, Copy):
-            # Rule 3: s = (τ) t.β — sizeof(typeof(s)) bytes are copied.
-            self.stats.rule3_firings += 1
-            if self.tracer is not None:
-                self._ctx = self.tracer.new_ctx(3, st)
-            res = self._resolve(self.norm_obj(st.lhs), self.norm_ref(st.rhs), st.lhs.type)
-            self.install_resolve_result(res)
-            self._ctx = 0
-        elif isinstance(st, Load):
-            # Rule 4: s = (τ) *q
-            lhs_ref = self.norm_obj(st.lhs)
-            lhs_type = st.lhs.type
-            ptr_ref = self.norm_obj(st.ptr)
-            ptr_id = self.facts.intern(ptr_ref)
-
-            def on_pointee(
-                tgt: Ref, lhs_ref=lhs_ref, lhs_type=lhs_type,
-                ptr_id=ptr_id, st=st,
-            ) -> None:
-                self.stats.rule4_firings += 1
-                if self.tracer is not None:
-                    self._ctx = self.tracer.new_ctx(
-                        4, st, ((ptr_id, self.facts.intern(tgt)),)
-                    )
-                self.install_resolve_result(self._resolve(lhs_ref, tgt, lhs_type))
-                self._ctx = 0
-
-            self.subscribe(ptr_ref, on_pointee)
-        elif isinstance(st, Store):
-            # Rule 5: *p = (τ_p) t — the type p is declared to point to
-            # determines how many bytes are copied (Complication 4).
-            tau_p = declared_pointee(st.ptr)
-            rhs_ref = self.norm_obj(st.rhs)
-            ptr_ref = self.norm_obj(st.ptr)
-            ptr_id = self.facts.intern(ptr_ref)
-
-            def on_pointee(
-                tgt: Ref, tau_p=tau_p, rhs_ref=rhs_ref, ptr_id=ptr_id, st=st
-            ) -> None:
-                self.stats.rule5_firings += 1
-                if self.tracer is not None:
-                    self._ctx = self.tracer.new_ctx(
-                        5, st, ((ptr_id, self.facts.intern(tgt)),)
-                    )
-                self.install_resolve_result(self._resolve(tgt, rhs_ref, tau_p))
-                self._ctx = 0
-
-            self.subscribe(ptr_ref, on_pointee)
-        elif isinstance(st, PtrArith):
-            # Assumption 1: the result may point to any sub-field of the
-            # outermost object containing a pointee of any operand (or,
-            # for refining strategies, a narrower arith_refs set).
-            lhs_id = self.facts.intern(self.norm_obj(st.lhs))
-            for op in st.operands:
-                op_ref = self.norm_obj(op)
-                op_id = self.facts.intern(op_ref)
-
-                def on_pointee(tgt: Ref, lhs_id=lhs_id, op_id=op_id, st=st) -> None:
-                    intern = self.facts.intern
-                    add = self._add_fact_ids
-                    if self.tracer is not None:
-                        self._ctx = self.tracer.new_ctx(
-                            0, st, ((op_id, intern(tgt)),),
-                            label="assumption-1 (pointer arithmetic)",
-                        )
-                    if not self.assume_valid_pointers:
-                        add(lhs_id, intern(self.unknown_ref()))
-                        self._ctx = 0
-                        return
-                    for r in self.strategy.arith_refs(tgt):
-                        add(lhs_id, intern(r))
-                    self._ctx = 0
-
-                self.subscribe(op_ref, on_pointee)
-        elif isinstance(st, Call):
-            if st.indirect:
-                def on_pointee(tgt: Ref, st=st) -> None:
-                    if tgt.obj.kind is ObjKind.FUNCTION and self._is_object_start(tgt):
-                        self._bind_call(st, tgt.obj)
-
-                self.subscribe(self.norm_obj(st.callee), on_pointee)
-            else:
-                self._bind_call(st, st.callee)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unknown statement {st!r}")
-
-    @staticmethod
-    def _is_object_start(ref: Ref) -> bool:
-        if isinstance(ref, OffsetRef):
-            return ref.offset == 0
-        return ref.path == ()
-
-    # ------------------------------------------------------------------
-    # Interprocedural binding (context-insensitive).
-    # ------------------------------------------------------------------
-    def _bind_call(self, call: Call, fobj: AbstractObject) -> None:
-        key = (id(call), fobj)
-        if key in self._bound:
-            return
-        self._bound.add(key)
-        self.stats.calls_bound += 1
-        tracer = self.tracer
-        info = self.program.function_for_object(fobj)
-        if info is None:
-            if tracer is not None:
-                self._ctx = tracer.new_ctx(
-                    0, call, label=f"summary:{fobj.name}"
-                )
-            self.summaries.apply(self, call, fobj.name)
-            self._ctx = 0
-            return
-        for i, arg in enumerate(call.args):
-            if i < len(info.params):
-                param = info.params[i]
-                if tracer is not None:
-                    self._ctx = tracer.new_ctx(
-                        0, call, label=f"rule 3 (parameter copy: {param.name})"
-                    )
-                res = self._resolve(self.norm_obj(param), self.norm_obj(arg), param.type)
-                self.install_resolve_result(res)
-            elif info.vararg is not None:
-                if tracer is not None:
-                    self._ctx = tracer.new_ctx(
-                        0, call, label="rule 3 (vararg sink copy)"
-                    )
-                self.install_copy_edge(self.norm_obj(arg), self.norm_obj(info.vararg))
-        if call.lhs is not None and info.retval is not None:
-            if tracer is not None:
-                self._ctx = tracer.new_ctx(
-                    0, call, label="rule 3 (return copy)"
-                )
-            res = self._resolve(
-                self.norm_obj(call.lhs), self.norm_obj(info.retval), call.lhs.type
-            )
-            self.install_resolve_result(res)
-        self._ctx = 0
-
-    # ------------------------------------------------------------------
-    # The fixpoint loop.
-    # ------------------------------------------------------------------
     def drain(self) -> None:
         """Process pending deltas until the worklist is empty.
 
-        Each heap entry names a class whose accumulated delta bitset is
-        flushed as one batch: copy edges receive the delta as a single
-        big-int union each, windows are matched once per member offset,
-        and subscribers get the decoded refs.  A propagation that adds
-        nothing triggers the lazy cycle probe (:meth:`_maybe_collapse`);
-        a collapse may merge the class being drained mid-batch, in which
-        case the remaining work re-resolves representatives on the fly
-        and over-deliveries are absorbed by bit- and seen-set dedup.
+        Dispatches to the policy-agnostic loops in
+        :mod:`repro.core.worklist`; the traced loop records provenance
+        and keeps cycle collapsing off.
         """
         if self.tracer is not None:
-            self._drain_traced()
-            return
-        heap = self._heap
-        pending = self._pending
-        facts = self.facts
-        find = facts.find
-        adj = self._copy_adj
-        windows = self._windows
-        subs = self._subs
-        add_bits = self._add_bits
-        while heap:
-            rep = find(heappop(heap))
-            delta = pending.pop(rep, 0)
-            if not delta:
-                continue
-            edges = adj.get(rep)
-            if edges:
-                pts = facts._pts
-                for tid in tuple(edges):
-                    rt = find(tid)
-                    rep = find(rep)
-                    if rt == rep:
-                        self.stats.props_saved += 1
-                        continue
-                    if not add_bits(tid, delta):
-                        # No-op propagation: probe for a cycle, but only
-                        # once the two sets have converged — members of a
-                        # copy cycle always equalize before their final
-                        # no-op, and the equality test is a single big-int
-                        # compare vs. a full DFS over the copy graph.
-                        rt = find(tid)
-                        rep = find(rep)
-                        if rt != rep and pts[rep] == pts[rt]:
-                            self._maybe_collapse(rep, rt)
-            rep = find(rep)
-            if windows:
-                canon = self.strategy.canon_offset_ref  # type: ignore[attr-defined]
-                refs = facts._refs
-                intern = facts.intern
-                for m in tuple(facts._members[rep]):
-                    ref = refs[m]
-                    if type(ref) is OffsetRef:
-                        index = windows.get(ref.obj)
-                        if index is not None:
-                            off = ref.offset
-                            for lo, dobj, dbase in index.matches(off):
-                                dref = canon(OffsetRef(dobj, dbase + (off - lo)))
-                                if dref is not None:
-                                    add_bits(intern(dref), delta)
-            cbs = subs.get(rep)
-            if cbs:
-                delta_refs = facts.decode(delta)
-                # List iteration tolerates appends; a subscriber added
-                # mid-batch replays existing facts itself and its
-                # per-pointee dedup absorbs the overlap.
-                for cb in cbs:
-                    for dst in delta_refs:
-                        cb(dst)
-
-    def _drain_traced(self) -> None:
-        """The traced twin of :meth:`drain`: identical propagation minus
-        the lazy cycle probe (collapsing is a pure optimization and stays
-        off under tracing so the union-find is the identity and each
-        ``(source ID, target ID)`` pair names one logical fact), plus a
-        :meth:`~repro.obs.provenance.Tracer.record_flow` call on every
-        propagation that added facts.  ``self._ctx`` is cleared before
-        subscriber callbacks run: rule callbacks open their own contexts,
-        and anything that does not (library-summary closures) records as
-        context 0 ("unattributed")."""
-        tracer = self.tracer
-        heap = self._heap
-        pending = self._pending
-        facts = self.facts
-        find = facts.find
-        adj = self._copy_adj
-        windows = self._windows
-        subs = self._subs
-        add_bits = self._add_bits
-        edge_prov = self._edge_prov
-        win_prov = self._win_prov
-        while heap:
-            rep = find(heappop(heap))
-            delta = pending.pop(rep, 0)
-            if not delta:
-                continue
-            edges = adj.get(rep)
-            if edges:
-                for tid in tuple(edges):
-                    new = add_bits(tid, delta)
-                    if new:
-                        tracer.record_flow(
-                            tid, new, edge_prov.get((rep, tid), 0), rep
-                        )
-            if windows:
-                canon = self.strategy.canon_offset_ref  # type: ignore[attr-defined]
-                refs = facts._refs
-                intern = facts.intern
-                for m in tuple(facts._members[rep]):
-                    ref = refs[m]
-                    if type(ref) is OffsetRef:
-                        index = windows.get(ref.obj)
-                        if index is not None:
-                            off = ref.offset
-                            for lo, dobj, dbase in index.matches(off):
-                                dref = canon(OffsetRef(dobj, dbase + (off - lo)))
-                                if dref is not None:
-                                    did = intern(dref)
-                                    new = add_bits(did, delta)
-                                    if new:
-                                        tracer.record_flow(
-                                            did, new,
-                                            win_prov.get((ref.obj, lo, dobj, dbase), 0),
-                                            m,
-                                        )
-            cbs = subs.get(rep)
-            if cbs:
-                delta_refs = facts.decode(delta)
-                self._ctx = 0
-                for cb in cbs:
-                    for dst in delta_refs:
-                        cb(dst)
+            drain_traced(self)
+        else:
+            drain(self)
 
     def solve(self) -> Result:
+        """Install every program statement and drain to the least fixpoint."""
         t0 = time.perf_counter()
         for st in self.program.all_stmts():
-            self._setup_stmt(st)
+            setup_stmt(self, st)
         self.drain()
+        self._solved = True
         self.stats.solve_seconds = time.perf_counter() - t0
         return Result(
             self.program, self.strategy, self.facts, self.stats,
             tracer=self.tracer,
         )
 
+    def add_statements(self, stmts: Iterable[Stmt]) -> Result:
+        """Incremental re-solve: seed only ``stmts`` and re-drain.
 
-def analyze(program: Program, strategy: Strategy, **kwargs) -> Result:
-    """Convenience wrapper: run ``strategy`` over ``program`` to fixpoint."""
-    return Engine(program, strategy, **kwargs).solve()
+        The rules are monotone (Figure 2), so installing the new
+        statements into the already-solved graph and draining reaches
+        exactly the least fixpoint of the grown program — identical
+        points-to sets, deref sizes, and order-independent counters to a
+        from-scratch solve (the statements must already belong to
+        ``self.program`` and must not have been installed before;
+        :meth:`repro.session.AnalysisSession.add_statements` manages
+        that bookkeeping).
+        """
+        if not self._solved:
+            raise RuntimeError("add_statements requires a prior solve()")
+        stmts = list(stmts)
+        t0 = time.perf_counter()
+        stats = self.stats
+        stats.incremental_solves += 1
+        stats.delta_stmts += len(stmts)
+        stats.reused_graph_refs = self.facts.num_refs()
+        for st in stmts:
+            setup_stmt(self, st)
+        self.drain()
+        stats.solve_seconds += time.perf_counter() - t0
+        return Result(
+            self.program, self.strategy, self.facts, stats,
+            tracer=self.tracer,
+        )
+
+
+def analyze(
+    program: Program,
+    strategy: Strategy,
+    trace: bool = False,
+    worklist: Union[str, Worklist] = "priority",
+    **kwargs,
+) -> Result:
+    """Convenience wrapper: run ``strategy`` over ``program`` to fixpoint.
+
+    A thin veneer over :class:`repro.session.AnalysisSession` — one
+    throwaway session, one solve.  Callers that solve several strategies
+    or grow the program should hold a session instead.
+    """
+    from ..session import AnalysisSession
+
+    return AnalysisSession(program, **kwargs).solve(
+        strategy, trace=trace, worklist=worklist
+    )

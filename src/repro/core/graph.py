@@ -1,0 +1,305 @@
+"""The constraint graph: every persistent structure the fixpoint drains over.
+
+The paper's inference rules (Figure 2) are evaluated semi-naively: rule
+instantiations are installed *once* as persistent structures, and facts
+then flow along them until the least fixpoint is reached.  This module is
+the store for those structures — the "graph" the solver operates on:
+
+- the **fact base** (:class:`~repro.core.facts.FactBase`): interned refs,
+  bitset points-to sets, and the union-find plane used by online cycle
+  collapsing (paper §3's ``pointsTo`` relation);
+- **copy edges** ``x̂ → d̂`` (the explicit pair lists returned by
+  ``resolve`` for the portable strategies — rules 3/4/5 — plus
+  parameter/return copies and library summaries);
+- **windows** (the byte-range copies of the "Offsets" ``resolve``,
+  §4.2.2), held in a per-object interval index;
+- **subscriptions** (the ``pointsTo(p̂, …)`` premises of rules 2/4/5:
+  callbacks run once per distinct pointee);
+- the identity table de-duplicating installed ``resolve`` results and
+  the probe memo for lazy cycle detection.
+
+The graph is deliberately *passive*: it stores, de-duplicates, and
+answers structural queries (including the cycle-collapse merge), but it
+never calls a strategy, bumps a Figure-3 counter, or talks to a tracer —
+that is :class:`~repro.core.engine.Engine`'s job.  The narrow interface
+is what lets :class:`repro.session.AnalysisSession` keep a solved graph
+alive and seed only new deltas into it on incremental re-solves.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..ir.objects import AbstractObject
+from ..ir.refs import Ref
+from .facts import FactBase
+
+__all__ = ["ConstraintGraph", "_WindowIndex"]
+
+# Callback invoked with each new pointee of a subscribed reference.
+_Callback = Callable[[Ref], None]
+
+
+class _WindowIndex:
+    """Interval index over one object's windows: sorted by ``lo`` + bisect.
+
+    ``matches(off)`` finds every window ``[lo, hi)`` containing ``off``
+    without scanning the whole list: windows are kept sorted by ``lo``,
+    a bisect bounds the candidates to those with ``lo <= off``, and a
+    prefix-maximum over ``hi`` lets the right-to-left scan stop as soon
+    as no remaining candidate can still cover ``off``.  Inserts are
+    O(n) (rare — once per installed window); queries are O(log n + k).
+    """
+
+    __slots__ = ("los", "his", "dsts", "pmax")
+
+    def __init__(self) -> None:
+        self.los: List[int] = []
+        self.his: List[int] = []
+        self.dsts: List[Tuple[AbstractObject, int]] = []
+        #: pmax[j] = max(his[0..j]) — the early-out bound for matches().
+        self.pmax: List[int] = []
+
+    def insert(self, lo: int, size: int, dst_obj: AbstractObject, dst_base: int) -> None:
+        hi = lo + size
+        i = bisect_right(self.los, lo)
+        self.los.insert(i, lo)
+        self.his.insert(i, hi)
+        self.dsts.insert(i, (dst_obj, dst_base))
+        self.pmax.insert(i, 0)
+        run = self.pmax[i - 1] if i else 0
+        for j in range(i, len(self.los)):
+            h = self.his[j]
+            if h > run:
+                run = h
+            self.pmax[j] = run
+
+    def matches(self, off: int) -> List[Tuple[int, AbstractObject, int]]:
+        """All ``(lo, dst_obj, dst_base)`` whose window contains ``off``."""
+        out: List[Tuple[int, AbstractObject, int]] = []
+        los, his, dsts, pmax = self.los, self.his, self.dsts, self.pmax
+        j = bisect_right(los, off) - 1
+        while j >= 0 and pmax[j] > off:
+            if his[j] > off:
+                d = dsts[j]
+                out.append((los[j], d[0], d[1]))
+            j -= 1
+        return out
+
+
+class ConstraintGraph:
+    """The constraint store: facts, copy edges, windows, subscriptions.
+
+    Attributes are exposed directly (not behind accessors): the drain
+    loops in :mod:`repro.core.worklist` bind them to locals once per
+    drain, which is the whole point of the ID-indexed representation.
+    """
+
+    __slots__ = (
+        "facts",
+        "copy_adj",
+        "edge_bits",
+        "windows",
+        "window_set",
+        "subs",
+        "lcd_done",
+        "installed_res",
+    )
+
+    def __init__(self, facts: Optional[FactBase] = None) -> None:
+        #: The points-to fact base (interning, bitsets, union-find).
+        self.facts = facts if facts is not None else FactBase()
+        #: Copy edges: representative ID -> destination IDs (originals;
+        #: mapped through union-find at propagation time).
+        self.copy_adj: Dict[int, List[int]] = {}
+        #: Edge dedup on the *original* (src, dst) ID pair — a bitset of
+        #: dst IDs per src ID — so the Figure 3 ``copy_edges`` counter is
+        #: identical with and without collapsing.
+        self.edge_bits: Dict[int, int] = {}
+        #: Windows indexed by source object (interval index per object).
+        self.windows: Dict[AbstractObject, _WindowIndex] = {}
+        self.window_set: Set[Tuple[AbstractObject, int, int, AbstractObject, int]] = set()
+        #: Subscribers, keyed by class representative (merged on collapse).
+        self.subs: Dict[int, List[_Callback]] = {}
+        #: Lazy cycle detection: (src_rep, dst_rep) pairs already probed.
+        self.lcd_done: Set[Tuple[int, int]] = set()
+        #: Resolve results already installed, by identity (value pins the
+        #: result object so its id cannot be reused).
+        self.installed_res: Dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # Copy edges.
+    # ------------------------------------------------------------------
+    def add_edge_ids(self, sid: int, did: int) -> bool:
+        """Register the copy edge ``sid -> did``; False if already present.
+
+        Dedup is on the original ID pair (pre-union-find), keeping the
+        edge count independent of collapse order.
+        """
+        edge_bits = self.edge_bits
+        seen = edge_bits.get(sid, 0)
+        bit = 1 << did
+        if seen & bit:
+            return False
+        edge_bits[sid] = seen | bit
+        return True
+
+    def attach_edge(self, rep: int, did: int) -> None:
+        """Hang destination ``did`` off class representative ``rep``."""
+        self.copy_adj.setdefault(rep, []).append(did)
+
+    # ------------------------------------------------------------------
+    # Windows.
+    # ------------------------------------------------------------------
+    def add_window(
+        self, src_obj: AbstractObject, lo: int, size: int,
+        dst_obj: AbstractObject, dst_base: int,
+    ) -> bool:
+        """Register a byte-window copy; False if an identical one exists."""
+        key = (src_obj, lo, size, dst_obj, dst_base)
+        if key in self.window_set:
+            return False
+        self.window_set.add(key)
+        index = self.windows.get(src_obj)
+        if index is None:
+            index = self.windows[src_obj] = _WindowIndex()
+        index.insert(lo, size, dst_obj, dst_base)
+        return True
+
+    # ------------------------------------------------------------------
+    # Subscriptions and resolve-result identity.
+    # ------------------------------------------------------------------
+    def add_subscriber(self, rep: int, cb: _Callback) -> None:
+        self.subs.setdefault(rep, []).append(cb)
+
+    def seen_resolve_result(self, res: object) -> bool:
+        """Mark a ``resolve`` result installed; True if it already was.
+
+        Results come from the strategy's memo tables, so the same list or
+        window object is handed back for every recurrence of a (dst, src,
+        τ) triple; the entry pins ``res`` against id reuse.
+        """
+        key = id(res)
+        installed = self.installed_res
+        if key in installed:
+            return True
+        installed[key] = res
+        return False
+
+    # ------------------------------------------------------------------
+    # Online cycle collapsing (lazy cycle detection + union-find).
+    # ------------------------------------------------------------------
+    def lcd_mark(self, src_rep: int, dst_rep: int) -> bool:
+        """Record a lazy-cycle-detection probe; False if already probed."""
+        key = (src_rep, dst_rep)
+        done = self.lcd_done
+        if key in done:
+            return False
+        done.add(key)
+        return True
+
+    def cycle_path(self, start: int, goal: int) -> Optional[List[int]]:
+        """DFS over class-level copy edges for a path ``start ->* goal``.
+
+        Returns the classes on the path (including ``start`` and
+        ``goal``), or None when ``goal`` is unreachable.  The search only
+        expands classes whose points-to set equals the cycle candidates'
+        (the probe fires when ``start``'s and ``goal``'s sets have
+        converged, and every member of a copy cycle converges to that
+        same set) — pruning the DFS to the candidate SCC region instead
+        of the whole copy graph.  A path missed because an intermediate
+        set has not converged yet is only a deferred opportunity: a later
+        no-op propagation re-probes.
+        """
+        facts = self.facts
+        find = facts.find
+        pts = facts._pts
+        adj = self.copy_adj
+        start = find(start)
+        goal = find(goal)
+        if start == goal:
+            return None
+        want = pts[start]
+        stack: List[Tuple[int, Iterable[int]]] = [(start, iter(adj.get(start, ())))]
+        on_path = [start]
+        visited = {start}
+        while stack:
+            _node, edge_iter = stack[-1]
+            advanced = False
+            for tid in edge_iter:
+                t = find(tid)
+                if t == goal:
+                    on_path.append(goal)
+                    return on_path
+                if t not in visited:
+                    visited.add(t)
+                    if pts[t] != want:
+                        continue
+                    stack.append((t, iter(adj.get(t, ()))))
+                    on_path.append(t)
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                on_path.pop()
+        return None
+
+    def merge_classes(
+        self,
+        nodes: List[int],
+        worklist,
+        account: Callable[[int], None],
+    ) -> bool:
+        """Merge the classes in ``nodes`` into one (they form a copy-edge
+        cycle and share one fixpoint set).
+
+        Moves the absorbed classes' adjacency, subscribers, and pending
+        worklist deltas onto the surviving representative and schedules
+        the set difference for re-delivery.  ``account`` is called with
+        each union's logical-fact gain (the engine's budget chokepoint);
+        ``worklist`` must provide ``steal``/``enqueue`` (see
+        :mod:`repro.core.worklist`).  Returns whether any union happened.
+        """
+        facts = self.facts
+        adj = self.copy_adj
+        subs = self.subs
+        root = nodes[0]
+        merged_any = False
+        for node in nodes[1:]:
+            rep, dead, gain, fresh = facts.union(root, node)
+            if rep == dead:  # already one class
+                root = rep
+                continue
+            merged_any = True
+            root = rep
+            if gain:
+                account(gain)
+            dead_adj = adj.pop(dead, None)
+            if dead_adj:
+                live = adj.get(rep)
+                if live is None:
+                    adj[rep] = dead_adj
+                else:
+                    live.extend(dead_adj)
+            dead_subs = subs.pop(dead, None)
+            if dead_subs:
+                live_subs = subs.get(rep)
+                # A fresh list: an in-flight drain iteration keeps the old.
+                subs[rep] = dead_subs if live_subs is None else live_subs + dead_subs
+            bits = worklist.steal(dead) | fresh
+            if bits:
+                worklist.enqueue(rep, bits)
+        return merged_any
+
+    # ------------------------------------------------------------------
+    def num_refs(self) -> int:
+        """Distinct interned refs — the graph's node count."""
+        return self.facts.num_refs()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ConstraintGraph: {self.facts.num_refs()} refs, "
+            f"{sum(len(v) for v in self.copy_adj.values())} edges, "
+            f"{len(self.window_set)} windows>"
+        )

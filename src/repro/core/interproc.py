@@ -19,7 +19,7 @@ summarized).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict
 
 from ..ir.refs import Ref
 from ..ir.stmts import Call

@@ -1,0 +1,80 @@
+"""The outcome of one analysis run: the query API over a solved graph.
+
+A :class:`Result` bundles the solved fact base with the program and the
+strategy that produced it, because queries need both: ``points_to``
+normalizes its argument through the strategy (the paper's ``normalize``
+is part of the *meaning* of a location name, §4), and
+``corrupted_deref_sites`` walks the program's dereference statements.
+Results hand out live views — the session facade returns the same
+:class:`Result` object before and after an incremental re-solve, and
+its sets simply grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from ..ir.objects import AbstractObject
+from ..ir.program import Program
+from ..ir.refs import FieldRef
+from ..ir.stmts import Call, FieldAddr, Load, Stmt, Store
+from .facts import FactBase
+from .stats import EngineStats
+from .strategy import Strategy
+
+__all__ = ["Result"]
+
+
+@dataclass
+class Result:
+    """Outcome of one analysis run."""
+
+    program: Program
+    strategy: Strategy
+    facts: FactBase
+    stats: EngineStats
+    #: Provenance store of a traced run (``Engine(..., trace=True)``),
+    #: else None.  See :mod:`repro.obs`.
+    tracer: Optional[object] = None
+
+    def points_to(self, what) -> frozenset:
+        """Points-to set of an object or reference.
+
+        Accepts an :class:`AbstractObject` (meaning the whole top-level
+        object), a raw :class:`FieldRef`, or an already-normalized
+        reference.
+        """
+        if isinstance(what, AbstractObject):
+            what = FieldRef(what, ())
+        if isinstance(what, FieldRef):
+            what = self.strategy.normalize(what)
+        return self.facts.points_to(what)
+
+    def points_to_names(self, what) -> Set[str]:
+        """Names of pointed-to objects (handy in tests and examples)."""
+        return {r.obj.name for r in self.points_to(what)}
+
+    def corrupted_deref_sites(self):
+        """Dereferences of possibly-corrupted pointers (pessimistic mode).
+
+        When the engine ran with ``assume_valid_pointers=False``, pointer
+        arithmetic yields the special ``Unknown`` value; this reports the
+        source dereference statements whose pointer may hold it — the
+        "flagging potential misuses of memory" application the paper
+        mentions (§4.2.1).  Empty under Assumption 1.
+        """
+        flagged = []
+        for st in self.program.deref_stmts():
+            ptr = self.pointer_of_deref(st)
+            if any(r.obj.name == "<unknown>" for r in self.points_to(ptr)):
+                flagged.append(st)
+        return flagged
+
+    def pointer_of_deref(self, st: Stmt) -> AbstractObject:
+        """The pointer object dereferenced by statement ``st``."""
+        if isinstance(st, (Load, Store, FieldAddr)):
+            return st.ptr
+        if isinstance(st, Call) and st.indirect:
+            return st.callee
+        raise TypeError(f"{st!r} does not dereference a pointer")

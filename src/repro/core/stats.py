@@ -1,0 +1,139 @@
+"""Analysis counters and the fact budget.
+
+:class:`EngineStats` reproduces the paper's instrumentation (Figure 3 —
+lookup/resolve call counts, structure involvement, type-mismatch rates)
+plus engine-level measurements that back Figures 5 and 6 and the
+observability layer (:mod:`repro.obs`).  It is deliberately a plain
+dataclass of numbers: every field must be serializable (``as_dict``),
+mergeable (``merge``), and comparable across runs — the bench harness
+gates most of them byte-for-byte against ``BENCH_engine.json``.
+
+Counter families, and whether the baseline precision gate may include
+them:
+
+- **Figure-3 instrumentation** (``lookup_*``/``resolve_*``) and
+  **per-rule firings** (``rule1_firings`` … ``rule5_firings``) are
+  determined by the least fixpoint — order-independent, gated.
+- **Structure counts** (``facts``, ``copy_edges``, ``windows``,
+  ``calls_bound``) are deduplicated sets at fixpoint — gated.
+- **How-counters** (``sccs_collapsed``, ``props_saved``) depend on
+  propagation order — reported, never gated.
+- **Session counters** (``incremental_solves``, ``delta_stmts``,
+  ``reused_graph_refs``) describe *how the solve was reached* (from
+  scratch vs. incrementally via
+  :meth:`repro.session.AnalysisSession.add_statements`) — reported,
+  never gated, because an incremental re-solve provably computes the
+  same fixpoint as a from-scratch one.
+
+:class:`AnalysisBudgetExceeded` is raised by every drain variant — the
+layered untraced drain, the traced drain, and incremental re-solves —
+through the same accounting chokepoint (``Engine._account``), so
+``max_facts`` bounds all of them identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Iterable
+
+__all__ = ["AnalysisBudgetExceeded", "EngineStats"]
+
+
+class AnalysisBudgetExceeded(Exception):
+    """Raised when the fact count exceeds the configured budget."""
+
+
+@dataclass
+class EngineStats:
+    """Counters reproducing the paper's instrumentation (Figure 3) plus
+    engine-level measurements (Figures 5 and 6)."""
+
+    lookup_calls: int = 0
+    lookup_struct_calls: int = 0
+    lookup_mismatch_calls: int = 0
+    resolve_calls: int = 0
+    resolve_struct_calls: int = 0
+    resolve_mismatch_calls: int = 0
+    #: Figure-2 rule firings.  Rule 1 fires once per AddrOf statement;
+    #: rules 2, 4 and 5 fire once per (statement, distinct pointee) —
+    #: the granularity of the paper's inference rules — and rule 3 once
+    #: per Copy statement.  All five are order-independent (determined
+    #: by the least fixpoint), so they are safe to gate in baselines.
+    rule1_firings: int = 0
+    rule2_firings: int = 0
+    rule3_firings: int = 0
+    rule4_firings: int = 0
+    rule5_firings: int = 0
+    facts: int = 0
+    copy_edges: int = 0
+    windows: int = 0
+    calls_bound: int = 0
+    #: Copy-edge cycle-collapse events (each merges >= 2 sources).
+    sccs_collapsed: int = 0
+    #: Edge propagations skipped because the edge is internal to a
+    #: collapsed class (the work cycle collapsing eliminated).
+    props_saved: int = 0
+    #: Incremental re-solves performed on this engine
+    #: (:meth:`repro.core.engine.Engine.add_statements` calls).
+    incremental_solves: int = 0
+    #: Statements seeded by incremental re-solves (sum over all of them).
+    delta_stmts: int = 0
+    #: Interned refs already in the constraint graph when the most recent
+    #: incremental re-solve started — the graph size that was *reused*
+    #: rather than rebuilt.  0 for from-scratch solves.
+    reused_graph_refs: int = 0
+    solve_seconds: float = 0.0
+
+    @property
+    def lookup_struct_pct(self) -> float:
+        """Figure 3 column "calls to lookup ... involving structures" (%)."""
+        return 100.0 * self.lookup_struct_calls / self.lookup_calls if self.lookup_calls else 0.0
+
+    @property
+    def resolve_struct_pct(self) -> float:
+        return 100.0 * self.resolve_struct_calls / self.resolve_calls if self.resolve_calls else 0.0
+
+    @property
+    def lookup_mismatch_pct(self) -> float:
+        """Figure 3 column "of those, types did not match" (%)."""
+        return (
+            100.0 * self.lookup_mismatch_calls / self.lookup_struct_calls
+            if self.lookup_struct_calls
+            else 0.0
+        )
+
+    @property
+    def resolve_mismatch_pct(self) -> float:
+        return (
+            100.0 * self.resolve_mismatch_calls / self.resolve_struct_calls
+            if self.resolve_struct_calls
+            else 0.0
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization / aggregation (bench harness, JSON baselines).
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, float]:
+        """All counters as a flat ``field name -> value`` dict."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, float]) -> "EngineStats":
+        """Rebuild stats from :meth:`as_dict` output (extra keys ignored,
+        missing keys — e.g. a pre-collapse baseline — default to 0)."""
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in d.items() if k in names})
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Field-wise sum of two stats records (counters and seconds)."""
+        return EngineStats(
+            **{f.name: getattr(self, f.name) + getattr(other, f.name) for f in fields(self)}
+        )
+
+    @classmethod
+    def merged(cls, stats: Iterable["EngineStats"]) -> "EngineStats":
+        """Field-wise sum of any number of stats records."""
+        total = cls()
+        for s in stats:
+            total = total.merge(s)
+        return total

@@ -23,7 +23,7 @@ an ``int``), which in turn affects common-initial-sequence computation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence, Tuple
 
 __all__ = [

@@ -14,7 +14,7 @@ Convenience entry points:
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional, Union
+from typing import Union
 
 from ..core.engine import Result, analyze
 from ..core.strategy import Strategy

@@ -40,13 +40,11 @@ from ..ctype.compat import compatible
 from ..ctype.types import (
     ArrayType,
     CType,
-    EnumType,
     FloatType,
     FunctionType,
     IntType,
     PointerType,
     StructType,
-    UnionType,
     VoidType,
     array_of,
     char,
@@ -56,11 +54,11 @@ from ..ctype.types import (
     ulong,
     void,
 )
-from ..ir.objects import AbstractObject, ObjKind
+from ..ir.objects import AbstractObject
 from ..ir.program import FunctionInfo, Program
 from ..ir.refs import FieldRef
 from ..ir.stmts import AddrOf, Call, Copy, FieldAddr, Load, PtrArith, Stmt, Store
-from .typebuilder import TypeBuildError, TypeBuilder
+from .typebuilder import TypeBuilder
 
 __all__ = ["NormalizeError", "Normalizer", "ALLOC_FUNCTIONS"]
 

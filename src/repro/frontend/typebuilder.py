@@ -9,7 +9,7 @@ work).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from pycparser import c_ast
 

@@ -20,7 +20,7 @@ uniquely named instances.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..ctype.types import CType

@@ -60,6 +60,29 @@ class Program:
             return info
         return None
 
+    def add_statements(
+        self, stmts: List[Stmt], function: Optional[str] = None
+    ) -> List[Stmt]:
+        """Append normalized statements to the program; returns them as a list.
+
+        With ``function=None`` the statements join the global-init list,
+        otherwise the named function's body.  The analysis is
+        flow-insensitive (no CFG), so *where* a statement lands only
+        affects bookkeeping such as :meth:`deref_stmts` attribution —
+        the solved fixpoint is determined by the statement set alone,
+        which is what makes incremental re-solves
+        (:meth:`repro.session.AnalysisSession.add_statements`) sound.
+        """
+        stmts = list(stmts)
+        if function is None:
+            self.global_stmts.extend(stmts)
+        else:
+            info = self.functions.get(function)
+            if info is None:
+                raise KeyError(f"no function {function!r} in {self.name}")
+            info.stmts.extend(stmts)
+        return stmts
+
     # ------------------------------------------------------------------
     def all_stmts(self) -> Iterator[Stmt]:
         """Every normalized statement in the program (global inits first)."""

@@ -36,7 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-from ..ctype.types import CType, PointerType, VoidType, void
+from ..ctype.types import CType, PointerType, void
 from .objects import AbstractObject
 from .refs import FieldRef
 

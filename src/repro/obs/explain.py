@@ -253,9 +253,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _main(argv: Optional[List[str]] = None) -> int:
     from ..core import STRATEGY_BY_KEY
-    from ..core.engine import Engine
     from ..ctype.layout import ILP32, LP64, Layout
-    from ..ir.refs import FieldRef
+    from ..session import AnalysisSession
 
     args = build_explain_parser().parse_args(argv)
     keys = sorted(STRATEGY_BY_KEY)
@@ -266,7 +265,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
     program = _load_program(args.program)
     layout = Layout(LP64 if args.abi == "lp64" else ILP32)
     strategy = STRATEGY_BY_KEY[args.instance](layout)
-    result = Engine(program, strategy, trace=True).solve()
+    result = AnalysisSession(program).solve(strategy, trace=True)
     tracer = result.tracer
     assert isinstance(tracer, Tracer)
 

@@ -16,7 +16,7 @@ standard tools (``jq``, ``pandas.read_json(lines=True)``).
 from __future__ import annotations
 
 import json
-from typing import IO, Dict, Iterable, Optional, Union
+from typing import IO, Dict, Iterable, Union
 
 from ..core.engine import Result
 

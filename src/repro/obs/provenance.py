@@ -48,7 +48,7 @@ fixpoint, re-verified by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..ir.refs import FieldRef, Ref
 from ..ir.stmts import Stmt

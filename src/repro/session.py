@@ -1,0 +1,168 @@
+"""AnalysisSession: parse once, solve on demand, grow incrementally.
+
+The paper's analysis is a monotone least fixpoint over the rules of
+Figure 2 — flow-insensitive, so a program is just a *set* of normalized
+statements, and the fixpoint is determined by that set alone.  Two
+consequences, both exploited here:
+
+1. **One parse serves every strategy.**  The front end's work (parsing,
+   type building, normalization to the five assignment forms) is
+   independent of the strategy; the four instances of
+   ``normalize``/``lookup``/``resolve`` (§4.2) can all be solved over
+   the same :class:`~repro.ir.program.Program`.  A session caches one
+   solved :class:`~repro.core.engine.Engine` per (strategy, trace,
+   worklist) configuration, so repeated queries — the CLI's
+   ``--compare`` mode, a client calling several strategies — pay the
+   front end once and each solve once.
+
+2. **Adding statements only requires re-draining from the new deltas.**
+   Because every rule is installed persistently and monotonically
+   (:mod:`repro.core.rules`), seeding the new statements into an
+   already-solved constraint graph and draining reaches exactly the
+   least fixpoint of the grown program.  :meth:`add_statements` does
+   this for *every* cached engine: points-to sets, deref sizes, and all
+   order-independent counters come out identical to a from-scratch
+   solve of the grown program (differentially tested across the whole
+   benchmark suite, all four instances).
+
+Results hand out live views: the :class:`~repro.core.result.Result` a
+solve returned earlier simply reflects the grown sets after an
+incremental re-solve.  Use ``solve(..., fresh=True)`` to force a
+from-scratch engine (benchmark timing loops do this).
+
+Quickstart::
+
+    from repro.session import AnalysisSession
+    from repro import CollapseAlways, CommonInitialSequence
+
+    from repro.ir.refs import FieldRef
+    from repro.ir.stmts import AddrOf
+
+    session = AnalysisSession.from_c('''
+        int x, y, *p;
+        void main(void) { p = &x; }
+    ''')
+    fine = session.solve(CommonInitialSequence())
+    session.solve(CollapseAlways())        # same parse, second engine
+    objs = session.program.objects
+    p, y = objs.lookup("p"), objs.lookup("y")
+    session.add_statements([AddrOf(p, FieldRef(y, ()))], function="main")
+    # `fine` now reflects the grown program — no re-parse, no re-solve
+    # from scratch; only the new delta was drained.
+    assert fine.points_to_names(p) == {"x", "y"}
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .core.engine import Engine, Result
+from .core.strategy import Strategy
+from .core.worklist import Worklist
+from .ir.program import Program
+from .ir.stmts import Stmt
+
+__all__ = ["AnalysisSession"]
+
+#: Engine-cache key: strategy class + layout identity (the granularity of
+#: the strategy layer's shared memo tables), trace flag, worklist policy.
+_CacheKey = Tuple[type, int, bool, object]
+
+
+class AnalysisSession:
+    """One parsed program, any number of solved strategies, grown in place."""
+
+    def __init__(
+        self,
+        program: Program,
+        max_facts: int = 5_000_000,
+        assume_valid_pointers: bool = True,
+    ) -> None:
+        self.program = program
+        self.max_facts = max_facts
+        self.assume_valid_pointers = assume_valid_pointers
+        self._engines: Dict[_CacheKey, Engine] = {}
+        self._results: Dict[_CacheKey, Result] = {}
+
+    # ------------------------------------------------------------------
+    # Construction from source (parse exactly once).
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_c(cls, source: str, name: str = "<source>", **kwargs) -> "AnalysisSession":
+        """Parse and normalize C source text into a fresh session."""
+        from .frontend import program_from_c
+
+        return cls(program_from_c(source, name), **kwargs)
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path], **kwargs) -> "AnalysisSession":
+        """Parse and normalize a C file into a fresh session."""
+        from .frontend import program_from_file
+
+        return cls(program_from_file(path), **kwargs)
+
+    # ------------------------------------------------------------------
+    # Solving.
+    # ------------------------------------------------------------------
+    def _key(self, strategy: Strategy, trace: bool, worklist) -> _CacheKey:
+        wl = worklist if isinstance(worklist, str) else id(worklist)
+        return (type(strategy), id(strategy.layout), trace, wl)
+
+    def solve(
+        self,
+        strategy: Strategy,
+        trace: bool = False,
+        worklist: Union[str, Worklist] = "priority",
+        fresh: bool = False,
+    ) -> Result:
+        """Solve ``strategy`` over the session's program; cached.
+
+        A repeated call with an equivalent configuration (same strategy
+        class and layout, same ``trace``/``worklist``) returns the cached
+        :class:`Result` without re-solving.  ``fresh=True`` forces a new
+        engine (replacing the cache entry) — benchmark repeats use it so
+        every timed run drains the full worklist.
+        """
+        key = self._key(strategy, trace, worklist)
+        if not fresh:
+            cached = self._results.get(key)
+            if cached is not None:
+                return cached
+        engine = Engine(
+            self.program,
+            strategy,
+            max_facts=self.max_facts,
+            assume_valid_pointers=self.assume_valid_pointers,
+            trace=trace,
+            worklist=worklist,
+        )
+        result = engine.solve()
+        self._engines[key] = engine
+        self._results[key] = result
+        return result
+
+    def cached_results(self) -> List[Result]:
+        """The live results of every strategy solved so far."""
+        return list(self._results.values())
+
+    # ------------------------------------------------------------------
+    # Incremental growth.
+    # ------------------------------------------------------------------
+    def add_statements(
+        self, stmts: Iterable[Stmt], function: Optional[str] = None
+    ) -> List[Stmt]:
+        """Grow the program and incrementally re-solve every cached engine.
+
+        The statements are appended to the session's program (global
+        scope, or the named function's body) and then seeded into each
+        solved engine, which re-drains from the new deltas only —
+        reaching the same fixpoint a from-scratch solve of the grown
+        program would (see the module docstring).  Engines record the
+        re-solve in their session counters (``incremental_solves``,
+        ``delta_stmts``, ``reused_graph_refs``).
+        """
+        added = self.program.add_statements(stmts, function=function)
+        for engine in self._engines.values():
+            engine.add_statements(added)
+        return added

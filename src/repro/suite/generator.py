@@ -22,7 +22,7 @@ tests use as a soundness oracle.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 __all__ = ["GenConfig", "generate_program"]

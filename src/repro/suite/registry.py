@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional
+from typing import List
 
 __all__ = ["BenchmarkProgram", "SUITE", "casting_programs", "nocast_programs",
            "program_dir", "load_source", "by_name"]

@@ -1,7 +1,5 @@
 """Tests for the command-line interface (``python -m repro``)."""
 
-import io
-import sys
 
 import pytest
 

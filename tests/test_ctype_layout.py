@@ -4,7 +4,6 @@ import pytest
 
 from repro.ctype.layout import ILP32, LP64, Layout, LayoutError
 from repro.ctype.types import (
-    ArrayType,
     Field,
     StructType,
     UnionType,

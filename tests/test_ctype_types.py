@@ -3,12 +3,9 @@
 import pytest
 
 from repro.ctype.types import (
-    ArrayType,
     Field,
     FloatType,
-    FunctionType,
     IntType,
-    PointerType,
     StructType,
     UnionType,
     array_of,

@@ -3,15 +3,9 @@ heap objects, function pointers, library summaries, and engine mechanics."""
 
 import pytest
 
-from conftest import pts, pts_names, run
+from conftest import pts_names, run
 
-from repro import (
-    CollapseAlways,
-    CollapseOnCast,
-    CommonInitialSequence,
-    Offsets,
-    analyze_c,
-)
+from repro import CollapseOnCast, analyze_c
 from repro.core.engine import AnalysisBudgetExceeded
 
 

@@ -264,6 +264,52 @@ class TestAnalysisBudget:
                       max_facts=1_000_000)
         assert res.stats.facts == res.facts.edge_count() > 0
 
+    @pytest.mark.parametrize("cls", ALL_STRATEGIES, ids=lambda c: c.key)
+    def test_budget_identical_in_traced_drain(self, cls):
+        """``max_facts`` goes through the same ``_account`` chokepoint in
+        the traced drain: the abort happens at the same fact count."""
+        prog = program_from_c(SRC)
+        engine = Engine(prog, cls(), max_facts=1, trace=True)
+        with pytest.raises(AnalysisBudgetExceeded):
+            engine.solve()
+        assert engine.stats.facts == 2
+        assert engine.facts.edge_count() == 2
+
+    @pytest.mark.parametrize("cls", ALL_STRATEGIES, ids=lambda c: c.key)
+    def test_budget_identical_in_fifo_drain(self, cls):
+        prog = program_from_c(SRC)
+        engine = Engine(prog, cls(), max_facts=1, worklist="fifo")
+        with pytest.raises(AnalysisBudgetExceeded):
+            engine.solve()
+        assert engine.stats.facts == 2
+        assert engine.facts.edge_count() == 2
+
+    @pytest.mark.parametrize("cls", ALL_STRATEGIES, ids=lambda c: c.key)
+    def test_budget_enforced_in_incremental_resolve(self, cls):
+        """An incremental re-solve is bounded by the same budget: solve a
+        prefix under a roomy budget, tighten it on the live engine, and
+        the delta drain must abort the moment the counter crosses it."""
+        from repro import AnalysisSession
+
+        prog = program_from_c(SRC)
+        # Hold out everything but the first statement of main.
+        info = prog.functions["main"]
+        held = info.stmts[1:]
+        info.stmts[:] = info.stmts[:1]
+        session = AnalysisSession(prog)
+        result = session.solve(cls())
+        solved_facts = result.stats.facts
+        (engine,) = session._engines.values()
+        engine.max_facts = solved_facts  # any further gain must raise
+        with pytest.raises(AnalysisBudgetExceeded):
+            session.add_statements(held, function="main")
+        # The abort happened at the accounting chokepoint: the counter
+        # crossed the tightened budget by exactly one gain batch.
+        assert engine.stats.facts > solved_facts
+        # The incremental counters recorded the attempt before the abort.
+        assert engine.stats.incremental_solves == 1
+        assert engine.stats.delta_stmts == len(held)
+
 
 # ---------------------------------------------------------------------------
 # Online cycle collapsing (union-find plane of the interned fact base).

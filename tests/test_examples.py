@@ -1,0 +1,58 @@
+"""Every script under ``examples/`` must run end to end.
+
+The examples are the repo's executable tutorial: each has a no-argument
+default (a bundled suite program) so it can run unattended.  These tests
+execute each one in a subprocess exactly as a reader would — from the
+repository root with ``PYTHONPATH=src`` — and require a zero exit status
+and non-empty output.  A broken import, a renamed API, or a stale
+assumption in an example fails CI instead of a reader's first session.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _run(script: Path, *argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(script), *argv],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_examples_directory_is_nonempty():
+    assert EXAMPLE_SCRIPTS, "no scripts found under examples/"
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    proc = _run(script)
+    assert proc.returncode == 0, (
+        f"{script.name} exited {proc.returncode}\n"
+        f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_example_accepts_suite_program_argument():
+    """The argument path works too, not just the default."""
+    proc = _run(EXAMPLES_DIR / "compare_strategies.py", "anagram")
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip()

@@ -5,7 +5,7 @@
   paper sketches in §4.2.1).
 """
 
-from conftest import pts, pts_names, run
+from conftest import pts, pts_names
 
 from repro import Offsets, analyze_c
 from repro.core import StridedOffsets

@@ -1,8 +1,7 @@
 """Tests of the C → five-forms normalization."""
 
-import pytest
 
-from repro.ctype.types import ArrayType, PointerType, StructType
+from repro.ctype.types import PointerType, StructType
 from repro.frontend import program_from_c
 from repro.ir.objects import ObjKind
 from repro.ir.stmts import AddrOf, Call, Copy, FieldAddr, Load, PtrArith, Store

@@ -1,6 +1,5 @@
 """Unit tests for the pycparser → CType builder."""
 
-import pytest
 
 from pycparser import c_parser
 
@@ -13,9 +12,8 @@ from repro.ctype.types import (
     PointerType,
     StructType,
     UnionType,
-    VoidType,
 )
-from repro.frontend.typebuilder import TypeBuildError, TypeBuilder
+from repro.frontend.typebuilder import TypeBuilder
 
 
 def decl_type(src: str, index: int = 0):

@@ -7,9 +7,8 @@ derivations in §3.
 
 import pytest
 
-from repro.core import CollapseOnCast, CommonInitialSequence, Offsets, analyze
+from repro.core import CollapseOnCast, analyze
 from repro.ctype.types import Field, StructType, int_t, ptr
-from repro.ir.objects import ObjectFactory
 from repro.ir.program import FunctionInfo, Program
 from repro.ir.refs import FieldRef
 from repro.ir.stmts import AddrOf, Copy, FieldAddr, Load, PtrArith, Store
@@ -197,7 +196,7 @@ class TestRule5Store:
 
 class TestPtrArithRule:
     def test_smears_outermost_object(self, env):
-        x = env.obj.global_var("x", int_t)
+        env.obj.global_var("x", int_t)  # registered but never smeared into
         s = env.obj.global_var("s", S)
         p = env.obj.global_var("p", ptr(ptr(int_t)))
         q = env.obj.global_var("q", ptr(ptr(int_t)))

@@ -3,13 +3,7 @@
 import pytest
 
 from repro.frontend import program_from_c
-from repro.testing import (
-    Machine,
-    UnsupportedStatement,
-    check_soundness,
-    concrete_facts,
-    run_straightline,
-)
+from repro.testing import UnsupportedStatement, check_soundness, concrete_facts, run_straightline
 from repro.testing.interpreter import PtrVal
 
 

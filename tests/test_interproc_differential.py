@@ -1,0 +1,160 @@
+"""Differential coverage for the library-summary layer (interproc.py).
+
+The context-insensitive call layer handles extern functions through
+summaries (§5: "summaries of the potential pointer assignments in each
+library function").  These tests pin the three summary families —
+``memcpy``-style block copies, ``strcpy``/``strchr``-style
+return-aliases-argument, and the default unknown-extern fallback —
+against the reference solver: for every program and every strategy, the
+production engine and the dict-of-frozensets reference implementation
+must derive exactly the same points-to relation and the same
+order-independent counters.  Semantic spot-checks assert the summaries
+actually *do* what they claim (a differential test alone would pass if
+both engines ignored the call).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CollapseAlways,
+    CollapseOnCast,
+    CommonInitialSequence,
+    Offsets,
+    analyze,
+    program_from_c,
+)
+from repro.bench.harness import _UNGATED_STATS
+from repro.core.reference import reference_analyze
+
+STRATEGIES = (CollapseAlways, CollapseOnCast, CommonInitialSequence, Offsets)
+
+MEMCPY_STRUCT = """
+struct S { int *a; int *b; };
+struct S src, dst;
+int x, y;
+struct S *sp;
+void main(void) {
+    src.a = &x;
+    src.b = &y;
+    memcpy(&dst, &src, sizeof(struct S));
+    sp = memcpy(&dst, &src, sizeof(struct S));
+}
+"""
+
+MEMCPY_VIA_POINTERS = """
+struct T { char *name; struct T *next; };
+struct T t1, t2;
+char c0;
+struct T *u, *v;
+void main(void) {
+    t1.name = &c0;
+    t1.next = &t2;
+    u = &t1;
+    v = &t2;
+    memcpy(v, u, sizeof(struct T));
+}
+"""
+
+RET_GETS_ARG = """
+char buf[8], line[8];
+char *r, *s, *t;
+void main(void) {
+    r = strcpy(buf, line);
+    s = strchr(buf, 65);
+    t = fgets(line, 8, 0);
+}
+"""
+
+DEFAULT_EXTERN = """
+int x, y;
+int *p, *q, *r;
+void main(void) {
+    p = &x;
+    q = &y;
+    r = mystery(p, q);
+}
+"""
+
+DEFAULT_EXTERN_NO_LHS = """
+int x;
+int *p;
+void main(void) {
+    p = &x;
+    mystery2(p);
+}
+"""
+
+ALL_PROGRAMS = {
+    "memcpy_struct": MEMCPY_STRUCT,
+    "memcpy_via_pointers": MEMCPY_VIA_POINTERS,
+    "ret_gets_arg": RET_GETS_ARG,
+    "default_extern": DEFAULT_EXTERN,
+    "default_extern_no_lhs": DEFAULT_EXTERN_NO_LHS,
+}
+
+
+def _gated(stats) -> dict:
+    return {k: v for k, v in stats.as_dict().items() if k not in _UNGATED_STATS}
+
+
+@pytest.mark.parametrize("name", sorted(ALL_PROGRAMS), ids=str)
+@pytest.mark.parametrize("cls", STRATEGIES, ids=lambda c: c.key)
+def test_summaries_match_reference(name, cls):
+    program = program_from_c(ALL_PROGRAMS[name], name=name)
+    strategy = cls()
+    fast = analyze(program, strategy)
+    ref = reference_analyze(program, strategy)
+    assert set(fast.facts.all_facts()) == set(ref.facts.all_facts())
+    assert fast.facts.edge_count() == ref.facts.edge_count()
+    for src in ref.facts.sources():
+        assert fast.facts.points_to(src) == ref.facts.points_to(src)
+    assert _gated(fast.stats) == _gated(ref.stats)
+
+
+class TestMemcpySemantics:
+    @pytest.mark.parametrize("cls", STRATEGIES, ids=lambda c: c.key)
+    def test_struct_fields_copied(self, cls):
+        result = analyze(program_from_c(MEMCPY_STRUCT), cls())
+        objs = result.program.objects
+        dst = objs.lookup("dst")
+        # The copy covers the whole destination: both pointer fields of
+        # ``dst`` may now point where ``src``'s do (exactly which field
+        # holds which target depends on the strategy's field-sensitivity,
+        # so assert at whole-object granularity).
+        names = set()
+        for src_ref, tgt in result.facts.all_facts():
+            if src_ref.obj is dst:
+                names.add(tgt.obj.name)
+        assert names == {"x", "y"}
+
+    @pytest.mark.parametrize("cls", STRATEGIES, ids=lambda c: c.key)
+    def test_memcpy_returns_dst(self, cls):
+        result = analyze(program_from_c(MEMCPY_STRUCT), cls())
+        sp = result.program.objects.lookup("sp")
+        assert "dst" in result.points_to_names(sp)
+
+
+class TestRetGetsArgSemantics:
+    @pytest.mark.parametrize("cls", STRATEGIES, ids=lambda c: c.key)
+    def test_return_aliases_first_argument(self, cls):
+        result = analyze(program_from_c(RET_GETS_ARG), cls())
+        objs = result.program.objects
+        assert result.points_to_names(objs.lookup("r")) == {"buf"}
+        assert result.points_to_names(objs.lookup("s")) == {"buf"}
+        assert result.points_to_names(objs.lookup("t")) == {"line"}
+
+
+class TestDefaultExternSemantics:
+    @pytest.mark.parametrize("cls", STRATEGIES, ids=lambda c: c.key)
+    def test_result_may_alias_any_pointer_argument(self, cls):
+        result = analyze(program_from_c(DEFAULT_EXTERN), cls())
+        r = result.program.objects.lookup("r")
+        assert result.points_to_names(r) == {"x", "y"}
+
+    @pytest.mark.parametrize("cls", STRATEGIES, ids=lambda c: c.key)
+    def test_no_lhs_is_harmless(self, cls):
+        result = analyze(program_from_c(DEFAULT_EXTERN_NO_LHS), cls())
+        p = result.program.objects.lookup("p")
+        assert result.points_to_names(p) == {"x"}

@@ -6,7 +6,6 @@ and precise on layout-independent programs.  These tests re-run key
 paper examples under LP64 (8-byte pointers/longs).
 """
 
-import pytest
 
 from repro import (
     ILP32,

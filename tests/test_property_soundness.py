@@ -73,7 +73,6 @@ class TestPrecisionOrdering:
     @settings(**SETTINGS)
     def test_collapse_always_is_coarsest(self, seed):
         from repro import CollapseAlways, Offsets
-        from repro.ir.refs import FieldRef
 
         src = generate_program(seed, GenConfig(cast_probability=0.6))
         program = program_from_c(src)

@@ -11,14 +11,7 @@ from repro.bench.harness import (
     load_program,
 )
 from repro.clients import deref_stats
-from repro.suite.registry import (
-    SUITE,
-    by_name,
-    casting_programs,
-    load_source,
-    nocast_programs,
-    program_dir,
-)
+from repro.suite.registry import SUITE, by_name, casting_programs, nocast_programs, program_dir
 
 
 class TestRegistry:

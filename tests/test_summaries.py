@@ -2,7 +2,7 @@
 
 from conftest import pts_names, run
 
-from repro import CollapseOnCast, CommonInitialSequence, analyze_c
+from repro import CollapseOnCast, CommonInitialSequence
 from repro.core.engine import Engine
 from repro.core.interproc import SummaryRegistry
 from repro.frontend import program_from_c
