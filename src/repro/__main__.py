@@ -22,6 +22,7 @@ from typing import List
 from .clients.derefstats import deref_stats
 from .core import ALL_STRATEGIES, STRATEGY_BY_KEY
 from .ctype.layout import ILP32, LP64, Layout
+from .diag import FrontendError, Severity
 from .ir.objects import ObjKind
 from .ir.refs import FieldRef
 from .session import AnalysisSession
@@ -72,6 +73,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile the analysis run with cProfile and print the top 20 "
         "functions by cumulative time",
     )
+    p.add_argument(
+        "--lenient", action="store_true",
+        help="never abort on unsupported C: degrade each unmodelled "
+        "construct to a sound conservative approximation and report it "
+        "as a diagnostic on stderr (see docs/robustness.md)",
+    )
     return p
 
 
@@ -95,10 +102,44 @@ def _resolve_query(program, text: str):
     return FieldRef(obj, tuple(parts[1:]))
 
 
-def run_compare(program_path: str, args) -> None:
+def _open_session(args) -> AnalysisSession:
+    """Parse the input file once, honoring strict/lenient mode.
+
+    Front-end failures (parse, typebuild, normalize) never escape as
+    tracebacks: strict mode converts the structured error into a one-line
+    ``path:line:col: severity: message`` diagnostic and a nonzero exit;
+    lenient mode degrades and continues, unless even parsing failed (a
+    FATAL diagnostic), which also exits nonzero.
+    """
+    try:
+        session = AnalysisSession.from_file(
+            args.file,
+            strict=not args.lenient,
+            assume_valid_pointers=not args.no_assumption_1,
+        )
+    except FrontendError as err:
+        raise SystemExit(f"{err.diagnostic.one_line()}") from None
+    except OSError as err:
+        raise SystemExit(f"error: cannot read {args.file}: {err.strerror}") from None
+    sink = session.diagnostics
+    if sink.has_fatal:
+        for d in sink:
+            if d.severity is Severity.FATAL:
+                raise SystemExit(d.one_line())
+    if len(sink):
+        print(
+            f"# {len(sink)} construct(s) degraded in lenient mode "
+            f"({', '.join(sorted(sink.kinds()))}); results are conservative",
+            file=sys.stderr,
+        )
+        for d in sink:
+            print(f"# {d.one_line()}", file=sys.stderr)
+    return session
+
+
+def run_compare(session: AnalysisSession, args) -> None:
     # One session: the file is parsed and normalized once, each instance
     # gets its own solve over the shared Program.
-    session = AnalysisSession.from_file(program_path)
     print(f"{'algorithm':25s} {'time':>9s} {'facts':>8s} {'avg |pts|':>10s}")
     for cls in ALL_STRATEGIES:
         result = session.solve(cls(_layout(args)))
@@ -119,13 +160,11 @@ def main(argv: List[str] = None) -> int:
         return explain_main(argv[1:])
     args = build_parser().parse_args(argv)
 
+    session = _open_session(args)
     if args.compare:
-        run_compare(args.file, args)
+        run_compare(session, args)
         return 0
 
-    session = AnalysisSession.from_file(
-        args.file, assume_valid_pointers=not args.no_assumption_1
-    )
     program = session.program
     strategy = STRATEGY_BY_KEY[args.strategy](_layout(args))
     if args.profile:

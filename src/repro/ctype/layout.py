@@ -121,6 +121,10 @@ class Layout:
     def __init__(self, abi: ABI = ILP32):
         self.abi = abi
         self._records: Dict[int, _RecordLayout] = {}
+        #: Records currently being laid out, to turn a cyclic by-value
+        #: type (impossible in well-formed C, but constructible by hand)
+        #: into a LayoutError instead of unbounded recursion.
+        self._laying_out: set = set()
 
     # ------------------------------------------------------------------
     # sizeof / alignof
@@ -177,6 +181,15 @@ class Layout:
             return cached
         if not t.is_complete:
             raise LayoutError(f"layout of incomplete type {t!r}")
+        if id(t) in self._laying_out:
+            raise LayoutError(f"recursive by-value type {t!r} has no layout")
+        self._laying_out.add(id(t))
+        try:
+            return self._record_layout_uncached(t)
+        finally:
+            self._laying_out.discard(id(t))
+
+    def _record_layout_uncached(self, t: StructType) -> _RecordLayout:
         offsets: List[int] = []
         if isinstance(t, UnionType):
             size = 0

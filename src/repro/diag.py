@@ -1,0 +1,231 @@
+"""Structured diagnostics: the error model shared by every pipeline stage.
+
+The paper's framework is defined over a normalized core language, but the
+point of the system is surviving *real* C.  Real inputs contain constructs
+the front end cannot (or chooses not to) model precisely; this module
+defines how every stage reports them:
+
+- :class:`Diagnostic` — one structured record: a stable ``kind`` slug, a
+  human-readable message, a :class:`Severity`, a :class:`SourceLoc` (file,
+  line, column), and the pipeline ``phase`` that produced it.
+- :class:`FrontendError` — the common base of every structured pipeline
+  exception (:class:`~repro.frontend.parse.ParseError`,
+  :class:`~repro.frontend.parse.PreprocessorError`,
+  :class:`~repro.frontend.typebuilder.TypeBuildError`,
+  :class:`~repro.frontend.normalizer.NormalizeError`).  Each instance
+  carries a :class:`Diagnostic`, so strict-mode failures are machine
+  readable: ``err.kind``, ``err.loc.line`` etc. are always present.
+- :class:`DiagnosticSink` — the collector used by lenient mode
+  (``strict=False``): instead of raising, a stage *emits* the diagnostic
+  and substitutes a sound conservative approximation, so the rest of the
+  translation unit is still analyzed.  See ``docs/robustness.md`` for the
+  per-construct soundness argument.
+
+Severity semantics:
+
+====  =========  ====================================================
+name  analysis?  meaning
+====  =========  ====================================================
+NOTE     yes     informational; no precision impact
+WARNING  yes     a construct was approximated; result stays sound
+ERROR    yes     a construct could not be modeled; the statement was
+                 havoc-approximated or skipped (may-analysis lenient)
+FATAL    no      nothing could be analyzed (e.g. the file failed to
+                 parse); the resulting program is empty
+====  =========  ====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "Severity",
+    "SourceLoc",
+    "Diagnostic",
+    "DiagnosticSink",
+    "FrontendError",
+    "loc_of_node",
+]
+
+
+class Severity(enum.IntEnum):
+    """How badly a construct degraded the analysis (ordering is meaningful)."""
+
+    NOTE = 0
+    WARNING = 1
+    ERROR = 2
+    FATAL = 3
+
+
+@dataclass(frozen=True)
+class SourceLoc:
+    """A source coordinate: ``file:line:column``, any part unknown."""
+
+    file: Optional[str] = None
+    line: Optional[int] = None
+    column: Optional[int] = None
+
+    def __str__(self) -> str:
+        parts = [self.file or "<unknown>"]
+        if self.line is not None:
+            parts.append(str(self.line))
+            if self.column is not None:
+                parts.append(str(self.column))
+        return ":".join(parts)
+
+    @property
+    def known(self) -> bool:
+        return self.file is not None or self.line is not None
+
+
+def loc_of_node(node, filename: Optional[str] = None) -> SourceLoc:
+    """The :class:`SourceLoc` of a pycparser AST node (best effort).
+
+    pycparser coordinates already honour ``# <line> "<file>"`` markers, so
+    ``coord.file`` normally names the user's file; ``filename`` is only a
+    fallback for synthesized nodes without coordinates.
+    """
+    coord = getattr(node, "coord", None)
+    if coord is None:
+        return SourceLoc(file=filename)
+    return SourceLoc(
+        file=str(coord.file) if getattr(coord, "file", None) else filename,
+        line=getattr(coord, "line", None),
+        column=getattr(coord, "column", None),
+    )
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured record of a construct the pipeline could not model."""
+
+    #: Stable kebab-case slug (``unsupported-expression``, ``parse-error``,
+    #: ...): what tests and metrics key on.  docs/robustness.md lists them.
+    kind: str
+    message: str
+    severity: Severity = Severity.ERROR
+    loc: SourceLoc = field(default_factory=SourceLoc)
+    #: Pipeline stage: preprocess | parse | typebuild | normalize | analyze.
+    phase: str = "frontend"
+
+    def __str__(self) -> str:
+        return f"{self.loc}: {self.severity.name.lower()}: {self.message} [{self.kind}]"
+
+    def one_line(self) -> str:
+        """The CLI's single-line rendering (no kind suffix)."""
+        return f"{self.loc}: {self.severity.name.lower()}: {self.message}"
+
+
+class FrontendError(Exception):
+    """Base of every structured pipeline error; always carries a Diagnostic.
+
+    Subclasses set ``phase`` and ``default_kind``; constructing one with
+    just a message keeps working everywhere (``NormalizeError("...")``),
+    producing a record with an unknown location.
+    """
+
+    phase = "frontend"
+    default_kind = "frontend-error"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: Optional[str] = None,
+        loc: Optional[SourceLoc] = None,
+        severity: Severity = Severity.ERROR,
+    ) -> None:
+        loc = loc or SourceLoc()
+        self.diagnostic = Diagnostic(
+            kind=kind or self.default_kind,
+            message=message,
+            severity=severity,
+            loc=loc,
+            phase=self.phase,
+        )
+        super().__init__(f"{loc}: {message}" if loc.known else message)
+
+    @property
+    def kind(self) -> str:
+        return self.diagnostic.kind
+
+    @property
+    def loc(self) -> SourceLoc:
+        return self.diagnostic.loc
+
+    @property
+    def severity(self) -> Severity:
+        return self.diagnostic.severity
+
+
+class DiagnosticSink:
+    """Collects :class:`Diagnostic` records during one pipeline run.
+
+    One sink is shared by every stage of a lenient run (and is still
+    attached in strict runs, where it stays empty because stages raise
+    instead).  The sink never raises and never drops records below
+    ``limit``; past the limit it counts silently so a pathological input
+    cannot exhaust memory with millions of records.
+    """
+
+    def __init__(self, limit: int = 10_000) -> None:
+        self.records: List[Diagnostic] = []
+        self.limit = limit
+        #: Total emitted, including records dropped past ``limit``.
+        self.total = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, diag: Diagnostic) -> Diagnostic:
+        self.total += 1
+        if len(self.records) < self.limit:
+            self.records.append(diag)
+        return diag
+
+    def report(
+        self,
+        kind: str,
+        message: str,
+        *,
+        loc: Optional[SourceLoc] = None,
+        severity: Severity = Severity.ERROR,
+        phase: str = "frontend",
+    ) -> Diagnostic:
+        return self.emit(Diagnostic(kind, message, severity, loc or SourceLoc(), phase))
+
+    def absorb(self, err: FrontendError) -> Diagnostic:
+        """Record a structured error that lenient mode chose not to raise."""
+        return self.emit(err.diagnostic)
+
+    # ------------------------------------------------------------------
+    def kinds(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for d in self.records:
+            out[d.kind] = out.get(d.kind, 0) + 1
+        return out
+
+    def severities(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for d in self.records:
+            out[d.severity.name] = out.get(d.severity.name, 0) + 1
+        return out
+
+    @property
+    def has_fatal(self) -> bool:
+        return any(d.severity is Severity.FATAL for d in self.records)
+
+    def worst(self) -> Optional[Diagnostic]:
+        """The most severe record (first among equals), or ``None``."""
+        return max(self.records, key=lambda d: d.severity, default=None)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.records)
+
+    def __repr__(self) -> str:
+        return f"<DiagnosticSink {len(self.records)} records {self.kinds()!r}>"

@@ -14,21 +14,28 @@ Convenience entry points:
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from ..core.engine import Result, analyze
 from ..core.strategy import Strategy
+from ..diag import Diagnostic, DiagnosticSink, FrontendError, Severity, SourceLoc
 from ..ir.program import Program
 from .normalizer import ALLOC_FUNCTIONS, NormalizeError, Normalizer
-from .parse import PRELUDE, PreprocessorError, parse_c, preprocess
+from .parse import PRELUDE, ParseError, PreprocessorError, parse_c, preprocess
 from .typebuilder import TypeBuildError, TypeBuilder
 
 __all__ = [
     "ALLOC_FUNCTIONS",
+    "Diagnostic",
+    "DiagnosticSink",
+    "FrontendError",
     "NormalizeError",
     "Normalizer",
     "PRELUDE",
+    "ParseError",
     "PreprocessorError",
+    "Severity",
+    "SourceLoc",
     "TypeBuildError",
     "TypeBuilder",
     "analyze_c",
@@ -40,23 +47,68 @@ __all__ = [
 ]
 
 
-def program_from_c(source: str, name: str = "<source>") -> Program:
-    """Parse and normalize C source text into a :class:`Program`."""
-    ast = parse_c(source, filename=name)
-    return Normalizer().run(ast, name=name)
+def program_from_c(
+    source: str,
+    name: str = "<source>",
+    *,
+    strict: bool = True,
+    diagnostics: Optional[DiagnosticSink] = None,
+) -> Program:
+    """Parse and normalize C source text into a :class:`Program`.
+
+    With ``strict=False`` no input can raise: unsupported constructs are
+    recorded on ``diagnostics`` (also attached as ``program.diagnostics``)
+    and replaced by sound conservative approximations; even an unparsable
+    file yields an (empty) program carrying a FATAL diagnostic.
+    """
+    sink = diagnostics if diagnostics is not None else DiagnosticSink()
+    ast = parse_c(source, filename=name, strict=strict, diagnostics=sink)
+    return Normalizer(strict=strict, diagnostics=sink, filename=name).run(
+        ast, name=name
+    )
 
 
-def program_from_file(path: Union[str, Path]) -> Program:
+def program_from_file(
+    path: Union[str, Path],
+    *,
+    strict: bool = True,
+    diagnostics: Optional[DiagnosticSink] = None,
+) -> Program:
     """Parse and normalize a C file."""
     p = Path(path)
-    return program_from_c(p.read_text(), name=p.name)
+    return program_from_c(
+        p.read_text(), name=p.name, strict=strict, diagnostics=diagnostics
+    )
 
 
-def analyze_c(source: str, strategy: Strategy, name: str = "<source>", **kwargs) -> Result:
+def analyze_c(
+    source: str,
+    strategy: Strategy,
+    name: str = "<source>",
+    *,
+    strict: bool = True,
+    diagnostics: Optional[DiagnosticSink] = None,
+    **kwargs,
+) -> Result:
     """Analyze C source text under ``strategy``; returns the Result."""
-    return analyze(program_from_c(source, name), strategy, **kwargs)
+    return analyze(
+        program_from_c(source, name, strict=strict, diagnostics=diagnostics),
+        strategy,
+        **kwargs,
+    )
 
 
-def analyze_file(path: Union[str, Path], strategy: Strategy, **kwargs) -> Result:
+def analyze_file(
+    path: Union[str, Path],
+    strategy: Strategy,
+    *,
+    strict: bool = True,
+    diagnostics: Optional[DiagnosticSink] = None,
+    **kwargs,
+) -> Result:
     """Analyze a C file under ``strategy``."""
-    return analyze(program_from_file(path), strategy, **kwargs)
+    return analyze(
+        program_from_file(path, strict=strict, diagnostics=diagnostics),
+        strategy,
+        **kwargs,
+    )

@@ -54,6 +54,7 @@ from ..ctype.types import (
     ulong,
     void,
 )
+from ..diag import DiagnosticSink, FrontendError, Severity, loc_of_node
 from ..ir.objects import AbstractObject
 from ..ir.program import FunctionInfo, Program
 from ..ir.refs import FieldRef
@@ -63,8 +64,11 @@ from .typebuilder import TypeBuilder
 __all__ = ["NormalizeError", "Normalizer", "ALLOC_FUNCTIONS"]
 
 
-class NormalizeError(Exception):
+class NormalizeError(FrontendError):
     """Raised for C constructs outside the supported subset."""
+
+    phase = "normalize"
+    default_kind = "unsupported-construct"
 
 
 #: Direct calls to these are rewritten into allocation-site address-of
@@ -121,10 +125,37 @@ def _skip_arrays(t: CType) -> CType:
 
 
 class Normalizer:
-    """One-shot translator: pycparser ``FileAST`` → :class:`Program`."""
+    """One-shot translator: pycparser ``FileAST`` → :class:`Program`.
 
-    def __init__(self, types: Optional[TypeBuilder] = None) -> None:
-        self.types = types or TypeBuilder()
+    In strict mode (the default) the first unsupported construct raises a
+    :class:`NormalizeError` carrying structured source coordinates.  With
+    ``strict=False`` each unsupported construct is recorded on the
+    diagnostic sink and replaced by a *sound conservative approximation*
+    instead, so the rest of the translation unit is still analyzed:
+
+    - an expression that cannot be lowered evaluates to the enclosing
+      function's *havoc object* (an untyped unknown; assignments from it
+      are well-formed no-ops for a may-analysis);
+    - a statement, declaration, or function whose lowering fails beyond
+      expression granularity is skipped (dropping assignments only ever
+      removes may-facts, which keeps every *reported* fact derivable —
+      see ``docs/robustness.md`` for the full argument).
+    """
+
+    def __init__(
+        self,
+        types: Optional[TypeBuilder] = None,
+        *,
+        strict: bool = True,
+        diagnostics: Optional[DiagnosticSink] = None,
+        filename: Optional[str] = None,
+    ) -> None:
+        self.strict = strict
+        self.diagnostics = diagnostics if diagnostics is not None else DiagnosticSink()
+        self.filename = filename
+        self.types = types or TypeBuilder(
+            strict=strict, diagnostics=self.diagnostics, filename=filename
+        )
         self.program = Program()
         # Variable scopes, innermost last.  The first entry is file scope.
         self._scopes: List[Dict[str, AbstractObject]] = [{}]
@@ -133,44 +164,121 @@ class Normalizer:
         self._current_fn: Optional[FunctionInfo] = None
         self._local_counter: Dict[Tuple[str, str], int] = {}
 
+    # ------------------------------------------------------------------
+    # Structured-error and lenient-recovery plumbing
+    # ------------------------------------------------------------------
+    def _err(self, kind: str, message: str, node: Optional[c_ast.Node] = None) -> NormalizeError:
+        """A :class:`NormalizeError` carrying ``node``'s coordinates."""
+        return NormalizeError(
+            message, kind=kind, loc=loc_of_node(node, self.filename)
+        )
+
+    def _skip(self, exc: Exception, node: Optional[c_ast.Node], what: str) -> None:
+        """Record why ``node`` was dropped (lenient mode only)."""
+        if isinstance(exc, FrontendError):
+            diag = exc.diagnostic
+            if not diag.loc.known and node is not None:
+                self.diagnostics.report(
+                    diag.kind, f"{diag.message}; {what} skipped",
+                    loc=loc_of_node(node, self.filename), phase=diag.phase,
+                )
+            else:
+                self.diagnostics.report(
+                    diag.kind, f"{diag.message}; {what} skipped",
+                    loc=diag.loc, phase=diag.phase,
+                )
+        else:
+            # An unexpected crash: still recovered, but flagged loudly so
+            # the fuzz harness surfaces it as a bug to fix.
+            self.diagnostics.report(
+                "internal-error",
+                f"{type(exc).__name__}: {exc}; {what} skipped",
+                loc=loc_of_node(node, self.filename),
+                severity=Severity.ERROR,
+                phase="normalize",
+            )
+
+    def _havoc(self, t: Optional[CType] = None) -> AbstractObject:
+        """The per-function unknown object lenient fallbacks evaluate to.
+
+        Its points-to set is empty and nothing ever takes its address, so
+        ``x = havoc`` statements are well-formed no-ops under the may
+        interpretation — the diagnostic records the precision loss.
+        """
+        fn = self._fn_name or "<global>"
+        obj = self.program.objects.lookup(f"{fn}::$havoc")
+        if obj is None:
+            obj = self.program.objects.havoc(fn, ptr(void))
+        return obj
+
     # ==================================================================
     # Entry point
     # ==================================================================
     def run(self, ast: c_ast.FileAST, name: str = "<program>") -> Program:
         self.program.name = name
+        if self.filename is None:
+            self.filename = name
+            if self.types.filename is None:
+                self.types.filename = name
+        self.program.diagnostics = self.diagnostics.records
         # Pass 1: register every file-scope name so that initializers and
         # bodies may reference declarations that appear later.
         pending_inits: List[Tuple[AbstractObject, CType, c_ast.Node]] = []
         funcdefs: List[c_ast.FuncDef] = []
         for ext in ast.ext:
-            if isinstance(ext, c_ast.Typedef):
-                self.types.add_typedef(ext.name, ext.type)
-            elif isinstance(ext, c_ast.FuncDef):
-                self._register_function_decl(ext.decl)
-                funcdefs.append(ext)
-            elif isinstance(ext, c_ast.Decl):
-                t = self.types.from_decl(ext)
-                if isinstance(t, FunctionType):
-                    self._register_function_decl(ext)
-                elif ext.name is not None:
-                    obj = self._declare_global(ext.name, t, ext)
-                    if ext.init is not None and obj is not None:
-                        pending_inits.append((obj, t, ext.init))
-                # Bare ``struct S { ... };`` declarations only introduce
-                # types, which from_decl already recorded.
-            elif isinstance(ext, c_ast.Pragma):
-                continue
-            else:
-                raise NormalizeError(
-                    f"unsupported top-level construct {type(ext).__name__}"
-                )
+            try:
+                self._lower_ext(ext, pending_inits, funcdefs)
+            except Exception as exc:
+                if self.strict:
+                    raise
+                self._skip(exc, ext, "top-level declaration")
         # Pass 2: global initializers, then function bodies.
         for obj, t, init in pending_inits:
             self._with_stmts(self.program.global_stmts, None)
-            self._apply_initializer(obj, (), t, init)
+            try:
+                self._apply_initializer(obj, (), t, init)
+            except Exception as exc:
+                if self.strict:
+                    raise
+                self._skip(exc, init, f"initializer of {obj.name!r}")
         for fd in funcdefs:
-            self._lower_funcdef(fd)
+            try:
+                self._lower_funcdef(fd)
+            except Exception as exc:
+                if self.strict:
+                    raise
+                self._skip(exc, fd, f"function {fd.decl.name!r}")
         return self.program
+
+    def _lower_ext(
+        self,
+        ext: c_ast.Node,
+        pending_inits: List[Tuple[AbstractObject, CType, c_ast.Node]],
+        funcdefs: List[c_ast.FuncDef],
+    ) -> None:
+        if isinstance(ext, c_ast.Typedef):
+            self.types.add_typedef(ext.name, ext.type)
+        elif isinstance(ext, c_ast.FuncDef):
+            self._register_function_decl(ext.decl)
+            funcdefs.append(ext)
+        elif isinstance(ext, c_ast.Decl):
+            t = self.types.from_decl(ext)
+            if isinstance(t, FunctionType):
+                self._register_function_decl(ext)
+            elif ext.name is not None:
+                obj = self._declare_global(ext.name, t, ext)
+                if ext.init is not None and obj is not None:
+                    pending_inits.append((obj, t, ext.init))
+            # Bare ``struct S { ... };`` declarations only introduce
+            # types, which from_decl already recorded.
+        elif isinstance(ext, c_ast.Pragma):
+            return
+        else:
+            raise self._err(
+                "unsupported-toplevel",
+                f"unsupported top-level construct {type(ext).__name__}",
+                ext,
+            )
 
     # ==================================================================
     # Declarations
@@ -192,7 +300,11 @@ class Normalizer:
         name = decl.name
         ftype = self.types.from_decl(decl)
         if not isinstance(ftype, FunctionType):
-            raise NormalizeError(f"function declaration {name!r} has no function type")
+            raise self._err(
+                "bad-function-decl",
+                f"function declaration {name!r} has no function type",
+                decl,
+            )
         if name not in self._functions:
             line = decl.coord.line if decl.coord else None
             fobj = self.program.objects.function(name, ftype, line=line)
@@ -287,6 +399,15 @@ class Normalizer:
     def _lower_stmt(self, node: Optional[c_ast.Node]) -> None:
         if node is None:
             return
+        if self.strict:
+            return self._lower_stmt_inner(node)
+        try:
+            return self._lower_stmt_inner(node)
+        except Exception as exc:
+            # Lenient: dropping a statement only removes may-facts.
+            self._skip(exc, node, "statement")
+
+    def _lower_stmt_inner(self, node: c_ast.Node) -> None:
         if isinstance(node, c_ast.Compound):
             self._scopes.append({})
             try:
@@ -404,18 +525,20 @@ class Normalizer:
             obj = self._lookup_var(node.name)
             if obj is not None:
                 return VarPath(obj, (), obj.type)
-            raise NormalizeError(f"unknown identifier {node.name!r} at {node.coord}")
+            raise self._err(
+                "unknown-identifier", f"unknown identifier {node.name!r}", node
+            )
         if isinstance(node, c_ast.StructRef):
             if node.type == ".":
                 base = self._lvalue_or_temp(node.name)
-                ft = self._member_type(base.type, node.field.name)
+                ft = self._member_type(base.type, node.field.name, node)
                 if isinstance(base, VarPath):
                     return VarPath(base.obj, base.path + (node.field.name,), ft)
                 return DerefPath(base.ptr, base.path + (node.field.name,), ft)
             # p->field
             v = self._value(node.name)
             pointee = self._pointee_of(v.type)
-            ft = self._member_type(pointee, node.field.name)
+            ft = self._member_type(pointee, node.field.name, node)
             return DerefPath(self._obj_or_empty(v), (node.field.name,), ft)
         if isinstance(node, c_ast.UnaryOp) and node.op == "*":
             inner_t = self._type_of(node.expr)
@@ -447,7 +570,9 @@ class Normalizer:
             # materializing the cast value.
             v = self._value(node)
             return VarPath(self._obj_or_empty(v), (), v.type)
-        raise NormalizeError(f"unsupported lvalue {type(node).__name__} at {node.coord}")
+        raise self._err(
+            "unsupported-lvalue", f"unsupported lvalue {type(node).__name__}", node
+        )
 
     def _lvalue_or_temp(self, node: c_ast.Node) -> LValue:
         """Lower to an lvalue, materializing rvalues into temporaries."""
@@ -457,11 +582,21 @@ class Normalizer:
             v = self._value(node)
             return VarPath(self._obj_or_empty(v), (), v.type)
 
-    def _member_type(self, t: CType, field: str) -> CType:
+    def _member_type(
+        self, t: CType, field: str, node: Optional[c_ast.Node] = None
+    ) -> CType:
         t = _skip_arrays(t)
         if isinstance(t, StructType) and t.is_complete:
+            if not t.has_field(field):
+                raise self._err(
+                    "unknown-member", f"no member .{field} in {t!r}", node
+                )
             return t.field_named(field).type
-        raise NormalizeError(f"member access .{field} on non-struct {t!r}")
+        raise self._err(
+            "member-on-non-struct",
+            f"member access .{field} on non-struct {t!r}",
+            node,
+        )
 
     @staticmethod
     def _pointee_of(t: CType) -> CType:
@@ -617,7 +752,30 @@ class Normalizer:
 
     # ------------------------------------------------------------------
     def _value(self, node: c_ast.Node, hint: Optional[CType] = None) -> Value:
-        """Evaluate an expression, emitting normalized statements."""
+        """Evaluate an expression, emitting normalized statements.
+
+        Lenient mode never lets a structured frontend error escape: the
+        failed (sub)expression evaluates to the enclosing function's
+        havoc object so the surrounding statement is still lowered (e.g.
+        ``p = <unsupported>`` becomes ``p = havoc``).
+        """
+        if self.strict:
+            return self._value_inner(node, hint)
+        try:
+            return self._value_inner(node, hint)
+        except FrontendError as exc:
+            diag = exc.diagnostic
+            loc = diag.loc if diag.loc.known else loc_of_node(node, self.filename)
+            self.diagnostics.report(
+                diag.kind,
+                f"{diag.message}; expression value havocked",
+                loc=loc,
+                phase=diag.phase,
+            )
+            t = hint if hint is not None else ptr(void)
+            return Value(self._havoc(t), t)
+
+    def _value_inner(self, node: c_ast.Node, hint: Optional[CType] = None) -> Value:
         line = self._line(node)
         if isinstance(node, c_ast.Constant):
             if node.type == "string":
@@ -634,7 +792,9 @@ class Normalizer:
                 tmp = self._temp(PointerType(ftype), line)
                 self._emit(AddrOf(lhs=tmp, target=FieldRef(fobj, ())), line=line)
                 return Value(tmp, PointerType(ftype))
-            raise NormalizeError(f"unknown identifier {node.name!r} at {node.coord}")
+            raise self._err(
+                "unknown-identifier", f"unknown identifier {node.name!r}", node
+            )
         if isinstance(node, (c_ast.StructRef, c_ast.ArrayRef)):
             return self._read(self._lvalue(node), line)
         if isinstance(node, c_ast.UnaryOp):
@@ -661,8 +821,14 @@ class Normalizer:
             self._apply_initializer(obj, (), t, node.init)
             return self._read(VarPath(obj, (), t), line)
         if isinstance(node, c_ast.InitList):
-            raise NormalizeError(f"initializer list in expression context at {node.coord}")
-        raise NormalizeError(f"unsupported expression {type(node).__name__} at {node.coord}")
+            raise self._err(
+                "unsupported-expression", "initializer list in expression context", node
+            )
+        raise self._err(
+            "unsupported-expression",
+            f"unsupported expression {type(node).__name__}",
+            node,
+        )
 
     # ------------------------------------------------------------------
     def _string_literal(self, node: c_ast.Constant, line: Optional[int]) -> Value:
@@ -677,6 +843,14 @@ class Normalizer:
     def _unary(self, node: c_ast.UnaryOp, line: Optional[int]) -> Value:
         op = node.op
         if op == "&":
+            # &f on a function designator: same value as plain `f` (both
+            # denote the function's address), but `f` is not an lvalue here.
+            if (
+                isinstance(node.expr, c_ast.ID)
+                and self._lookup_var(node.expr.name) is None
+                and node.expr.name in self._functions
+            ):
+                return self._value(node.expr)
             return self._addr_of(self._lvalue(node.expr), line)
         if op == "*":
             return self._read(self._lvalue(node), line)
@@ -701,7 +875,9 @@ class Normalizer:
             self._emit(PtrArith(lhs=tmp, operands=(cur.obj,)), line=line)
             self._write(lv, Value(tmp, cur.type), line)
             return cur if op.startswith("p") else Value(tmp, cur.type)
-        raise NormalizeError(f"unsupported unary operator {op!r} at {node.coord}")
+        raise self._err(
+            "unsupported-operator", f"unsupported unary operator {op!r}", node
+        )
 
     # ------------------------------------------------------------------
     _PURE_BINOPS = frozenset({"==", "!=", "<", ">", "<=", ">=", "&&", "||"})

@@ -24,11 +24,23 @@ from typing import Dict, List, Optional
 
 from pycparser import c_ast, c_parser
 
-__all__ = ["PreprocessorError", "preprocess", "parse_c", "PRELUDE"]
+from ..diag import DiagnosticSink, FrontendError, Severity, SourceLoc
+
+__all__ = ["ParseError", "PreprocessorError", "preprocess", "parse_c", "PRELUDE"]
 
 
-class PreprocessorError(Exception):
+class PreprocessorError(FrontendError):
     """Raised on a directive the mini-preprocessor cannot handle."""
+
+    phase = "preprocess"
+    default_kind = "preprocess-error"
+
+
+class ParseError(FrontendError):
+    """Structured wrapper around pycparser's syntax errors."""
+
+    phase = "parse"
+    default_kind = "parse-error"
 
 
 PRELUDE = """
@@ -127,13 +139,37 @@ def _strip_comments(text: str) -> str:
     return _COMMENT_RE.sub(repl, text)
 
 
-def preprocess(text: str, defines: Optional[Dict[str, str]] = None) -> str:
-    """Run the mini-preprocessor; returns line-count-preserving C text."""
+def preprocess(
+    text: str,
+    defines: Optional[Dict[str, str]] = None,
+    *,
+    strict: bool = True,
+    diagnostics: Optional[DiagnosticSink] = None,
+    filename: Optional[str] = None,
+) -> str:
+    """Run the mini-preprocessor; returns line-count-preserving C text.
+
+    In strict mode (the default) an unsupported directive raises a
+    :class:`PreprocessorError` carrying the offending line's coordinates.
+    With ``strict=False`` the directive is recorded on ``diagnostics`` and
+    handled conservatively instead: unknown conditionals take the branch
+    (so the guarded code *is* analyzed — sound for a may-analysis),
+    function-like macros are left unexpanded, and malformed lines are
+    dropped.
+    """
     macros: Dict[str, str] = dict(defines or {})
     macros.setdefault("NULL", "((void*)0)")
+    sink = diagnostics if diagnostics is not None else DiagnosticSink()
     out: List[str] = []
     # Stack of booleans: is the current #if region active?
     active_stack: List[bool] = []
+
+    def trouble(kind: str, message: str, lineno: int,
+                severity: Severity = Severity.WARNING) -> None:
+        loc = SourceLoc(file=filename, line=lineno, column=1)
+        if strict:
+            raise PreprocessorError(message, kind=kind, loc=loc)
+        sink.report(kind, message, loc=loc, severity=severity, phase="preprocess")
 
     def expand(line: str) -> str:
         # Fixpoint expansion with a small budget to tolerate self-reference.
@@ -144,7 +180,7 @@ def preprocess(text: str, defines: Optional[Dict[str, str]] = None) -> str:
             line = new
         return line
 
-    for raw in _strip_comments(text).splitlines():
+    for lineno, raw in enumerate(_strip_comments(text).splitlines(), start=1):
         stripped = raw.strip()
         active = all(active_stack)
         if stripped.startswith("#"):
@@ -156,13 +192,19 @@ def preprocess(text: str, defines: Optional[Dict[str, str]] = None) -> str:
                     rest = body[len("define"):].strip()
                     m = re.match(r"([A-Za-z_][A-Za-z0-9_]*)\s*(\(.*)?", rest)
                     if m is None:
-                        raise PreprocessorError(f"bad #define: {raw!r}")
-                    if m.group(2) is not None and m.group(2).startswith("("):
-                        raise PreprocessorError(
-                            f"function-like macros are not supported: {raw!r}"
+                        trouble("bad-define", f"bad #define: {raw!r}", lineno)
+                    elif m.group(2) is not None and m.group(2).startswith("("):
+                        # Lenient: leave uses unexpanded; they parse as calls
+                        # to an implicitly declared function, which the
+                        # normalizer models conservatively.
+                        trouble(
+                            "function-like-macro",
+                            f"function-like macros are not supported: {raw!r}",
+                            lineno,
                         )
-                    name = m.group(1)
-                    macros[name] = rest[len(name):].strip()
+                    else:
+                        name = m.group(1)
+                        macros[name] = rest[len(name):].strip()
                 out.append("")
             elif body.startswith("undef"):
                 if active:
@@ -174,25 +216,61 @@ def preprocess(text: str, defines: Optional[Dict[str, str]] = None) -> str:
             elif body.startswith("ifndef"):
                 active_stack.append(body[len("ifndef"):].strip() not in macros)
                 out.append("")
+            elif body.startswith("if"):
+                # `#if <expr>` is not evaluated; lenient mode takes the
+                # branch so the guarded code is still analyzed.
+                trouble("unsupported-directive",
+                        f"unsupported directive: {raw!r}", lineno)
+                active_stack.append(True)
+                out.append("")
+            elif body.startswith("elif"):
+                trouble("unsupported-directive",
+                        f"unsupported directive: {raw!r}", lineno)
+                if active_stack:
+                    active_stack[-1] = False  # the first branch was taken
+                out.append("")
             elif body.startswith("else"):
                 if not active_stack:
-                    raise PreprocessorError("#else without #if")
-                active_stack[-1] = not active_stack[-1]
+                    trouble("unbalanced-conditional", "#else without #if", lineno)
+                else:
+                    active_stack[-1] = not active_stack[-1]
                 out.append("")
             elif body.startswith("endif"):
                 if not active_stack:
-                    raise PreprocessorError("#endif without #if")
-                active_stack.pop()
+                    trouble("unbalanced-conditional", "#endif without #if", lineno)
+                else:
+                    active_stack.pop()
                 out.append("")
             else:
-                raise PreprocessorError(f"unsupported directive: {raw!r}")
+                trouble("unsupported-directive",
+                        f"unsupported directive: {raw!r}", lineno)
+                out.append("")
         elif active:
             out.append(expand(raw))
         else:
             out.append("")
     if active_stack:
-        raise PreprocessorError("unterminated #if block")
+        trouble("unbalanced-conditional", "unterminated #if block",
+                len(out) or 1)
     return "\n".join(out)
+
+
+#: pycparser error text: ``file:line:col: message`` (older styles omit
+#: the coordinates, e.g. ``file: At end of input``).
+_PYC_ERR_RE = re.compile(r"^\s*(.+?):(\d+):(\d+):\s*(.*)$", re.DOTALL)
+
+
+def _wrap_pycparser_error(exc: Exception, filename: str) -> ParseError:
+    """Convert a pycparser ParseError into our structured :class:`ParseError`."""
+    text = str(exc)
+    m = _PYC_ERR_RE.match(text)
+    if m is not None:
+        loc = SourceLoc(file=m.group(1), line=int(m.group(2)), column=int(m.group(3)))
+        message = m.group(4).strip() or "syntax error"
+    else:
+        loc = SourceLoc(file=filename)
+        message = text.split(": ", 1)[-1].strip() or "syntax error"
+    return ParseError(f"syntax error: {message}", loc=loc)
 
 
 def parse_c(
@@ -200,17 +278,40 @@ def parse_c(
     filename: str = "<source>",
     use_prelude: bool = True,
     defines: Optional[Dict[str, str]] = None,
+    *,
+    strict: bool = True,
+    diagnostics: Optional[DiagnosticSink] = None,
 ) -> c_ast.FileAST:
     """Preprocess and parse C source text into a pycparser AST.
 
     When ``use_prelude`` is true (the default), the libc prelude is
     prepended; a ``#line``-style marker keeps the user code's line numbers
     intact so diagnostics and IR provenance refer to the original source.
+
+    Syntax errors raise a structured :class:`ParseError` (with source
+    coordinates when pycparser provides them).  With ``strict=False`` a
+    syntax error is unrecoverable but non-fatal to the caller: a FATAL
+    diagnostic is recorded on ``diagnostics`` and an *empty* AST is
+    returned, so downstream stages produce an empty (trivially sound)
+    program instead of crashing.
     """
-    body = preprocess(source, defines)
+    sink = diagnostics if diagnostics is not None else DiagnosticSink()
+    body = preprocess(
+        source, defines, strict=strict, diagnostics=sink, filename=filename
+    )
     if use_prelude:
         text = PRELUDE + f'\n# 1 "{filename}"\n' + body
     else:
         text = f'# 1 "{filename}"\n' + body
     parser = c_parser.CParser()
-    return parser.parse(text, filename)
+    try:
+        return parser.parse(text, filename)
+    except c_parser.ParseError as exc:
+        err = _wrap_pycparser_error(exc, filename)
+        if strict:
+            raise err from exc
+        sink.report(
+            err.kind, err.diagnostic.message,
+            loc=err.loc, severity=Severity.FATAL, phase="parse",
+        )
+        return c_ast.FileAST(ext=[])

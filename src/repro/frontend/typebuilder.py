@@ -9,7 +9,7 @@ work).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from pycparser import c_ast
 
@@ -25,14 +25,19 @@ from ..ctype.types import (
     StructType,
     UnionType,
     VoidType,
+    int_t,
     void,
 )
+from ..diag import DiagnosticSink, FrontendError, loc_of_node
 
 __all__ = ["TypeBuildError", "TypeBuilder"]
 
 
-class TypeBuildError(Exception):
+class TypeBuildError(FrontendError):
     """Raised for declarations outside the supported C subset."""
+
+    phase = "typebuild"
+    default_kind = "unsupported-type"
 
 
 _BASE_TYPES: Dict[Tuple[str, ...], CType] = {}
@@ -79,6 +84,24 @@ def _base(names: Tuple[str, ...]) -> CType:
     return t
 
 
+def _embeds_by_value(t: CType, target: CType, _seen: Optional[set] = None) -> bool:
+    """Whether ``t`` contains ``target`` by value (through fields/arrays).
+
+    Pointers break containment; incomplete records contain nothing yet.
+    """
+    if t is target:
+        return True
+    seen = _seen if _seen is not None else set()
+    if id(t) in seen:
+        return False
+    seen.add(id(t))
+    if isinstance(t, ArrayType):
+        return _embeds_by_value(t.elem, target, seen)
+    if isinstance(t, (StructType, UnionType)) and t.is_complete:
+        return any(_embeds_by_value(f.type, target, seen) for f in t.fields)
+    return False
+
+
 class TypeBuilder:
     """Converts pycparser type ASTs to :class:`~repro.ctype.types.CType`.
 
@@ -87,7 +110,16 @@ class TypeBuilder:
     they can be interned and compared.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        strict: bool = True,
+        diagnostics: Optional[DiagnosticSink] = None,
+        filename: Optional[str] = None,
+    ) -> None:
+        self.strict = strict
+        self.diagnostics = diagnostics if diagnostics is not None else DiagnosticSink()
+        self.filename = filename
         self.typedefs: Dict[str, CType] = {}
         self.struct_tags: Dict[str, StructType] = {}
         self.union_tags: Dict[str, UnionType] = {}
@@ -106,7 +138,29 @@ class TypeBuilder:
         return self.from_node(decl.type)
 
     def from_node(self, node: c_ast.Node) -> CType:
-        """Convert any pycparser type subtree."""
+        """Convert any pycparser type subtree.
+
+        Strict mode raises :class:`TypeBuildError` (with the node's source
+        coordinates) for constructs outside the supported subset; lenient
+        mode records the diagnostic and degrades the type to ``int`` — a
+        pointer-free scalar, so nothing is ever *missed* through it, only
+        modeled conservatively once the object is accessed via casts.
+        """
+        try:
+            return self._from_node(node)
+        except TypeBuildError as err:
+            if not err.loc.known:
+                err = TypeBuildError(
+                    err.diagnostic.message,
+                    kind=err.kind,
+                    loc=loc_of_node(node, self.filename),
+                )
+            if self.strict:
+                raise err
+            self.diagnostics.absorb(err)
+            return int_t
+
+    def _from_node(self, node: c_ast.Node) -> CType:
         if isinstance(node, c_ast.TypeDecl):
             t = self.from_node(node.type)
             if node.quals:
@@ -181,6 +235,19 @@ class TypeBuilder:
                     # Anonymous bit-field padding or anonymous inner record.
                     self._anon += 1
                     fname = f"<pad:{self._anon}>"
+                if _embeds_by_value(ftype, rec):
+                    # ``struct A { struct A a; }`` is ill-formed C (the
+                    # member has incomplete type); admitting the cycle
+                    # would make field-path expansion diverge downstream.
+                    err = TypeBuildError(
+                        f"field .{fname} embeds {rec.tag!r} in itself by value",
+                        kind="recursive-type",
+                        loc=loc_of_node(d, self.filename),
+                    )
+                    if self.strict:
+                        raise err
+                    self.diagnostics.absorb(err)
+                    ftype = int_t
                 fields.append(Field(fname, ftype, bw))
             rec.define(fields)
         return rec
@@ -205,7 +272,27 @@ class TypeBuilder:
 
     # ------------------------------------------------------------------
     def _const_int(self, node: c_ast.Node) -> int:
-        """Fold a constant integer expression (array sizes, enum values)."""
+        """Fold a constant integer expression (array sizes, enum values).
+
+        Lenient mode degrades unfoldable expressions to ``1`` (one array
+        element — the representative-element abstraction makes the actual
+        length irrelevant to the analysis) and records a diagnostic.
+        """
+        try:
+            return self._const_int_raw(node)
+        except TypeBuildError as err:
+            if not err.loc.known:
+                err = TypeBuildError(
+                    err.diagnostic.message,
+                    kind="unsupported-constant",
+                    loc=loc_of_node(node, self.filename),
+                )
+            if self.strict:
+                raise err
+            self.diagnostics.absorb(err)
+            return 1
+
+    def _const_int_raw(self, node: c_ast.Node) -> int:
         if isinstance(node, c_ast.Constant):
             text = node.value.rstrip("uUlL")
             try:

@@ -151,6 +151,20 @@ class ObjectFactory:
             )
         )
 
+    def havoc(self, func: str, type: CType) -> AbstractObject:
+        """The per-function unknown object lenient-mode fallbacks read from.
+
+        One per function (``f::$havoc``); its points-to set stays empty,
+        so assignments from it are sound no-ops under the may
+        interpretation.  Idempotent: repeated calls return the same
+        object.
+        """
+        name = f"{func}::$havoc"
+        existing = self._by_name.get(name)
+        if existing is not None:
+            return existing
+        return self._register(AbstractObject(name, type, ObjKind.TEMP, owner=func))
+
     def retval(self, func: str, type: CType) -> AbstractObject:
         return self._register(
             AbstractObject(f"{func}::$ret", type, ObjKind.RETVAL, owner=func)

@@ -46,6 +46,10 @@ class Program:
         self.functions: Dict[str, FunctionInfo] = {}
         #: Statements arising from global variable initializers.
         self.global_stmts: List[Stmt] = []
+        #: Structured front-end diagnostics (shared with the producing
+        #: :class:`~repro.diag.DiagnosticSink`; empty for strict runs and
+        #: hand-built programs).
+        self.diagnostics: List = []
 
     # ------------------------------------------------------------------
     def add_function(self, info: FunctionInfo) -> None:

@@ -43,6 +43,18 @@ def metrics(result: Result) -> Dict[str, object]:
     num_refs = getattr(facts, "num_refs", None)
     if num_refs is not None:
         rec["refs"] = num_refs()
+    diags = getattr(result.program, "diagnostics", None)
+    if diags:
+        by_kind: Dict[str, int] = {}
+        by_severity: Dict[str, int] = {}
+        for d in diags:
+            by_kind[d.kind] = by_kind.get(d.kind, 0) + 1
+            by_severity[d.severity.name] = by_severity.get(d.severity.name, 0) + 1
+        rec["diagnostics"] = {
+            "total": len(diags),
+            "by_kind": by_kind,
+            "by_severity": by_severity,
+        }
     tracer = result.tracer
     if tracer is not None:
         rec["trace"] = tracer.summary()

@@ -60,6 +60,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 from .core.engine import Engine, Result
 from .core.strategy import Strategy
 from .core.worklist import Worklist
+from .diag import DiagnosticSink
 from .ir.program import Program
 from .ir.stmts import Stmt
 
@@ -78,10 +79,14 @@ class AnalysisSession:
         program: Program,
         max_facts: int = 5_000_000,
         assume_valid_pointers: bool = True,
+        diagnostics: Optional[DiagnosticSink] = None,
     ) -> None:
         self.program = program
         self.max_facts = max_facts
         self.assume_valid_pointers = assume_valid_pointers
+        #: Front-end diagnostics for this program (empty when the program
+        #: was built strictly or by hand).
+        self.diagnostics = diagnostics if diagnostics is not None else DiagnosticSink()
         self._engines: Dict[_CacheKey, Engine] = {}
         self._results: Dict[_CacheKey, Result] = {}
 
@@ -89,18 +94,31 @@ class AnalysisSession:
     # Construction from source (parse exactly once).
     # ------------------------------------------------------------------
     @classmethod
-    def from_c(cls, source: str, name: str = "<source>", **kwargs) -> "AnalysisSession":
-        """Parse and normalize C source text into a fresh session."""
+    def from_c(
+        cls, source: str, name: str = "<source>", strict: bool = True, **kwargs
+    ) -> "AnalysisSession":
+        """Parse and normalize C source text into a fresh session.
+
+        ``strict=False`` enables lenient-mode degradation: unsupported
+        constructs become sound conservative approximations and the
+        session's :attr:`diagnostics` sink records each one.
+        """
         from .frontend import program_from_c
 
-        return cls(program_from_c(source, name), **kwargs)
+        sink = DiagnosticSink()
+        program = program_from_c(source, name, strict=strict, diagnostics=sink)
+        return cls(program, diagnostics=sink, **kwargs)
 
     @classmethod
-    def from_file(cls, path: Union[str, Path], **kwargs) -> "AnalysisSession":
+    def from_file(
+        cls, path: Union[str, Path], strict: bool = True, **kwargs
+    ) -> "AnalysisSession":
         """Parse and normalize a C file into a fresh session."""
         from .frontend import program_from_file
 
-        return cls(program_from_file(path), **kwargs)
+        sink = DiagnosticSink()
+        program = program_from_file(path, strict=strict, diagnostics=sink)
+        return cls(program, diagnostics=sink, **kwargs)
 
     # ------------------------------------------------------------------
     # Solving.

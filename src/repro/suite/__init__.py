@@ -1,6 +1,6 @@
 """Benchmark suite: the 20-program registry and the random generator."""
 
-from .generator import GenConfig, generate_program
+from .generator import ADVERSARIAL, GenConfig, generate_program
 from .registry import (
     SUITE,
     BenchmarkProgram,
@@ -12,6 +12,7 @@ from .registry import (
 )
 
 __all__ = [
+    "ADVERSARIAL",
     "BenchmarkProgram",
     "GenConfig",
     "SUITE",

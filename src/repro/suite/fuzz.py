@@ -1,0 +1,175 @@
+"""Crash-fuzz harness for the never-crash guarantee.
+
+Drives :mod:`repro.suite.generator` (normally in adversarial mode)
+through the whole pipeline — parse, typebuild, normalize, solve under
+every registered strategy — and checks the robustness contract:
+
+- **lenient mode** (``strict=False``) must *never* raise: every
+  unsupported construct degrades to a sound conservative approximation
+  and is recorded as a diagnostic;
+- **strict mode** must either succeed or raise a structured
+  :class:`~repro.diag.FrontendError` (carrying a diagnostic with source
+  coordinates) — never a bare ``TypeError``/``RecursionError``/etc.
+
+Any violation is a bug.  The CLI prints the offending seed *and* the
+generated source so the failure can be replayed and checked into
+``tests/corpus/``::
+
+    python -m repro.suite.fuzz --seeds 0:200 --adversarial
+
+``tests/test_degradation.py`` reuses :func:`check_source` for the
+checked-in crash corpus, and CI runs a fixed-seed smoke campaign.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import traceback
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core import STRATEGY_BY_KEY
+from ..ctype.layout import ILP32, Layout
+from ..diag import FrontendError
+from ..session import AnalysisSession
+from .generator import ADVERSARIAL, GenConfig, generate_program
+
+__all__ = ["FuzzFailure", "check_source", "run_campaign", "main"]
+
+
+@dataclass
+class FuzzFailure:
+    """One contract violation: where it happened and the traceback."""
+
+    name: str
+    mode: str               # "lenient" or "strict"
+    stage: str              # strategy key, or "frontend"
+    exc: BaseException
+    source: str
+    seed: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = f"seed {self.seed}" if self.seed is not None else self.name
+        return (f"{where} [{self.mode}/{self.stage}]: "
+                f"{type(self.exc).__name__}: {self.exc}")
+
+
+def _strategies(keys: Optional[Sequence[str]] = None):
+    keys = list(keys) if keys else sorted(STRATEGY_BY_KEY)
+    return [(k, STRATEGY_BY_KEY[k]) for k in keys]
+
+
+def check_source(
+    source: str,
+    name: str = "<fuzz>",
+    strategy_keys: Optional[Sequence[str]] = None,
+    seed: Optional[int] = None,
+) -> List[FuzzFailure]:
+    """Check one program against the robustness contract; [] means clean."""
+    failures: List[FuzzFailure] = []
+
+    # Lenient: no exception of any kind, anywhere.
+    stage = "frontend"
+    try:
+        session = AnalysisSession.from_c(source, name=name, strict=False)
+        for key, cls in _strategies(strategy_keys):
+            stage = key
+            session.solve(cls(Layout(ILP32)))
+    except Exception as exc:  # noqa: BLE001 - the contract is "no exception"
+        failures.append(FuzzFailure(name, "lenient", stage, exc, source, seed))
+
+    # Strict: success, or a structured FrontendError.
+    stage = "frontend"
+    try:
+        session = AnalysisSession.from_c(source, name=name, strict=True)
+        for key, cls in _strategies(strategy_keys):
+            stage = key
+            session.solve(cls(Layout(ILP32)))
+    except FrontendError:
+        pass  # structured failure is a legal strict outcome
+    except Exception as exc:  # noqa: BLE001
+        failures.append(FuzzFailure(name, "strict", stage, exc, source, seed))
+    return failures
+
+
+def run_campaign(
+    seeds: Sequence[int],
+    cfg: Optional[GenConfig] = None,
+    strategy_keys: Optional[Sequence[str]] = None,
+    stop_after: int = 5,
+    verbose: bool = False,
+) -> List[FuzzFailure]:
+    """Fuzz every seed; stop early after ``stop_after`` failures."""
+    cfg = cfg or ADVERSARIAL
+    failures: List[FuzzFailure] = []
+    for seed in seeds:
+        src = generate_program(seed, cfg)
+        found = check_source(
+            src, name=f"<fuzz:{seed}>", strategy_keys=strategy_keys, seed=seed
+        )
+        failures.extend(found)
+        if verbose and found:
+            for f in found:
+                print(f"FAIL {f}", file=sys.stderr)
+        if len(failures) >= stop_after:
+            break
+    return failures
+
+
+def _parse_seed_range(text: str) -> List[int]:
+    if ":" in text:
+        lo, hi = text.split(":", 1)
+        return list(range(int(lo), int(hi)))
+    return [int(text)]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.suite.fuzz",
+        description="Fuzz the analysis pipeline for never-crash violations.",
+    )
+    p.add_argument(
+        "--seeds", default="0:100", metavar="LO:HI",
+        help="seed range (half-open) or a single seed (default: 0:100)",
+    )
+    p.add_argument(
+        "--adversarial", action="store_true",
+        help="use the adversarial generator config (unions, pointer "
+        "arithmetic, recursive structs, function pointers, ...)",
+    )
+    p.add_argument(
+        "--strategy", action="append", default=[],
+        choices=sorted(STRATEGY_BY_KEY), metavar="KEY",
+        help="restrict to specific strategies (repeatable; default: all)",
+    )
+    p.add_argument(
+        "--stop-after", type=int, default=5,
+        help="stop after this many failures (default: 5)",
+    )
+    args = p.parse_args(argv)
+
+    seeds = _parse_seed_range(args.seeds)
+    cfg = ADVERSARIAL if args.adversarial else GenConfig()
+    failures = run_campaign(
+        seeds, cfg, strategy_keys=args.strategy or None,
+        stop_after=args.stop_after, verbose=True,
+    )
+    mode = "adversarial" if args.adversarial else "default"
+    if not failures:
+        print(f"fuzz: {len(seeds)} seed(s), {mode} config, "
+              f"{len(args.strategy or STRATEGY_BY_KEY)} strategies: all clean")
+        return 0
+    for f in failures:
+        print(f"\n=== {f} ===", file=sys.stderr)
+        traceback.print_exception(
+            type(f.exc), f.exc, f.exc.__traceback__, limit=12, file=sys.stderr
+        )
+        print("--- offending source ---", file=sys.stderr)
+        print(f.source, file=sys.stderr)
+    print(f"fuzz: {len(failures)} failure(s)", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

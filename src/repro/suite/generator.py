@@ -13,10 +13,20 @@ self-contained C translation unit (parsable by the front end) containing:
   with configurable probability — casts between struct types;
 - optionally, helper functions called from ``main``.
 
-Generation is deterministic for a given seed.  The generator never emits
-pointer arithmetic or loops, so the straight-line semantics can be
-executed exactly by :mod:`repro.testing.interpreter`, which the property
-tests use as a soundness oracle.
+Generation is deterministic for a given seed.  In the default
+configuration the generator never emits pointer arithmetic or loops, so
+the straight-line semantics can be executed exactly by
+:mod:`repro.testing.interpreter`, which the property tests use as a
+soundness oracle.
+
+With ``adversarial=True`` the generator deliberately leaves that
+executable subset and stresses the never-crash guarantee instead:
+unions, pointer arithmetic, casts between incompatible scalars, deeply
+nested and recursive struct types, zero-field structs, function
+pointers, indirect and varargs-ish calls.  Adversarial programs are for
+the crash-fuzz campaign (:mod:`repro.suite.fuzz`) — lenient mode must
+analyze them without an unhandled exception, strict mode must either
+succeed or raise a structured diagnostic.
 """
 
 from __future__ import annotations
@@ -25,7 +35,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-__all__ = ["GenConfig", "generate_program"]
+__all__ = ["GenConfig", "ADVERSARIAL", "generate_program"]
 
 
 @dataclass(frozen=True)
@@ -43,6 +53,14 @@ class GenConfig:
     #: (creating a common initial sequence).
     cis_probability: float = 0.5
     n_helper_functions: int = 0
+    #: Stress mode: also emit unions, pointer arithmetic, incompatible
+    #: scalar casts, recursive/zero-field structs, function pointers and
+    #: varargs calls.  Programs stay parsable but leave the subset the
+    #: concrete interpreter can execute.
+    adversarial: bool = False
+    #: Probability (adversarial mode) that a statement slot draws from
+    #: the adversarial construct pool instead of the benign one.
+    adversarial_probability: float = 0.4
 
 
 _SCALAR_TYPES = ["int", "long", "char", "double"]
@@ -66,6 +84,14 @@ class _Gen:
         self.struct_vars: List[Tuple[str, _Struct]] = []
         self.struct_ptrs: List[Tuple[str, _Struct]] = []
         self.lines: List[str] = []
+        # Adversarial-mode state.
+        self.unions: List[_Struct] = []
+        self.union_vars: List[Tuple[str, _Struct]] = []
+        self.doubles: List[str] = []
+        self.voidptrs: List[str] = []
+        self.fptrs: List[str] = []          # int *(*)(int *) variables
+        self.has_varargs_helper = False
+        self.has_recursive_struct = False
 
     # ------------------------------------------------------------------
     def gen_structs(self) -> None:
@@ -90,10 +116,39 @@ class _Gen:
                     fields.append((f"f{k}", "int"))
             self.structs.append(_Struct(f"S{i}", fields))
 
+    def gen_adversarial_types(self) -> None:
+        """Unions, a self-referential list struct, and a zero-field struct."""
+        rng = self.rng
+        n_unions = rng.randint(1, 2)
+        for i in range(n_unions):
+            fields: List[Tuple[str, str]] = [("u0", "int *"), ("u1", "long")]
+            if self.structs and rng.random() < 0.7:
+                inner = rng.choice(self.structs)
+                fields.append(("u2", f"struct {inner.name}"))
+            if rng.random() < 0.5:
+                fields.append(("u3", "double"))
+            self.unions.append(_Struct(f"U{i}", fields))
+        self.has_recursive_struct = True
+        self.structs.append(
+            _Struct("Rec", [("next", "struct Rec *"), ("payload", "int *")])
+        )
+        if rng.random() < 0.6:
+            self.structs.append(_Struct("Zero", []))
+
     def emit_structs(self) -> None:
+        if self.has_recursive_struct:
+            self.lines.append("struct Rec;")
         for s in self.structs:
             self.lines.append(f"struct {s.name} {{")
             for fname, ftype in s.fields:
+                if ftype.endswith("*"):
+                    self.lines.append(f"    {ftype}{fname};")
+                else:
+                    self.lines.append(f"    {ftype} {fname};")
+            self.lines.append("};")
+        for u in self.unions:
+            self.lines.append(f"union {u.name} {{")
+            for fname, ftype in u.fields:
                 if ftype.endswith("*"):
                     self.lines.append(f"    {ftype}{fname};")
                 else:
@@ -117,6 +172,24 @@ class _Gen:
             pname = f"sp{i}"
             self.struct_ptrs.append((pname, s))
             self.lines.append(f"struct {s.name} *{pname};")
+        if self.cfg.adversarial:
+            self.emit_adversarial_globals()
+
+    def emit_adversarial_globals(self) -> None:
+        for i, u in enumerate(self.unions):
+            name = f"uv{i}"
+            self.union_vars.append((name, u))
+            self.lines.append(f"union {u.name} {name};")
+        for i in range(2):
+            name = f"d{i}"
+            self.doubles.append(name)
+            self.lines.append(f"double {name};")
+        for i in range(2):
+            name = f"vp{i}"
+            self.voidptrs.append(name)
+            self.lines.append(f"void *{name};")
+        self.fptrs.append("fp0")
+        self.lines.append("int *(*fp0)(int *);")
 
     # ------------------------------------------------------------------
     def _int_ptr_fields(self, s: _Struct) -> List[str]:
@@ -185,13 +258,103 @@ class _Gen:
             return f"*{pname} = {vname};"
         return None
 
+    # ------------------------------------------------------------------
+    def _adv_stmt(self) -> Optional[str]:
+        """One statement from the adversarial construct pool."""
+        rng = self.rng
+        kind = rng.randrange(12)
+        if kind == 0:
+            # Pointer arithmetic (Assumption-1 smearing).
+            a, b = rng.choice(self.pointers), rng.choice(self.pointers)
+            return f"{a} = {b} + {rng.randint(1, 4)};"
+        if kind == 1:
+            return (f"{rng.choice(self.pointers)} = "
+                    f"&{rng.choice(self.scalars)} + {rng.randint(0, 3)};")
+        if kind == 2:
+            # Casts between incompatible scalars (pointer <-> integer).
+            if rng.random() < 0.5:
+                return (f"{rng.choice(self.scalars)} = "
+                        f"(int)(long){rng.choice(self.pointers)};")
+            return (f"{rng.choice(self.pointers)} = "
+                    f"(int *)(long){rng.choice(self.scalars)};")
+        if kind == 3:
+            # Union member traffic.
+            if not self.union_vars:
+                return None
+            name, u = rng.choice(self.union_vars)
+            choice = rng.randrange(3)
+            if choice == 0:
+                return f"{name}.u0 = &{rng.choice(self.scalars)};"
+            if choice == 1:
+                return f"{rng.choice(self.pointers)} = {name}.u0;"
+            return f"{name}.u1 = (long){name}.u0;"
+        if kind == 4:
+            # Function pointers: take, copy, call indirectly.
+            if not self.fptrs:
+                return None
+            fp = rng.choice(self.fptrs)
+            choice = rng.randrange(3)
+            if choice == 0:
+                return f"{fp} = adv_id;" if rng.random() < 0.5 else f"{fp} = &adv_id;"
+            if choice == 1:
+                return f"{rng.choice(self.pointers)} = {fp}({rng.choice(self.pointers)});"
+            return f"{rng.choice(self.pointers)} = (*{fp})(&{rng.choice(self.scalars)});"
+        if kind == 5:
+            # Varargs-ish call mixing pointers and scalars.
+            return (f"adv_sum(2, {rng.choice(self.pointers)}, "
+                    f"&{rng.choice(self.scalars)});")
+        if kind == 6:
+            # void* laundering.
+            if not self.voidptrs:
+                return None
+            vp = rng.choice(self.voidptrs)
+            if rng.random() < 0.5:
+                return f"{vp} = {rng.choice(self.pointers)};"
+            return f"{rng.choice(self.pointers)} = (int *){vp};"
+        if kind == 7:
+            # Recursive list: link and walk.
+            choice = rng.randrange(3)
+            if choice == 0:
+                return "rp0 = &r0;"
+            if choice == 1:
+                return "rp0->next = rp0;"
+            return f"{rng.choice(self.pointers)} = rp0->next->payload;"
+        if kind == 8:
+            # Cast a union (or struct) to an unrelated struct type.
+            pname, ps = rng.choice(self.struct_ptrs)
+            if self.union_vars and rng.random() < 0.5:
+                uname, _ = rng.choice(self.union_vars)
+                return f"{pname} = (struct {ps.name} *)&{uname};"
+            vname, _ = rng.choice(self.struct_vars)
+            return f"{pname} = (struct {ps.name} *)&{vname};"
+        if kind == 9:
+            # Byte-offset pointer forging through char*.
+            pname, _ = rng.choice(self.struct_ptrs)
+            return (f"{rng.choice(self.pointers)} = "
+                    f"(int *)((char *){pname} + {rng.randint(0, 8)});")
+        if kind == 10:
+            # Float/int traffic.
+            if not self.doubles:
+                return None
+            if rng.random() < 0.5:
+                return f"{rng.choice(self.doubles)} = (double){rng.choice(self.scalars)};"
+            return f"{rng.choice(self.scalars)} = (int){rng.choice(self.doubles)};"
+        # Ternary with a cast in one arm.
+        a, b = rng.choice(self.pointers), rng.choice(self.pointers)
+        vp = rng.choice(self.voidptrs) if self.voidptrs else b
+        return f"{a} = {rng.choice(self.scalars)} ? {b} : (int *){vp};"
+
     def emit_main(self) -> None:
         self.lines.append("int main(void) {")
         emitted = 0
         attempts = 0
+        adversarial = self.cfg.adversarial
         while emitted < self.cfg.n_statements and attempts < self.cfg.n_statements * 10:
             attempts += 1
-            st = self._stmt()
+            if adversarial and self.rng.random() < self.cfg.adversarial_probability:
+                st = self._adv_stmt()
+            else:
+                st = self._stmt()
             if st is not None:
                 self.lines.append("    " + st)
                 emitted += 1
@@ -208,15 +371,28 @@ class _Gen:
             self.lines.append(
                 f"int *get{i}(struct {s.name} *q) {{ return q->{f}; }}"
             )
+        if self.cfg.adversarial:
+            self.lines.append("int *adv_id(int *q) { return q; }")
+            self.lines.append("int adv_sum(int n, ...) { return n; }")
+            self.has_varargs_helper = True
 
     # ------------------------------------------------------------------
     def run(self) -> str:
         self.gen_structs()
+        if self.cfg.adversarial:
+            self.gen_adversarial_types()
         self.emit_structs()
         self.emit_globals()
+        if self.cfg.adversarial:
+            self.lines.append("struct Rec r0;")
+            self.lines.append("struct Rec *rp0;")
         self.emit_helpers()
         self.emit_main()
         return "\n".join(self.lines) + "\n"
+
+
+#: Stock adversarial configuration used by the fuzz harness and CI smoke.
+ADVERSARIAL = GenConfig(adversarial=True, n_helper_functions=2, n_statements=60)
 
 
 def generate_program(seed: int, cfg: Optional[GenConfig] = None) -> str:

@@ -54,7 +54,20 @@ PTR_SIZE = 4  # ILP32
 
 
 class UnsupportedStatement(Exception):
-    """Raised for IR the oracle cannot execute exactly (calls, arithmetic)."""
+    """Raised for IR the oracle cannot execute exactly (calls, arithmetic).
+
+    Carries the statement itself, its index in the executed statement
+    sequence, and the source line it was lowered from, so fuzz failures
+    point straight at the offending input statement.
+    """
+
+    def __init__(self, st, index: Optional[int] = None) -> None:
+        self.stmt = st
+        self.index = index
+        self.line = getattr(st, "line", None)
+        where = f"stmt #{index}" if index is not None else "stmt"
+        at = f" (line {self.line})" if self.line is not None else ""
+        super().__init__(f"{where}{at}: {st!r}")
 
 
 @dataclass(frozen=True)
@@ -138,7 +151,7 @@ class Machine:
         except LayoutError:
             return 1
 
-    def exec_stmt(self, st: Stmt) -> None:
+    def exec_stmt(self, st: Stmt, index: Optional[int] = None) -> None:
         if isinstance(st, AddrOf):
             val = PtrVal(st.target.obj, self._offsetof(st.target.obj, st.target.path))
             self.write_ptr(st.lhs, 0, val)
@@ -176,20 +189,23 @@ class Machine:
             n = self._sizeof(declared_pointee(st.ptr))
             self.copy_bytes(pv.obj, pv.off, st.rhs, 0, n)
         elif isinstance(st, (PtrArith, Call)):
-            raise UnsupportedStatement(repr(st))
+            raise UnsupportedStatement(st, index)
         else:  # pragma: no cover - defensive
-            raise UnsupportedStatement(repr(st))
+            raise UnsupportedStatement(st, index)
 
 
 def run_straightline(program: Program, entry: str = "main") -> Machine:
     """Execute global initializers then ``entry``'s body, in order."""
     m = Machine(program)
+    index = 0
     for st in program.global_stmts:
-        m.exec_stmt(st)
+        m.exec_stmt(st, index)
+        index += 1
     info = program.functions.get(entry)
     if info is not None:
         for st in info.stmts:
-            m.exec_stmt(st)
+            m.exec_stmt(st, index)
+            index += 1
     return m
 
 

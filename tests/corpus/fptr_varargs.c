@@ -1,0 +1,15 @@
+/* Function pointers (direct, address-of, indirect call syntax) and a
+ * varargs call mixing pointers and scalars. */
+int x;
+int *id(int *q) { return q; }
+int vsum(int n, ...) { return n; }
+int *(*fp)(int *);
+int *p;
+int main(void) {
+    fp = id;
+    p = fp(&x);
+    fp = &id;
+    p = (*fp)(&x);
+    vsum(2, p, &x, 7);
+    return 0;
+}

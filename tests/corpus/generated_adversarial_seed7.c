@@ -1,0 +1,127 @@
+/* Frozen output of generate_program(7, ADVERSARIAL) — a broad
+ * adversarial mix in one translation unit. */
+struct Rec;
+struct S0 {
+    int f0;
+    int *f1;
+    int *f2;
+};
+struct S1 {
+    int *f0;
+};
+struct S2 {
+    int f0;
+};
+struct S3 {
+    int f0;
+};
+struct Rec {
+    struct Rec *next;
+    int *payload;
+};
+struct Zero {
+};
+union U0 {
+    int *u0;
+    long u1;
+    struct S0 u2;
+};
+union U1 {
+    int *u0;
+    long u1;
+    struct S0 u2;
+};
+int g0;
+int g1;
+int g2;
+int g3;
+int g4;
+int g5;
+int *p0;
+int *p1;
+int *p2;
+int *p3;
+int *p4;
+int *p5;
+struct S1 sv0;
+struct S1 *sp0;
+struct S0 sv1;
+struct S0 *sp1;
+struct Rec sv2;
+struct Rec *sp2;
+struct S1 sv3;
+struct S1 *sp3;
+union U0 uv0;
+union U1 uv1;
+double d0;
+double d1;
+void *vp0;
+void *vp1;
+int *(*fp0)(int *);
+struct Rec r0;
+struct Rec *rp0;
+int *adv_id(int *q) { return q; }
+int adv_sum(int n, ...) { return n; }
+int main(void) {
+    p4 = &g2 + 1;
+    p2 = (int *)((char *)sp1 + 1);
+    sv0.f0 = &g3;
+    p2 = p3;
+    *sp2 = sv2;
+    p1 = (int *)(long)g0;
+    p0 = &g4 + 3;
+    adv_sum(2, p1, &g3);
+    sv2.payload = &g5;
+    p3 = rp0->next->payload;
+    p2 = &g3 + 0;
+    p2 = g2 ? p5 : (int *)vp1;
+    sv0 = sv3;
+    p3 = (int *)((char *)sp0 + 0);
+    p1 = (*fp0)(&g3);
+    rp0 = &r0;
+    p3 = (int *)vp1;
+    p3 = sp3->f0;
+    p1 = sv0.f0;
+    p4 = uv0.u0;
+    fp0 = adv_id;
+    p1 = (int *)((char *)sp2 + 8);
+    p3 = &g5;
+    p3 = rp0->next->payload;
+    p1 = &g3 + 1;
+    p0 = (int *)((char *)sp0 + 0);
+    sv2.payload = &g0;
+    p1 = p5;
+    adv_sum(2, p4, &g2);
+    sv3.f0 = &g3;
+    sv1.f1 = &g5;
+    p1 = (*fp0)(&g4);
+    sp2 = (struct Rec *)&uv0;
+    p1 = sp0->f0;
+    uv1.u1 = (long)uv1.u0;
+    p5 = uv0.u0;
+    sp3->f0 = &g4;
+    *sp2 = sv2;
+    p1 = &g3 + 1;
+    p4 = rp0->next->payload;
+    sv3.f0 = &g3;
+    p5 = p2;
+    p3 = g5 ? p3 : (int *)vp1;
+    p1 = sv1.f1;
+    p1 = rp0->next->payload;
+    p0 = sv0.f0;
+    p1 = sv3.f0;
+    uv1.u1 = (long)uv1.u0;
+    p2 = (int *)((char *)sp2 + 8);
+    p5 = sv0.f0;
+    p4 = p1;
+    p3 = &g1;
+    p1 = sv1.f2;
+    sv0.f0 = &g5;
+    *sp0 = sv0;
+    fp0 = &adv_id;
+    sv3.f0 = &g4;
+    p3 = &g3 + 2;
+    uv1.u0 = &g1;
+    sv1.f2 = &g1;
+    return 0;
+}

@@ -1,0 +1,3 @@
+struct S { int x; };
+struct S s; int g; int *p;
+int main(void) { p = &s.x; g = g.field; return 0; }

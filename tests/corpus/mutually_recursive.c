@@ -1,0 +1,5 @@
+struct B;
+struct A { struct B b; };
+struct B { struct A a; };
+struct A g;
+int main(void) { return 0; }

@@ -1,0 +1,2 @@
+int g = ;
+int main(void) { return 0 }

@@ -1,0 +1,19 @@
+/* Pointer arithmetic, pointer<->integer round-trips, and byte-offset
+ * pointer forging through char* — the Assumption-1 stress cases. */
+struct S { int a; int *f; };
+struct S s;
+struct S *sp;
+int g;
+int *p, *q;
+void *vp;
+int main(void) {
+    p = &g;
+    q = p + 3;
+    g = (int)(long)p;
+    p = (int *)(long)g;
+    vp = q;
+    p = (int *)vp;
+    sp = &s;
+    p = (int *)((char *)sp + 4);
+    return 0;
+}

@@ -1,0 +1,4 @@
+struct A { struct A a; int *p; };
+struct A g;
+int x;
+int main(void) { g.p = &x; return 0; }

@@ -1,0 +1,5 @@
+#if FOO
+int g;
+#else
+int h;
+int main(void) { return 0; }

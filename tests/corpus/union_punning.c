@@ -1,0 +1,21 @@
+/* Type punning through a union, plus a union-to-struct cast.  Clean
+ * under both modes today; kept as a regression against strategy-layer
+ * crashes on union layouts. */
+union U {
+    int *up;
+    long ul;
+    double ud;
+};
+struct S { int *f0; int f1; };
+union U u;
+struct S *sp;
+int g;
+int *p;
+int main(void) {
+    u.up = &g;
+    p = u.up;
+    u.ul = (long)u.up;
+    sp = (struct S *)&u;
+    p = sp->f0;
+    return 0;
+}

@@ -1,0 +1,2 @@
+int *p;
+int main(void) { p = &undeclared; return 0; }

@@ -1,0 +1,3 @@
+struct S { int x; };
+struct S s; int g;
+int main(void) { g = s.nosuch; return 0; }

@@ -1,0 +1,2 @@
+_Complex double z;
+int main(void) { return 0; }

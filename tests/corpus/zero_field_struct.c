@@ -1,0 +1,3 @@
+struct Z {};
+struct Z z; struct Z *pz;
+int main(void) { pz = &z; *pz = z; return 0; }

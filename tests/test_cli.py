@@ -99,3 +99,53 @@ class TestCLI:
         # All five registered strategies (4 paper + strided) accepted.
         ns = parser.parse_args(["f.c", "-s", "strided_offsets"])
         assert ns.strategy == "strided_offsets"
+
+
+class TestStrictAndLenientCLI:
+    """Front-end failures never escape as tracebacks (see ISSUE PR 5)."""
+
+    BAD = """
+        struct S { int x; };
+        struct S s; int g; int *p;
+        void main(void) { p = &s.x; g = g.field; }
+        """
+
+    @pytest.fixture
+    def bad_file(self, tmp_path):
+        f = tmp_path / "bad.c"
+        f.write_text(self.BAD)
+        return str(f)
+
+    def test_strict_failure_is_one_line_and_nonzero(self, bad_file, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main([bad_file])
+        # SystemExit with a message string means a nonzero exit status.
+        msg = str(exc_info.value.code)
+        assert "bad.c:4" in msg
+        assert "error:" in msg
+        assert "member access .field on non-struct" in msg
+        assert "\n" not in msg
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_lenient_flag_analyzes_and_reports(self, bad_file, capsys):
+        rc = main([bad_file, "--lenient", "-q", "p"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "p -> ['s.x']" in captured.out
+        assert "degraded in lenient mode" in captured.err
+        assert "member access .field on non-struct" in captured.err
+
+    def test_parse_error_exits_nonzero_even_lenient(self, tmp_path, capsys):
+        f = tmp_path / "broken.c"
+        f.write_text("int g = ;")
+        for args in ([str(f)], [str(f), "--lenient"]):
+            with pytest.raises(SystemExit) as exc_info:
+                main(args)
+            msg = str(exc_info.value.code)
+            assert "broken.c" in msg
+            assert "\n" not in msg
+
+    def test_missing_file_is_clean_error(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["/no/such/file.c"])
+        assert "cannot read" in str(exc_info.value.code)

@@ -1,0 +1,227 @@
+"""The never-crash contract: corpus regression + adversarial property.
+
+Two guarantees, checked for every registered strategy instance:
+
+- **lenient mode** (``strict=False``) analyzes *anything* the parser
+  can be pointed at without an unhandled exception, degrading each
+  unsupported construct to a sound conservative approximation and
+  recording a structured diagnostic for it;
+- **strict mode** either succeeds, or raises a
+  :class:`~repro.diag.FrontendError` carrying a diagnostic (and, except
+  for whole-file parse errors, source coordinates) — never a bare
+  ``RecursionError``/``TypeError``/``KeyError``.
+
+The corpus under ``tests/corpus/`` pins inputs that once violated (or
+were designed to violate) this; the hypothesis properties run the
+adversarial generator against it.  See ``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import STRATEGY_BY_KEY
+from repro.ctype.layout import ILP32, Layout
+from repro.diag import DiagnosticSink, FrontendError, Severity
+from repro.session import AnalysisSession
+from repro.suite import ADVERSARIAL, GenConfig, generate_program
+from repro.suite.fuzz import check_source, run_campaign
+
+CORPUS = pathlib.Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(CORPUS.glob("*.c"))
+
+#: Expected lenient-mode diagnostic kinds per corpus file.  Files not
+#: listed must analyze cleanly (no diagnostics) in both modes.
+EXPECTED_KINDS = {
+    "recursive_by_value.c": {"recursive-type"},
+    "mutually_recursive.c": {"recursive-type"},
+    "member_on_non_struct.c": {"member-on-non-struct"},
+    "unknown_identifier.c": {"unknown-identifier"},
+    "unknown_member.c": {"unknown-member"},
+    "parse_error.c": {"parse-error"},
+    "unsupported_type.c": {"unsupported-type"},
+    "unbalanced_conditional.c": {"unsupported-directive", "unbalanced-conditional"},
+}
+
+SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _solve_all(session: AnalysisSession) -> None:
+    for key in sorted(STRATEGY_BY_KEY):
+        session.solve(STRATEGY_BY_KEY[key](Layout(ILP32)))
+
+
+# ----------------------------------------------------------------------
+# Corpus regression.
+# ----------------------------------------------------------------------
+class TestCorpus:
+    def test_corpus_is_nonempty(self):
+        assert len(CORPUS_FILES) >= 10
+
+    @pytest.mark.parametrize(
+        "path", CORPUS_FILES, ids=lambda p: p.name
+    )
+    def test_contract(self, path):
+        failures = check_source(path.read_text(), name=path.name)
+        assert not failures, "\n".join(map(str, failures))
+
+    @pytest.mark.parametrize(
+        "path", CORPUS_FILES, ids=lambda p: p.name
+    )
+    def test_lenient_diagnostic_kinds(self, path):
+        session = AnalysisSession.from_c(
+            path.read_text(), name=path.name, strict=False
+        )
+        _solve_all(session)
+        expected = EXPECTED_KINDS.get(path.name, set())
+        assert set(session.diagnostics.kinds()) == expected
+
+    @pytest.mark.parametrize(
+        "name", sorted(EXPECTED_KINDS), ids=str
+    )
+    def test_strict_raises_structured(self, name):
+        src = (CORPUS / name).read_text()
+        with pytest.raises(FrontendError) as exc_info:
+            AnalysisSession.from_c(src, name=name, strict=True)
+        err = exc_info.value
+        assert err.diagnostic.kind in EXPECTED_KINDS[name]
+        assert err.severity >= Severity.ERROR
+        # Every strict error names the input; all but whole-file parse
+        # errors also carry line:column coordinates.
+        assert err.loc.file == name
+        if err.kind != "parse-error":
+            assert err.loc.known, f"no coordinates on {err.diagnostic.one_line()}"
+            assert err.loc.line and err.loc.line > 0
+
+    def test_lenient_diagnostics_have_locations(self):
+        src = (CORPUS / "member_on_non_struct.c").read_text()
+        session = AnalysisSession.from_c(
+            src, name="member_on_non_struct.c", strict=False
+        )
+        for d in session.diagnostics:
+            assert d.loc.known
+            assert d.loc.file == "member_on_non_struct.c"
+
+
+# ----------------------------------------------------------------------
+# The recursive-by-value regression in detail (the fuzz campaign's
+# headline catch: field-path expansion diverged on the cyclic type).
+# ----------------------------------------------------------------------
+class TestRecursiveByValue:
+    SRC = "struct A { struct A a; int *p; };\nstruct A g; int x;\n" \
+          "int main(void) { g.p = &x; return 0; }\n"
+
+    def test_strict_rejects_with_coordinates(self):
+        with pytest.raises(FrontendError) as exc_info:
+            AnalysisSession.from_c(self.SRC, name="rec.c", strict=True)
+        assert exc_info.value.kind == "recursive-type"
+        assert exc_info.value.loc.line == 1
+
+    def test_lenient_degrades_field_and_still_analyzes(self):
+        session = AnalysisSession.from_c(self.SRC, name="rec.c", strict=False)
+        _solve_all(session)
+        assert set(session.diagnostics.kinds()) == {"recursive-type"}
+        # The surviving supported part of the program is still analyzed.
+        from repro.ir.refs import FieldRef
+
+        g = session.program.objects.lookup("g")
+        result = session.solve(
+            STRATEGY_BY_KEY["common_initial_sequence"](Layout(ILP32))
+        )
+        targets = {r.obj.name for r in result.points_to(FieldRef(g, ("p",)))}
+        assert "x" in targets
+
+    def test_layout_engine_guards_handbuilt_cycle(self):
+        from repro.ctype.layout import LayoutError
+        from repro.ctype.types import Field, StructType, int_t
+
+        cyclic = StructType(tag="A")
+        cyclic.define([Field("self", cyclic, None), Field("x", int_t, None)])
+        with pytest.raises(LayoutError):
+            Layout(ILP32).sizeof(cyclic)
+
+
+# ----------------------------------------------------------------------
+# Properties over the adversarial generator.
+# ----------------------------------------------------------------------
+class TestAdversarialProperties:
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @settings(**SETTINGS)
+    def test_never_crashes(self, seed):
+        src = generate_program(seed, ADVERSARIAL)
+        failures = check_source(src, name=f"<adv:{seed}>", seed=seed)
+        assert not failures, "\n".join(map(str, failures)) + "\n" + src
+
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @settings(**SETTINGS)
+    def test_lenient_matches_strict_when_strict_accepts(self, seed):
+        """On programs strict mode accepts, lenient is the identity.
+
+        Both modes lower to the same statements, so every points-to set
+        agrees — lenient degradation only ever *adds* behavior on inputs
+        strict mode rejects.
+        """
+        src = generate_program(seed, GenConfig(n_statements=25))
+        strict_sess = AnalysisSession.from_c(src, name="s.c", strict=True)
+        lenient_sess = AnalysisSession.from_c(src, name="s.c", strict=False)
+        assert len(lenient_sess.diagnostics) == 0
+        strategy = STRATEGY_BY_KEY["common_initial_sequence"]
+        strict_res = strict_sess.solve(strategy(Layout(ILP32)))
+        lenient_res = lenient_sess.solve(strategy(Layout(ILP32)))
+        for obj in strict_sess.program.objects.all_objects():
+            other = lenient_sess.program.objects.lookup(obj.name)
+            if other is None:
+                continue
+            assert strict_res.points_to_names(obj) == \
+                lenient_res.points_to_names(other), obj.name
+
+
+# ----------------------------------------------------------------------
+# Harness plumbing.
+# ----------------------------------------------------------------------
+class TestHarness:
+    def test_run_campaign_smoke(self):
+        assert run_campaign(range(2), ADVERSARIAL) == []
+
+    def test_check_source_reports_violations(self, monkeypatch):
+        # Break an internal layer on purpose: the harness must catch the
+        # crash in lenient mode and attribute it to a stage.
+        from repro.core import engine as engine_mod
+
+        def boom(self, *a, **k):
+            raise ZeroDivisionError("injected")
+
+        monkeypatch.setattr(engine_mod.Engine, "solve", boom)
+        failures = check_source("int x; int main(void) { return 0; }")
+        assert failures
+        assert any(f.mode == "lenient" for f in failures)
+        assert any(isinstance(f.exc, ZeroDivisionError) for f in failures)
+
+    def test_diagnostics_surface_in_metrics(self):
+        from repro.obs.metrics import metrics
+
+        src = (CORPUS / "unknown_member.c").read_text()
+        session = AnalysisSession.from_c(src, strict=False)
+        result = session.solve(
+            STRATEGY_BY_KEY["collapse_always"](Layout(ILP32))
+        )
+        rec = metrics(result)
+        assert rec["diagnostics"]["total"] == len(session.diagnostics)
+        assert "unknown-member" in rec["diagnostics"]["by_kind"]
+
+    def test_sink_severity_helpers(self):
+        sink = DiagnosticSink()
+        sink.report("demo", "note", severity=Severity.NOTE)
+        sink.report("demo", "fatal", severity=Severity.FATAL)
+        assert sink.has_fatal
+        assert sink.worst().severity is Severity.FATAL
+        assert sink.kinds() == {"demo": 2}
+        assert sink.severities() == {"NOTE": 1, "FATAL": 1}

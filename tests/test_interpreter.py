@@ -135,6 +135,23 @@ class TestConcreteFacts:
         with pytest.raises(UnsupportedStatement):
             run_straightline(prog)
 
+    def test_unsupported_statement_pinpoints_site(self):
+        prog = program_from_c(
+            "int a, *p, x;\n"
+            "void main(void) {\n"
+            "    p = &x;\n"
+            "    a = a + 1;\n"
+            "}"
+        )
+        with pytest.raises(UnsupportedStatement) as exc_info:
+            run_straightline(prog)
+        err = exc_info.value
+        assert err.index is not None
+        assert err.line == 4
+        assert f"stmt #{err.index}" in str(err)
+        assert "(line 4)" in str(err)
+        assert err.stmt is not None
+
 
 class TestCheckSoundness:
     def test_reports_missing_fact(self):

@@ -97,3 +97,37 @@ class TestHarness:
         r1 = analyze_suite_program(bp, "offsets", program)
         r2 = analyze_suite_program(bp, "offsets", program)
         assert r1.facts.edge_count() == r2.facts.edge_count()
+
+
+class TestAdversarialGenerator:
+    def test_deterministic(self):
+        from repro.suite import ADVERSARIAL, generate_program
+
+        assert generate_program(3, ADVERSARIAL) == generate_program(3, ADVERSARIAL)
+        assert generate_program(3, ADVERSARIAL) != generate_program(4, ADVERSARIAL)
+
+    def test_emits_adversarial_constructs(self):
+        from repro.suite import ADVERSARIAL, generate_program
+
+        # Across a handful of seeds, every construct family shows up.
+        blob = "".join(generate_program(s, ADVERSARIAL) for s in range(10))
+        assert "union U0" in blob
+        assert "struct Rec" in blob
+        assert "int adv_sum(int n, ...)" in blob
+        assert "(*fp0)" in blob or "fp0(" in blob
+        assert "void *vp0;" in blob
+
+    def test_default_config_unchanged_by_adversarial_state(self):
+        from repro.suite import GenConfig, generate_program
+
+        src = generate_program(11, GenConfig())
+        assert "union" not in src
+        assert "adv_sum" not in src
+        assert "struct Rec" not in src
+
+    def test_adversarial_parses(self):
+        from repro.frontend import parse_c
+        from repro.suite import ADVERSARIAL, generate_program
+
+        for seed in range(5):
+            parse_c(generate_program(seed, ADVERSARIAL))
