@@ -1,0 +1,113 @@
+"""Propagation-backend microbenchmarks: bigint vs. diffprop vs. numpy.
+
+Times each backend on the largest suite programs (where backend choice
+matters most) plus a synthetic copy-chain program large enough to push
+the numpy backend into its dense rounds.  ``test_backend_speedup``
+prints the per-program comparison table and asserts the economics the
+backend layer exists for: difference propagation never loses badly, and
+wins on the propagation-heavy programs.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_backends.py -q
+
+(add ``--benchmark-columns=min,mean`` for tighter tables).
+"""
+
+import time
+
+import pytest
+
+from repro.core import STRATEGY_BY_KEY, analyze
+from repro.core.backend import BACKENDS, NumpyBackend, available_numpy
+from repro import program_from_c
+
+from conftest import cached_program
+
+#: The five slowest suite measurements in the committed baseline.
+HEAVY = ["bc", "li", "flex247", "twig", "ul"]
+BACKEND_KEYS = sorted(BACKENDS)
+
+
+@pytest.mark.parametrize("backend", BACKEND_KEYS)
+@pytest.mark.parametrize("name", HEAVY)
+def test_solve_time_per_backend(benchmark, name, backend):
+    """Raw pytest-benchmark timing: one heavy program, one backend."""
+    program = cached_program(name)
+    strategy = STRATEGY_BY_KEY["collapse_on_cast"]
+    benchmark(lambda: analyze(program, strategy(), backend=backend))
+
+
+def _synthetic_chain(n_chains: int = 12, depth: int = 24) -> str:
+    """A wide copy-DAG program: many long struct-copy chains fed from a
+    shared pointer pool — enough refs/edges for dense rounds to engage."""
+    lines = ["struct S { int *p; int *q; int *r; };"]
+    lines += [f"int g{i};" for i in range(n_chains)]
+    for c in range(n_chains):
+        lines += [f"struct S n{c}_{d};" for d in range(depth)]
+    lines.append("void main(void) {")
+    for c in range(n_chains):
+        lines.append(f"    n{c}_0.p = &g{c};")
+        lines.append(f"    n{c}_0.q = &g{(c + 1) % n_chains};")
+        for d in range(1, depth):
+            lines.append(f"    n{c}_{d} = n{c}_{d - 1};")
+        # Cross-links between chains widen the propagation fan-out.
+        lines.append(f"    n{(c + 1) % n_chains}_0.r = n{c}_{depth - 1}.p;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def chain_program():
+    return program_from_c(_synthetic_chain(), name="chain.c")
+
+
+@pytest.mark.parametrize("backend", BACKEND_KEYS)
+def test_synthetic_chain_per_backend(benchmark, chain_program, backend):
+    strategy = STRATEGY_BY_KEY["common_initial_sequence"]
+    be = (
+        NumpyBackend(min_dense_refs=0) if backend == "numpy" else backend
+    )
+    benchmark(lambda: analyze(chain_program, strategy(), backend=be))
+
+
+def test_numpy_dense_rounds_engage(chain_program):
+    """The synthetic program is big enough to run dense rounds."""
+    if available_numpy() is None:  # pragma: no cover - env-dependent
+        pytest.skip("numpy not importable")
+    res = analyze(
+        chain_program,
+        STRATEGY_BY_KEY["common_initial_sequence"](),
+        backend=NumpyBackend(min_dense_refs=0),
+    )
+    assert res.stats.dense_rounds > 0
+
+
+def test_backend_speedup():
+    """Comparison table over the heavy programs; diffprop must win.
+
+    Timing methodology matches Figure 5: min of 3 solves per cell.
+    The assertion is deliberately loose (CI machines are noisy): the
+    diffprop sum over the heavy programs must beat bigint's.
+    """
+    strategy_cls = STRATEGY_BY_KEY["collapse_on_cast"]
+    sums = {be: 0.0 for be in BACKEND_KEYS}
+    print()
+    print(f"{'program':10s} " + " ".join(f"{be:>10s}" for be in BACKEND_KEYS))
+    for name in HEAVY:
+        program = cached_program(name)
+        row = {}
+        for be in BACKEND_KEYS:
+            best = None
+            for _ in range(3):
+                t0 = time.perf_counter()
+                analyze(program, strategy_cls(), backend=be)
+                t = time.perf_counter() - t0
+                best = t if best is None or t < best else best
+            row[be] = best
+            sums[be] += best
+        print(f"{name:10s} " + " ".join(
+            f"{row[be] * 1000:9.1f}ms" for be in BACKEND_KEYS))
+    print(f"{'sum':10s} " + " ".join(
+        f"{sums[be] * 1000:9.1f}ms" for be in BACKEND_KEYS))
+    assert sums["diffprop"] < sums["bigint"]

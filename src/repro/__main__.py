@@ -21,6 +21,7 @@ from typing import List
 
 from .clients.derefstats import deref_stats
 from .core import ALL_STRATEGIES, STRATEGY_BY_KEY
+from .core.backend import BACKENDS
 from .ctype.layout import ILP32, LP64, Layout
 from .diag import FrontendError, Severity
 from .ir.objects import ObjKind
@@ -67,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--temps", action="store_true",
         help="include compiler temporaries in the full dump",
+    )
+    p.add_argument(
+        "--backend", choices=sorted(BACKENDS), default=None,
+        help="propagation backend (default: $REPRO_BACKEND or 'bigint'); "
+        "all backends compute the identical fixpoint — see "
+        "docs/internals.md",
     )
     p.add_argument(
         "--profile", action="store_true",
@@ -116,6 +123,7 @@ def _open_session(args) -> AnalysisSession:
             args.file,
             strict=not args.lenient,
             assume_valid_pointers=not args.no_assumption_1,
+            backend=args.backend,
         )
     except FrontendError as err:
         raise SystemExit(f"{err.diagnostic.one_line()}") from None
@@ -177,6 +185,13 @@ def main(argv: List[str] = None) -> int:
         profiler.disable()
         stats = pstats.Stats(profiler, stream=sys.stderr)
         stats.sort_stats("cumulative").print_stats(20)
+        es = result.stats
+        print(
+            f"# backend: {es.backend}   dense_rounds: {es.dense_rounds}   "
+            f"frontier_bits_suppressed: {es.frontier_bits_suppressed}   "
+            f"props_saved: {es.props_saved}",
+            file=sys.stderr,
+        )
     else:
         result = session.solve(strategy)
     print(f"# {program.summary()}")

@@ -19,6 +19,7 @@ import sys
 import time
 from typing import List, Optional
 
+from ..core.backend import BACKENDS
 from ..suite.registry import SUITE, by_name
 from .harness import compare_to_baseline, metrics_records, run_all, write_baseline
 
@@ -64,6 +65,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="append one JSON metrics record per (program, strategy) "
         "measurement to PATH (see docs/observability.md)",
     )
+    p.add_argument(
+        "--backend", dest="backends", default=None, metavar="NAME[,NAME...]",
+        help="propagation backend(s) to time (comma-separated; first is "
+        "the primary; every extra backend is asserted precision-identical "
+        "and its timings land in solve_seconds_by_backend; default: "
+        "$REPRO_BACKEND or 'bigint')",
+    )
     return p
 
 
@@ -86,10 +94,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: --figures must name figures 3-6, got {args.figures!r}",
               file=sys.stderr)
         return 2
+    backends = None
+    if args.backends:
+        backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+        unknown = [b for b in backends if b not in BACKENDS]
+        if unknown or not backends:
+            known = ", ".join(sorted(BACKENDS))
+            print(f"error: unknown backend(s) {', '.join(unknown)!r}; "
+                  f"known: {known}", file=sys.stderr)
+            return 2
 
     t0 = time.perf_counter()
     data = run_all(repeats=args.repeats, jobs=args.jobs, programs=programs,
-                   figures=figures)
+                   figures=figures, backends=backends)
     wall = time.perf_counter() - t0
     if args.write_baseline:
         write_baseline(args.write_baseline, data, repeats=args.repeats,

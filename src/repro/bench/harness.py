@@ -43,6 +43,7 @@ the perf trajectory of the engine is tracked across changes.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import sys
@@ -51,6 +52,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
 
 from ..clients.derefstats import deref_stats
 from ..core import ALL_STRATEGIES, analyze
+from ..core.backend import backend_name
 from ..core.engine import EngineStats, Result
 from ..frontend import program_from_c
 from ..ir.program import Program
@@ -129,9 +131,16 @@ class SuiteResult:
     stats: Dict[str, float]
     edges: int
     deref_average: float
-    #: Minimum solve time over ``repeats`` runs (Figure 5 methodology).
+    #: Minimum solve time over ``repeats`` runs (Figure 5 methodology),
+    #: under the *primary* backend.
     solve_seconds: float
     repeats: int
+    #: Primary propagation backend (the one ``stats``/``solve_seconds``
+    #: describe).
+    backend: str = "bigint"
+    #: Per-backend min solve seconds when the pass timed several
+    #: backends (``None`` for single-backend passes).
+    solve_seconds_by_backend: Optional[Dict[str, float]] = None
 
     @property
     def engine_stats(self) -> EngineStats:
@@ -142,37 +151,83 @@ class SuiteResult:
 ResultMap = Dict[Tuple[str, str], SuiteResult]
 
 
-def _suite_worker(job: Tuple[str, Tuple[str, ...], int]) -> List[dict]:
+def _suite_worker(
+    job: Tuple[str, Tuple[str, ...], int, Tuple[str, ...]]
+) -> List[dict]:
     """Analyze one program under several strategies (runs in a worker).
 
     Parses the program once, performs ``repeats`` timed solves per
-    strategy (timing stays inside this process), and returns plain-dict
-    records.  The analysis result (stats, edges, deref average) is taken
-    from the first run — solves are deterministic, so re-runs only serve
-    the timing minimum.
+    strategy and backend (timing stays inside this process), and returns
+    plain-dict records.  The analysis result (stats, edges, deref
+    average) is taken from the first run under the *primary* (first)
+    backend — solves are deterministic, so re-runs only serve the timing
+    minimum.  When several backends are timed, every backend's result is
+    asserted precision-identical to the primary's (same edges, deref
+    averages, and gated counters) before its timing is recorded.
+
+    Timed solves run with the cyclic garbage collector paused (the same
+    hygiene ``timeit`` applies): a gen-2 collection landing mid-solve
+    adds milliseconds of pure scheduler noise to a measurement this
+    size.  The collector is flushed before and re-enabled after each
+    strategy's measurement block, so memory stays bounded across the
+    suite.
     """
     from ..core import STRATEGY_BY_KEY
     from ..session import AnalysisSession
 
-    name, keys, repeats = job
+    name, keys, repeats, backends = job
     bp = by_name(name)
     source = load_source(bp)
     session = AnalysisSession(program_from_c(source, name=bp.name))
     loc = loc_of(source)
     stmts = session.program.stmt_count()
+    primary = backends[0]
     out: List[dict] = []
     for key in keys:
         first: Optional[Result] = None
-        best: Optional[float] = None
-        for _ in range(max(repeats, 1)):
-            # fresh=True: every timed run drains the full worklist on a
-            # new engine (the session only amortizes the front end and
-            # the strategy layer's shared memo tables).
-            res = session.solve(STRATEGY_BY_KEY[key](), fresh=True)
-            if first is None:
-                first = res
-            t = res.stats.solve_seconds
-            best = t if best is None or t < best else best
+        by_backend: Dict[str, float] = {}
+        first_gated: Optional[dict] = None
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.collect()
+            gc.disable()
+        try:
+            for be in backends:
+                best: Optional[float] = None
+                for _ in range(max(repeats, 1)):
+                    # fresh=True: every timed run drains the full worklist
+                    # on a new engine (the session only amortizes the
+                    # front end and the strategy layer's shared memos).
+                    res = session.solve(
+                        STRATEGY_BY_KEY[key](), fresh=True, backend=be
+                    )
+                    if first is None:
+                        first = res
+                        first_gated = _gated_stats(res.stats.as_dict())
+                    elif best is None:
+                        # First run under a secondary backend: the
+                        # fixpoint must be byte-identical to the
+                        # primary's.
+                        got = _gated_stats(res.stats.as_dict())
+                        if (
+                            res.facts.edge_count() != first.facts.edge_count()
+                            or deref_stats(res).average != deref_stats(first).average
+                            or got != first_gated
+                        ):
+                            raise AssertionError(
+                                f"{name}/{key}: backend {be!r} diverged "
+                                f"from {primary!r}: edges "
+                                f"{res.facts.edge_count()} vs "
+                                f"{first.facts.edge_count()}, gated stats "
+                                f"{_dict_diff(got, first_gated)}"
+                            )
+                    t = res.stats.solve_seconds
+                    best = t if best is None or t < best else best
+                by_backend[be] = best or 0.0
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+                gc.collect()
         assert first is not None
         out.append(
             dict(
@@ -184,11 +239,30 @@ def _suite_worker(job: Tuple[str, Tuple[str, ...], int]) -> List[dict]:
                 stats=first.stats.as_dict(),
                 edges=first.facts.edge_count(),
                 deref_average=deref_stats(first).average,
-                solve_seconds=best or 0.0,
+                solve_seconds=by_backend[primary],
                 repeats=max(repeats, 1),
+                backend=primary,
+                solve_seconds_by_backend=(
+                    by_backend if len(backends) > 1 else None
+                ),
             )
         )
     return out
+
+
+def _gated_stats(stats: Dict[str, object]) -> Dict[str, object]:
+    """The precision-gated slice of an ``EngineStats.as_dict``."""
+    return {k: v for k, v in stats.items() if k not in _UNGATED_STATS}
+
+
+def _dict_diff(a: Dict[str, object], b: Optional[Dict[str, object]]) -> str:
+    b = b or {}
+    diffs = [
+        f"{k}: {a.get(k)!r} != {b.get(k)!r}"
+        for k in sorted(set(a) | set(b))
+        if a.get(k) != b.get(k)
+    ]
+    return "{" + ", ".join(diffs) + "}"
 
 
 def _default_jobs() -> int:
@@ -200,6 +274,7 @@ def collect_results(
     jobs: Optional[int] = None,
     programs: Optional[Sequence[BenchmarkProgram]] = None,
     figures: Iterable[str] = ("3", "4", "5", "6"),
+    backends: Optional[Sequence[str]] = None,
 ) -> ResultMap:
     """Run the shared collection pass.
 
@@ -207,13 +282,18 @@ def collect_results(
     per-program jobs out over a process pool.  ``figures`` trims the work
     to what the requested exhibits need (e.g. without Figure 5 no timing
     repeats are run; without Figure 3 the no-cast programs are skipped).
+    ``backends`` lists the propagation backends to time; the first is the
+    primary whose stats populate each record, and every other backend is
+    asserted precision-identical before its timing is kept (defaults to
+    the environment-selected backend alone).
     """
     figures = {str(f) for f in figures}
     suite = list(programs) if programs is not None else list(SUITE)
     want_casting = bool(figures & {"4", "5", "6"})
     timing_repeats = repeats if "5" in figures else 1
+    bes = tuple(backends) if backends else (backend_name(None),)
 
-    jobs_list: List[Tuple[str, Tuple[str, ...], int]] = []
+    jobs_list: List[Tuple[str, Tuple[str, ...], int, Tuple[str, ...]]] = []
     for bp in suite:
         if bp.casting and want_casting:
             keys = tuple(
@@ -221,9 +301,9 @@ def collect_results(
                     (list(FIGURE3_KEYS) if "3" in figures else []) + STRATEGY_ORDER
                 )
             )
-            jobs_list.append((bp.name, keys, timing_repeats))
+            jobs_list.append((bp.name, keys, timing_repeats, bes))
         elif "3" in figures:
-            jobs_list.append((bp.name, FIGURE3_KEYS, 1))
+            jobs_list.append((bp.name, FIGURE3_KEYS, 1, bes))
 
     if jobs is None or jobs <= 1 or len(jobs_list) <= 1:
         batches = [_suite_worker(j) for j in jobs_list]
@@ -444,40 +524,66 @@ def format_ratios(rows: List[RatioRow], title: str, unit: str) -> str:
 
 def write_baseline(path: str, data: ResultMap, repeats: int,
                    wall_seconds: Optional[float] = None) -> None:
-    """Dump a collection pass to JSON (``BENCH_engine.json`` schema v1).
+    """Dump a collection pass to JSON (``BENCH_engine.json`` schema v2).
 
-    Per program and strategy: min solve seconds, points-to edges, and the
-    full :class:`EngineStats` record; plus field-wise totals (via
-    :meth:`EngineStats.merged` — no hand-rolled field lists).
+    Per program and strategy: min solve seconds (primary backend, plus a
+    per-backend breakdown when the pass timed several), points-to edges,
+    and the full :class:`EngineStats` record; plus field-wise totals (via
+    :meth:`EngineStats.merged` — no hand-rolled field lists).  Every v1
+    key is preserved, so older readers (and ``compare_to_baseline``
+    against an old baseline) keep working.
     """
     programs: Dict[str, dict] = {}
+    backends_seen: List[str] = []
     for (name, key), rec in sorted(data.items()):
         entry = programs.setdefault(
             name,
             {"casting": rec.casting, "loc": rec.loc, "stmts": rec.stmts,
              "strategies": {}},
         )
-        entry["strategies"][key] = {
+        srec = {
             "solve_seconds": round(rec.solve_seconds, 6),
             "edges": rec.edges,
             "deref_average": round(rec.deref_average, 6),
             "stats": rec.stats,
         }
+        if rec.solve_seconds_by_backend:
+            srec["solve_seconds_by_backend"] = {
+                be: round(t, 6)
+                for be, t in sorted(rec.solve_seconds_by_backend.items())
+            }
+            for be in rec.solve_seconds_by_backend:
+                if be not in backends_seen:
+                    backends_seen.append(be)
+        elif rec.backend not in backends_seen:
+            backends_seen.append(rec.backend)
+        entry["strategies"][key] = srec
     totals = EngineStats.merged(r.engine_stats for r in data.values())
+    totals_doc: Dict[str, object] = {
+        "measurements": len(data),
+        "min_solve_seconds_sum": round(
+            sum(r.solve_seconds for r in data.values()), 6
+        ),
+        "edges_sum": sum(r.edges for r in data.values()),
+        "stats": totals.as_dict(),
+    }
+    by_backend: Dict[str, float] = {}
+    for rec in data.values():
+        for be, t in (rec.solve_seconds_by_backend
+                      or {rec.backend: rec.solve_seconds}).items():
+            by_backend[be] = by_backend.get(be, 0.0) + t
+    if len(by_backend) > 1:
+        totals_doc["min_solve_seconds_sum_by_backend"] = {
+            be: round(t, 6) for be, t in sorted(by_backend.items())
+        }
     doc = {
-        "schema": 1,
+        "schema": 2,
         "tool": "python -m repro.bench --write-baseline",
         "repeats": repeats,
         "strategy_order": STRATEGY_ORDER,
+        "backends": sorted(backends_seen),
         "programs": programs,
-        "totals": {
-            "measurements": len(data),
-            "min_solve_seconds_sum": round(
-                sum(r.solve_seconds for r in data.values()), 6
-            ),
-            "edges_sum": sum(r.edges for r in data.values()),
-            "stats": totals.as_dict(),
-        },
+        "totals": totals_doc,
     }
     if wall_seconds is not None:
         doc["wall_seconds"] = round(wall_seconds, 3)
@@ -510,19 +616,24 @@ def metrics_records(data: ResultMap) -> List[dict]:
                 "deref_average": rec.deref_average,
                 "min_solve_seconds": rec.solve_seconds,
                 "repeats": rec.repeats,
+                "backend": rec.backend,
+                "min_solve_seconds_by_backend": rec.solve_seconds_by_backend,
             }
         )
     return out
 
 
 #: Stats fields excluded from the precision gate: timings, the collapse
-#: counters, and the session counters (they describe *how* the fixpoint
-#: was reached — propagation order, incremental vs. from scratch — not
-#: *what* it computed).
+#: counters, the backend identity/how-counters, and the session counters
+#: (they describe *how* the fixpoint was reached — propagation order,
+#: backend, incremental vs. from scratch — not *what* it computed).
 _UNGATED_STATS = (
     "solve_seconds",
     "sccs_collapsed",
     "props_saved",
+    "backend",
+    "dense_rounds",
+    "frontier_bits_suppressed",
     "incremental_solves",
     "delta_stmts",
     "reused_graph_refs",
@@ -588,6 +699,21 @@ def compare_to_baseline(path: str, data: ResultMap) -> Tuple[bool, str]:
             f"timing (informational): min-solve sum {run_time:.3f}s "
             f"vs baseline {base_time:.3f}s ({delta:+.1f}%)"
         )
+    run_by_backend: Dict[str, float] = {}
+    for rec in data.values():
+        for be, t in (rec.solve_seconds_by_backend
+                      or {rec.backend: rec.solve_seconds}).items():
+            run_by_backend[be] = run_by_backend.get(be, 0.0) + t
+    if len(run_by_backend) > 1:
+        base_by_backend = base.get("totals", {}).get(
+            "min_solve_seconds_sum_by_backend", {}
+        )
+        for be, t in sorted(run_by_backend.items()):
+            bt = base_by_backend.get(be)
+            vs = f" vs baseline {bt:.3f}s" if bt is not None else ""
+            lines.append(
+                f"timing (informational): backend {be}: {t:.3f}s{vs}"
+            )
     lines.extend(problems)
     return (not problems, "\n".join(lines))
 
@@ -599,6 +725,7 @@ def run_all(
     jobs: Optional[int] = None,
     programs: Optional[Sequence[BenchmarkProgram]] = None,
     figures: Iterable[str] = ("3", "4", "5", "6"),
+    backends: Optional[Sequence[str]] = None,
 ) -> ResultMap:
     """Regenerate the requested exhibits and print them.
 
@@ -612,7 +739,7 @@ def run_all(
     if jobs is None:
         jobs = _default_jobs()
     data = collect_results(repeats=repeats, jobs=jobs, programs=programs,
-                           figures=figures)
+                           figures=figures, backends=backends)
     blocks: List[str] = []
     if "3" in figures:
         blocks.append(format_figure3(figure3(data)))

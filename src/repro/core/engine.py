@@ -42,20 +42,22 @@ the user-facing facade over that lifecycle.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Iterable, Optional, Sequence, Set, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..ctype.types import CType
+from ..diag import Diagnostic, DiagnosticSink, Severity
 from ..ir.objects import AbstractObject, ObjKind
 from ..ir.program import Program
 from ..ir.refs import FieldRef, OffsetRef, Ref
 from ..ir.stmts import Stmt
+from .backend import BigintBackend, PropagationBackend, backend_name, resolve_backend
 from .graph import ConstraintGraph, _WindowIndex  # noqa: F401  (re-export)
 from .offsets import Offsets
 from .result import Result
 from .rules import setup_stmt
 from .stats import AnalysisBudgetExceeded, EngineStats
 from .strategy import Strategy, Window
-from .worklist import WORKLISTS, Worklist, drain, drain_traced
+from .worklist import WORKLISTS, Worklist, drain_traced
 
 __all__ = ["AnalysisBudgetExceeded", "EngineStats", "Result", "Engine", "analyze"]
 
@@ -72,6 +74,16 @@ class Engine:
     discovery-order heap — or ``"fifo"``) or a ready
     :class:`~repro.core.worklist.Worklist` instance.  The policy cannot
     change the fixpoint or any order-independent counter.
+
+    ``backend`` selects the propagation mechanism: a key from
+    :data:`repro.core.backend.BACKENDS` (``"bigint"``, ``"diffprop"``,
+    ``"numpy"``), a ready instance, or None (the ``REPRO_BACKEND``
+    environment variable, defaulting to ``"bigint"``).  Like the
+    worklist policy, the backend cannot change the fixpoint or any
+    order-independent counter.  ``trace=True`` forces ``bigint`` — the
+    provenance drain needs the uncollapsed per-pop loop — recording a
+    diagnostic on ``diagnostics`` when that overrides an explicit
+    choice.
     """
 
     def __init__(
@@ -82,6 +94,8 @@ class Engine:
         assume_valid_pointers: bool = True,
         trace: bool = False,
         worklist: Union[str, Worklist] = "priority",
+        backend: Union[str, PropagationBackend, None] = None,
+        diagnostics: Optional[DiagnosticSink] = None,
     ) -> None:
         self.program = program
         self.strategy = strategy
@@ -120,6 +134,43 @@ class Engine:
             self.worklist: Worklist = WORKLISTS[worklist]()
         else:
             self.worklist = worklist
+        #: Where engine-phase diagnostics land (shared with the session's
+        #: front-end sink when solving through a session).
+        self.diagnostics = diagnostics
+        requested = backend_name(backend)
+        if trace and requested != BigintBackend.name:
+            # The provenance drain is a dedicated loop (collapsing off,
+            # per-pop flow records); vectorized backends do not apply.
+            if diagnostics is not None:
+                diagnostics.emit(Diagnostic(
+                    kind="backend-forced-bigint",
+                    message=f"trace=True forces the 'bigint' propagation "
+                            f"backend (requested {requested!r})",
+                    severity=Severity.NOTE,
+                    phase="analyze",
+                ))
+            self.backend: PropagationBackend = BigintBackend()
+        else:
+            self.backend = resolve_backend(backend)
+        self.stats.backend = self.backend.name
+        #: id(memoized lookup/arith ref list) -> (pinned list, bitset of
+        #: the refs' interned IDs) — the batched-add cache behind
+        #: :meth:`_add_refs_bits`.
+        self._refs_bits: Dict[int, Tuple[object, int]] = {}
+        #: Fused-memo key prefixes: each rule-2/4/5 closure gets a small
+        #: integer allocated once at setup from its *fixed* operands
+        #: (τ + α, or τ + the fixed ref); the memo key is then
+        #: ``prefix | interned-id-of-the-varying-ref`` — one int instead
+        #: of a fresh 3-tuple hashed per firing.  See :meth:`_fused_key`.
+        self._fused_pairs: Dict[Tuple[str, int, object], int] = {}
+        self._fused_pins: List[Tuple[object, object]] = []
+        #: prefix|target-id -> (bitset, struct flag, mismatch flag) — the
+        #: fused rule-2 memo behind :meth:`_lookup_add_bits` (untraced).
+        self._lookup_bits: Dict[object, tuple] = {}
+        #: prefix|vary-id -> (struct flag, mismatch flag) for ``resolve``
+        #: results already installed — the fused rule-4/5 memo behind
+        #: :meth:`_resolve_install`.
+        self._resolve_done: Dict[object, tuple] = {}
         #: Hot-path alias: the rules/propagation layers enqueue through
         #: the engine, which is just the policy's own method.
         self._enqueue = self.worklist.enqueue
@@ -194,6 +245,123 @@ class Engine:
                                  info.involved_struct, info.mismatch)
         return res
 
+    def _fused_key(self, kind: str, tau: CType, extra, pin) -> int:
+        """Key prefix for the fused rule memos, allocated once per rule
+        closure at setup time.
+
+        ``kind`` + ``τ`` + ``extra`` (the lookup path, or the id of the
+        closure's fixed ref) name the closure's fixed operands; closures
+        sharing them share one prefix, so cross-statement memo hits are
+        preserved.  The returned prefix is pre-shifted so that
+        ``prefix | interned-ref-id`` is collision-free for up to 2²¹
+        refs (the memo methods fall back to a tuple key above that).
+        ``pin`` keeps the id-keyed objects alive for the engine's
+        lifetime (``τ`` and the pinned ref are also closure-captured,
+        but the pin makes the id-stability argument local).
+        """
+        k = (kind, id(tau), extra)
+        pairs = self._fused_pairs
+        pkey = pairs.get(k)
+        if pkey is None:
+            pkey = len(self._fused_pins) << 21
+            pairs[k] = pkey
+            self._fused_pins.append((tau, pin))
+        return pkey
+
+    def _lookup_add_bits(self, dst_id: int, pkey: int, tau: CType,
+                         alpha: Tuple[str, ...], target: Ref) -> None:
+        """Fused :meth:`_lookup` + batched bitset add (rule 2, untraced).
+
+        An engine-level memo keyed ``prefix | target-id`` holds the
+        interned bitset of the lookup result together with the
+        ``CallInfo`` flags, so a recurrence costs one int-keyed dict
+        probe instead of the ``cached_lookup`` probe plus the
+        :meth:`_add_refs_bits` probe — while the Figure-3 counters bump
+        exactly as one ``lookup`` call, hit or miss.
+        """
+        facts = self.facts
+        try:
+            tid = target._id if target._fb is facts else facts.intern(target)
+        except AttributeError:
+            tid = facts.intern(target)
+        key = pkey | tid if tid < 2097152 else (pkey, tid)
+        ent = self._lookup_bits.get(key)
+        if ent is None:
+            refs, info = self.strategy.cached_lookup(tau, alpha, target)
+            bits = 0
+            intern = facts.intern
+            for r in refs:
+                bits |= 1 << intern(r)
+            ent = (bits, info.involved_struct, info.mismatch)
+            self._lookup_bits[key] = ent
+        stats = self.stats
+        stats.lookup_calls += 1
+        if ent[1]:
+            stats.lookup_struct_calls += 1
+            if ent[2]:
+                stats.lookup_mismatch_calls += 1
+        bits = ent[0]
+        if bits:
+            new, gain, rep = facts.add_bits(dst_id, bits)
+            if gain:
+                self._account(gain)
+                self._enqueue(rep, new)
+
+    def _resolve_install(self, pkey: int, dst: Ref, src: Ref,
+                         tau: CType, vary: Ref) -> None:
+        """Fused :meth:`_resolve` + :meth:`install_resolve_result`
+        (rules 4/5, untraced).
+
+        Once a ``(dst, src, τ)`` triple's resolve result is installed,
+        re-resolving it is a guaranteed no-op (results are memoized and
+        installation is persistent), so a recurrence only needs to bump
+        the Figure-3 counters from the memoized ``CallInfo`` flags —
+        one int-keyed dict probe (``prefix | id-of-the-varying-ref``;
+        ``vary`` is whichever of dst/src the subscription supplies)
+        instead of the resolve-memo probe plus the installed-result
+        identity probe.
+        """
+        facts = self.facts
+        try:
+            vid = vary._id if vary._fb is facts else facts.intern(vary)
+        except AttributeError:
+            vid = facts.intern(vary)
+        key = pkey | vid if vid < 2097152 else (pkey, vid)
+        ent = self._resolve_done.get(key)
+        stats = self.stats
+        stats.resolve_calls += 1
+        if ent is not None:
+            if ent[0]:
+                stats.resolve_struct_calls += 1
+                if ent[1]:
+                    stats.resolve_mismatch_calls += 1
+            return
+        res, info = self.strategy.cached_resolve(dst, src, tau)
+        self._resolve_done[key] = (info.involved_struct, info.mismatch)
+        if info.involved_struct:
+            stats.resolve_struct_calls += 1
+            if info.mismatch:
+                stats.resolve_mismatch_calls += 1
+        self.install_resolve_result(res)
+
+    def _resolve_install_once(self, dst: Ref, src: Ref, tau: CType) -> None:
+        """One-shot :meth:`_resolve` + install (rule 3 and call binding,
+        untraced).
+
+        These sites fire once per statement / per (call site, callee)
+        pair, so a fused memo would never hit; recurring *triples* are
+        still absorbed by the strategy's resolve memo and the
+        installed-result identity table.
+        """
+        res, info = self.strategy.cached_resolve(dst, src, tau)
+        stats = self.stats
+        stats.resolve_calls += 1
+        if info.involved_struct:
+            stats.resolve_struct_calls += 1
+            if info.mismatch:
+                stats.resolve_mismatch_calls += 1
+        self.install_resolve_result(res)
+
     # ------------------------------------------------------------------
     # Fact / edge / subscription services (called by the rules layer).
     # ------------------------------------------------------------------
@@ -228,13 +396,43 @@ class Engine:
             self._enqueue(rep, new)
         return new
 
+    def _add_refs_bits(self, dst_id: int, refs) -> None:
+        """Batched fact add for a memoized ``lookup``/``arith_refs`` list.
+
+        The strategy layer memoizes those results, so the same list
+        instance recurs for every repetition of a (τ, α, target) query;
+        interning it to a bitset once and unioning that bitset per
+        recurrence replaces ``len(refs)`` per-fact adds (and their
+        worklist enqueues) with a single big-int union.  Identical
+        counters: the fact gain and the enqueued delta are the same set.
+        Untraced path only — traced runs add per fact for provenance.
+        """
+        cache = self._refs_bits
+        key = id(refs)
+        ent = cache.get(key)
+        if ent is not None and ent[0] is refs:
+            bits = ent[1]
+        else:
+            bits = 0
+            intern = self.facts.intern
+            for r in refs:
+                bits |= 1 << intern(r)
+            cache[key] = (refs, bits)
+        if bits:
+            new, gain, rep = self.facts.add_bits(dst_id, bits)
+            if gain:
+                self._account(gain)
+                self._enqueue(rep, new)
+
     def install_copy_edge(self, src: Ref, dst: Ref) -> None:
         """Facts at ``src`` flow to ``dst``, now and in the future."""
-        if src == dst:
-            return
         facts = self.facts
         sid = facts.intern(src)
         did = facts.intern(dst)
+        # Interning is structural, so equal refs share an ID: the int
+        # compare replaces a structural ``src == dst``.
+        if sid == did:
+            return
         if not self.graph.add_edge_ids(sid, did):
             return
         self.stats.copy_edges += 1
@@ -299,33 +497,84 @@ class Engine:
             return
         if isinstance(res, Window):
             self.install_window(res)
-        else:
+            return
+        if self.tracer is not None:
             for dst, src in res:
                 self.install_copy_edge(src, dst)
+            return
+        # Untraced hot path: the per-pair work of install_copy_edge,
+        # inlined with the graph/fact structures bound once per result.
+        # Pair lists overlap heavily across distinct (dst, src, τ)
+        # results, so most pairs are duplicate edges — the inline
+        # edge-bitset probe rejects them without a function call.
+        facts = self.facts
+        graph = self.graph
+        intern = facts.intern
+        edge_bits = graph.edge_bits
+        find = facts.find
+        parent = facts._parent
+        adj = graph.copy_adj
+        pts = facts._pts
+        stats = self.stats
+        for dst, src in res:
+            # Interning fast path: canonical refs cache their ID in
+            # ``_fb``/``_id`` slots (see FactBase.intern) — two attr
+            # loads beat a method call.
+            try:
+                sid = src._id if src._fb is facts else intern(src)
+            except AttributeError:
+                sid = intern(src)
+            try:
+                did = dst._id if dst._fb is facts else intern(dst)
+            except AttributeError:
+                did = intern(dst)
+            if sid == did:
+                continue
+            seen = edge_bits.get(sid, 0)
+            bit = 1 << did
+            if seen & bit:
+                continue
+            edge_bits[sid] = seen | bit
+            stats.copy_edges += 1
+            rs = parent[sid]
+            if parent[rs] != rs:
+                rs = find(rs)
+            rd = parent[did]
+            if parent[rd] != rd:
+                rd = find(rd)
+            if rs == rd:
+                # Edge internal to a collapsed class: permanent no-op.
+                continue
+            lst = adj.get(rs)
+            if lst is None:
+                adj[rs] = [did]
+            else:
+                lst.append(did)
+            bits = pts[rs]
+            if bits:
+                self._add_bits(did, bits)
 
     def subscribe(self, ptr_ref: Ref, cb: _Callback) -> None:
-        """Run ``cb`` once for each distinct pointee of ``ptr_ref``."""
-        # Delivered refs are always the fact base's interned instances
-        # (decode returns them), one instance per logical ref, so the
-        # per-subscription dedup can key on object identity — an int
-        # hash — instead of structural ref hashing.
+        """Run ``cb`` once for each distinct pointee of ``ptr_ref``.
+
+        The subscription is stored as a ``(seen, cb)`` pair; the drains
+        perform the once-per-distinct-pointee dedup inline (delivered
+        refs are the fact base's interned instances, one per logical
+        ref, so ``seen`` keys on object identity — an int hash — instead
+        of structural ref hashing, and a dedup hit costs one set probe
+        rather than a closure call).
+        """
         seen: Set[int] = set()
-
-        def wrapped(tgt: Ref) -> None:
-            k = id(tgt)
-            if k not in seen:
-                seen.add(k)
-                cb(tgt)
-
         facts = self.facts
         rep = facts.find(facts.intern(ptr_ref))
-        self.graph.add_subscriber(rep, wrapped)
+        self.graph.add_subscriber(rep, (seen, cb))
         # decode() materializes a list, so the replay is safe even if the
         # callback adds facts on ptr_ref itself (a self-referential stmt).
         bits = facts.pts_bits(rep)
         if bits:
             for tgt in facts.decode(bits):
-                wrapped(tgt)
+                seen.add(id(tgt))
+                cb(tgt)
 
     def cross_subscribe(
         self, a_ref: Ref, b_ref: Ref, fn: Callable[[Ref, Ref], None]
@@ -378,14 +627,14 @@ class Engine:
     def drain(self) -> None:
         """Process pending deltas until the worklist is empty.
 
-        Dispatches to the policy-agnostic loops in
-        :mod:`repro.core.worklist`; the traced loop records provenance
+        Dispatches to the selected propagation backend
+        (:mod:`repro.core.backend`); the traced loop records provenance
         and keeps cycle collapsing off.
         """
         if self.tracer is not None:
             drain_traced(self)
         else:
-            drain(self)
+            self.backend.drain(self)
 
     def solve(self) -> Result:
         """Install every program statement and drain to the least fixpoint."""

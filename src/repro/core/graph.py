@@ -37,8 +37,12 @@ from .facts import FactBase
 
 __all__ = ["ConstraintGraph", "_WindowIndex"]
 
-# Callback invoked with each new pointee of a subscribed reference.
-_Callback = Callable[[Ref], None]
+# A subscription entry: (seen, callback).  ``seen`` holds ``id()``s of
+# the pointee refs already delivered (delivered refs are the fact base's
+# interned instances, one per logical ref, so identity dedup is exact);
+# the drains check it inline — one set probe instead of a closure call
+# per (subscription, pointee) pair, most of which are dedup hits.
+_Subscription = Tuple[Set[int], Callable[[Ref], None]]
 
 
 class _WindowIndex:
@@ -67,13 +71,19 @@ class _WindowIndex:
         self.los.insert(i, lo)
         self.his.insert(i, hi)
         self.dsts.insert(i, (dst_obj, dst_base))
-        self.pmax.insert(i, 0)
-        run = self.pmax[i - 1] if i else 0
-        for j in range(i, len(self.los)):
-            h = self.his[j]
-            if h > run:
-                run = h
-            self.pmax[j] = run
+        pmax = self.pmax
+        run = pmax[i - 1] if i else 0
+        if hi > run:
+            run = hi
+        pmax.insert(i, run)
+        # The shift left ``pmax[j]`` (j > i) holding the old prefix max of
+        # ``his[0..j-1]``; the insert only raises it where the new window's
+        # ``hi`` exceeds it, and ``pmax`` is non-decreasing — so stop at
+        # the first entry already >= ``hi``.
+        for j in range(i + 1, len(pmax)):
+            if pmax[j] >= hi:
+                break
+            pmax[j] = hi
 
     def matches(self, off: int) -> List[Tuple[int, AbstractObject, int]]:
         """All ``(lo, dst_obj, dst_base)`` whose window contains ``off``."""
@@ -120,8 +130,9 @@ class ConstraintGraph:
         #: Windows indexed by source object (interval index per object).
         self.windows: Dict[AbstractObject, _WindowIndex] = {}
         self.window_set: Set[Tuple[AbstractObject, int, int, AbstractObject, int]] = set()
-        #: Subscribers, keyed by class representative (merged on collapse).
-        self.subs: Dict[int, List[_Callback]] = {}
+        #: Subscriptions ``(seen, callback)``, keyed by class
+        #: representative (merged on collapse).
+        self.subs: Dict[int, List[_Subscription]] = {}
         #: Lazy cycle detection: (src_rep, dst_rep) pairs already probed.
         self.lcd_done: Set[Tuple[int, int]] = set()
         #: Resolve results already installed, by identity (value pins the
@@ -170,8 +181,8 @@ class ConstraintGraph:
     # ------------------------------------------------------------------
     # Subscriptions and resolve-result identity.
     # ------------------------------------------------------------------
-    def add_subscriber(self, rep: int, cb: _Callback) -> None:
-        self.subs.setdefault(rep, []).append(cb)
+    def add_subscriber(self, rep: int, entry: _Subscription) -> None:
+        self.subs.setdefault(rep, []).append(entry)
 
     def seen_resolve_result(self, res: object) -> bool:
         """Mark a ``resolve`` result installed; True if it already was.
@@ -214,6 +225,7 @@ class ConstraintGraph:
         """
         facts = self.facts
         find = facts.find
+        parent = facts._parent
         pts = facts._pts
         adj = self.copy_adj
         start = find(start)
@@ -221,14 +233,18 @@ class ConstraintGraph:
         if start == goal:
             return None
         want = pts[start]
-        stack: List[Tuple[int, Iterable[int]]] = [(start, iter(adj.get(start, ())))]
+        empty: Tuple[int, ...] = ()
+        stack: List[Iterable[int]] = [iter(adj.get(start, empty))]
         on_path = [start]
         visited = {start}
         while stack:
-            _node, edge_iter = stack[-1]
+            edge_iter = stack[-1]
             advanced = False
             for tid in edge_iter:
-                t = find(tid)
+                # find()'s fast path, inlined: almost every ID is root.
+                t = parent[tid]
+                if parent[t] != t:
+                    t = find(t)
                 if t == goal:
                     on_path.append(goal)
                     return on_path
@@ -236,7 +252,7 @@ class ConstraintGraph:
                     visited.add(t)
                     if pts[t] != want:
                         continue
-                    stack.append((t, iter(adj.get(t, ()))))
+                    stack.append(iter(adj.get(t, empty)))
                     on_path.append(t)
                     advanced = True
                     break

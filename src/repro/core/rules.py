@@ -79,18 +79,24 @@ def setup_fieldaddr(eng, st: FieldAddr) -> None:
     ptr_ref = eng.norm_obj(st.ptr)
     lhs_id = eng.facts.intern(eng.norm_obj(st.lhs))
     ptr_id = eng.facts.intern(ptr_ref)
+    pkey = eng._fused_key("L", tau_p, st.path, None)
 
     def on_pointee(
         tgt: Ref, tau_p=tau_p, path=st.path, lhs_id=lhs_id,
-        ptr_id=ptr_id, st=st,
+        ptr_id=ptr_id, pkey=pkey, st=st,
     ) -> None:
+        eng.stats.rule2_firings += 1
+        if eng.tracer is None:
+            # Untraced: one fused memo probe covers the lookup and the
+            # batched bitset union (identical facts and counters; see
+            # Engine._lookup_add_bits).
+            eng._lookup_add_bits(lhs_id, pkey, tau_p, path, tgt)
+            return
         intern = eng.facts.intern
         add = eng._add_fact_ids
-        eng.stats.rule2_firings += 1
-        if eng.tracer is not None:
-            eng._ctx = eng.tracer.new_ctx(
-                2, st, ((ptr_id, intern(tgt)),)
-            )
+        eng._ctx = eng.tracer.new_ctx(
+            2, st, ((ptr_id, intern(tgt)),)
+        )
         for r in eng._lookup(tau_p, path, tgt):
             add(lhs_id, intern(r))
         eng._ctx = 0
@@ -101,8 +107,12 @@ def setup_fieldaddr(eng, st: FieldAddr) -> None:
 def setup_copy(eng, st: Copy) -> None:
     """Rule 3: ``s = (τ) t.β`` — sizeof(typeof(s)) bytes are copied."""
     eng.stats.rule3_firings += 1
-    if eng.tracer is not None:
-        eng._ctx = eng.tracer.new_ctx(3, st)
+    if eng.tracer is None:
+        eng._resolve_install_once(
+            eng.norm_obj(st.lhs), eng.norm_ref(st.rhs), st.lhs.type
+        )
+        return
+    eng._ctx = eng.tracer.new_ctx(3, st)
     res = eng._resolve(eng.norm_obj(st.lhs), eng.norm_ref(st.rhs), st.lhs.type)
     eng.install_resolve_result(res)
     eng._ctx = 0
@@ -114,16 +124,19 @@ def setup_load(eng, st: Load) -> None:
     lhs_type = st.lhs.type
     ptr_ref = eng.norm_obj(st.ptr)
     ptr_id = eng.facts.intern(ptr_ref)
+    pkey = eng._fused_key("Rd", lhs_type, id(lhs_ref), lhs_ref)
 
     def on_pointee(
         tgt: Ref, lhs_ref=lhs_ref, lhs_type=lhs_type,
-        ptr_id=ptr_id, st=st,
+        ptr_id=ptr_id, pkey=pkey, st=st,
     ) -> None:
         eng.stats.rule4_firings += 1
-        if eng.tracer is not None:
-            eng._ctx = eng.tracer.new_ctx(
-                4, st, ((ptr_id, eng.facts.intern(tgt)),)
-            )
+        if eng.tracer is None:
+            eng._resolve_install(pkey, lhs_ref, tgt, lhs_type, tgt)
+            return
+        eng._ctx = eng.tracer.new_ctx(
+            4, st, ((ptr_id, eng.facts.intern(tgt)),)
+        )
         eng.install_resolve_result(eng._resolve(lhs_ref, tgt, lhs_type))
         eng._ctx = 0
 
@@ -137,15 +150,19 @@ def setup_store(eng, st: Store) -> None:
     rhs_ref = eng.norm_obj(st.rhs)
     ptr_ref = eng.norm_obj(st.ptr)
     ptr_id = eng.facts.intern(ptr_ref)
+    pkey = eng._fused_key("Rs", tau_p, id(rhs_ref), rhs_ref)
 
     def on_pointee(
-        tgt: Ref, tau_p=tau_p, rhs_ref=rhs_ref, ptr_id=ptr_id, st=st
+        tgt: Ref, tau_p=tau_p, rhs_ref=rhs_ref, ptr_id=ptr_id,
+        pkey=pkey, st=st,
     ) -> None:
         eng.stats.rule5_firings += 1
-        if eng.tracer is not None:
-            eng._ctx = eng.tracer.new_ctx(
-                5, st, ((ptr_id, eng.facts.intern(tgt)),)
-            )
+        if eng.tracer is None:
+            eng._resolve_install(pkey, tgt, rhs_ref, tau_p, tgt)
+            return
+        eng._ctx = eng.tracer.new_ctx(
+            5, st, ((ptr_id, eng.facts.intern(tgt)),)
+        )
         eng.install_resolve_result(eng._resolve(tgt, rhs_ref, tau_p))
         eng._ctx = 0
 
@@ -173,6 +190,11 @@ def setup_ptr_arith(eng, st: PtrArith) -> None:
             if not eng.assume_valid_pointers:
                 add(lhs_id, intern(eng.unknown_ref()))
                 eng._ctx = 0
+                return
+            if eng.tracer is None:
+                # arith_refs is memoized per outermost object — batched
+                # bitset union, same facts and counters.
+                eng._add_refs_bits(lhs_id, eng.strategy.arith_refs(tgt))
                 return
             for r in eng.strategy.arith_refs(tgt):
                 add(lhs_id, intern(r))
@@ -223,10 +245,14 @@ def bind_call(eng, call: Call, fobj: AbstractObject) -> None:
     for i, arg in enumerate(call.args):
         if i < len(info.params):
             param = info.params[i]
-            if tracer is not None:
-                eng._ctx = tracer.new_ctx(
-                    0, call, label=f"rule 3 (parameter copy: {param.name})"
+            if tracer is None:
+                eng._resolve_install_once(
+                    eng.norm_obj(param), eng.norm_obj(arg), param.type
                 )
+                continue
+            eng._ctx = tracer.new_ctx(
+                0, call, label=f"rule 3 (parameter copy: {param.name})"
+            )
             res = eng._resolve(eng.norm_obj(param), eng.norm_obj(arg), param.type)
             eng.install_resolve_result(res)
         elif info.vararg is not None:
@@ -236,14 +262,20 @@ def bind_call(eng, call: Call, fobj: AbstractObject) -> None:
                 )
             eng.install_copy_edge(eng.norm_obj(arg), eng.norm_obj(info.vararg))
     if call.lhs is not None and info.retval is not None:
-        if tracer is not None:
+        if tracer is None:
+            eng._resolve_install_once(
+                eng.norm_obj(call.lhs), eng.norm_obj(info.retval),
+                call.lhs.type,
+            )
+        else:
             eng._ctx = tracer.new_ctx(
                 0, call, label="rule 3 (return copy)"
             )
-        res = eng._resolve(
-            eng.norm_obj(call.lhs), eng.norm_obj(info.retval), call.lhs.type
-        )
-        eng.install_resolve_result(res)
+            res = eng._resolve(
+                eng.norm_obj(call.lhs), eng.norm_obj(info.retval),
+                call.lhs.type,
+            )
+            eng.install_resolve_result(res)
     eng._ctx = 0
 
 

@@ -16,8 +16,12 @@ them:
   determined by the least fixpoint — order-independent, gated.
 - **Structure counts** (``facts``, ``copy_edges``, ``windows``,
   ``calls_bound``) are deduplicated sets at fixpoint — gated.
-- **How-counters** (``sccs_collapsed``, ``props_saved``) depend on
-  propagation order — reported, never gated.
+- **How-counters** (``sccs_collapsed``, ``props_saved``,
+  ``dense_rounds``, ``frontier_bits_suppressed``) depend on propagation
+  order and the selected backend — reported, never gated.
+- **Backend identity** (``backend``) names the propagation backend that
+  produced the result (:mod:`repro.core.backend`) — reported, never
+  gated, because every backend reaches the identical fixpoint.
 - **Session counters** (``incremental_solves``, ``delta_stmts``,
   ``reused_graph_refs``) describe *how the solve was reached* (from
   scratch vs. incrementally via
@@ -71,8 +75,21 @@ class EngineStats:
     #: Copy-edge cycle-collapse events (each merges >= 2 sources).
     sccs_collapsed: int = 0
     #: Edge propagations skipped because the edge is internal to a
-    #: collapsed class (the work cycle collapsing eliminated).
+    #: collapsed class, or fully suppressed by a difference-propagation
+    #: frontier (the work the optimization eliminated).
     props_saved: int = 0
+    #: Propagation backend that produced this result
+    #: (:mod:`repro.core.backend` registry key; "" for the reference
+    #: solver, which predates the backend layer).
+    backend: str = ""
+    #: Dense propagation rounds executed by the numpy backend (0 under
+    #: other backends, and the observable signal that the numpy backend
+    #: fell back to diffprop).
+    dense_rounds: int = 0
+    #: Delta bits withheld by difference-propagation frontiers because
+    #: the receiving edge/window/subscriber-list had already been sent
+    #: them (duplicate work the bigint drain would re-dedup downstream).
+    frontier_bits_suppressed: int = 0
     #: Incremental re-solves performed on this engine
     #: (:meth:`repro.core.engine.Engine.add_statements` calls).
     incremental_solves: int = 0
@@ -113,8 +130,8 @@ class EngineStats:
     # ------------------------------------------------------------------
     # Serialization / aggregation (bench harness, JSON baselines).
     # ------------------------------------------------------------------
-    def as_dict(self) -> Dict[str, float]:
-        """All counters as a flat ``field name -> value`` dict."""
+    def as_dict(self) -> Dict[str, object]:
+        """All counters (plus the backend name) as a flat dict."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
     @classmethod
@@ -125,10 +142,20 @@ class EngineStats:
         return cls(**{k: v for k, v in d.items() if k in names})
 
     def merge(self, other: "EngineStats") -> "EngineStats":
-        """Field-wise sum of two stats records (counters and seconds)."""
-        return EngineStats(
-            **{f.name: getattr(self, f.name) + getattr(other, f.name) for f in fields(self)}
-        )
+        """Field-wise sum of two stats records (counters and seconds).
+
+        The one non-numeric field, ``backend``, merges by agreement:
+        equal (or one-sided) values survive, disagreeing ones become
+        ``"mixed"``.
+        """
+        vals: Dict[str, object] = {}
+        for f in fields(self):
+            a, b = getattr(self, f.name), getattr(other, f.name)
+            if f.name == "backend":
+                vals[f.name] = a if a == b or not b else (b if not a else "mixed")
+            else:
+                vals[f.name] = a + b
+        return EngineStats(**vals)
 
     @classmethod
     def merged(cls, stats: Iterable["EngineStats"]) -> "EngineStats":

@@ -95,8 +95,15 @@ class PriorityWorklist:
         heap = self._heap
         pending = self._pending
         while heap:
-            rep = find(heappop(heap))
-            delta = pending.pop(rep, 0)
+            raw = heappop(heap)
+            delta = pending.pop(raw, 0)
+            rep = find(raw)
+            if rep != raw:
+                # The heap entry's class was merged since the push: its
+                # own pending delta (if any — an enqueue keyed by a
+                # non-representative must never be stranded) joins the
+                # survivor's.  See ``test_worklist_merge.py``.
+                delta |= pending.pop(rep, 0)
             if delta:
                 return rep, delta
         return None
@@ -132,8 +139,12 @@ class FifoWorklist:
         queue = self._queue
         pending = self._pending
         while queue:
-            rep = find(queue.popleft())
-            delta = pending.pop(rep, 0)
+            raw = queue.popleft()
+            delta = pending.pop(raw, 0)
+            rep = find(raw)
+            if rep != raw:
+                # Same stranding guard as PriorityWorklist.pop.
+                delta |= pending.pop(rep, 0)
             if delta:
                 return rep, delta
         return None
@@ -169,6 +180,11 @@ def drain(eng) -> None:
     windows = graph.windows
     subs = graph.subs
     add_bits = eng._add_bits
+    fadd_bits = facts.add_bits
+    account = eng._account
+    enqueue = eng._enqueue
+    stats = eng.stats
+    pts = facts._pts
     while True:
         item = wl.pop(find)
         if item is None:
@@ -176,23 +192,32 @@ def drain(eng) -> None:
         rep, delta = item
         edges = adj.get(rep)
         if edges:
-            pts = facts._pts
+            # ``rep`` can only change via a collapse, and collapses only
+            # happen inside ``_maybe_collapse`` — so the representative
+            # is re-resolved after a probe rather than per edge.  The
+            # two-level parent probe is ``find``'s fast path inlined
+            # (almost every ID is its own root).
+            parent = facts._parent
             for tid in tuple(edges):
-                rt = find(tid)
-                rep = find(rep)
+                rt = parent[tid]
+                if parent[rt] != rt:
+                    rt = find(rt)
                 if rt == rep:
-                    eng.stats.props_saved += 1
+                    stats.props_saved += 1
                     continue
-                if not add_bits(tid, delta):
+                new, gain, landed = fadd_bits(tid, delta)
+                if new:
+                    account(gain)
+                    enqueue(landed, new)
+                else:
                     # No-op propagation: probe for a cycle, but only
                     # once the two sets have converged — members of a
                     # copy cycle always equalize before their final
                     # no-op, and the equality test is a single big-int
                     # compare vs. a full DFS over the copy graph.
-                    rt = find(tid)
-                    rep = find(rep)
-                    if rt != rep and pts[rep] == pts[rt]:
+                    if pts[rep] == pts[rt]:
                         eng._maybe_collapse(rep, rt)
+                        rep = find(rep)
         rep = find(rep)
         if windows:
             canon = eng.strategy.canon_offset_ref  # type: ignore[attr-defined]
@@ -212,11 +237,14 @@ def drain(eng) -> None:
         if cbs:
             delta_refs = facts.decode(delta)
             # List iteration tolerates appends; a subscriber added
-            # mid-batch replays existing facts itself and its
-            # per-pointee dedup absorbs the overlap.
-            for cb in cbs:
+            # mid-batch replays existing facts itself and the inline
+            # seen-set dedup absorbs the overlap.
+            for seen, cb in cbs:
                 for dst in delta_refs:
-                    cb(dst)
+                    k = id(dst)
+                    if k not in seen:
+                        seen.add(k)
+                        cb(dst)
 
 
 def drain_traced(eng) -> None:
@@ -279,6 +307,9 @@ def drain_traced(eng) -> None:
         if cbs:
             delta_refs = facts.decode(delta)
             eng._ctx = 0
-            for cb in cbs:
+            for seen, cb in cbs:
                 for dst in delta_refs:
-                    cb(dst)
+                    k = id(dst)
+                    if k not in seen:
+                        seen.add(k)
+                        cb(dst)

@@ -61,8 +61,9 @@ class AbstractObject:
     #: Source line of the declaration / allocation site, for reporting.
     line: Optional[int] = None
 
-    def __hash__(self) -> int:  # identity hashing; dataclass(eq=False)
-        return id(self)
+    # ``eq=False`` keeps ``object.__hash__`` — identity hashing through
+    # the C slot, with no interpreted ``__hash__`` call per dict/set probe
+    # (objects key the window and normalization tables on hot paths).
 
     def __repr__(self) -> str:
         return self.name

@@ -30,6 +30,7 @@ def metrics(result: Result) -> Dict[str, object]:
     rec: Dict[str, object] = {
         "program": getattr(result.program, "name", None),
         "strategy": result.strategy.key,
+        "backend": stats.backend,
         "stats": stats.as_dict(),
         "derived": {
             "lookup_struct_pct": stats.lookup_struct_pct,

@@ -57,6 +57,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from .core.backend import PropagationBackend, backend_name
 from .core.engine import Engine, Result
 from .core.strategy import Strategy
 from .core.worklist import Worklist
@@ -67,8 +68,9 @@ from .ir.stmts import Stmt
 __all__ = ["AnalysisSession"]
 
 #: Engine-cache key: strategy class + layout identity (the granularity of
-#: the strategy layer's shared memo tables), trace flag, worklist policy.
-_CacheKey = Tuple[type, int, bool, object]
+#: the strategy layer's shared memo tables), trace flag, worklist policy,
+#: propagation-backend name.
+_CacheKey = Tuple[type, int, bool, object, str]
 
 
 class AnalysisSession:
@@ -80,10 +82,14 @@ class AnalysisSession:
         max_facts: int = 5_000_000,
         assume_valid_pointers: bool = True,
         diagnostics: Optional[DiagnosticSink] = None,
+        backend: Union[str, PropagationBackend, None] = None,
     ) -> None:
         self.program = program
         self.max_facts = max_facts
         self.assume_valid_pointers = assume_valid_pointers
+        #: Default propagation backend for solves (``None`` = environment
+        #: / registry default; each ``solve`` may override per call).
+        self.backend = backend
         #: Front-end diagnostics for this program (empty when the program
         #: was built strictly or by hand).
         self.diagnostics = diagnostics if diagnostics is not None else DiagnosticSink()
@@ -123,9 +129,12 @@ class AnalysisSession:
     # ------------------------------------------------------------------
     # Solving.
     # ------------------------------------------------------------------
-    def _key(self, strategy: Strategy, trace: bool, worklist) -> _CacheKey:
+    def _key(
+        self, strategy: Strategy, trace: bool, worklist, backend
+    ) -> _CacheKey:
         wl = worklist if isinstance(worklist, str) else id(worklist)
-        return (type(strategy), id(strategy.layout), trace, wl)
+        return (type(strategy), id(strategy.layout), trace, wl,
+                backend_name(backend))
 
     def solve(
         self,
@@ -133,16 +142,20 @@ class AnalysisSession:
         trace: bool = False,
         worklist: Union[str, Worklist] = "priority",
         fresh: bool = False,
+        backend: Union[str, PropagationBackend, None] = None,
     ) -> Result:
         """Solve ``strategy`` over the session's program; cached.
 
         A repeated call with an equivalent configuration (same strategy
-        class and layout, same ``trace``/``worklist``) returns the cached
-        :class:`Result` without re-solving.  ``fresh=True`` forces a new
-        engine (replacing the cache entry) — benchmark repeats use it so
-        every timed run drains the full worklist.
+        class and layout, same ``trace``/``worklist``/``backend``)
+        returns the cached :class:`Result` without re-solving.
+        ``fresh=True`` forces a new engine (replacing the cache entry) —
+        benchmark repeats use it so every timed run drains the full
+        worklist.  ``backend=None`` falls back to the session default.
         """
-        key = self._key(strategy, trace, worklist)
+        if backend is None:
+            backend = self.backend
+        key = self._key(strategy, trace, worklist, backend)
         if not fresh:
             cached = self._results.get(key)
             if cached is not None:
@@ -154,6 +167,8 @@ class AnalysisSession:
             assume_valid_pointers=self.assume_valid_pointers,
             trace=trace,
             worklist=worklist,
+            backend=backend,
+            diagnostics=self.diagnostics,
         )
         result = engine.solve()
         self._engines[key] = engine

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..core import STRATEGY_BY_KEY
+from ..core.backend import BACKENDS
 from ..ctype.layout import ILP32, Layout
 from ..diag import FrontendError
 from ..session import AnalysisSession
@@ -65,8 +66,13 @@ def check_source(
     name: str = "<fuzz>",
     strategy_keys: Optional[Sequence[str]] = None,
     seed: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[FuzzFailure]:
-    """Check one program against the robustness contract; [] means clean."""
+    """Check one program against the robustness contract; [] means clean.
+
+    ``backend`` selects the propagation backend for every solve — the
+    never-crash guarantee holds for all of them.
+    """
     failures: List[FuzzFailure] = []
 
     # Lenient: no exception of any kind, anywhere.
@@ -75,7 +81,7 @@ def check_source(
         session = AnalysisSession.from_c(source, name=name, strict=False)
         for key, cls in _strategies(strategy_keys):
             stage = key
-            session.solve(cls(Layout(ILP32)))
+            session.solve(cls(Layout(ILP32)), backend=backend)
     except Exception as exc:  # noqa: BLE001 - the contract is "no exception"
         failures.append(FuzzFailure(name, "lenient", stage, exc, source, seed))
 
@@ -85,7 +91,7 @@ def check_source(
         session = AnalysisSession.from_c(source, name=name, strict=True)
         for key, cls in _strategies(strategy_keys):
             stage = key
-            session.solve(cls(Layout(ILP32)))
+            session.solve(cls(Layout(ILP32)), backend=backend)
     except FrontendError:
         pass  # structured failure is a legal strict outcome
     except Exception as exc:  # noqa: BLE001
@@ -99,6 +105,7 @@ def run_campaign(
     strategy_keys: Optional[Sequence[str]] = None,
     stop_after: int = 5,
     verbose: bool = False,
+    backend: Optional[str] = None,
 ) -> List[FuzzFailure]:
     """Fuzz every seed; stop early after ``stop_after`` failures."""
     cfg = cfg or ADVERSARIAL
@@ -106,7 +113,8 @@ def run_campaign(
     for seed in seeds:
         src = generate_program(seed, cfg)
         found = check_source(
-            src, name=f"<fuzz:{seed}>", strategy_keys=strategy_keys, seed=seed
+            src, name=f"<fuzz:{seed}>", strategy_keys=strategy_keys, seed=seed,
+            backend=backend,
         )
         failures.extend(found)
         if verbose and found:
@@ -147,13 +155,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--stop-after", type=int, default=5,
         help="stop after this many failures (default: 5)",
     )
+    p.add_argument(
+        "--backend", choices=sorted(BACKENDS), default=None,
+        help="propagation backend for every solve "
+        "(default: $REPRO_BACKEND or 'bigint')",
+    )
     args = p.parse_args(argv)
 
     seeds = _parse_seed_range(args.seeds)
     cfg = ADVERSARIAL if args.adversarial else GenConfig()
     failures = run_campaign(
         seeds, cfg, strategy_keys=args.strategy or None,
-        stop_after=args.stop_after, verbose=True,
+        stop_after=args.stop_after, verbose=True, backend=args.backend,
     )
     mode = "adversarial" if args.adversarial else "default"
     if not failures:

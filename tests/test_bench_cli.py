@@ -113,8 +113,9 @@ class TestBaselineWriter:
         path = tmp_path / "BENCH_engine.json"
         write_baseline(str(path), data, repeats=1, wall_seconds=1.5)
         doc = json.loads(path.read_text())
-        assert doc["schema"] == 1
+        assert doc["schema"] == 2
         assert doc["strategy_order"] == STRATEGY_ORDER
+        assert doc["backends"] == ["bigint"]
         assert doc["wall_seconds"] == 1.5
         prog = doc["programs"]["twig"]
         assert prog["casting"] is True
@@ -122,11 +123,32 @@ class TestBaselineWriter:
         offsets = prog["strategies"]["offsets"]
         assert offsets["edges"] > 0
         assert offsets["stats"]["facts"] == offsets["edges"]
+        assert offsets["stats"]["backend"] == "bigint"
+        # Single-backend pass: no per-backend breakdown keys.
+        assert "solve_seconds_by_backend" not in offsets
         # Totals are EngineStats field sums — spot-check one counter.
         assert doc["totals"]["stats"]["facts"] == sum(
             s["stats"]["facts"] for s in prog["strategies"].values()
         )
         assert doc["totals"]["measurements"] == len(data)
+
+    def test_write_baseline_multi_backend(self, tmp_path):
+        data = collect_results(
+            repeats=1, jobs=1, programs=[by_name("twig")],
+            backends=("bigint", "diffprop"),
+        )
+        path = tmp_path / "BENCH_engine.json"
+        write_baseline(str(path), data, repeats=1)
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == 2
+        assert doc["backends"] == ["bigint", "diffprop"]
+        offsets = doc["programs"]["twig"]["strategies"]["offsets"]
+        per_backend = offsets["solve_seconds_by_backend"]
+        assert set(per_backend) == {"bigint", "diffprop"}
+        # The primary backend's timing is the v1 solve_seconds field.
+        assert offsets["solve_seconds"] == per_backend["bigint"]
+        totals = doc["totals"]["min_solve_seconds_sum_by_backend"]
+        assert set(totals) == {"bigint", "diffprop"}
 
     def test_main_writes_baseline(self, tmp_path, capsys):
         path = tmp_path / "base.json"

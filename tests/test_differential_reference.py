@@ -30,7 +30,10 @@ STRATEGIES = (CollapseAlways, CollapseOnCast, CommonInitialSequence, Offsets)
 
 #: Stats fields that legitimately differ between the two engines:
 #: timings, and the collapse counters the reference solver never bumps.
-_ENGINE_ONLY = {"solve_seconds", "sccs_collapsed", "props_saved"}
+_ENGINE_ONLY = {
+    "solve_seconds", "sccs_collapsed", "props_saved",
+    "backend", "dense_rounds", "frontier_bits_suppressed",
+}
 
 SEEDS = list(range(50))
 
