@@ -1,11 +1,13 @@
-"""Propagation-backend microbenchmarks: bigint vs. diffprop vs. numpy.
+"""Propagation-backend microbenchmarks across every registered backend
+(bigint, diffprop, numpy, codegen, accel — ``BACKEND_KEYS`` tracks the
+registry automatically).
 
 Times each backend on the largest suite programs (where backend choice
 matters most) plus a synthetic copy-chain program large enough to push
 the numpy backend into its dense rounds.  ``test_backend_speedup``
 prints the per-program comparison table and asserts the economics the
-backend layer exists for: difference propagation never loses badly, and
-wins on the propagation-heavy programs.
+backend layer exists for: no specialized backend loses badly to the
+bigint reference, and the compiled drain rung at least matches it.
 
 Run with::
 
@@ -84,11 +86,15 @@ def test_numpy_dense_rounds_engage(chain_program):
 
 
 def test_backend_speedup():
-    """Comparison table over the heavy programs; diffprop must win.
+    """Comparison table over the heavy programs.
 
     Timing methodology matches Figure 5: min of 3 solves per cell.
-    The assertion is deliberately loose (CI machines are noisy): the
-    diffprop sum over the heavy programs must beat bigint's.
+    Since the shared slow paths (resolve installation, interning,
+    statement setup) were tightened, the scalar backends sit within a
+    few percent of each other on these programs, so the assertions are
+    deliberately loose (CI machines are noisy): no scalar backend may
+    lose badly to bigint, and the compiled rung (codegen, or accel
+    falling back to it) must at least match bigint within noise.
     """
     strategy_cls = STRATEGY_BY_KEY["collapse_on_cast"]
     sums = {be: 0.0 for be in BACKEND_KEYS}
@@ -110,4 +116,6 @@ def test_backend_speedup():
             f"{row[be] * 1000:9.1f}ms" for be in BACKEND_KEYS))
     print(f"{'sum':10s} " + " ".join(
         f"{sums[be] * 1000:9.1f}ms" for be in BACKEND_KEYS))
-    assert sums["diffprop"] < sums["bigint"]
+    for be in ("diffprop", "codegen", "accel"):
+        assert sums[be] < sums["bigint"] * 1.25, (be, sums)
+    assert min(sums["codegen"], sums["accel"]) < sums["bigint"] * 1.15, sums

@@ -129,6 +129,11 @@ def _open_session(args) -> AnalysisSession:
         raise SystemExit(f"{err.diagnostic.one_line()}") from None
     except OSError as err:
         raise SystemExit(f"error: cannot read {args.file}: {err.strerror}") from None
+    except KeyError as err:
+        # An unregistered backend (only reachable via $REPRO_BACKEND —
+        # --backend is constrained by argparse choices): surface the
+        # registry's message instead of a traceback.
+        raise SystemExit(f"error: {err.args[0]}") from None
     sink = session.diagnostics
     if sink.has_fatal:
         for d in sink:

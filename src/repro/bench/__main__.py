@@ -19,9 +19,15 @@ import sys
 import time
 from typing import List, Optional
 
-from ..core.backend import BACKENDS
+from ..core.backend import backend_name
 from ..suite.registry import SUITE, by_name
-from .harness import compare_to_baseline, metrics_records, run_all, write_baseline
+from .harness import (
+    append_history,
+    compare_to_baseline,
+    metrics_records,
+    run_all,
+    write_baseline,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -97,12 +103,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     backends = None
     if args.backends:
         backends = [b.strip() for b in args.backends.split(",") if b.strip()]
-        unknown = [b for b in backends if b not in BACKENDS]
-        if unknown or not backends:
-            known = ", ".join(sorted(BACKENDS))
-            print(f"error: unknown backend(s) {', '.join(unknown)!r}; "
-                  f"known: {known}", file=sys.stderr)
+        if not backends:
+            print(f"error: --backend got no names in {args.backends!r}",
+                  file=sys.stderr)
             return 2
+        for b in backends:
+            try:
+                backend_name(b)
+            except KeyError as err:
+                # The registry's message: registered names plus
+                # availability hints (numpy/accel fallback notes).
+                print(f"error: {err.args[0]}", file=sys.stderr)
+                return 2
 
     t0 = time.perf_counter()
     data = run_all(repeats=args.repeats, jobs=args.jobs, programs=programs,
@@ -113,6 +125,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                        wall_seconds=wall)
         print(f"# baseline written to {args.write_baseline} "
               f"({len(data)} measurements, {wall:.1f}s wall)", file=sys.stderr)
+        hist = append_history(args.write_baseline, data, repeats=args.repeats,
+                              wall_seconds=wall)
+        print(f"# timing record appended to {hist}", file=sys.stderr)
     if args.metrics_jsonl:
         from ..obs.metrics import write_jsonl
 

@@ -48,6 +48,8 @@ import json
 import os
 import sys
 from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
 
 from ..clients.derefstats import deref_stats
@@ -75,6 +77,8 @@ __all__ = [
     "metrics_records",
     "run_all",
     "write_baseline",
+    "append_history",
+    "history_path",
     "compare_to_baseline",
 ]
 
@@ -592,6 +596,60 @@ def write_baseline(path: str, data: ResultMap, repeats: int,
         fh.write("\n")
 
 
+def history_path(baseline_path: str) -> Path:
+    """The timing-history sidecar next to a baseline file.
+
+    ``BENCH_engine.json`` maps to ``BENCH_history.jsonl``; any other
+    baseline name ``<stem>.json`` maps to ``<stem>_history.jsonl`` in
+    the same directory.
+    """
+    p = Path(baseline_path)
+    stem = p.stem
+    if stem.endswith("_engine"):
+        stem = stem[: -len("_engine")]
+    return p.with_name(f"{stem}_history.jsonl")
+
+
+def append_history(baseline_path: str, data: ResultMap, repeats: int,
+                   wall_seconds: Optional[float] = None) -> Path:
+    """Append one timing-trajectory record beside the baseline.
+
+    ``BENCH_engine.json`` is the *precision* gate — timings there are
+    informational snapshots, overwritten on every ``--write-baseline``.
+    The sidecar (``BENCH_history.jsonl``) keeps the trajectory instead:
+    one JSON line per baseline write with the suite's min-solve sums
+    (overall, per backend, per program), so performance regressions and
+    wins stay visible across PRs without ever touching the gate.
+    """
+    by_backend: Dict[str, float] = {}
+    per_program: Dict[str, float] = {}
+    for (name, _key), rec in sorted(data.items()):
+        per_program[name] = per_program.get(name, 0.0) + rec.solve_seconds
+        for be, t in (rec.solve_seconds_by_backend
+                      or {rec.backend: rec.solve_seconds}).items():
+            by_backend[be] = by_backend.get(be, 0.0) + t
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "repeats": repeats,
+        "measurements": len(data),
+        "min_solve_seconds_sum": round(
+            sum(r.solve_seconds for r in data.values()), 6
+        ),
+        "min_solve_seconds_sum_by_backend": {
+            be: round(t, 6) for be, t in sorted(by_backend.items())
+        },
+        "min_solve_seconds_by_program": {
+            name: round(t, 6) for name, t in sorted(per_program.items())
+        },
+    }
+    if wall_seconds is not None:
+        record["wall_seconds"] = round(wall_seconds, 3)
+    path = history_path(baseline_path)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
 def metrics_records(data: ResultMap) -> List[dict]:
     """One ``repro.obs``-style metrics record per measurement.
 
@@ -633,6 +691,7 @@ _UNGATED_STATS = (
     "props_saved",
     "backend",
     "dense_rounds",
+    "accel_active",
     "frontier_bits_suppressed",
     "incremental_solves",
     "delta_stmts",

@@ -26,15 +26,29 @@ replaceable layer behind the solver seams:
   graph into a condensed DAG (merging whole copy-edge SCCs eagerly via
   the same union-find the LCD probe uses), runs the copy-edge
   transitive closure over the batch, applies the closed deltas in bulk,
-  and only then re-enters the complex-rule closures (windows and
-  subscriptions).  On large graphs the closure runs as blocked ``A @ P``
-  boolean matmuls over a packed points-to matrix; below that scale a
-  topologically-ordered big-int pass is faster than any numpy kernel
-  (per-element numpy dispatch overhead dominates tiny operands).  When
-  numpy is not importable, or the graph is too small for batching to
-  pay, the backend falls back to :class:`DiffPropBackend` for the whole
-  drain — ``stats.dense_rounds`` stays 0, which is the observable
-  fallback signal.
+  and only then delivers to windows and subscriptions.  On large graphs
+  the closure runs as blocked ``A @ P`` boolean matmuls over a packed
+  points-to matrix; below that scale a topologically-ordered big-int
+  pass is faster than any numpy kernel (per-element numpy dispatch
+  overhead dominates tiny operands).  Subscription delivery is *fused*
+  into the rounds: each pending (seen, cb) pair keeps a delivered-bits
+  mask, novelty for the whole batch is computed as bitmask differences
+  (vectorized over packed uint8 columns when the batch is large), and
+  only the genuinely novel pointees are dispatched — through the rule
+  descriptors (:mod:`repro.core.codegen`), probing the engine's fused
+  lookup/resolve memos directly instead of re-entering the closures
+  per pointee.  When numpy is not importable, or the graph is too small
+  for batching to pay, the backend falls back to
+  :class:`DiffPropBackend` for the whole drain — ``stats.dense_rounds``
+  stays 0, which is the observable fallback signal.
+- :class:`~repro.core.codegen.CodegenBackend` (``"codegen"``) — the
+  drain specialized into generated flat Python source per (worklist
+  policy, windows shape), compiled once and cached by content key; see
+  :mod:`repro.core.codegen`.
+- :class:`~repro.core.codegen.AccelBackend` (``"accel"``) — the same,
+  preferring an optionally built mypyc/Cython module
+  (``tools/build_accel.py``) when present; falls back to the generated
+  Python path when absent (``stats.accel_active`` reports which ran).
 
 Selection: ``Engine(backend=...)`` / ``AnalysisSession(backend=...)`` /
 ``--backend`` on the CLIs accept a registry key (:data:`BACKENDS`) or a
@@ -59,6 +73,7 @@ import os
 from typing import Dict, List, Optional, Protocol, Set, Tuple, Union
 
 from ..ir.refs import OffsetRef
+from .codegen import AccelBackend, CodegenBackend, dispatch_novel
 from .worklist import drain as _bigint_drain
 
 __all__ = [
@@ -66,6 +81,8 @@ __all__ = [
     "BigintBackend",
     "DiffPropBackend",
     "NumpyBackend",
+    "CodegenBackend",
+    "AccelBackend",
     "BACKENDS",
     "DEFAULT_BACKEND",
     "backend_name",
@@ -210,15 +227,14 @@ class DiffPropBackend:
         if not send:
             return
         sub_sent[key] = (cbs, sent | send)
-        delta_refs = eng.facts.decode(send)
+        delta_items = eng.facts.decode_items(send)
         # List iteration tolerates appends; a subscriber added mid-batch
         # replays existing facts itself and the inline seen-set dedup
         # absorbs the overlap.
-        for seen, cb in cbs:
-            for dst in delta_refs:
-                k = id(dst)
-                if k not in seen:
-                    seen.add(k)
+        for seen, cb, _desc in cbs:
+            for did, dst in delta_items:
+                if did not in seen:
+                    seen.add(did)
                     cb(dst)
 
     # ------------------------------------------------------------------
@@ -318,6 +334,10 @@ class NumpyBackend:
     min_dense_refs = 64
     #: Class-level edge count at which the matmul kernel takes over.
     dense_kernel_edges = 20_000
+    #: Pending (seen, cb) pairs at or above this count per round have
+    #: their novelty masks computed in one packed-uint8 numpy batch;
+    #: below it per-pair big-int differences win (dispatch overhead).
+    fuse_batch_pairs = 16
 
     def __init__(
         self,
@@ -332,6 +352,12 @@ class NumpyBackend:
         #: Cached condensed-DAG snapshot: topo-ordered class edge list.
         self._topo: List[Tuple[int, int]] = []
         self._stamp: Tuple[int, int] = (-1, -1)
+        #: id(subscription entry) -> [entry, delivered-bits mask].  The
+        #: mask mirrors the entry's seen-set as a bitset (seeded from it
+        #: on first encounter, updated in lockstep), letting the fused
+        #: rounds decide novelty for a whole batch with bitmask
+        #: differences instead of per-item set probes.
+        self._entry_masks: Dict[int, list] = {}
 
     # ------------------------------------------------------------------
     def drain(self, eng) -> None:
@@ -408,13 +434,100 @@ class NumpyBackend:
             send = bits | new
             if send:
                 new_map[rep] = new_map.get(rep, 0) | send
-        # Deliver to windows and subscribers (shared frontier dedup);
-        # their closures enqueue follow-up work for the next round.
+        # Deliver to windows (shared frontier dedup) and then run the
+        # fused subscription pass; rule dispatch enqueues follow-up work
+        # for the next round.
         diff = self._diff
         for rep in sorted(new_map):
-            bits = new_map[rep]
-            diff.deliver_windows(eng, rep, bits)
-            diff.deliver_subs(eng, rep, bits)
+            diff.deliver_windows(eng, rep, new_map[rep])
+        self._deliver_subs_fused(eng, np, new_map)
+
+    # ------------------------------------------------------------------
+    def _deliver_subs_fused(self, eng, np, new_map: Dict[int, int]) -> None:
+        """Batched subscription delivery for one dense round.
+
+        Applies the same per-list frontier as
+        :meth:`DiffPropBackend.deliver_subs`, then decides per-entry
+        novelty for the *whole* batch via delivered-bits masks — one
+        bitmask difference per pending (seen, cb) pair (vectorized over
+        packed uint8 columns when the batch is large) — and dispatches
+        only the novel pointees through the rule descriptors
+        (:func:`repro.core.codegen.dispatch_novel`), which probe the
+        engine's fused lookup/resolve memos directly.  The seen-sets
+        are updated in lockstep with the masks, so every other drain
+        variant still sees exact dedup state.
+        """
+        subs = eng.graph.subs
+        stats = eng.stats
+        sub_sent = self._diff._sub_sent
+        entry_masks = self._entry_masks
+        pairs: List[Tuple[list, int]] = []
+        for rep in sorted(new_map):
+            cbs = subs.get(rep)
+            if not cbs:
+                continue
+            delta = new_map[rep]
+            key = id(cbs)
+            ent = sub_sent.get(key)
+            sent = ent[1] if ent is not None and ent[0] is cbs else 0
+            send = delta & ~sent
+            if send != delta:
+                stats.frontier_bits_suppressed += (delta & sent).bit_count()
+            if not send:
+                continue
+            sub_sent[key] = (cbs, sent | send)
+            for entry in cbs:
+                ekey = id(entry)
+                rec = entry_masks.get(ekey)
+                if rec is None or rec[0] is not entry:
+                    mask = 0
+                    for d in entry[0]:
+                        mask |= 1 << d
+                    rec = entry_masks[ekey] = [entry, mask]
+                pairs.append((rec, send))
+        if not pairs:
+            return
+        if len(pairs) >= self.fuse_batch_pairs:
+            novels = self._novel_matrix(np, pairs, eng.facts.num_refs())
+        else:
+            novels = [send & ~rec[1] for rec, send in pairs]
+        decode_items = eng.facts.decode_items
+        decoded: Dict[int, list] = {}
+        for (rec, send), novel in zip(pairs, novels):
+            rec[1] |= send
+            if novel:
+                items = decoded.get(novel)
+                if items is None:
+                    items = decoded[novel] = decode_items(novel)
+                dispatch_novel(eng, rec[0], items)
+
+    @staticmethod
+    def _novel_matrix(np, pairs: List[Tuple[list, int]], nbits: int) -> List[int]:
+        """``send & ~delivered`` for every pair, as one packed batch.
+
+        Packs the pending sends and the per-entry delivered masks into
+        two uint8 matrices (one row per pair, one bitmask column block
+        per ref ID) and computes all novelty masks with a single
+        vectorized ``sends & ~masks`` — the subscription-dedup twin of
+        the closure kernel's packed points-to matrix.
+        """
+        nbytes = (nbits + 7) // 8 or 1
+        n = len(pairs)
+        sends = np.zeros((n, nbytes), dtype=np.uint8)
+        masks = np.zeros((n, nbytes), dtype=np.uint8)
+        for i, (rec, send) in enumerate(pairs):
+            sends[i] = np.frombuffer(
+                send.to_bytes(nbytes, "little"), dtype=np.uint8
+            )
+            m = rec[1]
+            if m:
+                masks[i] = np.frombuffer(
+                    m.to_bytes(nbytes, "little"), dtype=np.uint8
+                )
+        novel = sends & ~masks
+        return [
+            int.from_bytes(novel[i].tobytes(), "little") for i in range(n)
+        ]
 
     # ------------------------------------------------------------------
     def _topo_edges(self, eng) -> List[Tuple[int, int]]:
@@ -572,18 +685,49 @@ BACKENDS = {
     "bigint": BigintBackend,
     "diffprop": DiffPropBackend,
     "numpy": NumpyBackend,
+    "codegen": CodegenBackend,
+    "accel": AccelBackend,
 }
 
 
+def _availability_hints() -> str:
+    """Degraded-backend notes appended to the unknown-backend error.
+
+    ``numpy`` and ``accel`` are always *valid* choices (both fall back
+    gracefully), but when their acceleration is unavailable a typo'd
+    spec deserves the heads-up alongside the registered list.
+    """
+    from .codegen import load_accel  # noqa: PLC0415 - avoid import at module load
+
+    hints = []
+    if available_numpy() is None:
+        hints.append("'numpy' will fall back to diffprop (numpy not importable)")
+    if load_accel() is None:
+        hints.append(
+            "'accel' will fall back to codegen (compiled module not built; "
+            "see tools/build_accel.py)"
+        )
+    return ("; note: " + "; ".join(hints)) if hints else ""
+
+
 def backend_name(spec: Union[str, PropagationBackend, None]) -> str:
-    """The registry key a backend spec resolves to (env-default aware)."""
+    """The registry key a backend spec resolves to (env-default aware).
+
+    Raises :class:`KeyError` *here* — at engine/session construction or
+    CLI parsing — for an unregistered name, naming the registered
+    backends and where the bad value came from, instead of failing deep
+    inside engine construction.
+    """
+    origin = ""
     if spec is None:
         spec = os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+        origin = f" (from the {ENV_VAR} environment variable)"
     if isinstance(spec, str):
         if spec not in BACKENDS:
             raise KeyError(
-                f"unknown propagation backend {spec!r}; "
-                f"known: {', '.join(sorted(BACKENDS))}"
+                f"unknown propagation backend {spec!r}{origin}; "
+                f"registered: {', '.join(sorted(BACKENDS))}"
+                f"{_availability_hints()}"
             )
         return spec
     return spec.name

@@ -175,7 +175,22 @@ class Engine:
         #: the engine, which is just the policy's own method.
         self._enqueue = self.worklist.enqueue
         self._bound: Set[Tuple[int, AbstractObject]] = set()
-        self._norm_cache: Dict[AbstractObject, Ref] = {}
+        # Normalization memos.  ``normalize`` is pure type-level, so the
+        # obj -> canonical-ref (and (obj, path) -> canonical-ref) maps
+        # are shared across engines of the same (strategy class, layout)
+        # — a repeat solve of the same program starts with a warm table.
+        # A traced engine keeps private tables: its misses also record
+        # per-engine provenance notes (note_normalize).
+        if self.tracer is None:
+            self._norm_cache: Dict[AbstractObject, Ref] = (
+                self.strategy.shared_cache("engine_norm_obj")
+            )
+            self._norm_ref_cache: Dict[tuple, tuple] = (
+                self.strategy.shared_cache("engine_norm_ref")
+            )
+        else:
+            self._norm_cache = {}
+            self._norm_ref_cache = {}
         self._solved = False
         # Import here to avoid a module cycle (interproc imports Engine types).
         from .interproc import SummaryRegistry
@@ -210,7 +225,14 @@ class Engine:
     def norm_ref(self, ref: FieldRef) -> Ref:
         if not ref.path:
             return self.norm_obj(ref.obj)
+        # Keyed on (id(obj), path); the entry pins the object so the id
+        # stays valid for the cache's lifetime.
+        key = (id(ref.obj), ref.path)
+        hit = self._norm_ref_cache.get(key)
+        if hit is not None:
+            return hit[1]
         normed = self.strategy.normalize(ref)
+        self._norm_ref_cache[key] = (ref.obj, normed)
         if self.tracer is not None:
             self.tracer.note_normalize(ref, normed)
         return normed
@@ -510,7 +532,8 @@ class Engine:
         facts = self.facts
         graph = self.graph
         intern = facts.intern
-        edge_bits = graph.edge_bits
+        edge_set = graph.edge_set
+        edge_add = edge_set.add
         find = facts.find
         parent = facts._parent
         adj = graph.copy_adj
@@ -530,11 +553,10 @@ class Engine:
                 did = intern(dst)
             if sid == did:
                 continue
-            seen = edge_bits.get(sid, 0)
-            bit = 1 << did
-            if seen & bit:
+            key = (sid << 21) | did if did < 2097152 else (sid, did)
+            if key in edge_set:
                 continue
-            edge_bits[sid] = seen | bit
+            edge_add(key)
             stats.copy_edges += 1
             rs = parent[sid]
             if parent[rs] != rs:
@@ -554,26 +576,32 @@ class Engine:
             if bits:
                 self._add_bits(did, bits)
 
-    def subscribe(self, ptr_ref: Ref, cb: _Callback) -> None:
+    def subscribe(
+        self, ptr_ref: Ref, cb: _Callback, desc: Optional[tuple] = None
+    ) -> None:
         """Run ``cb`` once for each distinct pointee of ``ptr_ref``.
 
-        The subscription is stored as a ``(seen, cb)`` pair; the drains
-        perform the once-per-distinct-pointee dedup inline (delivered
-        refs are the fact base's interned instances, one per logical
-        ref, so ``seen`` keys on object identity — an int hash — instead
-        of structural ref hashing, and a dedup hit costs one set probe
-        rather than a closure call).
+        The subscription is stored as a ``(seen, cb, desc)`` triple; the
+        drains perform the once-per-distinct-pointee dedup inline
+        (``seen`` keys on the pointee's interned ID — one per logical
+        ref, an int hash — so a dedup hit costs one set probe rather
+        than a closure call).  ``desc``, when given, is a small tuple
+        naming the rule case and its fixed operands
+        (:mod:`repro.core.rules`); specialized drains use it to dispatch
+        the rule inline, and it must be behaviorally identical to ``cb``
+        on the untraced path.
         """
         seen: Set[int] = set()
         facts = self.facts
         rep = facts.find(facts.intern(ptr_ref))
-        self.graph.add_subscriber(rep, (seen, cb))
-        # decode() materializes a list, so the replay is safe even if the
-        # callback adds facts on ptr_ref itself (a self-referential stmt).
+        self.graph.add_subscriber(rep, (seen, cb, desc))
+        # decode_items() materializes a list, so the replay is safe even
+        # if the callback adds facts on ptr_ref itself (a
+        # self-referential stmt).
         bits = facts.pts_bits(rep)
         if bits:
-            for tgt in facts.decode(bits):
-                seen.add(id(tgt))
+            for did, tgt in facts.decode_items(bits):
+                seen.add(did)
                 cb(tgt)
 
     def cross_subscribe(

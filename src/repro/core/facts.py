@@ -232,6 +232,22 @@ class FactBase:
             bits ^= low
         return out
 
+    def decode_items(self, bits: int) -> List[Tuple[int, Ref]]:
+        """``(ID, ref)`` pairs named by a bitset, in ascending-ID order.
+
+        The subscription machinery keys its seen-sets on interned IDs
+        (one per logical ref), so the drains decode IDs and refs in one
+        pass instead of re-deriving the ID from the instance.
+        """
+        refs = self._refs
+        out: List[Tuple[int, Ref]] = []
+        while bits:
+            low = bits & -bits
+            rid = low.bit_length() - 1
+            out.append((rid, refs[rid]))
+            bits ^= low
+        return out
+
     def _register(self, rep: int) -> None:
         """Index every member of a now-non-empty class in ``_by_obj``."""
         registered = self._registered

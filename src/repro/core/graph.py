@@ -29,7 +29,7 @@ alive and seed only new deltas into it on incremental re-solves.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from ..ir.objects import AbstractObject
 from ..ir.refs import Ref
@@ -37,12 +37,17 @@ from .facts import FactBase
 
 __all__ = ["ConstraintGraph", "_WindowIndex"]
 
-# A subscription entry: (seen, callback).  ``seen`` holds ``id()``s of
-# the pointee refs already delivered (delivered refs are the fact base's
-# interned instances, one per logical ref, so identity dedup is exact);
-# the drains check it inline — one set probe instead of a closure call
-# per (subscription, pointee) pair, most of which are dedup hits.
-_Subscription = Tuple[Set[int], Callable[[Ref], None]]
+# A subscription entry: (seen, callback, descriptor).  ``seen`` holds
+# the *interned IDs* of the pointee refs already delivered (one ID per
+# logical ref, so the dedup is exact); the drains check it inline — one
+# set probe instead of a closure call per (subscription, pointee) pair,
+# most of which are dedup hits.  ``descriptor`` is either None (the
+# callback is an opaque closure — summaries, indirect calls, traced
+# rules) or a small tuple naming a Figure-2 rule case with its fixed
+# operands (see :mod:`repro.core.rules`), which lets the specialized
+# drains (:mod:`repro.core.codegen`, the numpy backend's fused rounds)
+# dispatch the rule inline instead of through the closure.
+_Subscription = Tuple[Set[int], Callable[[Ref], None], Optional[tuple]]
 
 
 class _WindowIndex:
@@ -109,7 +114,7 @@ class ConstraintGraph:
     __slots__ = (
         "facts",
         "copy_adj",
-        "edge_bits",
+        "edge_set",
         "windows",
         "window_set",
         "subs",
@@ -123,10 +128,15 @@ class ConstraintGraph:
         #: Copy edges: representative ID -> destination IDs (originals;
         #: mapped through union-find at propagation time).
         self.copy_adj: Dict[int, List[int]] = {}
-        #: Edge dedup on the *original* (src, dst) ID pair — a bitset of
-        #: dst IDs per src ID — so the Figure 3 ``copy_edges`` counter is
-        #: identical with and without collapsing.
-        self.edge_bits: Dict[int, int] = {}
+        #: Edge dedup on the *original* (src, dst) ID pair — packed as
+        #: ``(sid << 21) | did`` (IDs are dense interning indices; the
+        #: tuple form covers the >2M-ref tail) — so the Figure 3
+        #: ``copy_edges`` counter is identical with and without
+        #: collapsing.  A set of small-int keys: membership is one O(1)
+        #: hash probe, where the former per-source bitsets paid an
+        #: O(max-ID) ``1 << did`` allocation plus a full-bitset copy on
+        #: every insert.
+        self.edge_set: Set[Union[int, Tuple[int, int]]] = set()
         #: Windows indexed by source object (interval index per object).
         self.windows: Dict[AbstractObject, _WindowIndex] = {}
         self.window_set: Set[Tuple[AbstractObject, int, int, AbstractObject, int]] = set()
@@ -148,12 +158,11 @@ class ConstraintGraph:
         Dedup is on the original ID pair (pre-union-find), keeping the
         edge count independent of collapse order.
         """
-        edge_bits = self.edge_bits
-        seen = edge_bits.get(sid, 0)
-        bit = 1 << did
-        if seen & bit:
+        key = (sid << 21) | did if did < 2097152 else (sid, did)
+        edge_set = self.edge_set
+        if key in edge_set:
             return False
-        edge_bits[sid] = seen | bit
+        edge_set.add(key)
         return True
 
     def attach_edge(self, rep: int, did: int) -> None:
@@ -298,6 +307,24 @@ class ConstraintGraph:
                     adj[rep] = dead_adj
                 else:
                     live.extend(dead_adj)
+                    if len(live) >= 16:
+                        # Compact: a merge turns edges into the absorbed
+                        # class into self-edges, and distinct targets may
+                        # now share a representative.  Keep one raw ID per
+                        # live target class so the drains and the LCD DFS
+                        # stop rescanning dead entries.  (Dropping an ID
+                        # only forgets its difference-propagation frontier
+                        # — a resend is a points-to no-op.)
+                        find = facts.find
+                        kept_reps = set()
+                        compact = []
+                        for tid in live:
+                            rt = find(tid)
+                            if rt == rep or rt in kept_reps:
+                                continue
+                            kept_reps.add(rt)
+                            compact.append(tid)
+                        adj[rep] = compact
             dead_subs = subs.pop(dead, None)
             if dead_subs:
                 live_subs = subs.get(rep)

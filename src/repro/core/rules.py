@@ -15,7 +15,15 @@ per statement and installs the rule as persistent structure in the
   per distinct pointee, performs the ``lookup``/``resolve``, and
   installs the consequences.  The drain loops in
   :mod:`repro.core.worklist` (traced and untraced alike) re-enter these
-  same closures — the rule logic exists exactly once.
+  same closures — the rule logic exists exactly once.  Each such
+  subscription additionally carries a *descriptor* — a small tuple
+  naming the rule case and its closure-fixed operands — that the
+  specialized drains (:mod:`repro.core.codegen`, the numpy backend's
+  fused rounds) use to dispatch the untraced fast path inline instead
+  of through the closure.  Descriptor dispatch must stay behaviorally
+  identical to the closure's ``eng.tracer is None`` branch; the traced
+  branch never runs under a specialized drain (tracing forces the
+  bigint backend, which always calls the closure).
 - **Pointer arithmetic** implements Assumption 1 (§4.2.1): the result
   may point to any sub-field of the pointee's outermost object (or the
   ``Unknown`` value in pessimistic mode).
@@ -101,7 +109,7 @@ def setup_fieldaddr(eng, st: FieldAddr) -> None:
             add(lhs_id, intern(r))
         eng._ctx = 0
 
-    eng.subscribe(ptr_ref, on_pointee)
+    eng.subscribe(ptr_ref, on_pointee, (2, lhs_id, pkey, tau_p, st.path))
 
 
 def setup_copy(eng, st: Copy) -> None:
@@ -140,7 +148,7 @@ def setup_load(eng, st: Load) -> None:
         eng.install_resolve_result(eng._resolve(lhs_ref, tgt, lhs_type))
         eng._ctx = 0
 
-    eng.subscribe(ptr_ref, on_pointee)
+    eng.subscribe(ptr_ref, on_pointee, (4, pkey, lhs_ref, lhs_type))
 
 
 def setup_store(eng, st: Store) -> None:
@@ -166,7 +174,7 @@ def setup_store(eng, st: Store) -> None:
         eng.install_resolve_result(eng._resolve(tgt, rhs_ref, tau_p))
         eng._ctx = 0
 
-    eng.subscribe(ptr_ref, on_pointee)
+    eng.subscribe(ptr_ref, on_pointee, (5, pkey, rhs_ref, tau_p))
 
 
 def setup_ptr_arith(eng, st: PtrArith) -> None:
@@ -200,7 +208,12 @@ def setup_ptr_arith(eng, st: PtrArith) -> None:
                 add(lhs_id, intern(r))
             eng._ctx = 0
 
-        eng.subscribe(op_ref, on_pointee)
+        # Descriptor only in optimistic mode: the pessimistic branch
+        # (Unknown) is rare and stays a closure call.
+        eng.subscribe(
+            op_ref, on_pointee,
+            (6, lhs_id) if eng.assume_valid_pointers else None,
+        )
 
 
 def setup_call(eng, st: Call) -> None:

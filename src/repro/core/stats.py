@@ -86,6 +86,10 @@ class EngineStats:
     #: other backends, and the observable signal that the numpy backend
     #: fell back to diffprop).
     dense_rounds: int = 0
+    #: 1 when the ``accel`` backend found (and used) the optionally
+    #: compiled drain module; 0 when it fell back to the generated
+    #: Python drain, or under any other backend.  Reported, never gated.
+    accel_active: int = 0
     #: Delta bits withheld by difference-propagation frontiers because
     #: the receiving edge/window/subscriber-list had already been sent
     #: them (duplicate work the bigint drain would re-dedup downstream).

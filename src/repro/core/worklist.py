@@ -235,15 +235,14 @@ def drain(eng) -> None:
                                 add_bits(intern(dref), delta)
         cbs = subs.get(rep)
         if cbs:
-            delta_refs = facts.decode(delta)
+            delta_items = facts.decode_items(delta)
             # List iteration tolerates appends; a subscriber added
             # mid-batch replays existing facts itself and the inline
             # seen-set dedup absorbs the overlap.
-            for seen, cb in cbs:
-                for dst in delta_refs:
-                    k = id(dst)
-                    if k not in seen:
-                        seen.add(k)
+            for seen, cb, _desc in cbs:
+                for did, dst in delta_items:
+                    if did not in seen:
+                        seen.add(did)
                         cb(dst)
 
 
@@ -305,11 +304,10 @@ def drain_traced(eng) -> None:
                                     )
         cbs = subs.get(rep)
         if cbs:
-            delta_refs = facts.decode(delta)
+            delta_items = facts.decode_items(delta)
             eng._ctx = 0
-            for seen, cb in cbs:
-                for dst in delta_refs:
-                    k = id(dst)
-                    if k not in seen:
-                        seen.add(k)
+            for seen, cb, _desc in cbs:
+                for did, dst in delta_items:
+                    if did not in seen:
+                        seen.add(did)
                         cb(dst)

@@ -89,6 +89,10 @@ class AnalysisSession:
         self.assume_valid_pointers = assume_valid_pointers
         #: Default propagation backend for solves (``None`` = environment
         #: / registry default; each ``solve`` may override per call).
+        #: Validated *here* so a bad name (or a bad ``REPRO_BACKEND``
+        #: value) fails at session construction with the registered list
+        #: and availability hints, not deep inside a later solve.
+        backend_name(backend)
         self.backend = backend
         #: Front-end diagnostics for this program (empty when the program
         #: was built strictly or by hand).

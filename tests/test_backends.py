@@ -46,7 +46,8 @@ from repro.suite.registry import SUITE, load_source
 #: reference solver (how the fixpoint was reached, not what it is).
 _HOW_STATS = {
     "solve_seconds", "sccs_collapsed", "props_saved",
-    "backend", "dense_rounds", "frontier_bits_suppressed",
+    "backend", "dense_rounds", "accel_active",
+    "frontier_bits_suppressed",
     "incremental_solves", "delta_stmts", "reused_graph_refs",
 }
 

@@ -10,8 +10,10 @@ from repro.bench.__main__ import build_parser, main
 from repro.bench.harness import (
     FIGURE3_KEYS,
     STRATEGY_ORDER,
+    append_history,
     collect_results,
     compare_to_baseline,
+    history_path,
     figure3,
     figure4,
     figure6,
@@ -158,6 +160,59 @@ class TestBaselineWriter:
         doc = json.loads(path.read_text())
         assert doc["repeats"] == 1
         assert set(doc["programs"]) == {"twig"}
+
+
+class TestTimingHistory:
+    def test_history_path_naming(self, tmp_path):
+        assert history_path("BENCH_engine.json").name == "BENCH_history.jsonl"
+        assert history_path(str(tmp_path / "base.json")).name == (
+            "base_history.jsonl"
+        )
+        assert history_path(str(tmp_path / "base.json")).parent == tmp_path
+
+    def test_append_accumulates_records(self, tmp_path):
+        data = collect_results(repeats=1, jobs=1, programs=[by_name("twig")])
+        base = tmp_path / "BENCH_engine.json"
+        write_baseline(str(base), data, repeats=1)
+        hist = append_history(str(base), data, repeats=1, wall_seconds=2.5)
+        assert hist == tmp_path / "BENCH_history.jsonl"
+        append_history(str(base), data, repeats=1)
+        lines = [json.loads(ln) for ln in hist.read_text().splitlines()]
+        assert len(lines) == 2
+        first = lines[0]
+        assert first["repeats"] == 1
+        assert first["measurements"] == len(data)
+        assert first["wall_seconds"] == 2.5
+        assert first["min_solve_seconds_sum"] == pytest.approx(
+            sum(r.solve_seconds for r in data.values()), abs=1e-5
+        )
+        assert set(first["min_solve_seconds_by_program"]) == {"twig"}
+        assert set(first["min_solve_seconds_sum_by_backend"]) == {"bigint"}
+        # The trajectory never touches the precision gate's schema.
+        assert json.loads(base.read_text())["schema"] == 2
+
+    def test_main_appends_history_beside_baseline(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        for _ in range(2):
+            rc = main(["--repeats", "1", "--jobs", "1", "--programs", "twig",
+                       "--figures", "6", "--write-baseline", str(base)])
+            assert rc == 0
+        hist = tmp_path / "base_history.jsonl"
+        assert hist.exists()
+        assert len(hist.read_text().splitlines()) == 2
+        assert "timing record appended" in capsys.readouterr().err
+
+    def test_multi_backend_history_splits_sums(self, tmp_path):
+        data = collect_results(
+            repeats=1, jobs=1, programs=[by_name("twig")],
+            backends=("bigint", "diffprop"),
+        )
+        base = tmp_path / "BENCH_engine.json"
+        hist = append_history(str(base), data, repeats=1)
+        rec = json.loads(hist.read_text())
+        assert set(rec["min_solve_seconds_sum_by_backend"]) == {
+            "bigint", "diffprop"
+        }
 
 
 class TestBaselineChecker:
