@@ -11,6 +11,7 @@ Examples::
     python -m repro prog.c --compare                # all four, summary
     python -m repro prog.c --derefs                 # Figure-4 style sites
     python -m repro explain prog.c offsets "p -> x" # derivation tree
+    python -m repro serve --port 8080               # analysis service
 """
 
 from __future__ import annotations
@@ -34,6 +35,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Field-sensitive pointer analysis for C with casting "
         "(Yong/Horwitz/Reps PLDI'99 framework).",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="subcommands: explain (derivation trees, "
+        "docs/observability.md) · serve (HTTP analysis service, "
+        "docs/service.md)\n"
+        "docs: framework.md · internals.md · frontend.md · robustness.md "
+        "· suite.md · extending.md (all under docs/)",
     )
     p.add_argument("file", help="C source file (self-contained, include-free)")
     p.add_argument(
@@ -171,6 +178,10 @@ def main(argv: List[str] = None) -> int:
         from .obs.explain import main as explain_main
 
         return explain_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from .service.cli import main as serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     session = _open_session(args)

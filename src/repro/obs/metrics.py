@@ -20,7 +20,7 @@ from typing import IO, Dict, Iterable, Union
 
 from ..core.engine import Result
 
-__all__ = ["metrics", "JsonlEmitter", "write_jsonl"]
+__all__ = ["metrics", "session_metrics", "JsonlEmitter", "write_jsonl"]
 
 
 def metrics(result: Result) -> Dict[str, object]:
@@ -59,6 +59,19 @@ def metrics(result: Result) -> Dict[str, object]:
     tracer = result.tracer
     if tracer is not None:
         rec["trace"] = tracer.summary()
+    return rec
+
+
+def session_metrics(session) -> Dict[str, object]:
+    """One record for a whole :class:`~repro.session.AnalysisSession`.
+
+    The service's ``GET /metrics`` building block: the session document
+    (:meth:`~repro.session.AnalysisSession.describe`) plus one
+    :func:`metrics` record per cached result, so a scrape sees every
+    solved strategy of every live session without forcing new solves.
+    """
+    rec = session.describe()
+    rec["results"] = [metrics(r) for r in session.cached_results()]
     return rec
 
 

@@ -1,0 +1,123 @@
+"""``python -m repro serve`` — run the analysis service in the foreground.
+
+Examples::
+
+    python -m repro serve                          # 127.0.0.1:8080
+    python -m repro serve --port 0                 # ephemeral port (printed)
+    python -m repro serve --pool-size 4 --lenient  # small pool, lenient default
+    REPRO_BACKEND=diffprop python -m repro serve   # backend via environment
+
+The server announces its bound URL on stdout (one ``serving on ...``
+line — the CI smoke job and scripts parse it, which is what makes
+``--port 0`` usable), then serves until SIGINT/SIGTERM, exiting 0 on a
+clean shutdown.  Backend names — ``--backend`` or ``$REPRO_BACKEND`` —
+are validated before the socket binds, with the same fail-fast
+registered-list error as the analyze CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+from typing import List, Optional
+
+from ..core import STRATEGY_BY_KEY
+from ..core.backend import BACKENDS
+from .app import ServiceConfig
+from .http import make_server
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Long-lived pointer-analysis service: pooled sessions "
+        "over HTTP/JSON (create, grow incrementally, query).",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="API reference: docs/service.md · error model: "
+        "docs/robustness.md · counters: docs/observability.md",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="interface to bind (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8080,
+                   help="port to bind; 0 picks a free ephemeral port "
+                   "(default: 8080)")
+    p.add_argument("--pool-size", type=int, default=8, metavar="N",
+                   help="live-session slots before LRU eviction (default: 8)")
+    p.add_argument("--max-bytes", type=int, default=256 * 1024 * 1024,
+                   metavar="BYTES",
+                   help="total estimated session footprint before LRU "
+                   "eviction (default: 256 MiB)")
+    p.add_argument("--max-request-bytes", type=int, default=1024 * 1024,
+                   metavar="BYTES",
+                   help="largest accepted request body (default: 1 MiB)")
+    p.add_argument("--timeout", type=float, default=30.0, metavar="SECONDS",
+                   help="per-connection socket read timeout (default: 30)")
+    p.add_argument("--lenient", action="store_true",
+                   help="default new sessions to the never-crash lenient "
+                   "front end (requests may still say \"strict\": true)")
+    p.add_argument("--strategy", choices=sorted(STRATEGY_BY_KEY),
+                   default="common_initial_sequence",
+                   help="default strategy for sessions and queries that "
+                   "don't specify one (default: common_initial_sequence)")
+    p.add_argument("--backend", choices=sorted(BACKENDS), default=None,
+                   help="propagation backend for every solve (default: "
+                   "$REPRO_BACKEND or 'bigint'); validated before binding")
+    p.add_argument("--max-facts", type=int, default=5_000_000,
+                   help="per-engine fact budget; a solve past it returns a "
+                   "422, bounding hostile-session work (default: 5000000)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log one line per request to stderr")
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            pool_size=args.pool_size,
+            byte_budget=args.max_bytes,
+            max_request_bytes=args.max_request_bytes,
+            request_timeout=args.timeout,
+            default_strict=not args.lenient,
+            default_strategy=args.strategy,
+            backend=args.backend,
+            max_facts=args.max_facts,
+        )
+        server = make_server(config, verbose=args.verbose)
+    except (KeyError, ValueError, OverflowError) as err:
+        # Fail fast with the registry's message (covers a bad
+        # $REPRO_BACKEND exactly like the analyze CLI) or the socket
+        # layer's complaint (e.g. an out-of-range --port), not a
+        # traceback.
+        print(f"error: {err.args[0]}", file=sys.stderr)
+        return 2
+    except OSError as err:
+        print(f"error: cannot bind {args.host}:{args.port}: {err}",
+              file=sys.stderr)
+        return 2
+
+    print(f"serving on {server.url}", flush=True)
+
+    # SIGTERM (the supervisor's stop signal) shuts down as cleanly as
+    # Ctrl-C: both unwind through server_close and exit 0.
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    print("shutdown: clean", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""A small stdlib client for the analysis service.
+
+:class:`ServiceClient` wraps ``urllib.request`` around the JSON API so
+tests, examples, docs, and the CI smoke job all exercise the same
+round-trip path a real client would.  Non-2xx responses raise
+:class:`ServiceClientError`, which carries the parsed error envelope —
+so callers can assert on ``err.kind`` and the structured diagnostics
+exactly as they would on the wire::
+
+    client = ServiceClient(url)
+    try:
+        client.create_session("int x = ;")        # hostile input
+    except ServiceClientError as err:
+        assert err.status == 422
+        assert err.kind == "analysis-failed"
+        assert err.diagnostics[0]["kind"] == "parse-error"
+
+Every method maps 1:1 onto an endpoint; ``docs/service.md`` is the wire
+reference.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(Exception):
+    """A non-2xx response; carries the parsed error envelope."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        err = payload.get("error", {}) if isinstance(payload, dict) else {}
+        self.status = status
+        self.kind = err.get("kind", "unknown")
+        self.diagnostics: List[dict] = err.get("diagnostics", [])
+        self.payload = payload
+        super().__init__(f"HTTP {status} [{self.kind}]: "
+                         f"{err.get('message', payload)}")
+
+
+class ServiceClient:
+    """One server, many sessions; all methods are plain JSON round-trips."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        req = Request(self.base_url + path, data=data, headers=headers,
+                      method=method)
+        try:
+            with urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except HTTPError as err:
+            try:
+                payload = json.loads(err.read())
+            except ValueError:
+                payload = {"error": {"kind": "unparseable-response",
+                                     "message": str(err)}}
+            raise ServiceClientError(err.code, payload) from None
+
+    # ------------------------------------------------------------------
+    # Server-level endpoints.
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    # ------------------------------------------------------------------
+    # Session lifecycle.
+    # ------------------------------------------------------------------
+    def create_session(
+        self,
+        source: str,
+        name: Optional[str] = None,
+        strict: Optional[bool] = None,
+        strategy: Optional[str] = None,
+        abi: Optional[str] = None,
+        backend: Optional[str] = None,
+    ) -> dict:
+        """``POST /v1/sessions``; returns the session document."""
+        body: Dict[str, object] = {"source": source}
+        for key, value in (("name", name), ("strict", strict),
+                           ("strategy", strategy), ("abi", abi),
+                           ("backend", backend)):
+            if value is not None:
+                body[key] = value
+        return self._request("POST", "/v1/sessions", body)
+
+    def list_sessions(self) -> dict:
+        return self._request("GET", "/v1/sessions")
+
+    def get_session(self, session_id: str) -> dict:
+        return self._request("GET", f"/v1/sessions/{session_id}")
+
+    def delete_session(self, session_id: str) -> dict:
+        return self._request("DELETE", f"/v1/sessions/{session_id}")
+
+    def add_statements(self, session_id: str, statements: List[dict],
+                       function: Optional[str] = None) -> dict:
+        """``POST /v1/sessions/{id}/statements`` (the JSON delta codec)."""
+        body: Dict[str, object] = {"statements": statements}
+        if function is not None:
+            body["function"] = function
+        return self._request("POST", f"/v1/sessions/{session_id}/statements",
+                             body)
+
+    def diagnostics(self, session_id: str) -> dict:
+        return self._request("GET", f"/v1/sessions/{session_id}/diagnostics")
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    def query(self, session_id: str, kind: str = "points_to",
+              **params: str) -> dict:
+        """``GET /v1/sessions/{id}/query?kind=...&...``."""
+        from urllib.parse import urlencode
+
+        qs = urlencode({"kind": kind, **{k: v for k, v in params.items()
+                                         if v is not None}})
+        return self._request("GET", f"/v1/sessions/{session_id}/query?{qs}")
+
+    def points_to(self, session_id: str, target: str,
+                  strategy: Optional[str] = None) -> dict:
+        return self.query(session_id, "points_to", target=target,
+                          strategy=strategy)
+
+    def may_alias(self, session_id: str, a: str, b: str,
+                  strategy: Optional[str] = None) -> dict:
+        return self.query(session_id, "alias", a=a, b=b, strategy=strategy)
+
+    def mod_ref(self, session_id: str, function: Optional[str] = None,
+                strategy: Optional[str] = None) -> dict:
+        return self.query(session_id, "modref", function=function,
+                          strategy=strategy)
+
+    def call_graph(self, session_id: str,
+                   strategy: Optional[str] = None) -> dict:
+        return self.query(session_id, "callgraph", strategy=strategy)
+
+    def deref_stats(self, session_id: str,
+                    strategy: Optional[str] = None) -> dict:
+        return self.query(session_id, "derefs", strategy=strategy)

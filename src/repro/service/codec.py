@@ -1,0 +1,160 @@
+"""JSON codec for incremental deltas and query targets.
+
+The delta endpoint (``POST /v1/sessions/{id}/statements``) grows a
+*normalized* program, so its wire format is the paper's assignment forms
+directly — not C text.  Each statement is one JSON object selected by
+``form``, with operands named by object name (``p``, ``main::q``) and
+field paths as JSON arrays:
+
+====  ===========  =====================================================
+form  paper        JSON shape
+====  ===========  =====================================================
+1     s = &t.β     ``{"form": "addrof", "lhs": "s", "target": "t",
+                   "path": ["f", ...]}``
+2     s = &(*p).α  ``{"form": "fieldaddr", "lhs": "s", "ptr": "p",
+                   "path": ["f", ...]}`` (path non-empty)
+3     s = t.β      ``{"form": "copy", "lhs": "s", "rhs": "t",
+                   "path": ["f", ...]}``
+4     s = *q       ``{"form": "load", "lhs": "s", "ptr": "q"}``
+5     *p = t       ``{"form": "store", "ptr": "p", "rhs": "t"}``
+—     s = q ⊕ r    ``{"form": "ptrarith", "lhs": "s",
+                   "operands": ["q", "r", ...]}``
+====  ===========  =====================================================
+
+``path`` is optional and defaults to ``[]`` (except ``fieldaddr``, whose
+``α`` must be non-empty — an empty selector would be a ``copy``).
+
+Object names resolve exactly like the CLI's ``-q`` queries: an exact
+match first, then — when the delta names a containing ``function`` —
+``function::name``, then any unique ``*::name`` suffix match.  Unknown
+names and malformed statements raise :class:`ServiceError` (422), so a
+bad delta reports *which* statement failed and why; nothing is applied
+from a delta that fails to decode (decode-then-apply, all-or-nothing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.objects import AbstractObject
+from ..ir.program import Program
+from ..ir.refs import FieldRef
+from ..ir.stmts import AddrOf, Copy, FieldAddr, Load, PtrArith, Stmt, Store
+from .errors import ServiceError
+
+__all__ = ["resolve_object", "resolve_ref", "statements_from_json"]
+
+STATEMENT_FORMS = ("addrof", "fieldaddr", "copy", "load", "store", "ptrarith")
+
+
+def resolve_object(
+    program: Program, name: str, function: Optional[str] = None
+) -> AbstractObject:
+    """Find an abstract object by wire name; 422 when it does not exist."""
+    if not isinstance(name, str) or not name:
+        raise ServiceError(422, "unknown-object",
+                           f"object name must be a non-empty string, got {name!r}")
+    obj = program.objects.lookup(name)
+    if obj is None and function:
+        obj = program.objects.lookup(f"{function}::{name}")
+    if obj is None:
+        suffix = f"::{name}"
+        matches = [o for o in program.objects.all_objects()
+                   if o.name.endswith(suffix)]
+        if len(matches) == 1:
+            obj = matches[0]
+        elif len(matches) > 1:
+            raise ServiceError(
+                422, "unknown-object",
+                f"ambiguous object name {name!r}: "
+                f"{sorted(o.name for o in matches)}",
+            )
+    if obj is None:
+        raise ServiceError(422, "unknown-object",
+                           f"no object named {name!r} in this session")
+    return obj
+
+
+def resolve_ref(
+    program: Program, text: str, function: Optional[str] = None
+) -> FieldRef:
+    """Parse ``name`` or ``name.field.path`` into a :class:`FieldRef`."""
+    if not isinstance(text, str) or not text:
+        raise ServiceError(422, "unknown-object",
+                           f"query target must be a non-empty string, got {text!r}")
+    parts = text.split(".")
+    obj = resolve_object(program, parts[0], function)
+    return FieldRef(obj, tuple(parts[1:]))
+
+
+def _field_path(spec: Dict[str, object], where: str) -> Tuple[str, ...]:
+    path = spec.get("path", [])
+    if not isinstance(path, (list, tuple)) or not all(
+        isinstance(p, str) and p for p in path
+    ):
+        raise ServiceError(422, "bad-statement",
+                           f"{where}: 'path' must be a list of field names")
+    return tuple(path)
+
+
+def _statement_from_json(
+    program: Program, spec: Dict[str, object], function: Optional[str],
+    where: str,
+) -> Stmt:
+    if not isinstance(spec, dict):
+        raise ServiceError(422, "bad-statement",
+                           f"{where}: each statement must be a JSON object")
+    form = spec.get("form")
+    if form not in STATEMENT_FORMS:
+        raise ServiceError(
+            422, "bad-statement",
+            f"{where}: unknown form {form!r}; "
+            f"expected one of {', '.join(STATEMENT_FORMS)}",
+        )
+
+    def need(field: str) -> AbstractObject:
+        if field not in spec:
+            raise ServiceError(422, "bad-statement",
+                               f"{where}: form {form!r} requires {field!r}")
+        return resolve_object(program, spec[field], function)
+
+    if form == "addrof":
+        return AddrOf(need("lhs"), FieldRef(need("target"),
+                                            _field_path(spec, where)),
+                      fn=function)
+    if form == "fieldaddr":
+        path = _field_path(spec, where)
+        if not path:
+            raise ServiceError(422, "bad-statement",
+                               f"{where}: fieldaddr requires a non-empty 'path' "
+                               "(an empty selector is a 'copy')")
+        return FieldAddr(need("lhs"), need("ptr"), path, fn=function)
+    if form == "copy":
+        return Copy(need("lhs"), FieldRef(need("rhs"),
+                                          _field_path(spec, where)),
+                    fn=function)
+    if form == "load":
+        return Load(need("lhs"), need("ptr"), fn=function)
+    if form == "store":
+        return Store(need("ptr"), need("rhs"), fn=function)
+    # ptrarith
+    operands = spec.get("operands")
+    if not isinstance(operands, (list, tuple)) or not operands:
+        raise ServiceError(422, "bad-statement",
+                           f"{where}: ptrarith requires a non-empty 'operands' list")
+    return PtrArith(need("lhs"),
+                    tuple(resolve_object(program, o, function) for o in operands),
+                    fn=function)
+
+
+def statements_from_json(
+    program: Program, specs: Sequence[object], function: Optional[str] = None
+) -> List[Stmt]:
+    """Decode a whole delta; raises before any statement is applied."""
+    if not isinstance(specs, (list, tuple)):
+        raise ServiceError(422, "bad-statement",
+                           "'statements' must be a JSON array")
+    return [
+        _statement_from_json(program, spec, function, f"statements[{i}]")
+        for i, spec in enumerate(specs)
+    ]

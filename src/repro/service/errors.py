@@ -1,0 +1,132 @@
+"""The service error model: every failure is a structured JSON response.
+
+The server's contract mirrors the never-crash guarantee of the lenient
+front end (PR 5, ``docs/robustness.md``): a hostile translation unit —
+or a malformed request — must produce a *structured* error document and
+a 4xx status, never a traceback or an opaque 500.  The shape is one
+envelope for every failure mode::
+
+    {"error": {"kind": "...", "message": "...", "status": 4xx,
+               "diagnostics": [{...}, ...]}}
+
+``kind`` is a stable kebab-case slug (like :class:`repro.diag.Diagnostic`
+kinds), ``diagnostics`` carries the front end's structured records when
+the failure came out of the analysis pipeline, and is empty for pure
+protocol errors (bad JSON, unknown session, oversized body).
+
+Status-code mapping (the full table lives in ``docs/service.md``):
+
+====  ====================  =========================================
+code  kind (typical)        produced by
+====  ====================  =========================================
+400   ``bad-request``       malformed JSON, missing/ill-typed fields,
+                            unknown enum values (strategy/abi/backend)
+404   ``unknown-session``   missing or already-evicted session id
+404   ``unknown-endpoint``  unrouted path
+405   ``method-not-allowed``wrong HTTP verb on a known path
+413   ``request-too-large`` body over the server's byte limit
+422   ``analysis-failed``   strict-mode front-end rejection, or a
+                            lenient parse with a FATAL diagnostic
+422   ``unknown-object``    delta/query naming an object that does not
+                            exist in the session's program
+422   ``bad-statement``     delta statement that fails the JSON codec
+500   ``internal-error``    a genuine server bug (message only — no
+                            traceback ever crosses the wire)
+====  ====================  =========================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..diag import Diagnostic, DiagnosticSink, FrontendError
+
+__all__ = [
+    "ServiceError",
+    "diagnostic_json",
+    "diagnostics_json",
+    "error_payload",
+    "from_frontend_error",
+    "from_fatal_sink",
+]
+
+
+def diagnostic_json(d: Diagnostic) -> Dict[str, object]:
+    """One :class:`~repro.diag.Diagnostic` as a JSON-ready dict."""
+    return {
+        "kind": d.kind,
+        "message": d.message,
+        "severity": d.severity.name,
+        "phase": d.phase,
+        "file": d.loc.file,
+        "line": d.loc.line,
+        "column": d.loc.column,
+    }
+
+
+def diagnostics_json(diags: Iterable[Diagnostic]) -> List[Dict[str, object]]:
+    return [diagnostic_json(d) for d in diags]
+
+
+class ServiceError(Exception):
+    """A structured request failure; renders as the error envelope."""
+
+    def __init__(
+        self,
+        status: int,
+        kind: str,
+        message: str,
+        diagnostics: Iterable[Diagnostic] = (),
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+        self.message = message
+        self.diagnostics = list(diagnostics)
+
+    def payload(self) -> Dict[str, object]:
+        return error_payload(self.status, self.kind, self.message,
+                             self.diagnostics)
+
+
+def error_payload(
+    status: int,
+    kind: str,
+    message: str,
+    diagnostics: Iterable[Diagnostic] = (),
+) -> Dict[str, object]:
+    """The error envelope every non-2xx response carries."""
+    return {
+        "error": {
+            "status": status,
+            "kind": kind,
+            "message": message,
+            "diagnostics": diagnostics_json(diagnostics),
+        }
+    }
+
+
+def from_frontend_error(err: FrontendError) -> ServiceError:
+    """Map a strict-mode front-end rejection to a 422 with its record."""
+    return ServiceError(
+        422, "analysis-failed", err.diagnostic.one_line(),
+        diagnostics=[err.diagnostic],
+    )
+
+
+def from_fatal_sink(sink: DiagnosticSink) -> Optional[ServiceError]:
+    """A 422 when even lenient mode produced a FATAL record (empty program).
+
+    Mirrors the CLI: a lenient parse that could analyze *nothing* is a
+    client error, not a session.  Returns ``None`` when the sink has no
+    FATAL record (degraded-but-analyzed sessions are created normally,
+    with the diagnostics reported in the session document).
+    """
+    if not sink.has_fatal:
+        return None
+    worst = sink.worst()
+    return ServiceError(
+        422, "analysis-failed",
+        worst.one_line() if worst is not None else "nothing could be analyzed",
+        diagnostics=list(sink),
+    )

@@ -1,0 +1,188 @@
+"""HTTP plumbing: a threading stdlib server over :class:`ServiceApp`.
+
+Stack: ``http.server.ThreadingHTTPServer`` (``socketserver.ThreadingMixIn``
+over ``HTTPServer``) with daemon handler threads — one thread per
+in-flight request, which is exactly the concurrency grain the pool's
+per-session locks are designed for: requests against *distinct* sessions
+run in parallel, requests against *one* session serialize on its lock.
+
+This module owns only the wire concerns:
+
+- request bodies are size-capped (413 past ``max_request_bytes``) and
+  must be valid JSON objects (400 otherwise);
+- sockets carry a read timeout (``request_timeout``) so a stalled client
+  cannot pin a handler thread forever;
+- every response — success or failure — is one JSON document with
+  ``Content-Type: application/json``; the app's
+  :meth:`~repro.service.app.ServiceApp.handle` guarantees the payload
+  exists for every outcome.
+
+:func:`start_server` runs the server on a background thread and returns
+a handle with the bound URL — the form tests, docs, and examples use
+(`port=0` binds an ephemeral port).  ``serve_forever`` is the foreground
+form behind ``python -m repro serve``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qsl, urlsplit
+
+from .app import ServiceApp, ServiceConfig
+from .errors import ServiceError, error_payload
+
+__all__ = ["ServiceServer", "ServerHandle", "make_server", "start_server"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Per-request adapter; all logic lives in the :class:`ServiceApp`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service"
+
+    # Quiet by default: one line per request is the access log's job,
+    # and the tests/CI smoke boot dozens of servers.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def _read_body(self) -> Optional[dict]:
+        length = self.headers.get("Content-Length")
+        if length is None:
+            return None
+        try:
+            length = int(length)
+        except ValueError:
+            raise ServiceError(400, "bad-request",
+                               "malformed Content-Length header") from None
+        app: ServiceApp = self.server.app
+        if length > app.config.max_request_bytes:
+            raise ServiceError(
+                413, "request-too-large",
+                f"request body of {length} bytes exceeds the server limit "
+                f"of {app.config.max_request_bytes} bytes",
+            )
+        raw = self.rfile.read(length)
+        if not raw:
+            return None
+        try:
+            body = json.loads(raw)
+        except (ValueError, UnicodeDecodeError):
+            raise ServiceError(400, "bad-request",
+                               "request body is not valid JSON") from None
+        if not isinstance(body, dict):
+            raise ServiceError(400, "bad-request",
+                               "request body must be a JSON object")
+        return body
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            parts = urlsplit(self.path)
+            query = dict(parse_qsl(parts.query))
+            body = self._read_body()
+        except ServiceError as err:
+            self._respond(err.status, err.payload())
+            return
+        except Exception:  # noqa: BLE001 - socket errors mid-read
+            self._respond(400, error_payload(
+                400, "bad-request", "could not read the request body"))
+            return
+        status, payload = self.server.app.handle(
+            method, parts.path, query, body
+        )
+        self._respond(status, payload)
+
+    def _respond(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload, sort_keys=True, default=str).encode()
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):
+            pass                    # client went away; nothing to salvage
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one :class:`ServiceApp`."""
+
+    daemon_threads = True
+
+    def __init__(self, app: ServiceApp, verbose: bool = False) -> None:
+        self.app = app
+        self.verbose = verbose
+        super().__init__((app.config.host, app.config.port), _Handler)
+        # Per-connection read timeout: a stalled or byte-dripping client
+        # trips a socket timeout instead of pinning a handler thread.
+        self.timeout = app.config.request_timeout
+
+    def finish_request(self, request, client_address):
+        request.settimeout(self.app.config.request_timeout)
+        super().finish_request(request, client_address)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def make_server(config: Optional[ServiceConfig] = None,
+                verbose: bool = False) -> ServiceServer:
+    """Bind a server (without serving).  ``port=0`` picks a free port."""
+    return ServiceServer(ServiceApp(config), verbose=verbose)
+
+
+class ServerHandle:
+    """A running background server: ``url``, ``app``, and ``close()``."""
+
+    def __init__(self, server: ServiceServer, thread: threading.Thread) -> None:
+        self.server = server
+        self.thread = thread
+        self.url = server.url
+        self.app = server.app
+
+    def close(self) -> None:
+        """Stop serving and release the port (idempotent)."""
+        self.server.shutdown()
+        self.server.server_close()
+        self.thread.join(timeout=10)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def start_server(config: Optional[ServiceConfig] = None,
+                 verbose: bool = False) -> ServerHandle:
+    """Serve on a background daemon thread; returns a closable handle.
+
+    The default config binds ``127.0.0.1`` — combined with ``port=0``
+    (an OS-assigned ephemeral port) this is the embedding tests, docs
+    snippets, and examples use::
+
+        from repro.service import ServiceConfig, start_server
+        with start_server(ServiceConfig(port=0)) as handle:
+            ...  # handle.url is http://127.0.0.1:<ephemeral>
+    """
+    server = make_server(config, verbose=verbose)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-service", daemon=True)
+    thread.start()
+    return ServerHandle(server, thread)

@@ -99,6 +99,10 @@ class AnalysisSession:
         self.diagnostics = diagnostics if diagnostics is not None else DiagnosticSink()
         self._engines: Dict[_CacheKey, Engine] = {}
         self._results: Dict[_CacheKey, Result] = {}
+        #: Times :meth:`solve` returned a cached :class:`Result` instead
+        #: of constructing an engine — the service's "solve-cache hits"
+        #: counter (``GET /metrics``), but meaningful for any embedder.
+        self.solve_cache_hits = 0
 
     # ------------------------------------------------------------------
     # Construction from source (parse exactly once).
@@ -163,6 +167,7 @@ class AnalysisSession:
         if not fresh:
             cached = self._results.get(key)
             if cached is not None:
+                self.solve_cache_hits += 1
                 return cached
         engine = Engine(
             self.program,
@@ -182,6 +187,62 @@ class AnalysisSession:
     def cached_results(self) -> List[Result]:
         """The live results of every strategy solved so far."""
         return list(self._results.values())
+
+    # ------------------------------------------------------------------
+    # Introspection (the service's session document and byte accounting).
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """A JSON-serializable summary of the session's state.
+
+        This is the body of the service's session document
+        (``GET /v1/sessions/{id}``); it never includes points-to data —
+        results are reached through queries, which solve on demand.
+        """
+        solved = [
+            {
+                "strategy": result.strategy.key,
+                "backend": result.stats.backend,
+                "facts": result.facts.edge_count(),
+                "solve_seconds": result.stats.solve_seconds,
+                "incremental_solves": result.stats.incremental_solves,
+            }
+            for result in self._results.values()
+        ]
+        return {
+            "program": self.program.name,
+            "functions": sorted(self.program.functions),
+            "objects": len(self.program.objects.all_objects()),
+            "statements": self.program.stmt_count(),
+            "solved": solved,
+            "solve_cache_hits": self.solve_cache_hits,
+            "diagnostics": {
+                "total": self.diagnostics.total,
+                "by_kind": self.diagnostics.kinds(),
+                "by_severity": self.diagnostics.severities(),
+            },
+        }
+
+    def estimated_bytes(self) -> int:
+        """A coarse, monotone estimate of this session's memory footprint.
+
+        Used by the service's :class:`~repro.service.pool.SessionPool`
+        byte budget.  It is deliberately a *model*, not a measurement
+        (``gc``-walking live engines would cost more than it saves):
+        fixed per-object/per-statement charges for the program plus
+        per-fact/per-ref charges for every cached engine.  The constants
+        approximate CPython object overheads; what matters for eviction
+        is that the estimate grows monotonically with solves and deltas.
+        """
+        program = self.program
+        total = 4096
+        total += 256 * len(program.objects.all_objects())
+        total += 128 * program.stmt_count()
+        for result in self._results.values():
+            total += 64 * result.facts.edge_count()
+            num_refs = getattr(result.facts, "num_refs", None)
+            if num_refs is not None:
+                total += 48 * num_refs()
+        return total
 
     # ------------------------------------------------------------------
     # Incremental growth.

@@ -100,6 +100,14 @@ class TestCLI:
         ns = parser.parse_args(["f.c", "-s", "strided_offsets"])
         assert ns.strategy == "strided_offsets"
 
+    def test_help_epilog_cross_links_docs(self):
+        # --help names both subcommands and points at their docs.
+        text = build_parser().format_help()
+        assert "serve" in text
+        assert "docs/service.md" in text
+        assert "explain" in text
+        assert "docs/observability.md" in text
+
 
 class TestStrictAndLenientCLI:
     """Front-end failures never escape as tracebacks (see ISSUE PR 5)."""

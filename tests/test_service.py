@@ -1,0 +1,366 @@
+"""App-level tests for the analysis service (no sockets).
+
+:class:`repro.service.app.ServiceApp` maps requests to JSON responses
+without HTTP, so the session lifecycle, the pool's LRU/byte-budget
+semantics, the delta codec, the query surface, and the error model are
+all tested here directly; ``tests/test_service_http.py`` covers the
+wire (concurrency, fuzz-over-HTTP, the ``serve`` CLI).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ServiceApp, ServiceConfig, ServiceError
+from repro.service.codec import resolve_ref, statements_from_json
+from repro.service.pool import SessionPool
+
+SRC = """
+struct S { int *s1; int *s2; } s;
+int x, y, *p;
+void main(void) { s.s1 = &x; s.s2 = &y; p = s.s1; }
+"""
+
+
+@pytest.fixture
+def app():
+    return ServiceApp(ServiceConfig(pool_size=4))
+
+
+def create(app, source=SRC, **fields):
+    status, payload = app.handle("POST", "/v1/sessions", None,
+                                 {"source": source, **fields})
+    assert status == 201, payload
+    return payload
+
+
+class TestLifecycle:
+    def test_create_returns_session_document(self, app):
+        doc = create(app, name="unit.c")["session"]
+        assert doc["name"] == "unit.c"
+        assert doc["functions"] == ["main"]
+        assert doc["statements"] > 0
+        assert doc["strict"] is True
+        assert doc["solved"] == []          # solves happen on query
+        assert doc["diagnostics"]["total"] == 0
+
+    def test_get_and_list(self, app):
+        sid = create(app)["session"]["id"]
+        status, payload = app.handle("GET", f"/v1/sessions/{sid}")
+        assert status == 200 and payload["session"]["id"] == sid
+        status, payload = app.handle("GET", "/v1/sessions")
+        assert [d["id"] for d in payload["sessions"]] == [sid]
+
+    def test_points_to_query(self, app):
+        sid = create(app)["session"]["id"]
+        status, q = app.handle("GET", f"/v1/sessions/{sid}/query",
+                               {"kind": "points_to", "target": "p"})
+        assert status == 200
+        assert q["names"] == ["x"]
+        assert q["strategy"] == "common_initial_sequence"
+
+    def test_field_query_and_strategy_override(self, app):
+        sid = create(app)["session"]["id"]
+        _, q = app.handle("GET", f"/v1/sessions/{sid}/query",
+                          {"kind": "points_to", "target": "s.s2"})
+        assert q["names"] == ["y"]
+        # collapse_always merges the struct: p sees both targets.
+        _, q = app.handle("GET", f"/v1/sessions/{sid}/query",
+                          {"kind": "points_to", "target": "p",
+                           "strategy": "collapse_always"})
+        assert q["names"] == ["x", "y"]
+
+    def test_delta_grows_cached_result(self, app):
+        sid = create(app)["session"]["id"]
+        app.handle("GET", f"/v1/sessions/{sid}/query",
+                   {"kind": "points_to", "target": "p"})
+        status, r = app.handle(
+            "POST", f"/v1/sessions/{sid}/statements", None,
+            {"function": "main",
+             "statements": [{"form": "addrof", "lhs": "p", "target": "y"}]},
+        )
+        assert status == 200
+        assert r["added"] == 1 and r["engines_resolved"] == 1
+        _, q = app.handle("GET", f"/v1/sessions/{sid}/query",
+                          {"kind": "points_to", "target": "p"})
+        assert q["names"] == ["x", "y"]
+
+    def test_delete_then_404(self, app):
+        sid = create(app)["session"]["id"]
+        status, payload = app.handle("DELETE", f"/v1/sessions/{sid}")
+        assert status == 200 and payload["deleted"] == sid
+        status, payload = app.handle("GET", f"/v1/sessions/{sid}")
+        assert status == 404
+        assert payload["error"]["kind"] == "unknown-session"
+
+    def test_query_cache_hit_counters(self, app):
+        sid = create(app)["session"]["id"]
+        for _ in range(3):
+            app.handle("GET", f"/v1/sessions/{sid}/query",
+                       {"kind": "points_to", "target": "p"})
+        assert app.counters.solves == 1
+        assert app.counters.solve_cache_hits == 2
+
+
+class TestQueries:
+    SRC_CALLS = """
+    int g, *p;
+    void callee(void) { p = &g; }
+    void (*fp)(void);
+    void main(void) { fp = callee; (*fp)(); }
+    """
+
+    def test_alias(self, app):
+        sid = create(app)["session"]["id"]
+        _, q = app.handle("GET", f"/v1/sessions/{sid}/query",
+                          {"kind": "alias", "a": "p", "b": "s.s1"})
+        assert q["may_alias"] is True and q["may_point_to_same"] is True
+        _, q = app.handle("GET", f"/v1/sessions/{sid}/query",
+                          {"kind": "alias", "a": "p", "b": "s.s2"})
+        assert q["may_alias"] is False
+
+    def test_callgraph_resolves_function_pointer(self, app):
+        sid = create(app, source=self.SRC_CALLS)["session"]["id"]
+        _, q = app.handle("GET", f"/v1/sessions/{sid}/query",
+                          {"kind": "callgraph"})
+        assert q["edges"]["main"] == ["callee"]
+        [site] = q["indirect_sites"]
+        assert site["targets"] == ["callee"]
+
+    def test_modref(self, app):
+        sid = create(app, source=self.SRC_CALLS)["session"]["id"]
+        _, q = app.handle("GET", f"/v1/sessions/{sid}/query",
+                          {"kind": "modref", "function": "main"})
+        # main transitively modifies p through the indirect call.
+        assert "p" in q["functions"]["main"]["mod"]
+
+    def test_derefs(self, app):
+        sid = create(app, source=self.SRC_CALLS)["session"]["id"]
+        _, q = app.handle("GET", f"/v1/sessions/{sid}/query",
+                          {"kind": "derefs"})
+        assert q["count"] >= 1 and q["average"] >= 1.0
+
+    def test_diagnostics_endpoint(self, app):
+        doc = create(app, source="int *p; int g;\n"
+                     "void main(void) { p = &g; g = g.oops; }",
+                     strict=False)
+        sid = doc["session"]["id"]
+        status, d = app.handle("GET", f"/v1/sessions/{sid}/diagnostics")
+        assert status == 200
+        assert d["by_kind"] == {"member-on-non-struct": 1}
+        [rec] = d["records"]
+        assert rec["severity"] == "ERROR" and rec["line"] == 2
+
+
+class TestErrorModel:
+    def test_strict_hostile_input_is_422_with_diagnostics(self, app):
+        status, payload = app.handle("POST", "/v1/sessions", None,
+                                     {"source": "int x = ;"})
+        assert status == 422
+        err = payload["error"]
+        assert err["kind"] == "analysis-failed"
+        assert err["diagnostics"][0]["severity"] in ("ERROR", "FATAL")
+
+    def test_lenient_fatal_is_still_422(self, app):
+        status, payload = app.handle("POST", "/v1/sessions", None,
+                                     {"source": "int x = ;", "strict": False})
+        assert status == 422
+        assert payload["error"]["diagnostics"][0]["severity"] == "FATAL"
+
+    def test_missing_source_field(self, app):
+        status, payload = app.handle("POST", "/v1/sessions", None, {})
+        assert status == 400
+        assert payload["error"]["kind"] == "bad-request"
+
+    def test_unknown_strategy_abi_backend(self, app):
+        for fields in ({"strategy": "nope"}, {"abi": "pdp11"},
+                       {"backend": "nope"}):
+            status, payload = app.handle("POST", "/v1/sessions", None,
+                                         {"source": SRC, **fields})
+            assert status == 400, fields
+            assert payload["error"]["kind"] == "bad-request"
+
+    def test_unknown_endpoint_and_method(self, app):
+        status, payload = app.handle("GET", "/v2/nope")
+        assert status == 404
+        assert payload["error"]["kind"] == "unknown-endpoint"
+        status, payload = app.handle("DELETE", "/healthz")
+        assert status == 405
+        assert payload["error"]["kind"] == "method-not-allowed"
+
+    def test_unknown_query_object_is_422(self, app):
+        sid = create(app)["session"]["id"]
+        status, payload = app.handle("GET", f"/v1/sessions/{sid}/query",
+                                     {"kind": "points_to", "target": "zzz"})
+        assert status == 422
+        assert payload["error"]["kind"] == "unknown-object"
+
+    def test_bad_delta_applies_nothing(self, app):
+        sid = create(app)["session"]["id"]
+        before = app.handle("GET", f"/v1/sessions/{sid}")[1]["session"]
+        status, payload = app.handle(
+            "POST", f"/v1/sessions/{sid}/statements", None,
+            {"statements": [
+                {"form": "addrof", "lhs": "p", "target": "y"},
+                {"form": "warp", "lhs": "p"},          # decode fails here
+            ]},
+        )
+        assert status == 422
+        assert payload["error"]["kind"] == "bad-statement"
+        after = app.handle("GET", f"/v1/sessions/{sid}")[1]["session"]
+        assert after["statements"] == before["statements"]  # all-or-nothing
+
+    def test_delta_unknown_function(self, app):
+        sid = create(app)["session"]["id"]
+        status, payload = app.handle(
+            "POST", f"/v1/sessions/{sid}/statements", None,
+            {"function": "nope",
+             "statements": [{"form": "load", "lhs": "p", "ptr": "p"}]},
+        )
+        assert status == 422
+        assert payload["error"]["kind"] == "unknown-object"
+
+
+class TestPool:
+    def test_lru_eviction_under_tiny_cap(self):
+        app = ServiceApp(ServiceConfig(pool_size=2))
+        s1 = create(app)["session"]["id"]
+        s2 = create(app)["session"]["id"]
+        doc = create(app)                    # pool full: evicts s1 (LRU)
+        assert doc["evicted"] == [s1]
+        s3 = doc["session"]["id"]
+        assert app.handle("GET", f"/v1/sessions/{s1}")[0] == 404
+        # Touch s2 so s3 becomes LRU; next create must evict s3.
+        app.handle("GET", f"/v1/sessions/{s2}")
+        doc = create(app)
+        assert doc["evicted"] == [s3]
+        assert app.pool.counters()["evictions"] == 2
+        assert app.pool.counters()["sessions_live"] == 2
+
+    def test_byte_budget_eviction(self):
+        app = ServiceApp(ServiceConfig(pool_size=100, byte_budget=60_000))
+        ids = [create(app)["session"]["id"] for _ in range(4)]
+        counters = app.pool.counters()
+        assert counters["evictions"] >= 1
+        assert counters["bytes_live"] <= 60_000
+        # The newest session always survives its own admission.
+        assert app.handle("GET", f"/v1/sessions/{ids[-1]}")[0] == 200
+
+    def test_single_giant_session_survives_alone(self):
+        # One session over the whole budget must not be evicted for
+        # being alone — only older tenants make room.
+        app = ServiceApp(ServiceConfig(pool_size=4, byte_budget=1))
+        sid = create(app)["session"]["id"]
+        assert app.handle("GET", f"/v1/sessions/{sid}")[0] == 200
+        sid2 = create(app)["session"]["id"]
+        assert app.handle("GET", f"/v1/sessions/{sid}")[0] == 404
+        assert app.handle("GET", f"/v1/sessions/{sid2}")[0] == 200
+
+    def test_pool_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            SessionPool(capacity=0)
+
+
+class TestMetricsSchema:
+    def test_healthz(self, app):
+        status, h = app.handle("GET", "/healthz")
+        assert status == 200
+        assert h["status"] == "ok"
+        assert h["sessions_live"] == 0
+        assert h["uptime_seconds"] >= 0
+
+    def test_metrics_schema(self, app):
+        sid = create(app, name="m.c")["session"]["id"]
+        app.handle("GET", f"/v1/sessions/{sid}/query",
+                   {"kind": "points_to", "target": "p"})
+        status, m = app.handle("GET", "/metrics")
+        assert status == 200
+        server = m["server"]
+        for key in ("sessions_live", "sessions_created", "evictions",
+                    "checkouts", "misses", "bytes_live", "pool_capacity",
+                    "byte_budget", "requests", "responses_by_status",
+                    "solves", "solve_cache_hits", "internal_errors",
+                    "uptime_seconds"):
+            assert key in server, key
+        assert server["sessions_live"] == 1
+        assert server["requests"]["POST /v1/sessions"] == 1
+        assert server["requests"]["GET /v1/sessions/{id}/query"] == 1
+        [sess] = m["sessions"]
+        assert sess["id"] == sid and sess["name"] == "m.c"
+        [result] = sess["results"]          # the obs metrics() record
+        assert result["strategy"] == "common_initial_sequence"
+        assert "stats" in result and "facts" in result
+
+    def test_metrics_serializes_to_json(self, app):
+        import json
+
+        sid = create(app)["session"]["id"]
+        app.handle("GET", f"/v1/sessions/{sid}/query",
+                   {"kind": "points_to", "target": "p"})
+        _, m = app.handle("GET", "/metrics")
+        json.dumps(m, sort_keys=True, default=str)   # must not raise
+
+
+class TestCodec:
+    @pytest.fixture
+    def program(self):
+        from repro import program_from_c
+
+        return program_from_c(SRC, name="codec.c")
+
+    def test_every_form_decodes(self, program):
+        stmts = statements_from_json(program, [
+            {"form": "addrof", "lhs": "p", "target": "y"},
+            {"form": "copy", "lhs": "p", "rhs": "s", "path": ["s1"]},
+            {"form": "load", "lhs": "p", "ptr": "p"},
+            {"form": "store", "ptr": "p", "rhs": "x"},
+            {"form": "fieldaddr", "lhs": "p", "ptr": "p", "path": ["s1"]},
+            {"form": "ptrarith", "lhs": "p", "operands": ["p", "x"]},
+        ], function="main")
+        assert len(stmts) == 6
+        assert all(st.fn == "main" for st in stmts)
+
+    def test_function_scoped_name_resolution(self):
+        from repro import program_from_c
+
+        program = program_from_c(
+            "int g;\nvoid main(void) { int *q; q = &g; }", name="scope.c"
+        )
+        [st] = statements_from_json(
+            program, [{"form": "addrof", "lhs": "q", "target": "g"}],
+            function="main",
+        )
+        assert st.lhs.name == "main::q"     # resolved through main::
+
+    def test_fieldaddr_requires_path(self, program):
+        with pytest.raises(ServiceError) as exc:
+            statements_from_json(program, [
+                {"form": "fieldaddr", "lhs": "p", "ptr": "p", "path": []}
+            ])
+        assert exc.value.kind == "bad-statement"
+
+    def test_unknown_object(self, program):
+        with pytest.raises(ServiceError) as exc:
+            statements_from_json(program, [
+                {"form": "load", "lhs": "zzz", "ptr": "p"}
+            ])
+        assert exc.value.status == 422
+        assert exc.value.kind == "unknown-object"
+
+    def test_resolve_ref_paths(self, program):
+        ref = resolve_ref(program, "s.s2")
+        assert ref.obj.name == "s" and ref.path == ("s2",)
+
+
+class TestConfig:
+    def test_bad_backend_fails_at_construction(self):
+        with pytest.raises(KeyError):
+            ServiceConfig(backend="nope")
+
+    def test_bad_strategy_fails_at_construction(self):
+        with pytest.raises(KeyError):
+            ServiceConfig(default_strategy="nope")
+
+    def test_bad_abi_fails_at_construction(self):
+        with pytest.raises(KeyError):
+            ServiceConfig(default_abi="pdp11")

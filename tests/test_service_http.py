@@ -1,0 +1,261 @@
+"""Wire-level tests: the threading HTTP server, concurrency, and fuzz.
+
+The acceptance contract for the service (ISSUE 8 / ROADMAP
+"analysis-as-a-service"):
+
+- ≥8 concurrent clients against a 4-slot LRU pool complete
+  create → delta → query round-trips with correct per-client results,
+  evictions surfacing only as structured 404s;
+- every ADVERSARIAL fuzz program submitted over HTTP yields either a
+  session or a structured JSON diagnostic response — never a 500;
+- the ``python -m repro serve`` CLI announces its bound URL, serves a
+  round-trip, and shuts down cleanly on SIGTERM.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServiceConfig, start_server
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.suite.generator import ADVERSARIAL, generate_program
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture
+def server():
+    with start_server(ServiceConfig(port=0, pool_size=4)) as handle:
+        yield handle
+
+
+def client_source(i: int) -> str:
+    return (f"int a{i}, b{i}, *p{i};\n"
+            f"void main(void) {{ p{i} = &a{i}; }}\n")
+
+
+class TestRoundTrip:
+    def test_create_delta_query(self, server):
+        client = ServiceClient(server.url)
+        doc = client.create_session(client_source(0), name="rt.c")
+        sid = doc["session"]["id"]
+        assert client.points_to(sid, "p0")["names"] == ["a0"]
+        client.add_statements(
+            sid, [{"form": "addrof", "lhs": "p0", "target": "b0"}],
+            function="main",
+        )
+        assert client.points_to(sid, "p0")["names"] == ["a0", "b0"]
+        assert client.healthz()["sessions_live"] == 1
+
+    def test_error_envelope_crosses_the_wire(self, server):
+        client = ServiceClient(server.url)
+        with pytest.raises(ServiceClientError) as exc:
+            client.create_session("int x = ;")
+        assert exc.value.status == 422
+        assert exc.value.kind == "analysis-failed"
+        assert exc.value.diagnostics[0]["kind"] == "parse-error"
+        assert exc.value.diagnostics[0]["severity"] == "ERROR"
+
+    def test_invalid_json_body_is_400(self, server):
+        req = urllib.request.Request(
+            server.url + "/v1/sessions", data=b"{not json",
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req, timeout=10)
+        assert exc.value.code == 400
+        payload = json.loads(exc.value.read())
+        assert payload["error"]["kind"] == "bad-request"
+
+    def test_oversized_body_is_413(self):
+        config = ServiceConfig(port=0, max_request_bytes=512)
+        with start_server(config) as handle:
+            client = ServiceClient(handle.url)
+            with pytest.raises(ServiceClientError) as exc:
+                client.create_session("int x;" + " " * 4096)
+            assert exc.value.status == 413
+            assert exc.value.kind == "request-too-large"
+
+
+class TestConcurrentClients:
+    N_CLIENTS = 8
+    ROUNDS = 4
+
+    def test_eight_clients_four_slots(self, server):
+        """The acceptance scenario: 8 clients, 4-slot pool, evictions."""
+        errors = []
+
+        def worker(i: int) -> None:
+            client = ServiceClient(server.url)
+            completed = 0
+            try:
+                while completed < self.ROUNDS:
+                    doc = client.create_session(client_source(i),
+                                                name=f"client{i}.c")
+                    sid = doc["session"]["id"]
+                    try:
+                        q = client.points_to(sid, f"p{i}")
+                        assert q["names"] == [f"a{i}"], q
+                        client.add_statements(
+                            sid,
+                            [{"form": "addrof", "lhs": f"p{i}",
+                              "target": f"b{i}"}],
+                            function="main",
+                        )
+                        q = client.points_to(sid, f"p{i}")
+                        assert q["names"] == [f"a{i}", f"b{i}"], q
+                        completed += 1
+                    except ServiceClientError as err:
+                        # Evicted mid-round-trip by another tenant: the
+                        # only legal failure, and it must be structured.
+                        assert err.status == 404, err
+                        assert err.kind == "unknown-session", err
+            except Exception as exc:  # noqa: BLE001 - collected for report
+                errors.append((i, exc))
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(self.N_CLIENTS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+
+        metrics = ServiceClient(server.url).metrics()["server"]
+        # 8 tenants cycling through 4 slots must have evicted someone,
+        # and the pool may never exceed its capacity.
+        assert metrics["evictions"] > 0
+        assert metrics["sessions_live"] <= 4
+        assert metrics["sessions_created"] >= self.N_CLIENTS
+        assert metrics["internal_errors"] == 0
+        assert "5xx" not in metrics["responses_by_status"]
+
+    def test_shared_session_concurrent_queries(self, server):
+        """Many clients hammering ONE session serialize on its lock."""
+        client = ServiceClient(server.url)
+        sid = client.create_session(client_source(9))["session"]["id"]
+        errors = []
+
+        def worker() -> None:
+            c = ServiceClient(server.url)
+            try:
+                for _ in range(10):
+                    assert c.points_to(sid, "p9")["names"] == ["a9"]
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        server_counters = client.metrics()["server"]
+        # One engine solved; every other query was a solve-cache hit.
+        assert server_counters["solves"] == 1
+        assert server_counters["solve_cache_hits"] >= 79
+
+
+class TestAdversarialOverHttp:
+    SEEDS = range(0, 30)
+
+    def test_fuzz_inputs_never_500(self):
+        """Hostile translation units through the HTTP path: 2xx/4xx only."""
+        config = ServiceConfig(port=0, pool_size=4)
+        with start_server(config) as handle:
+            client = ServiceClient(handle.url)
+            outcomes = {"created": 0, "rejected": 0}
+            for seed in self.SEEDS:
+                source = generate_program(seed, ADVERSARIAL)
+                for strict in (True, False):
+                    try:
+                        doc = client.create_session(
+                            source, name=f"fuzz{seed}.c", strict=strict)
+                        outcomes["created"] += 1
+                        sid = doc["session"]["id"]
+                        # Queries on a hostile program must also stay
+                        # structured (callgraph/derefs need no target).
+                        client.call_graph(sid)
+                        client.deref_stats(sid)
+                        client.diagnostics(sid)
+                    except ServiceClientError as err:
+                        outcomes["rejected"] += 1
+                        assert 400 <= err.status < 500, (seed, strict, err)
+                        assert err.payload["error"]["kind"], err.payload
+            metrics = client.metrics()["server"]
+            assert metrics["internal_errors"] == 0
+            assert "5xx" not in metrics["responses_by_status"]
+            # Lenient mode must accept essentially everything.
+            assert outcomes["created"] >= len(self.SEEDS)
+
+
+class TestServeCli:
+    def _spawn(self, *args, env_extra=None):
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        env.update(env_extra or {})
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0", *args],
+            cwd=REPO_ROOT, env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True,
+        )
+
+    def test_announce_roundtrip_clean_shutdown(self):
+        proc = self._spawn()
+        try:
+            line = proc.stdout.readline().strip()
+            assert line.startswith("serving on http://"), line
+            client = ServiceClient(line.split()[-1])
+            sid = client.create_session(client_source(1))["session"]["id"]
+            assert client.points_to(sid, "p1")["names"] == ["a1"]
+            assert client.healthz()["status"] == "ok"
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=30)
+        assert proc.returncode == 0, err
+        assert "shutdown: clean" in out
+
+    def test_bad_backend_fails_fast(self):
+        proc = self._spawn(env_extra={"REPRO_BACKEND": "warpdrive"})
+        out, err = proc.communicate(timeout=60)
+        assert proc.returncode == 2
+        assert "unknown propagation backend" in err
+        assert "REPRO_BACKEND" in err
+        assert "Traceback" not in err
+
+    def test_out_of_range_port_fails_fast(self):
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "99999"],
+            cwd=REPO_ROOT, env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True,
+        )
+        out, err = proc.communicate(timeout=60)
+        assert proc.returncode == 2
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_explicit_backend_flag_round_trip(self):
+        proc = self._spawn("--backend", "diffprop", "--lenient")
+        try:
+            line = proc.stdout.readline().strip()
+            client = ServiceClient(line.split()[-1])
+            # Lenient default: a degraded construct creates a session.
+            doc = client.create_session(
+                "int *p; int g;\nvoid main(void) { p = &g; g = g.oops; }")
+            sid = doc["session"]["id"]
+            assert client.points_to(sid, "p")["names"] == ["g"]
+            [result] = client.metrics()["sessions"][0]["results"]
+            assert result["backend"] == "diffprop"
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+        assert proc.returncode == 0

@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""CI smoke test for the analysis service (`python -m repro serve`).
+
+Boots the real server as a subprocess on an ephemeral port, then drives
+it the way an external tenant would:
+
+1. parse the ``serving on <url>`` announce line;
+2. ``GET /healthz`` must report ``ok``;
+3. a full create → query → incremental delta → re-query round-trip via
+   :class:`repro.service.client.ServiceClient`, checking the points-to
+   answers at each step;
+4. a sweep of ADVERSARIAL-preset fuzz programs submitted over HTTP in
+   both strict and lenient mode — every response must be a session or a
+   structured JSON diagnostic envelope, never a 500;
+5. SIGTERM must produce a clean shutdown (exit 0, ``shutdown: clean``).
+
+Exit status is nonzero on any violation, with the failing step named on
+stderr.  Usage::
+
+    PYTHONPATH=src python tools/service_smoke.py [--seeds 0:25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.service.client import ServiceClient, ServiceClientError  # noqa: E402
+from repro.suite.generator import ADVERSARIAL, generate_program  # noqa: E402
+
+SOURCE = """\
+struct S { int *s1; int *s2; };
+struct S s;
+int x, y, *p;
+void main(void) {
+    s.s1 = &x;
+    p = s.s1;
+}
+"""
+
+
+def fail(step: str, detail: str) -> None:
+    print(f"service-smoke FAILED at {step}: {detail}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def boot() -> tuple[subprocess.Popen, str]:
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        cwd=REPO, env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True,
+    )
+    line = proc.stdout.readline().strip()
+    if not line.startswith("serving on http://"):
+        proc.kill()
+        _, err = proc.communicate(timeout=10)
+        fail("boot", f"bad announce line {line!r}; stderr: {err.strip()}")
+    return proc, line.split()[-1]
+
+
+def check_round_trip(client: ServiceClient) -> None:
+    if client.healthz().get("status") != "ok":
+        fail("healthz", repr(client.healthz()))
+    doc = client.create_session(SOURCE, name="smoke.c")
+    sid = doc["session"]["id"]
+    got = client.points_to(sid, "p")["names"]
+    if got != ["x"]:
+        fail("query", f"p -> {got}, expected ['x']")
+    client.add_statements(
+        sid, [{"form": "addrof", "lhs": "p", "target": "y"},
+              {"form": "copy", "lhs": "p", "rhs": "s", "path": ["s1"]}],
+        function="main",
+    )
+    got = client.points_to(sid, "p")["names"]
+    if got != ["x", "y"]:
+        fail("delta re-query", f"p -> {got}, expected ['x', 'y']")
+    alias = client.may_alias(sid, "p", "s.s1")
+    if not alias["may_alias"]:
+        fail("alias query", repr(alias))
+    print(f"round-trip ok: session {sid}, delta grew p to {got}")
+
+
+def check_adversarial(client: ServiceClient, seeds: range) -> None:
+    created = rejected = 0
+    for seed in seeds:
+        source = generate_program(seed, ADVERSARIAL)
+        for strict in (True, False):
+            try:
+                doc = client.create_session(
+                    source, name=f"fuzz{seed}.c", strict=strict)
+                created += 1
+                client.deref_stats(doc["session"]["id"])
+            except ServiceClientError as err:
+                rejected += 1
+                if not 400 <= err.status < 500:
+                    fail("adversarial",
+                         f"seed {seed} strict={strict}: HTTP {err.status}")
+                if not err.kind:
+                    fail("adversarial",
+                         f"seed {seed} strict={strict}: unstructured "
+                         f"error {err.payload!r}")
+    metrics = client.metrics()["server"]
+    if metrics["internal_errors"] or "5xx" in metrics["responses_by_status"]:
+        fail("adversarial", f"server saw a 500: {metrics}")
+    print(f"adversarial sweep ok: {created} sessions created, "
+          f"{rejected} structured rejections, 0 internal errors")
+
+
+def check_shutdown(proc: subprocess.Popen) -> None:
+    proc.send_signal(signal.SIGTERM)
+    try:
+        out, err = proc.communicate(timeout=30)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        fail("shutdown", "server did not exit within 30s of SIGTERM")
+    if proc.returncode != 0:
+        fail("shutdown", f"exit code {proc.returncode}; stderr: {err.strip()}")
+    if "shutdown: clean" not in out:
+        fail("shutdown", f"missing clean-shutdown line in {out!r}")
+    print("shutdown ok: exit 0, clean")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--seeds", default="0:25", metavar="LO:HI",
+                    help="ADVERSARIAL seed range for the HTTP fuzz sweep")
+    args = ap.parse_args(argv)
+    lo, hi = (int(part) for part in args.seeds.split(":"))
+
+    started = time.monotonic()
+    proc, url = boot()
+    try:
+        client = ServiceClient(url)
+        check_round_trip(client)
+        check_adversarial(client, range(lo, hi))
+    except BaseException:
+        proc.kill()
+        raise
+    check_shutdown(proc)
+    print(f"service-smoke PASSED in {time.monotonic() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
