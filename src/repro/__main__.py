@@ -6,10 +6,13 @@ print points-to sets, dereference statistics, or specific queries.
 Examples::
 
     python -m repro prog.c                          # CIS, full dump
+    python -m repro a.c b.c main.c                  # link TUs, then analyze
     python -m repro prog.c -s offsets --abi lp64    # one strategy/ABI
     python -m repro prog.c -q p -q 's.field'        # specific queries
     python -m repro prog.c --compare                # all four, summary
     python -m repro prog.c --derefs                 # Figure-4 style sites
+    python -m repro prog.c --modular --jobs 4       # bottom-up SCC solve
+    python -m repro link a.c b.c                    # link report only
     python -m repro explain prog.c offsets "p -> x" # derivation tree
     python -m repro serve --port 8080               # analysis service
 """
@@ -38,11 +41,15 @@ def build_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog="subcommands: explain (derivation trees, "
         "docs/observability.md) · serve (HTTP analysis service, "
-        "docs/service.md)\n"
+        "docs/service.md) · link (link report for several TUs)\n"
         "docs: framework.md · internals.md · frontend.md · robustness.md "
         "· suite.md · extending.md (all under docs/)",
     )
-    p.add_argument("file", help="C source file (self-contained, include-free)")
+    p.add_argument(
+        "files", nargs="+", metavar="file",
+        help="C source file(s) (self-contained, include-free); several "
+        "files are linked as separate translation units before analysis",
+    )
     p.add_argument(
         "-s", "--strategy",
         choices=sorted(STRATEGY_BY_KEY),
@@ -93,6 +100,17 @@ def build_parser() -> argparse.ArgumentParser:
         "construct to a sound conservative approximation and report it "
         "as a diagnostic on stderr (see docs/robustness.md)",
     )
+    p.add_argument(
+        "--modular", action="store_true",
+        help="solve bottom-up over the callgraph SCC DAG, computing "
+        "per-function summaries (same fixpoint as the whole-program "
+        "solve; see docs/internals.md)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="with --modular: pre-solve independent SCCs in N parallel "
+        "worker processes (default: serial)",
+    )
     return p
 
 
@@ -117,17 +135,21 @@ def _resolve_query(program, text: str):
 
 
 def _open_session(args) -> AnalysisSession:
-    """Parse the input file once, honoring strict/lenient mode.
+    """Parse the input file(s) once, honoring strict/lenient mode.
 
-    Front-end failures (parse, typebuild, normalize) never escape as
-    tracebacks: strict mode converts the structured error into a one-line
-    ``path:line:col: severity: message`` diagnostic and a nonzero exit;
-    lenient mode degrades and continues, unless even parsing failed (a
-    FATAL diagnostic), which also exits nonzero.
+    Front-end failures (parse, typebuild, normalize, link) never escape
+    as tracebacks: strict mode converts the structured error into a
+    one-line ``path:line:col: severity: message`` diagnostic and a
+    nonzero exit; lenient mode degrades and continues, unless even
+    parsing failed (a FATAL diagnostic), which also exits nonzero.
+    Several files are linked as separate translation units
+    (:mod:`repro.link`); a conflicting definition across TUs is a
+    one-line ``link-error`` diagnostic in strict mode, a degradation
+    (first definition wins) in lenient mode.
     """
     try:
-        session = AnalysisSession.from_file(
-            args.file,
+        session = AnalysisSession.from_files(
+            args.files,
             strict=not args.lenient,
             assume_valid_pointers=not args.no_assumption_1,
             backend=args.backend,
@@ -135,7 +157,10 @@ def _open_session(args) -> AnalysisSession:
     except FrontendError as err:
         raise SystemExit(f"{err.diagnostic.one_line()}") from None
     except OSError as err:
-        raise SystemExit(f"error: cannot read {args.file}: {err.strerror}") from None
+        raise SystemExit(
+            f"error: cannot read {err.filename or args.files[0]}: "
+            f"{err.strerror}"
+        ) from None
     except KeyError as err:
         # An unregistered backend (only reachable via $REPRO_BACKEND —
         # --backend is constrained by argparse choices): surface the
@@ -170,6 +195,50 @@ def run_compare(session: AnalysisSession, args) -> None:
         )
 
 
+def run_link(argv: List[str]) -> int:
+    """``python -m repro link a.c b.c [--lenient]`` — link report only.
+
+    Parses each file as a translation unit, links them, and prints the
+    resolution summary (TUs, externs bound, statics renamed, tentative
+    definitions folded) plus any diagnostics — no solve.
+    """
+    p = argparse.ArgumentParser(
+        prog="python -m repro link",
+        description="Link C translation units and report symbol resolution.",
+    )
+    p.add_argument("files", nargs="+", metavar="file", help="C source files")
+    p.add_argument(
+        "--lenient", action="store_true",
+        help="degrade duplicate definitions (first wins) instead of failing",
+    )
+    args = p.parse_args(argv)
+    from .diag import DiagnosticSink
+    from .link import link_files
+
+    sink = DiagnosticSink()
+    try:
+        program = link_files(args.files, strict=not args.lenient,
+                             diagnostics=sink)
+    except FrontendError as err:
+        raise SystemExit(err.diagnostic.one_line()) from None
+    except OSError as err:
+        raise SystemExit(
+            f"error: cannot read {err.filename}: {err.strerror}"
+        ) from None
+    for d in sink:
+        print(f"# {d.one_line()}", file=sys.stderr)
+    info = program.link_info
+    print(f"# {program.summary()}")
+    if info is not None:
+        print(f"# externs resolved: {info.externs_resolved}   "
+              f"statics renamed: {info.static_renames}   "
+              f"tentative definitions folded: {info.tentative_folded}")
+        for old, by_tu in sorted(info.renames.items()):
+            for tu_name, new in sorted(by_tu.items()):
+                print(f"#   static rename: {tu_name}: {old} -> {new}")
+    return 0
+
+
 def main(argv: List[str] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -182,6 +251,8 @@ def main(argv: List[str] = None) -> int:
         from .service.cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "link":
+        return run_link(argv[1:])
     args = build_parser().parse_args(argv)
 
     session = _open_session(args)
@@ -191,13 +262,19 @@ def main(argv: List[str] = None) -> int:
 
     program = session.program
     strategy = STRATEGY_BY_KEY[args.strategy](_layout(args))
+
+    def _solve():
+        if args.modular:
+            return session.solve_modular(strategy, workers=args.jobs).result
+        return session.solve(strategy)
+
     if args.profile:
         import cProfile
         import pstats
 
         profiler = cProfile.Profile()
         profiler.enable()
-        result = session.solve(strategy)
+        result = _solve()
         profiler.disable()
         stats = pstats.Stats(profiler, stream=sys.stderr)
         stats.sort_stats("cumulative").print_stats(20)
@@ -205,14 +282,22 @@ def main(argv: List[str] = None) -> int:
         print(
             f"# backend: {es.backend}   dense_rounds: {es.dense_rounds}   "
             f"frontier_bits_suppressed: {es.frontier_bits_suppressed}   "
-            f"props_saved: {es.props_saved}",
+            f"props_saved: {es.props_saved}   "
+            f"tus_linked: {es.tus_linked}   "
+            f"externs_resolved: {es.externs_resolved}   "
+            f"summaries_computed: {es.summaries_computed}   "
+            f"scc_parallel_batches: {es.scc_parallel_batches}",
             file=sys.stderr,
         )
     else:
-        result = session.solve(strategy)
+        result = _solve()
     print(f"# {program.summary()}")
     print(f"# strategy: {strategy.name}   facts: {result.facts.edge_count()}   "
           f"time: {result.stats.solve_seconds * 1000:.1f}ms")
+    if args.modular:
+        es = result.stats
+        print(f"# modular: {es.summaries_computed} function summaries, "
+              f"{es.scc_parallel_batches} parallel batches")
 
     if args.no_assumption_1:
         flagged = result.corrupted_deref_sites()

@@ -72,6 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
         "measurement to PATH (see docs/observability.md)",
     )
     p.add_argument(
+        "--split-tu", nargs="?", const=3, default=None, type=int,
+        metavar="PARTS",
+        help="instead of the figures: split each suite program into PARTS "
+        "translation units (default 3), time linked vs. concatenated "
+        "analysis, and verify they are byte-identical; exits 1 on any "
+        "divergence",
+    )
+    p.add_argument(
         "--backend", dest="backends", default=None, metavar="NAME[,NAME...]",
         help="propagation backend(s) to time (comma-separated; first is "
         "the primary; every extra backend is asserted precision-identical "
@@ -79,6 +87,61 @@ def build_parser() -> argparse.ArgumentParser:
         "$REPRO_BACKEND or 'bigint')",
     )
     return p
+
+
+def run_split_tu(programs, parts: int) -> int:
+    """``--split-tu``: linked vs. concatenated timing + equality gate.
+
+    Splits each suite program into ``parts`` TUs
+    (:func:`repro.link.split_translation_units`), analyzes the linked
+    program and the concatenated source under the CIS strategy, times
+    both pipelines (front end + solve), and asserts facts and gated
+    stats are byte-identical.  Returns the number of divergences.
+    """
+    from ..core import STRATEGY_BY_KEY, Engine
+    from ..frontend import program_from_c
+    from ..link import SplitError, concat_sources, link_sources, \
+        split_translation_units
+    from ..suite.registry import SUITE, load_source
+    from .harness import _UNGATED_STATS
+
+    def measure(program):
+        t0 = time.perf_counter()
+        result = Engine(
+            program, STRATEGY_BY_KEY["common_initial_sequence"]()
+        ).solve()
+        solve_s = time.perf_counter() - t0
+        facts = sorted(map(repr, result.facts.all_facts()))
+        gated = {k: v for k, v in result.stats.as_dict().items()
+                 if k not in _UNGATED_STATS}
+        return facts, gated, solve_s
+
+    fails = 0
+    print(f"{'program':12s} {'TUs':>4s} {'linked':>9s} {'concat':>9s}  check")
+    for bp in (programs or SUITE):
+        src = load_source(bp)
+        try:
+            tus = split_translation_units(src, name=bp.filename, parts=parts)
+        except SplitError as err:
+            print(f"{bp.name:12s}    - {'':>9s} {'':>9s}  skipped ({err})")
+            continue
+        t0 = time.perf_counter()
+        linked = link_sources(tus, name=bp.filename)
+        link_fe = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        concat = program_from_c(concat_sources(tus), bp.filename)
+        concat_fe = time.perf_counter() - t0
+        lf, lg, ls = measure(linked)
+        cf, cg, cs = measure(concat)
+        ok = lf == cf and lg == cg
+        if not ok:
+            fails += 1
+        print(f"{bp.name:12s} {len(tus):4d} "
+              f"{(link_fe + ls) * 1000:7.1f}ms {(concat_fe + cs) * 1000:7.1f}ms"
+              f"  {'identical' if ok else 'DIVERGED'}")
+    if fails:
+        print(f"# {fails} program(s) diverged", file=sys.stderr)
+    return fails
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -94,6 +157,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"error: unknown program {name!r}; known: {known}",
                       file=sys.stderr)
                 return 2
+    if args.split_tu is not None:
+        if args.split_tu < 1:
+            print(f"error: --split-tu needs a positive part count, got "
+                  f"{args.split_tu}", file=sys.stderr)
+            return 2
+        return 1 if run_split_tu(programs, args.split_tu) else 0
     figures = [f.strip() for f in args.figures.split(",") if f.strip()]
     bad = [f for f in figures if f not in ("3", "4", "5", "6")]
     if bad or not figures:

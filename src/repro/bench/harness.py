@@ -682,9 +682,11 @@ def metrics_records(data: ResultMap) -> List[dict]:
 
 
 #: Stats fields excluded from the precision gate: timings, the collapse
-#: counters, the backend identity/how-counters, and the session counters
-#: (they describe *how* the fixpoint was reached — propagation order,
-#: backend, incremental vs. from scratch — not *what* it computed).
+#: counters, the backend identity/how-counters, the session counters,
+#: and the link/modular provenance counters (they describe *how* the
+#: fixpoint was reached — propagation order, backend, incremental vs.
+#: from scratch, linked vs. single-TU, modular vs. whole-program — not
+#: *what* it computed).
 _UNGATED_STATS = (
     "solve_seconds",
     "sccs_collapsed",
@@ -696,6 +698,10 @@ _UNGATED_STATS = (
     "incremental_solves",
     "delta_stmts",
     "reused_graph_refs",
+    "tus_linked",
+    "externs_resolved",
+    "summaries_computed",
+    "scc_parallel_batches",
 )
 
 

@@ -153,6 +153,12 @@ class Engine:
         else:
             self.backend = resolve_backend(backend)
         self.stats.backend = self.backend.name
+        link_info = getattr(program, "link_info", None)
+        if link_info is not None:
+            # Linked programs carry their provenance into every solve's
+            # stats (and from there into --profile and metrics JSONL).
+            self.stats.tus_linked = link_info.tus_linked
+            self.stats.externs_resolved = link_info.externs_resolved
         #: id(memoized lookup/arith ref list) -> (pinned list, bitset of
         #: the refs' interned IDs) — the batched-add cache behind
         #: :meth:`_add_refs_bits`.

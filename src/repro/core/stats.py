@@ -28,6 +28,12 @@ them:
   :meth:`repro.session.AnalysisSession.add_statements`) — reported,
   never gated, because an incremental re-solve provably computes the
   same fixpoint as a from-scratch one.
+- **Link/modular counters** (``tus_linked``, ``externs_resolved``,
+  ``summaries_computed``, ``scc_parallel_batches``) describe program
+  provenance (:mod:`repro.link`) and the modular solve schedule
+  (:mod:`repro.core.modular`) — reported, never gated: linked and
+  modular solves reach the identical fixpoint, these counters only
+  record how the program was assembled and scheduled.
 
 :class:`AnalysisBudgetExceeded` is raised by every drain variant — the
 layered untraced drain, the traced drain, and incremental re-solves —
@@ -103,6 +109,21 @@ class EngineStats:
     #: incremental re-solve started — the graph size that was *reused*
     #: rather than rebuilt.  0 for from-scratch solves.
     reused_graph_refs: int = 0
+    #: Translation units merged by the linker to build the analyzed
+    #: program (:mod:`repro.link`); 0 for single-TU programs.  Copied
+    #: from ``program.link_info`` so every solve of a linked program
+    #: reports its provenance.
+    tus_linked: int = 0
+    #: Cross-TU extern declarations / prototypes the linker bound to a
+    #: definition in another TU; 0 for single-TU programs.
+    externs_resolved: int = 0
+    #: Per-function points-to summaries computed by the modular
+    #: bottom-up solve mode (:mod:`repro.core.modular`); 0 for the
+    #: whole-program fixpoint.
+    summaries_computed: int = 0
+    #: SCC batches the modular mode fanned out to worker processes
+    #: (``ProcessPoolExecutor``); 0 when solved serially.
+    scc_parallel_batches: int = 0
     solve_seconds: float = 0.0
 
     @property

@@ -7,14 +7,20 @@ The three-stage pipeline::
 Convenience entry points:
 
 - :func:`program_from_c` — source text to normalized :class:`Program`;
+- :func:`program_from_files` / :func:`program_from_sources` — several
+  translation units linked (:mod:`repro.link`) into one program;
 - :func:`analyze_c` — source text straight to an analysis
   :class:`~repro.core.engine.Result` under a given strategy.
+
+:func:`program_from_file` and :func:`analyze_file` also accept a list
+or tuple of paths, delegating to the linker — passing several files is
+a first-class operation, not an error.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 from ..core.engine import Result, analyze
 from ..core.strategy import Strategy
@@ -44,6 +50,8 @@ __all__ = [
     "preprocess",
     "program_from_c",
     "program_from_file",
+    "program_from_files",
+    "program_from_sources",
 ]
 
 
@@ -69,16 +77,73 @@ def program_from_c(
 
 
 def program_from_file(
-    path: Union[str, Path],
+    path: Union[str, Path, Sequence[Union[str, Path]]],
     *,
     strict: bool = True,
     diagnostics: Optional[DiagnosticSink] = None,
 ) -> Program:
-    """Parse and normalize a C file."""
+    """Parse and normalize a C file.
+
+    A list or tuple of paths links the files as separate translation
+    units (:func:`program_from_files`) instead of raising.
+    """
+    if isinstance(path, (list, tuple)):
+        return program_from_files(path, strict=strict, diagnostics=diagnostics)
     p = Path(path)
     return program_from_c(
         p.read_text(), name=p.name, strict=strict, diagnostics=diagnostics
     )
+
+
+def program_from_files(
+    paths: Sequence[Union[str, Path]],
+    name: Optional[str] = None,
+    *,
+    strict: bool = True,
+    diagnostics: Optional[DiagnosticSink] = None,
+) -> Program:
+    """Parse each file as its own translation unit and link them.
+
+    A single path behaves exactly like :func:`program_from_file` (no
+    link step, ``program.link_info`` stays ``None``); two or more are
+    merged by :func:`repro.link.link_files` — extern resolution,
+    ``static``-scope renaming, duplicate-definition diagnostics — into
+    one program whose analysis is byte-identical to analyzing the
+    concatenated sources.
+    """
+    paths = list(paths)
+    if not paths:
+        raise ValueError("program_from_files: no input files")
+    if len(paths) == 1:
+        return program_from_file(paths[0], strict=strict, diagnostics=diagnostics)
+    from ..link import link_files
+
+    return link_files(paths, name, strict=strict, diagnostics=diagnostics)
+
+
+def program_from_sources(
+    sources: Sequence[tuple],
+    name: str = "<linked>",
+    *,
+    strict: bool = True,
+    diagnostics: Optional[DiagnosticSink] = None,
+) -> Program:
+    """Link ``[(tu_name, source_text), ...]`` into one program.
+
+    The in-memory counterpart of :func:`program_from_files`; a single
+    pair degenerates to :func:`program_from_c`.
+    """
+    sources = list(sources)
+    if not sources:
+        raise ValueError("program_from_sources: no input sources")
+    if len(sources) == 1:
+        tu_name, text = sources[0]
+        return program_from_c(
+            text, name=tu_name, strict=strict, diagnostics=diagnostics
+        )
+    from ..link import link_sources
+
+    return link_sources(sources, name, strict=strict, diagnostics=diagnostics)
 
 
 def analyze_c(

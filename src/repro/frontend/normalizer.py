@@ -315,6 +315,17 @@ class Normalizer:
     # ==================================================================
     def _lower_funcdef(self, fd: c_ast.FuncDef) -> None:
         name = fd.decl.name
+        if name in self.program.functions:
+            # Two bodies for one function (e.g. the same file pasted
+            # twice, or unlinked TUs concatenated).  Strict mode turns
+            # this into a structured one-line diagnostic instead of the
+            # ObjectFactory's bare ValueError; lenient mode keeps the
+            # first definition (the linker resolves this properly —
+            # see repro.link).
+            raise self._err(
+                "duplicate-definition",
+                f"redefinition of function {name!r}", fd,
+            )
         fobj, ftype = self._functions[name]
         info = FunctionInfo(name=name, obj=fobj)
         # Parameter objects, by declaration order.

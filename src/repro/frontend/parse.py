@@ -11,7 +11,11 @@ handling, so this module provides a deliberately small preprocessor:
   macros defined so far,
 - ``#include`` lines are dropped (every program in the suite declares the
   externs it needs, and a standard prelude supplies the common libc
-  declarations).
+  declarations),
+- ``# N "file"`` / ``#line N "file"`` markers pass through to pycparser,
+  which resets source coordinates accordingly — this is what lets the
+  linker's concatenated-source differential keep per-TU line numbers
+  (:mod:`repro.link`).
 
 The prelude (:data:`PRELUDE`) declares the libc subset the analysis has
 summaries for (:mod:`repro.core.interproc`), plus ``size_t``/``NULL``.
@@ -129,6 +133,12 @@ _COMMENT_RE = re.compile(
 
 _WORD_RE = re.compile(r"\b[A-Za-z_][A-Za-z0-9_]*\b")
 
+#: ``# 12 "file.c"`` or ``#line 12 "file.c"`` — a preprocessor line
+#: marker.  pycparser consumes these natively and resets coordinates, so
+#: the mini-preprocessor forwards them in the canonical ``# N "file"``
+#: spelling instead of rejecting them as unsupported directives.
+_LINE_MARKER_RE = re.compile(r'(?:line\s+)?(\d+)\s+("[^"]*")\s*$')
+
 
 def _strip_comments(text: str) -> str:
     """Replace comments with equivalent whitespace, preserving line numbers."""
@@ -185,7 +195,14 @@ def preprocess(
         active = all(active_stack)
         if stripped.startswith("#"):
             body = stripped[1:].strip()
-            if body.startswith("include"):
+            marker = _LINE_MARKER_RE.match(body)
+            if marker is not None:
+                # Forward line markers (they only make sense in active
+                # regions; inside a dead #ifdef branch they vanish with
+                # the rest of the text).
+                out.append(f"# {marker.group(1)} {marker.group(2)}"
+                           if active else "")
+            elif body.startswith("include"):
                 out.append("")
             elif body.startswith("define"):
                 if active:

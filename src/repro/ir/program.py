@@ -50,6 +50,11 @@ class Program:
         #: :class:`~repro.diag.DiagnosticSink`; empty for strict runs and
         #: hand-built programs).
         self.diagnostics: List = []
+        #: Set by the linker (:mod:`repro.link`) when this program was
+        #: produced by merging translation units: a
+        #: :class:`~repro.link.linker.LinkInfo` with the TU count and
+        #: resolution counters.  ``None`` for single-TU programs.
+        self.link_info = None
 
     # ------------------------------------------------------------------
     def add_function(self, info: FunctionInfo) -> None:
@@ -116,8 +121,12 @@ class Program:
 
     def summary(self) -> str:
         """One-line description used in reports."""
+        linked = (
+            f" ({self.link_info.tus_linked} TUs linked)"
+            if self.link_info is not None else ""
+        )
         return (
             f"{self.name}: {len(self.functions)} functions, "
             f"{self.stmt_count()} normalized statements, "
-            f"{len(self.objects.all_objects())} abstract objects"
+            f"{len(self.objects.all_objects())} abstract objects{linked}"
         )

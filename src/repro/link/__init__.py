@@ -1,0 +1,46 @@
+"""Multi-TU linking: many C files, one analyzed :class:`Program`.
+
+The package that takes the reproduction from "one ``.c`` file = one
+program" to whole projects:
+
+- :mod:`repro.link.tu` — per-file parsing into
+  :class:`~repro.link.tu.TranslationUnit` (own AST + file-scope symbol
+  table);
+- :mod:`repro.link.linker` — cross-TU symbol resolution (extern ↔
+  definition binding, tentative-definition folding, ``static``-scope
+  renaming, duplicate/conflicting-definition diagnostics) and the merge
+  into one normalized program, byte-identical to analyzing the
+  concatenated sources;
+- :mod:`repro.link.split` — the inverse: splitting a single file into
+  linkable TUs, used to manufacture multi-TU corpora from the benchmark
+  suite and the fuzz generator.
+
+See docs/internals.md ("Linking and modular solving") for the design
+argument and :mod:`repro.core.modular` for the bottom-up solve mode
+built on top.
+"""
+
+from .linker import (
+    LinkError,
+    LinkInfo,
+    concat_sources,
+    link_files,
+    link_sources,
+    link_translation_units,
+)
+from .split import SplitError, split_translation_units
+from .tu import TranslationUnit, TUSymbol, parse_translation_unit
+
+__all__ = [
+    "LinkError",
+    "LinkInfo",
+    "SplitError",
+    "TranslationUnit",
+    "TUSymbol",
+    "concat_sources",
+    "link_files",
+    "link_sources",
+    "link_translation_units",
+    "parse_translation_unit",
+    "split_translation_units",
+]

@@ -1,0 +1,357 @@
+"""Linking translation units into one whole-program :class:`Program`.
+
+The linker works at the *declaration-stream* level.  Each TU is parsed
+separately (its own :class:`~repro.link.tu.TranslationUnit` with a
+symbol table); the linker resolves symbols across units, emits
+structured diagnostics through :mod:`repro.diag`, applies C's
+``static``-scope rule by renaming colliding internal-linkage names, and
+then runs **one** shared :class:`~repro.frontend.normalizer.Normalizer`
+over the merged top-level declaration stream (TU order, libc prelude
+once).
+
+That last step is the correctness anchor: the merged stream is
+node-for-node the stream a single parse of the concatenated sources
+produces, and object numbering (temporaries, heap sites, string
+literals) is assigned during normalization — so linked analysis is
+*byte-identical* to analyzing the concatenation, which the differential
+tests assert over every split suite program.
+
+Cross-TU resolution semantics (C11 §6.9.2 linkage model, the subset the
+analysis needs):
+
+- **extern ↔ definition**: an ``extern`` declaration (or function
+  prototype) binds to the unique external definition in any TU; counted
+  in ``LinkInfo.externs_resolved``.
+- **tentative definitions**: multiple file-scope ``int x;`` across TUs
+  fold into one object (``LinkInfo.tentative_folded``).
+- **duplicate strong definitions**: two function bodies, or two
+  initialized globals, with the same external name — an ERROR
+  diagnostic; strict mode raises :class:`LinkError` (the CLI renders it
+  as a one-line diagnostic), lenient mode keeps the first definition and
+  degrades.
+- **static scope**: an internal-linkage name colliding with any name in
+  another TU is renamed to ``name__tuN`` throughout its TU, emulating
+  per-TU symbol tables (``LinkInfo.static_renames``).
+- **mismatched extern types**: declarations of one external name whose
+  storage-stripped spellings differ draw a WARNING (real linkers have no
+  type information either; the analysis proceeds with the first
+  declaration's type, exactly as the concatenated source would).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from pycparser import c_ast
+
+from ..diag import DiagnosticSink, FrontendError, Severity
+from ..frontend.normalizer import Normalizer
+from ..ir.program import Program
+from .tu import TranslationUnit, parse_translation_unit, prelude_ext_count
+
+__all__ = [
+    "LinkError",
+    "LinkInfo",
+    "concat_sources",
+    "link_files",
+    "link_sources",
+    "link_translation_units",
+]
+
+
+class LinkError(FrontendError):
+    """A conflict the linker cannot resolve (strict mode only)."""
+
+    phase = "link"
+    default_kind = "link-error"
+
+
+@dataclass
+class LinkInfo:
+    """What the linker did — attached as ``program.link_info`` and
+    surfaced through :class:`~repro.core.stats.EngineStats`."""
+
+    tus_linked: int = 0
+    #: extern declarations / prototypes bound to a definition in a
+    #: *different* TU.
+    externs_resolved: int = 0
+    #: Internal-linkage names renamed to emulate per-TU symbol tables.
+    static_renames: int = 0
+    #: C tentative definitions folded into another TU's definition.
+    tentative_folded: int = 0
+    tu_names: List[str] = field(default_factory=list)
+    #: name → {tu_name: rename} for every static-scope rename applied.
+    renames: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "tus_linked": self.tus_linked,
+            "externs_resolved": self.externs_resolved,
+            "static_renames": self.static_renames,
+            "tentative_folded": self.tentative_folded,
+            "tu_names": list(self.tu_names),
+        }
+
+
+def concat_sources(sources: Sequence[Tuple[str, str]]) -> str:
+    """The single-file equivalent of linking ``[(name, source), ...]``.
+
+    TUs are joined with standard ``# 1 "name"`` line markers (what a
+    real preprocessor emits), so the concatenated parse keeps per-file
+    coordinates — making it coordinate-for-coordinate identical to the
+    linker's merged declaration stream.  This is the reference side of
+    the linked==concatenated differential.
+    """
+    parts = []
+    for name, source in sources:
+        parts.append(f'# 1 "{name}"')
+        parts.append(source if source.endswith("\n") else source + "\n")
+    return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# static-scope renaming
+# ----------------------------------------------------------------------
+class _StaticRenamer(c_ast.NodeVisitor):
+    """Rename file-scope identifiers throughout one TU, scope-aware.
+
+    Walks compound statements sequentially so a local declaration
+    shadows the file-scope name only from its declaration onwards, and
+    skips ``StructRef`` field names (they are ``ID`` nodes but live in a
+    different namespace).
+    """
+
+    def __init__(self, renames: Dict[str, str]) -> None:
+        self.renames = renames
+        self._scopes: List[Set[str]] = []
+
+    def _shadowed(self, name: str) -> bool:
+        return any(name in scope for scope in self._scopes)
+
+    def visit_ID(self, node: c_ast.ID) -> None:
+        new = self.renames.get(node.name)
+        if new is not None and not self._shadowed(node.name):
+            node.name = new
+
+    def visit_StructRef(self, node: c_ast.StructRef) -> None:
+        self.visit(node.name)  # never rename the .field ID
+
+    def visit_FuncDef(self, node: c_ast.FuncDef) -> None:
+        params: Set[str] = set()
+        fdecl = node.decl.type
+        if isinstance(fdecl, c_ast.FuncDecl) and fdecl.args is not None:
+            for p in fdecl.args.params:
+                pname = getattr(p, "name", None)
+                if pname:
+                    params.add(pname)
+        self._scopes.append(params)
+        self.visit(node.body)
+        self._scopes.pop()
+
+    def visit_Compound(self, node: c_ast.Compound) -> None:
+        self._scopes.append(set())
+        for item in node.block_items or []:
+            if isinstance(item, c_ast.Decl) and item.name:
+                # The initializer is lowered before the name starts
+                # shadowing in the C sense that matters here (references
+                # to the outer static inside its own shadower's init).
+                if item.init is not None:
+                    self.visit(item.init)
+                self.visit(item.type)
+                self._scopes[-1].add(item.name)
+            else:
+                self.visit(item)
+        self._scopes.pop()
+
+
+def _rename_declarator(decl: c_ast.Decl, new: str) -> None:
+    """Rename the defining occurrence: ``Decl.name`` and the inner
+    ``TypeDecl.declname`` (both carry the identifier)."""
+    decl.name = new
+    t = decl.type
+    while t is not None and not isinstance(t, c_ast.TypeDecl):
+        t = getattr(t, "type", None)
+    if isinstance(t, c_ast.TypeDecl):
+        t.declname = new
+
+
+def _apply_renames(tu: TranslationUnit, renames: Dict[str, str]) -> None:
+    if not renames:
+        return
+    renamer = _StaticRenamer(renames)
+    for ext in tu.body_exts():
+        if isinstance(ext, c_ast.FuncDef):
+            if ext.decl.name in renames:
+                _rename_declarator(ext.decl, renames[ext.decl.name])
+            renamer.visit(ext)
+        elif isinstance(ext, c_ast.Decl):
+            if ext.name in renames:
+                _rename_declarator(ext, renames[ext.name])
+            if ext.init is not None:
+                renamer.visit(ext.init)
+    for name, new in renames.items():
+        sym = tu.symbols.get(name)
+        if sym is not None:
+            sym.renamed_to = new
+
+
+# ----------------------------------------------------------------------
+# cross-TU symbol resolution
+# ----------------------------------------------------------------------
+def _resolve_symbols(
+    tus: Sequence[TranslationUnit],
+    sink: DiagnosticSink,
+    strict: bool,
+    info: LinkInfo,
+) -> None:
+    """Diagnose conflicts, count resolutions, apply static renames."""
+    # name → [(tu_index, symbol)] over *all* linkage classes.
+    by_name: Dict[str, List[Tuple[int, object]]] = {}
+    for i, tu in enumerate(tus):
+        for sym in tu.symbols.values():
+            by_name.setdefault(sym.name, []).append((i, sym))
+
+    # static-scope collisions first: a TU-internal name colliding with
+    # any mention in another TU is renamed out of the way, *before* the
+    # external-linkage checks below (a renamed static can no longer
+    # clash with an external definition).
+    for name, entries in by_name.items():
+        if len(entries) < 2:
+            continue
+        for i, sym in entries:
+            if sym.static:
+                new = f"{name}__tu{i}"
+                _apply_renames(tus[i], {name: new})
+                info.static_renames += 1
+                info.renames.setdefault(name, {})[tus[i].name] = new
+                sink.report(
+                    "static-scope-rename",
+                    f"static {sym.kind} {name!r} in {tus[i].name} collides "
+                    f"with {name!r} in another TU; renamed to {new!r} "
+                    f"(internal linkage preserved)",
+                    loc=sym.loc, severity=Severity.NOTE, phase="link",
+                )
+
+    for name, entries in by_name.items():
+        external = [(i, s) for i, s in entries if not s.static]
+        if not external:
+            continue
+        strong = [(i, s) for i, s in external if s.defined]
+        tentative = [(i, s) for i, s in external if s.tentative and not s.defined]
+        declared = [(i, s) for i, s in external
+                    if not s.defined and not s.tentative]
+
+        # Duplicate strong definitions across TUs.
+        if len(strong) > 1:
+            first_i, first = strong[0]
+            for dup_i, dup in strong[1:]:
+                message = (
+                    f"duplicate definition of {dup.kind} {name!r} in "
+                    f"{tus[dup_i].name} (first defined in {tus[first_i].name})"
+                )
+                if strict:
+                    raise LinkError(
+                        message, kind="duplicate-definition", loc=dup.loc
+                    )
+                sink.report(
+                    "duplicate-definition",
+                    f"{message}; keeping the first definition",
+                    loc=dup.loc, severity=Severity.ERROR, phase="link",
+                )
+
+        # Mismatched declarations (textual — the linker does not
+        # type-check C, it flags cross-TU spelling disagreements).
+        spellings = {s.type_text for _, s in external if s.type_text}
+        if len(spellings) > 1:
+            i0, s0 = external[0]
+            sink.report(
+                "conflicting-declaration",
+                f"{name!r} is declared with conflicting types across TUs: "
+                + " vs ".join(sorted(spellings)),
+                loc=s0.loc, severity=Severity.WARNING, phase="link",
+            )
+
+        # Resolution counters: extern declarations / prototypes bound to
+        # a definition living in a *different* TU.
+        def_tus = {i for i, _ in strong} | {i for i, _ in tentative}
+        if def_tus:
+            info.externs_resolved += sum(
+                1 for i, _ in declared if any(j != i for j in def_tus)
+            )
+        if tentative:
+            # Each tentative definition beyond the surviving one folds.
+            survivors = 1 if not strong else 0
+            info.tentative_folded += max(0, len(tentative) - survivors)
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def link_translation_units(
+    tus: Sequence[TranslationUnit],
+    name: str = "<linked>",
+    *,
+    strict: bool = True,
+    diagnostics: Optional[DiagnosticSink] = None,
+) -> Program:
+    """Merge parsed TUs into one normalized :class:`Program`.
+
+    Symbol resolution happens first (diagnostics, static renames); the
+    merged declaration stream — first TU's prelude, then every TU's
+    body in order — is then normalized in a single pass, so object
+    numbering matches a parse of the concatenated sources exactly.
+    """
+    sink = diagnostics if diagnostics is not None else DiagnosticSink()
+    if not tus:
+        raise LinkError("nothing to link: no translation units",
+                        kind="empty-link")
+    info = LinkInfo(tus_linked=len(tus), tu_names=[tu.name for tu in tus])
+    _resolve_symbols(tus, sink, strict, info)
+
+    n_prelude = prelude_ext_count()
+    merged: List[c_ast.Node] = []
+    if len(tus[0].ast.ext) >= n_prelude:
+        merged.extend(tus[0].ast.ext[:n_prelude])
+    for tu in tus:
+        merged.extend(tu.body_exts())
+
+    program = Normalizer(strict=strict, diagnostics=sink, filename=name).run(
+        c_ast.FileAST(ext=merged), name=name
+    )
+    program.link_info = info
+    return program
+
+
+def link_sources(
+    sources: Sequence[Tuple[str, str]],
+    name: str = "<linked>",
+    *,
+    strict: bool = True,
+    diagnostics: Optional[DiagnosticSink] = None,
+) -> Program:
+    """Parse and link ``[(tu_name, source_text), ...]``."""
+    sink = diagnostics if diagnostics is not None else DiagnosticSink()
+    tus = [
+        parse_translation_unit(src, tu_name, strict=strict, diagnostics=sink)
+        for tu_name, src in sources
+    ]
+    return link_translation_units(tus, name, strict=strict, diagnostics=sink)
+
+
+def link_files(
+    paths: Sequence[Union[str, Path]],
+    name: Optional[str] = None,
+    *,
+    strict: bool = True,
+    diagnostics: Optional[DiagnosticSink] = None,
+) -> Program:
+    """Parse and link C files from disk."""
+    ps = [Path(p) for p in paths]
+    if name is None:
+        name = "+".join(p.name for p in ps) if ps else "<linked>"
+    return link_sources(
+        [(p.name, p.read_text()) for p in ps],
+        name, strict=strict, diagnostics=diagnostics,
+    )

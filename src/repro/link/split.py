@@ -1,0 +1,192 @@
+"""Splitting one C file into linkable translation units.
+
+The inverse of :mod:`repro.link.linker`, used to manufacture multi-TU
+corpora from the single-file benchmark suite (``tools/split_tu.py``,
+``python -m repro.bench --split-tu``) and from fuzz-generated programs
+(:mod:`repro.suite.fuzz` ``--multi-tu``).
+
+Strategy: parse the file (macros are expanded by the mini-preprocessor,
+so the AST — and therefore every emitted TU — is directive-free), then
+emit ``parts`` TUs that each carry a common header and a contiguous
+group of the file's function definitions:
+
+- **header** (identical in every TU, original declaration order):
+  typedefs, struct/union/enum definitions (inline definitions attached
+  to variables are hoisted to bare tag declarations), ``extern``
+  declarations for every file-scope variable, and a prototype for every
+  function;
+- **TU 0** additionally holds every variable *definition* (initializers
+  intact);
+- **TU k** holds its group of function bodies.
+
+File-scope ``static`` is dropped in the emitted TUs: a static variable
+or function referenced from a function that moved to another TU would
+not be valid C, and within a single split program names are unique so
+externalizing them changes nothing about the analysis.  (Cross-TU
+``static`` *collisions* — the case the linker's renaming exists for —
+are exercised by hand-written tests instead.)
+
+The concatenation of the emitted TUs (``concat_sources``) is itself a
+valid single translation unit — repeated typedefs and tag definitions
+are tolerated by the front end — which is exactly what the
+linked==concatenated differential compares against.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List, Optional, Tuple
+
+from pycparser import c_ast, c_generator
+
+from ..frontend.parse import parse_c
+from .tu import prelude_ext_count
+
+__all__ = ["SplitError", "split_translation_units"]
+
+
+class SplitError(Exception):
+    """The file uses a shape the splitter does not support (e.g. a
+    global with an anonymous inline struct type)."""
+
+
+def _de_static(decl: c_ast.Decl) -> None:
+    if decl.storage and "static" in decl.storage:
+        decl.storage = [s for s in decl.storage if s != "static"]
+
+
+def _is_function_decl(decl: c_ast.Decl) -> bool:
+    t = decl.type
+    while isinstance(t, c_ast.ArrayDecl):
+        t = t.type
+    return isinstance(t, c_ast.FuncDecl)
+
+
+def _bare_tag_decl(defn: c_ast.Node) -> c_ast.Decl:
+    """A standalone ``struct S { ... };`` declaration node."""
+    return c_ast.Decl(
+        name=None, quals=[], align=[], storage=[], funcspec=[],
+        type=defn, init=None, bitsize=None, coord=defn.coord,
+    )
+
+
+def _hoist_inline_tags(
+    decl: c_ast.Decl, emitted: set, header: List[c_ast.Node]
+) -> None:
+    """Replace inline ``struct S {...}`` definitions inside ``decl`` with
+    tag references, hoisting the definition into the header (once)."""
+    node = decl.type
+    while node is not None:
+        if isinstance(node, c_ast.TypeDecl):
+            inner = node.type
+            if isinstance(inner, (c_ast.Struct, c_ast.Union)) and inner.decls is not None:
+                if inner.name is None:
+                    raise SplitError(
+                        f"global {decl.name!r} has an anonymous inline "
+                        f"{type(inner).__name__.lower()} type"
+                    )
+                if inner.name not in emitted:
+                    emitted.add(inner.name)
+                    header.append(_bare_tag_decl(inner))
+                node.type = type(inner)(name=inner.name, decls=None,
+                                        coord=inner.coord)
+            elif isinstance(inner, c_ast.Enum) and inner.values is not None:
+                if inner.name is None:
+                    raise SplitError(
+                        f"global {decl.name!r} has an anonymous inline enum type"
+                    )
+                if inner.name not in emitted:
+                    emitted.add(inner.name)
+                    header.append(_bare_tag_decl(inner))
+                node.type = c_ast.Enum(name=inner.name, values=None,
+                                       coord=inner.coord)
+            return
+        node = getattr(node, "type", None)
+
+
+def _tag_of(decl: c_ast.Decl) -> Optional[str]:
+    """The tag a bare ``struct S {...};`` declaration defines, if any."""
+    t = decl.type
+    if isinstance(t, (c_ast.Struct, c_ast.Union, c_ast.Enum)):
+        return t.name
+    return None
+
+
+def split_translation_units(
+    source: str, name: str = "prog.c", parts: int = 3
+) -> List[Tuple[str, str]]:
+    """Split one self-contained C file into ``parts`` linkable TUs.
+
+    Returns ``[(tu_name, tu_source), ...]``.  The input must parse
+    strictly; structural shapes the splitter cannot distribute raise
+    :class:`SplitError`.
+    """
+    ast = parse_c(source, filename=name, strict=True)
+    body = copy.deepcopy(ast.ext[prelude_ext_count():])
+
+    header: List[c_ast.Node] = []
+    var_defs: List[c_ast.Decl] = []
+    funcdefs: List[c_ast.FuncDef] = []
+    emitted_tags: set = set()
+
+    for ext in body:
+        if isinstance(ext, c_ast.Typedef):
+            header.append(ext)
+        elif isinstance(ext, c_ast.FuncDef):
+            _de_static(ext.decl)
+            proto = copy.deepcopy(ext.decl)
+            proto.init = None
+            if proto.type.args is not None and any(
+                isinstance(p, c_ast.ID) for p in proto.type.args.params
+            ):
+                # K&R identifier list: an unprototyped declaration is
+                # the only faithful one.
+                proto.type.args = None
+            header.append(proto)
+            funcdefs.append(ext)
+        elif isinstance(ext, c_ast.Decl):
+            if ext.name is None:
+                tag = _tag_of(ext)
+                if tag is not None:
+                    emitted_tags.add(tag)
+                header.append(ext)
+            elif _is_function_decl(ext):
+                _de_static(ext)
+                header.append(ext)
+            else:
+                _de_static(ext)
+                extern_decl = copy.deepcopy(ext)
+                extern_decl.init = None
+                if "extern" not in (extern_decl.storage or []):
+                    extern_decl.storage = ["extern"] + (extern_decl.storage or [])
+                _hoist_inline_tags(extern_decl, emitted_tags, header)
+                header.append(extern_decl)
+                if ext.init is not None or "extern" not in (ext.storage or []):
+                    # A definition (strong or tentative): TU 0 carries it,
+                    # with its inline tag def replaced by a reference
+                    # (the header already holds the definition).
+                    _hoist_inline_tags(ext, emitted_tags, [])
+                    var_defs.append(ext)
+        else:
+            raise SplitError(
+                f"unsupported top-level node {type(ext).__name__}"
+            )
+
+    parts = max(1, min(parts, len(funcdefs) or 1))
+    groups: List[List[c_ast.FuncDef]] = [[] for _ in range(parts)]
+    for i, fd in enumerate(funcdefs):
+        # Contiguous groups, evenly sized: function i of n goes to
+        # TU floor(i * parts / n).
+        groups[i * parts // len(funcdefs)].append(fd)
+
+    gen = c_generator.CGenerator()
+    stem = name[:-2] if name.endswith(".c") else name
+    tus: List[Tuple[str, str]] = []
+    for k, group in enumerate(groups):
+        exts: List[c_ast.Node] = list(header)
+        if k == 0:
+            exts.extend(var_defs)
+        exts.extend(group)
+        text = gen.visit(c_ast.FileAST(ext=exts))
+        tus.append((f"{stem}_tu{k}.c", text))
+    return tus

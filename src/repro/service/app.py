@@ -251,6 +251,29 @@ class ServiceApp:
         return value
 
     @staticmethod
+    def _tu_sources(files) -> list:
+        """Validate the ``files`` field of session creation: a non-empty
+        list of ``{"name": ..., "source": ...}`` objects, returned as
+        the ``[(name, source), ...]`` pairs the linker consumes."""
+        if not isinstance(files, list) or not files:
+            raise ServiceError(400, "bad-request",
+                               "field 'files' must be a non-empty list of "
+                               "{name, source} objects")
+        pairs = []
+        for i, item in enumerate(files):
+            if (not isinstance(item, dict)
+                    or not isinstance(item.get("source"), str)):
+                raise ServiceError(400, "bad-request",
+                                   f"files[{i}] must be an object with a "
+                                   f"string 'source'")
+            tu_name = item.get("name", f"tu{i}.c")
+            if not isinstance(tu_name, str):
+                raise ServiceError(400, "bad-request",
+                                   f"files[{i}].name must be a string")
+            pairs.append((tu_name, item["source"]))
+        return pairs
+
+    @staticmethod
     def _bool_field(body: dict, name: str, default: bool) -> bool:
         value = body.get(name, default)
         if not isinstance(value, bool):
@@ -337,7 +360,14 @@ class ServiceApp:
 
     def _create_session(self, params, query, body):
         body = self._body(body)
-        source = self._str_field(body, "source", required=True)
+        files = body.get("files")
+        if files is not None and "source" in body:
+            raise ServiceError(400, "bad-request",
+                               "'source' and 'files' are mutually exclusive")
+        if files is None:
+            source = self._str_field(body, "source", required=True)
+        else:
+            source = None
         name = self._str_field(body, "name") or "<service>"
         strict = self._bool_field(body, "strict", self.config.default_strict)
         strategy_key = self._validated_strategy(
@@ -350,10 +380,16 @@ class ServiceApp:
         backend = self._validated_backend(self._str_field(body, "backend"))
 
         try:
-            session = AnalysisSession.from_c(
-                source, name=name, strict=strict,
-                max_facts=self.config.max_facts, backend=backend,
-            )
+            if files is not None:
+                session = AnalysisSession.from_sources(
+                    self._tu_sources(files), name=name, strict=strict,
+                    max_facts=self.config.max_facts, backend=backend,
+                )
+            else:
+                session = AnalysisSession.from_c(
+                    source, name=name, strict=strict,
+                    max_facts=self.config.max_facts, backend=backend,
+                )
         except FrontendError as err:
             raise from_frontend_error(err) from None
         fatal = from_fatal_sink(session.diagnostics)

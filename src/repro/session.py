@@ -127,11 +127,58 @@ class AnalysisSession:
     def from_file(
         cls, path: Union[str, Path], strict: bool = True, **kwargs
     ) -> "AnalysisSession":
-        """Parse and normalize a C file into a fresh session."""
+        """Parse and normalize a C file into a fresh session.
+
+        A list or tuple of paths is accepted too and delegates to
+        :meth:`from_files` — a multi-file project is a first-class
+        input, not an error.
+        """
+        if isinstance(path, (list, tuple)):
+            return cls.from_files(path, strict=strict, **kwargs)
         from .frontend import program_from_file
 
         sink = DiagnosticSink()
         program = program_from_file(path, strict=strict, diagnostics=sink)
+        return cls(program, diagnostics=sink, **kwargs)
+
+    @classmethod
+    def from_files(
+        cls,
+        paths: Iterable[Union[str, Path]],
+        strict: bool = True,
+        name: Optional[str] = None,
+        **kwargs,
+    ) -> "AnalysisSession":
+        """Parse each file as a translation unit and link them into one
+        session (:mod:`repro.link`).  One path behaves exactly like
+        :meth:`from_file`; two or more are linked — extern resolution,
+        ``static``-scope renaming, duplicate-definition diagnostics —
+        and ``session.program.link_info`` records the merge."""
+        from .frontend import program_from_files
+
+        sink = DiagnosticSink()
+        program = program_from_files(
+            list(paths), name, strict=strict, diagnostics=sink
+        )
+        return cls(program, diagnostics=sink, **kwargs)
+
+    @classmethod
+    def from_sources(
+        cls,
+        sources: Iterable[Tuple[str, str]],
+        name: str = "<linked>",
+        strict: bool = True,
+        **kwargs,
+    ) -> "AnalysisSession":
+        """Link in-memory ``[(tu_name, source_text), ...]`` translation
+        units into one session — :meth:`from_files` without a
+        filesystem."""
+        from .frontend import program_from_sources
+
+        sink = DiagnosticSink()
+        program = program_from_sources(
+            list(sources), name, strict=strict, diagnostics=sink
+        )
         return cls(program, diagnostics=sink, **kwargs)
 
     # ------------------------------------------------------------------
@@ -184,6 +231,39 @@ class AnalysisSession:
         self._results[key] = result
         return result
 
+    def solve_modular(
+        self,
+        strategy: Strategy,
+        workers: int = 0,
+        worklist: Union[str, Worklist] = "priority",
+        backend: Union[str, PropagationBackend, None] = None,
+    ):
+        """Bottom-up modular solve (:mod:`repro.core.modular`).
+
+        Computes exactly the same fixpoint as :meth:`solve` — staged
+        over the callgraph SCC DAG, optionally pre-solving independent
+        SCCs in ``workers`` parallel processes — and additionally
+        returns per-function summaries.  Returns a
+        :class:`~repro.core.modular.ModularResult`; its ``.result`` is
+        a normal :class:`Result`.  Not cached (each call re-solves):
+        the modular mode exists for its summaries and its schedule, the
+        cached path is :meth:`solve`.
+        """
+        from .core.modular import solve_modular
+
+        if backend is None:
+            backend = self.backend
+        return solve_modular(
+            self.program,
+            strategy,
+            workers=workers,
+            max_facts=self.max_facts,
+            assume_valid_pointers=self.assume_valid_pointers,
+            worklist=worklist,
+            backend=backend,
+            diagnostics=self.diagnostics,
+        )
+
     def cached_results(self) -> List[Result]:
         """The live results of every strategy solved so far."""
         return list(self._results.values())
@@ -208,7 +288,7 @@ class AnalysisSession:
             }
             for result in self._results.values()
         ]
-        return {
+        doc = {
             "program": self.program.name,
             "functions": sorted(self.program.functions),
             "objects": len(self.program.objects.all_objects()),
@@ -221,6 +301,10 @@ class AnalysisSession:
                 "by_severity": self.diagnostics.severities(),
             },
         }
+        if self.program.link_info is not None:
+            # Multi-TU provenance (tus_linked, externs_resolved, ...).
+            doc["link"] = self.program.link_info.as_dict()
+        return doc
 
     def estimated_bytes(self) -> int:
         """A coarse, monotone estimate of this session's memory footprint.

@@ -36,7 +36,13 @@ from ..diag import FrontendError
 from ..session import AnalysisSession
 from .generator import ADVERSARIAL, GenConfig, generate_program
 
-__all__ = ["FuzzFailure", "check_source", "run_campaign", "main"]
+__all__ = [
+    "FuzzFailure",
+    "check_multi_tu_source",
+    "check_source",
+    "run_campaign",
+    "main",
+]
 
 
 @dataclass
@@ -99,6 +105,76 @@ def check_source(
     return failures
 
 
+def check_multi_tu_source(
+    source: str,
+    name: str = "<fuzz>",
+    strategy_keys: Optional[Sequence[str]] = None,
+    seed: Optional[int] = None,
+    parts: int = 3,
+) -> List[FuzzFailure]:
+    """Multi-TU robustness + equivalence contract; [] means clean.
+
+    Splits the generated program at function boundaries
+    (:func:`repro.link.split_translation_units`), then checks:
+
+    - **lenient linking never raises**, whatever the input;
+    - when the program splits and parses strictly, the **linked**
+      analysis is fact-identical to analyzing the **concatenated**
+      TUs, under every strategy.
+
+    A program the splitter cannot distribute (:class:`SplitError`) or
+    that does not parse strictly is not a failure — the single-TU
+    contract (:func:`check_source`) already covers it.
+    """
+    from ..link import (
+        SplitError, concat_sources, link_sources, split_translation_units,
+    )
+
+    failures: List[FuzzFailure] = []
+    try:
+        tus = split_translation_units(source, name="fuzz.c", parts=parts)
+    except SplitError:
+        return failures
+    except FrontendError:
+        return failures  # does not parse strictly; out of scope here
+    except Exception as exc:  # noqa: BLE001 - splitter must fail structurally
+        failures.append(FuzzFailure(name, "strict", "split", exc, source, seed))
+        return failures
+
+    # Lenient linking: no exception of any kind.
+    try:
+        AnalysisSession.from_sources(tus, name="fuzz.c", strict=False)
+    except Exception as exc:  # noqa: BLE001
+        failures.append(FuzzFailure(name, "lenient", "link", exc, source, seed))
+
+    # Equivalence: linked == concatenated, every strategy.
+    stage = "link"
+    try:
+        linked = AnalysisSession.from_sources(tus, name="fuzz.c", strict=True)
+        concat = AnalysisSession.from_c(
+            concat_sources(tus), name="fuzz.c", strict=True
+        )
+        for key, cls in _strategies(strategy_keys):
+            stage = key
+            lr = linked.solve(cls(Layout(ILP32)))
+            cr = concat.solve(cls(Layout(ILP32)))
+            lf = sorted(map(repr, lr.facts.all_facts()))
+            cf = sorted(map(repr, cr.facts.all_facts()))
+            if lf != cf:
+                failures.append(FuzzFailure(
+                    name, "strict", f"{key}:linked!=concat",
+                    AssertionError(
+                        f"{len(lf)} linked vs {len(cf)} concatenated facts"
+                    ),
+                    source, seed,
+                ))
+    except FrontendError:
+        pass  # regenerated TUs may hit a strict limit; that is legal
+    except Exception as exc:  # noqa: BLE001
+        failures.append(FuzzFailure(name, "strict", stage, exc, source, seed))
+    return failures
+
+
 def run_campaign(
     seeds: Sequence[int],
     cfg: Optional[GenConfig] = None,
@@ -106,8 +182,14 @@ def run_campaign(
     stop_after: int = 5,
     verbose: bool = False,
     backend: Optional[str] = None,
+    multi_tu: bool = False,
 ) -> List[FuzzFailure]:
-    """Fuzz every seed; stop early after ``stop_after`` failures."""
+    """Fuzz every seed; stop early after ``stop_after`` failures.
+
+    ``multi_tu=True`` additionally splits each generated program at
+    function boundaries and checks the linking contract
+    (:func:`check_multi_tu_source`).
+    """
     cfg = cfg or ADVERSARIAL
     failures: List[FuzzFailure] = []
     for seed in seeds:
@@ -116,6 +198,11 @@ def run_campaign(
             src, name=f"<fuzz:{seed}>", strategy_keys=strategy_keys, seed=seed,
             backend=backend,
         )
+        if multi_tu:
+            found.extend(check_multi_tu_source(
+                src, name=f"<fuzz:{seed}>", strategy_keys=strategy_keys,
+                seed=seed,
+            ))
         failures.extend(found)
         if verbose and found:
             for f in found:
@@ -160,6 +247,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="propagation backend for every solve "
         "(default: $REPRO_BACKEND or 'bigint')",
     )
+    p.add_argument(
+        "--multi-tu", action="store_true",
+        help="also split each generated program at function boundaries "
+        "and check the linking contract: lenient linking never raises, "
+        "linked == concatenated facts under every strategy",
+    )
     args = p.parse_args(argv)
 
     seeds = _parse_seed_range(args.seeds)
@@ -167,6 +260,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     failures = run_campaign(
         seeds, cfg, strategy_keys=args.strategy or None,
         stop_after=args.stop_after, verbose=True, backend=args.backend,
+        multi_tu=args.multi_tu,
     )
     mode = "adversarial" if args.adversarial else "default"
     if not failures:

@@ -1,0 +1,98 @@
+"""The linked == concatenated differential gate (ISSUE 9 criterion).
+
+For EVERY benchmark-suite program: split it into translation units at
+function boundaries (:func:`repro.link.split_translation_units`), link
+the TUs back into one program, and require *byte-identical* analysis
+against the single-TU parse of the concatenated TU sources —
+
+- the points-to relation (every fact),
+- per-dereference set sizes (the Figure 4 metric),
+- every order-independent counter (``_UNGATED_STATS`` excluded).
+
+Soundness of the comparison: the linker's merge runs one shared
+Normalizer over the very declaration stream a concatenated parse would
+see (``concat_sources`` inserts ``# 1 "file"`` line markers, so even
+heap-site names — which embed line numbers — agree), so any divergence
+is a linker bug, not noise.  The fuzz leg extends the same contract to
+generated programs, and additionally checks lenient linking never
+raises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import _UNGATED_STATS
+from repro.clients.derefstats import deref_stats
+from repro.core import ALL_STRATEGIES, Engine
+from repro.frontend import program_from_c
+from repro.link import (
+    SplitError,
+    concat_sources,
+    link_sources,
+    split_translation_units,
+)
+from repro.suite.fuzz import check_multi_tu_source
+from repro.suite.generator import ADVERSARIAL, generate_program
+from repro.suite.registry import SUITE, load_source
+
+PARTS = 3
+
+
+@pytest.fixture(scope="module")
+def suite_tus():
+    """Split every suite program once for the whole module."""
+    out = {}
+    for bp in SUITE:
+        try:
+            out[bp.name] = split_translation_units(
+                load_source(bp), name=bp.filename, parts=PARTS
+            )
+        except SplitError as err:  # pragma: no cover - suite is splittable
+            pytest.fail(f"{bp.name} must be splittable: {err}")
+    return out
+
+
+def _snapshot(program, cls):
+    result = Engine(program, cls()).solve()
+    ds = deref_stats(result)
+    return (
+        sorted(map(repr, result.facts.all_facts())),
+        sorted((s.line, s.pointer_name, s.set_size) for s in ds.sites),
+        {k: v for k, v in result.stats.as_dict().items()
+         if k not in _UNGATED_STATS},
+    )
+
+
+@pytest.mark.parametrize("cls", ALL_STRATEGIES, ids=lambda c: c.key)
+@pytest.mark.parametrize("bp", SUITE, ids=lambda bp: bp.name)
+def test_linked_equals_concatenated(suite_tus, bp, cls):
+    tus = suite_tus[bp.name]
+    assert len(tus) == PARTS
+    linked = link_sources(tus, name=bp.filename)
+    concat = program_from_c(concat_sources(tus), bp.filename)
+    assert linked.link_info.tus_linked == PARTS
+    lf, ld, lg = _snapshot(linked, cls)
+    cf, cd, cg = _snapshot(concat, cls)
+    assert lf == cf, "facts diverged"
+    assert ld == cd, "deref profile diverged"
+    assert lg == cg, "gated stats diverged"
+
+
+def test_split_caps_parts_at_function_count():
+    tus = split_translation_units(
+        "int x, *p; void main(void) { p = &x; }", name="one.c", parts=5
+    )
+    assert len(tus) == 1  # one function definition -> one TU
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_fuzz_multi_tu_contract(seed):
+    """Generated programs: lenient linking never raises, and linked ==
+    concatenated whenever the program splits and parses strictly."""
+    source = generate_program(seed, ADVERSARIAL)
+    failures = check_multi_tu_source(
+        source, name=f"<fuzz:{seed}>",
+        strategy_keys=["common_initial_sequence"], seed=seed,
+    )
+    assert not failures, "; ".join(map(str, failures))
