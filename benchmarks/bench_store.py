@@ -1,0 +1,107 @@
+"""Result-store microbenchmarks: cold solve vs. warm start.
+
+Times the two halves of the repeat-query economics on the heaviest
+suite programs: the cold path (full fixpoint solve) and the warm path
+(:meth:`AnalysisSession.warm_start` — key the program, load the entry,
+rebuild the fact base).  ``test_warm_start_speedup`` prints the
+comparison table and asserts the economics the store exists for: on the
+densest program a warm start is at least 5x faster than the solve it
+replaces, and a warm start is never slower than solving (the failure
+mode the distinct-ref table + bulk bitset rebuild was built to kill).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_store.py -q
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import CommonInitialSequence
+from repro.session import AnalysisSession
+from repro.suite.registry import SUITE, load_source
+
+#: The five slowest suite measurements in the committed baseline.
+HEAVY = ["bc", "li", "flex247", "twig", "ul"]
+
+#: Asserted on the densest program only; measured ~7-10x, floored at 5x
+#: so CI-load noise cannot flake it.
+MIN_SPEEDUP = 5.0
+
+_SOURCES = {}
+
+
+def _source(name: str) -> str:
+    src = _SOURCES.get(name)
+    if src is None:
+        bp = next(p for p in SUITE if p.name == name)
+        src = _SOURCES[name] = load_source(bp)
+    return src
+
+
+def _warmed_store(tmp_path, name: str) -> str:
+    """A store directory holding the solved entry for ``name``."""
+    store = str(tmp_path / name)
+    session = AnalysisSession.from_c(_source(name), name=name, store=store)
+    session.solve(CommonInitialSequence())
+    return store
+
+
+@pytest.mark.parametrize("name", HEAVY)
+def test_cold_solve(benchmark, name):
+    """Raw pytest-benchmark timing: the path a store hit replaces."""
+    source = _source(name)
+
+    def cold():
+        session = AnalysisSession.from_c(source, name=name)
+        session.solve(CommonInitialSequence())
+
+    benchmark(cold)
+
+
+@pytest.mark.parametrize("name", HEAVY)
+def test_warm_start(benchmark, tmp_path, name):
+    """Raw pytest-benchmark timing: key + load + fact-base rebuild."""
+    store = _warmed_store(tmp_path, name)
+    source = _source(name)
+
+    def warm():
+        session = AnalysisSession.from_c(source, name=name, store=store)
+        assert session.warm_start(CommonInitialSequence()) is not None
+
+    benchmark(warm)
+
+
+def test_warm_start_speedup(tmp_path):
+    """Comparison table over the heavy programs (min of 3 per cell,
+    parse excluded from both sides — it is paid identically)."""
+    strategy = CommonInitialSequence()
+    print()
+    print(f"{'program':10s} {'cold':>10s} {'warm':>10s} {'ratio':>7s}")
+    ratios = {}
+    for name in HEAVY:
+        source = _source(name)
+        store = _warmed_store(tmp_path, name)
+        cold = warm = None
+        for _ in range(3):
+            session = AnalysisSession.from_c(source, name=name)
+            t0 = time.perf_counter()
+            session.solve(strategy)
+            t = time.perf_counter() - t0
+            cold = t if cold is None or t < cold else cold
+
+            session = AnalysisSession.from_c(source, name=name, store=store)
+            t0 = time.perf_counter()
+            assert session.warm_start(strategy) is not None
+            t = time.perf_counter() - t0
+            warm = t if warm is None or t < warm else warm
+        ratios[name] = cold / warm
+        print(f"{name:10s} {cold * 1e3:8.1f}ms {warm * 1e3:8.1f}ms "
+              f"{ratios[name]:6.1f}x")
+    # The densest program shows the full economics; the rest must at
+    # least never make a warm start a pessimization.
+    assert ratios["bc"] >= MIN_SPEEDUP, ratios
+    assert all(r > 1.0 for r in ratios.values()), ratios

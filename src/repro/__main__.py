@@ -111,6 +111,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --modular: pre-solve independent SCCs in N parallel "
         "worker processes (default: serial)",
     )
+    p.add_argument(
+        "--demand", action="store_true",
+        help="with -q: demand-driven solve restricted to the queried "
+        "pointers (same answers as the exhaustive fixpoint; widens "
+        "soundly when a query escapes the demanded fragment — see "
+        "docs/queries.md)",
+    )
+    p.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="content-addressed result store directory: solved fixpoints "
+        "persist and identical (program, strategy, ABI, mode) runs "
+        "warm-start from disk (see docs/queries.md)",
+    )
     return p
 
 
@@ -153,6 +166,7 @@ def _open_session(args) -> AnalysisSession:
             strict=not args.lenient,
             assume_valid_pointers=not args.no_assumption_1,
             backend=args.backend,
+            store=args.store,
         )
     except FrontendError as err:
         raise SystemExit(f"{err.diagnostic.one_line()}") from None
@@ -253,7 +267,12 @@ def main(argv: List[str] = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "link":
         return run_link(argv[1:])
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.demand and not args.query:
+        parser.error("--demand requires at least one -q/--query target")
+    if args.demand and args.modular:
+        parser.error("--demand and --modular are mutually exclusive")
 
     session = _open_session(args)
     if args.compare:
@@ -266,6 +285,9 @@ def main(argv: List[str] = None) -> int:
     def _solve():
         if args.modular:
             return session.solve_modular(strategy, workers=args.jobs).result
+        if args.demand:
+            refs = [_resolve_query(program, q) for q in args.query]
+            return session.solve_demand(strategy, refs).result
         return session.solve(strategy)
 
     if args.profile:
@@ -286,9 +308,20 @@ def main(argv: List[str] = None) -> int:
             f"tus_linked: {es.tus_linked}   "
             f"externs_resolved: {es.externs_resolved}   "
             f"summaries_computed: {es.summaries_computed}   "
-            f"scc_parallel_batches: {es.scc_parallel_batches}",
+            f"scc_parallel_batches: {es.scc_parallel_batches}   "
+            f"modular_pool_failures: {es.modular_pool_failures}   "
+            f"demanded_facts: {es.demanded_facts}   "
+            f"demand_widenings: {es.demand_widenings}   "
+            f"store_hits: {es.store_hits}   "
+            f"store_misses: {es.store_misses}",
             file=sys.stderr,
         )
+        if session.store is not None:
+            print(
+                f"# store: {session.store_hits} hit(s), "
+                f"{session.store_misses} miss(es) at {session.store.root}",
+                file=sys.stderr,
+            )
     else:
         result = _solve()
     print(f"# {program.summary()}")

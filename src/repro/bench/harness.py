@@ -702,6 +702,11 @@ _UNGATED_STATS = (
     "externs_resolved",
     "summaries_computed",
     "scc_parallel_batches",
+    "modular_pool_failures",
+    "demanded_facts",
+    "demand_widenings",
+    "store_hits",
+    "store_misses",
 )
 
 

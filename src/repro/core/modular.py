@@ -25,8 +25,10 @@ in the full fixpoint, so by monotonicity every returned fact is in the
 whole-program fixpoint.  The main process seeds them into a fresh
 engine as warm-start facts, then installs *all* statements and drains —
 guaranteeing the exact fixpoint regardless of callgraph approximation
-or worker failures.  Any pool or pickling failure degrades silently to
-the serial staged schedule.
+or worker failures.  Any pool or pickling failure degrades to the
+serial staged schedule — counted (``modular_pool_failures``) and
+recorded as a WARNING diagnostic; ``REPRO_DEBUG=1`` re-raises
+unexpected (non-pool, non-pickling) failures instead of degrading.
 
 The callgraph is deliberately approximate (direct calls resolved by
 name, indirect calls to every address-taken function): a missed edge
@@ -35,12 +37,14 @@ only weakens summaries and scheduling, never the result.
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from ..diag import DiagnosticSink
+from ..diag import Diagnostic, DiagnosticSink, Severity
 from ..ir.program import Program
 from ..ir.refs import FieldRef, OffsetRef, Ref
 from ..ir.stmts import AddrOf, Call, Copy, Stmt
@@ -48,6 +52,13 @@ from .engine import Engine, Result
 from .rules import setup_stmt
 from .strategy import Strategy
 from .worklist import Worklist
+
+#: Failure classes the worker-pool fallback is *designed* to absorb:
+#: pool construction/teardown problems (restricted platforms, dead
+#: workers, fd limits) and unpicklable payloads.  Anything else raised
+#: out of pre-seeding is a programmer error in disguise, and the
+#: ``REPRO_DEBUG=1`` escape hatch re-raises it instead of degrading.
+_EXPECTED_POOL_FAILURES = (pickle.PicklingError, BrokenProcessPool, OSError)
 
 __all__ = [
     "FunctionSummary",
@@ -429,10 +440,32 @@ def solve_modular(
                 max_facts, assume_valid_pointers,
             )
             _seed_specs(engine, seeds)
-        except Exception:
+        except Exception as err:
             # No pool (restricted platform), unpicklable piece, or a
             # worker crash: the serial schedule below is always exact.
+            # The degradation is sound but never silent — it is counted
+            # and recorded as a structured WARNING so operators can see
+            # why a "parallel" solve ran serially.  REPRO_DEBUG=1
+            # re-raises anything that is NOT an expected pool/pickling
+            # failure (i.e. a programmer error hiding behind the
+            # fallback).
             batches = 0
+            engine.stats.modular_pool_failures += 1
+            if diagnostics is not None:
+                diagnostics.emit(Diagnostic(
+                    kind="modular-pool-failure",
+                    message=(
+                        f"parallel pre-seeding failed "
+                        f"({type(err).__name__}: {err}); "
+                        f"falling back to the exact serial schedule"
+                    ),
+                    severity=Severity.WARNING,
+                    phase="analyze",
+                ))
+            if os.environ.get("REPRO_DEBUG") == "1" and not isinstance(
+                err, _EXPECTED_POOL_FAILURES
+            ):
+                raise
 
     # Staged bottom-up install: global initializers, then each SCC level,
     # draining between levels.  Monotone rules => least fixpoint of the

@@ -29,11 +29,18 @@ them:
   never gated, because an incremental re-solve provably computes the
   same fixpoint as a from-scratch one.
 - **Link/modular counters** (``tus_linked``, ``externs_resolved``,
-  ``summaries_computed``, ``scc_parallel_batches``) describe program
-  provenance (:mod:`repro.link`) and the modular solve schedule
+  ``summaries_computed``, ``scc_parallel_batches``,
+  ``modular_pool_failures``) describe program provenance
+  (:mod:`repro.link`) and the modular solve schedule
   (:mod:`repro.core.modular`) — reported, never gated: linked and
   modular solves reach the identical fixpoint, these counters only
   record how the program was assembled and scheduled.
+- **Demand/store counters** (``demanded_facts``, ``demand_widenings``,
+  ``store_hits``, ``store_misses``) describe how an answer was reached —
+  a demand-restricted fixpoint (:mod:`repro.core.demand`) or a
+  content-addressed store lookup (:mod:`repro.store`) — reported, never
+  gated: demanded answers are differentially tested equal to the
+  exhaustive fixpoint, and a store hit replays a previously solved one.
 
 :class:`AnalysisBudgetExceeded` is raised by every drain variant — the
 layered untraced drain, the traced drain, and incremental re-solves —
@@ -124,6 +131,25 @@ class EngineStats:
     #: SCC batches the modular mode fanned out to worker processes
     #: (``ProcessPoolExecutor``); 0 when solved serially.
     scc_parallel_batches: int = 0
+    #: Worker-pool failures the modular mode degraded from (pre-seeding
+    #: fell back to the exact serial schedule); each one also records a
+    #: WARNING diagnostic.  Reported, never gated.
+    modular_pool_failures: int = 0
+    #: Facts computed by a demand-driven solve (:mod:`repro.core.demand`)
+    #: — the size of the demanded fragment's fixpoint, to compare against
+    #: the exhaustive ``facts``.  0 for exhaustive solves.
+    demanded_facts: int = 0
+    #: Times a demand-driven solve widened to the exhaustive engine
+    #: because a query escaped the demanded fragment (function pointers,
+    #: lenient-mode havoc objects).  Reported, never gated.
+    demand_widenings: int = 0
+    #: Results served from the content-addressed result store
+    #: (:mod:`repro.store`) instead of a fresh fixpoint.  Reported,
+    #: never gated: a hit replays a previously solved identical program.
+    store_hits: int = 0
+    #: Store lookups that missed (key absent, or a corrupted entry
+    #: degraded to a miss with a WARNING diagnostic).
+    store_misses: int = 0
     solve_seconds: float = 0.0
 
     @property

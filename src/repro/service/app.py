@@ -89,6 +89,12 @@ class ServiceConfig:
     #: Per-engine fact budget: bounds the work one hostile session can
     #: demand of a solve (maps to a 422, not a hung worker).
     max_facts: int = 5_000_000
+    #: Directory of a content-addressed result store (:mod:`repro.store`)
+    #: shared by every session, or ``None`` for no persistence.  With a
+    #: store, a solve of a program the server (or a previous server
+    #: process) has seen before warm-starts from disk instead of
+    #: re-running the fixpoint.
+    store: Optional[str] = None
 
     def __post_init__(self) -> None:
         backend_name(self.backend)     # raises KeyError on a bad name
@@ -384,11 +390,13 @@ class ServiceApp:
                 session = AnalysisSession.from_sources(
                     self._tu_sources(files), name=name, strict=strict,
                     max_facts=self.config.max_facts, backend=backend,
+                    store=self.config.store,
                 )
             else:
                 session = AnalysisSession.from_c(
                     source, name=name, strict=strict,
                     max_facts=self.config.max_facts, backend=backend,
+                    store=self.config.store,
                 )
         except FrontendError as err:
             raise from_frontend_error(err) from None
@@ -469,15 +477,78 @@ class ServiceApp:
                 f"expected one of {', '.join(QUERY_KINDS)}",
             )
         entry = self.pool.checkout(params["sid"])
-        with entry.lock:
-            strategy_key = self._validated_strategy(query.get("strategy")
-                                                    or entry.strategy_key)
-            result = self._solve(entry, strategy_key)
-            entry.queries += 1
-            payload = getattr(self, "_query_" + kind)(entry, result, query)
-        self.pool.remeasure(entry)
+        demand_info = None
+        try:
+            with entry.lock:
+                strategy_key = self._validated_strategy(query.get("strategy")
+                                                        or entry.strategy_key)
+                use_demand = (query.get("demand", "").lower()
+                              in ("1", "true", "yes"))
+                if use_demand and kind in ("points_to", "alias"):
+                    result, demand_info = self._solve_demand(
+                        entry, strategy_key, kind, query)
+                else:
+                    result = self._solve(entry, strategy_key)
+                entry.queries += 1
+                payload = getattr(self, "_query_" + kind)(entry, result, query)
+        finally:
+            # A query may trigger the FIRST solve of a new strategy: the
+            # session's real footprint grows whether or not the handler
+            # then succeeds, so the byte-budget re-measurement must run
+            # even when a 4xx (unknown target, unknown function) is on
+            # its way out — otherwise the growth goes undetected until
+            # some unrelated later mutation.
+            self.pool.remeasure(entry)
         payload.update(session=entry.id, kind=kind, strategy=strategy_key)
+        if demand_info is not None:
+            payload["demand"] = demand_info
         return 200, payload
+
+    def _solve_demand(self, entry, strategy_key, kind, query):
+        """Demand-restricted solve for the target-specific query kinds.
+
+        Resolves the query's target refs, then asks the session for a
+        demand-driven answer — which may be served from the session's
+        result cache or store, or may widen to the exhaustive engine;
+        every path returns answers equal to the exhaustive fixpoint's.
+        Whole-program kinds (modref, callgraph, derefs) never take this
+        path: they inspect every pointer, so demand buys nothing.
+        """
+        strategy = entry.strategies.get(strategy_key)
+        if strategy is None:
+            strategy = STRATEGY_BY_KEY[strategy_key](_layout_for(entry.abi))
+            entry.strategies[strategy_key] = strategy
+        program = entry.session.program
+        fn = query.get("function")
+        if kind == "alias":
+            refs = [
+                resolve_ref(program, self._required_param(query, "a"), fn),
+                resolve_ref(program, self._required_param(query, "b"), fn),
+            ]
+        else:
+            refs = [resolve_ref(
+                program, self._required_param(query, "target"), fn)]
+        before = entry.session.solve_cache_hits
+        try:
+            dres = entry.session.solve_demand(
+                strategy, refs, backend=entry.backend)
+        except AnalysisBudgetExceeded as err:
+            raise ServiceError(
+                422, "analysis-budget-exceeded",
+                f"solve exceeded the server's fact budget: {err}",
+            ) from None
+        with self._counter_lock:
+            if entry.session.solve_cache_hits > before:
+                self.counters.solve_cache_hits += 1
+            else:
+                self.counters.solves += 1
+        info = {
+            "widened": dres.widened,
+            "installed": dres.installed,
+            "demanded_objects": len(dres.demanded),
+            "demanded_facts": dres.stats.demanded_facts,
+        }
+        return dres.result, info
 
     @staticmethod
     def _required_param(query: Dict[str, str], name: str) -> str:

@@ -65,6 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=sorted(BACKENDS), default=None,
                    help="propagation backend for every solve (default: "
                    "$REPRO_BACKEND or 'bigint'); validated before binding")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="directory of a content-addressed result store "
+                   "shared by all sessions; previously solved programs "
+                   "warm-start from disk across server restarts "
+                   "(default: no persistence)")
     p.add_argument("--max-facts", type=int, default=5_000_000,
                    help="per-engine fact budget; a solve past it returns a "
                    "422, bounding hostile-session work (default: 5000000)")
@@ -87,6 +92,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             default_strategy=args.strategy,
             backend=args.backend,
             max_facts=args.max_facts,
+            store=args.store,
         )
         server = make_server(config, verbose=args.verbose)
     except (KeyError, ValueError, OverflowError) as err:

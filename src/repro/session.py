@@ -83,26 +83,59 @@ class AnalysisSession:
         assume_valid_pointers: bool = True,
         diagnostics: Optional[DiagnosticSink] = None,
         backend: Union[str, PropagationBackend, None] = None,
+        strict: bool = True,
+        store: Union["ResultStore", str, Path, None] = None,
     ) -> None:
         self.program = program
         self.max_facts = max_facts
         self.assume_valid_pointers = assume_valid_pointers
-        #: Default propagation backend for solves (``None`` = environment
-        #: / registry default; each ``solve`` may override per call).
-        #: Validated *here* so a bad name (or a bad ``REPRO_BACKEND``
-        #: value) fails at session construction with the registered list
-        #: and availability hints, not deep inside a later solve.
-        backend_name(backend)
-        self.backend = backend
+        #: Default propagation backend for solves, **pinned at
+        #: construction**: a backend instance is kept as-is, while a name
+        #: — or ``None``, meaning the ``REPRO_BACKEND`` environment /
+        #: registry default — is resolved to its concrete registry key
+        #: here, once.  Eager resolution both fails fast on a bad name
+        #: (with the registered list and availability hints, not deep
+        #: inside a later solve) and guarantees one session never mixes
+        #: backends across solves if the environment variable changes
+        #: mid-process.
+        if backend is None or isinstance(backend, str):
+            self.backend: Union[str, PropagationBackend] = backend_name(backend)
+        else:
+            self.backend = backend
+        #: Front-end mode this session's program was produced under;
+        #: part of the result-store key (lenient programs carry havoc
+        #: approximations a strict parse of the same text would not).
+        self.strict = strict
         #: Front-end diagnostics for this program (empty when the program
         #: was built strictly or by hand).
         self.diagnostics = diagnostics if diagnostics is not None else DiagnosticSink()
+        #: Optional content-addressed result store (:mod:`repro.store`):
+        #: a :class:`ResultStore`, or a directory path to open one at.
+        if store is None:
+            self.store = None
+        else:
+            from .store import ResultStore
+
+            if isinstance(store, ResultStore):
+                self.store = store
+            else:
+                self.store = ResultStore(store, diagnostics=self.diagnostics)
         self._engines: Dict[_CacheKey, Engine] = {}
         self._results: Dict[_CacheKey, Result] = {}
+        #: Cache keys of results that came from the store or a widened
+        #: demand solve: complete fixpoints, but with no live engine to
+        #: re-drain — :meth:`add_statements` must drop them.
+        self._warm_keys: set = set()
+        #: Demand-solve memo: (cache key, sorted query reprs) → DemandResult.
+        self._demand_cache: Dict[tuple, object] = {}
         #: Times :meth:`solve` returned a cached :class:`Result` instead
         #: of constructing an engine — the service's "solve-cache hits"
         #: counter (``GET /metrics``), but meaningful for any embedder.
         self.solve_cache_hits = 0
+        #: Session-level store traffic (mirrored per-result in
+        #: ``result.stats.store_hits`` / ``store_misses``).
+        self.store_hits = 0
+        self.store_misses = 0
 
     # ------------------------------------------------------------------
     # Construction from source (parse exactly once).
@@ -121,7 +154,7 @@ class AnalysisSession:
 
         sink = DiagnosticSink()
         program = program_from_c(source, name, strict=strict, diagnostics=sink)
-        return cls(program, diagnostics=sink, **kwargs)
+        return cls(program, diagnostics=sink, strict=strict, **kwargs)
 
     @classmethod
     def from_file(
@@ -139,7 +172,7 @@ class AnalysisSession:
 
         sink = DiagnosticSink()
         program = program_from_file(path, strict=strict, diagnostics=sink)
-        return cls(program, diagnostics=sink, **kwargs)
+        return cls(program, diagnostics=sink, strict=strict, **kwargs)
 
     @classmethod
     def from_files(
@@ -160,7 +193,7 @@ class AnalysisSession:
         program = program_from_files(
             list(paths), name, strict=strict, diagnostics=sink
         )
-        return cls(program, diagnostics=sink, **kwargs)
+        return cls(program, diagnostics=sink, strict=strict, **kwargs)
 
     @classmethod
     def from_sources(
@@ -179,7 +212,7 @@ class AnalysisSession:
         program = program_from_sources(
             list(sources), name, strict=strict, diagnostics=sink
         )
-        return cls(program, diagnostics=sink, **kwargs)
+        return cls(program, diagnostics=sink, strict=strict, **kwargs)
 
     # ------------------------------------------------------------------
     # Solving.
@@ -207,6 +240,13 @@ class AnalysisSession:
         ``fresh=True`` forces a new engine (replacing the cache entry) —
         benchmark repeats use it so every timed run drains the full
         worklist.  ``backend=None`` falls back to the session default.
+
+        With a :attr:`store` attached, a cache miss first consults the
+        store (:meth:`warm_start`) — a hit replays the persisted
+        fixpoint without constructing an engine — and a fresh solve's
+        result is persisted back.  Traced solves bypass the store both
+        ways: a warm result cannot carry provenance, and tracing is a
+        request for *this* run's derivations.
         """
         if backend is None:
             backend = self.backend
@@ -216,6 +256,11 @@ class AnalysisSession:
             if cached is not None:
                 self.solve_cache_hits += 1
                 return cached
+            if not trace:
+                warm = self.warm_start(strategy, worklist=worklist,
+                                       backend=backend)
+                if warm is not None:
+                    return warm
         engine = Engine(
             self.program,
             strategy,
@@ -229,6 +274,12 @@ class AnalysisSession:
         result = engine.solve()
         self._engines[key] = engine
         self._results[key] = result
+        if self.store is not None and not trace:
+            self.store.put(
+                self.program, result, strict=self.strict,
+                assume_valid_pointers=self.assume_valid_pointers,
+                diagnostics=self.diagnostics,
+            )
         return result
 
     def solve_modular(
@@ -253,7 +304,7 @@ class AnalysisSession:
 
         if backend is None:
             backend = self.backend
-        return solve_modular(
+        mres = solve_modular(
             self.program,
             strategy,
             workers=workers,
@@ -263,6 +314,189 @@ class AnalysisSession:
             backend=backend,
             diagnostics=self.diagnostics,
         )
+        if self.store is not None:
+            # Persist the fixpoint together with the per-function
+            # summaries, so a later warm start recovers both.
+            self.store.put(
+                self.program, mres.result, strict=self.strict,
+                assume_valid_pointers=self.assume_valid_pointers,
+                summaries=list(mres.summaries.values()),
+                diagnostics=self.diagnostics,
+            )
+        return mres
+
+    # ------------------------------------------------------------------
+    # Demand-driven querying and the content-addressed store.
+    # ------------------------------------------------------------------
+    def warm_start(
+        self,
+        strategy: Strategy,
+        worklist: Union[str, Worklist] = "priority",
+        backend: Union[str, PropagationBackend, None] = None,
+    ) -> Optional[Result]:
+        """Try to satisfy ``strategy`` from the attached store.
+
+        On a hit the persisted fixpoint is rebuilt into a live
+        :class:`Result` — byte-identical points-to sets, no engine
+        constructed — cached like a solved one, and returned.  Returns
+        ``None`` on a miss or when no store is attached.  Warm results
+        are dropped by :meth:`add_statements` (they have no engine to
+        re-drain); the grown program then re-solves and re-persists
+        under its new content hash.
+        """
+        if self.store is None:
+            return None
+        if backend is None:
+            backend = self.backend
+        key = self._key(strategy, False, worklist, backend)
+        cached = self._results.get(key)
+        if cached is not None:
+            self.solve_cache_hits += 1
+            return cached
+        stored = self.store.load(
+            self.program, strategy, strict=self.strict,
+            assume_valid_pointers=self.assume_valid_pointers,
+            diagnostics=self.diagnostics,
+        )
+        if stored is None:
+            self.store_misses += 1
+            return None
+        self.store_hits += 1
+        self._results[key] = stored.result
+        self._warm_keys.add(key)
+        return stored.result
+
+    def solve_demand(
+        self,
+        strategy: Strategy,
+        queries,
+        worklist: Union[str, Worklist] = "priority",
+        backend: Union[str, PropagationBackend, None] = None,
+    ):
+        """Demand-driven solve (:mod:`repro.core.demand`) of ``queries``.
+
+        ``queries`` is an iterable of :class:`AbstractObject`s and/or
+        refs (see :func:`repro.core.demand.query_refs`).  Returns a
+        :class:`~repro.core.demand.DemandResult` whose answers for the
+        queried refs equal the exhaustive fixpoint's.  Memoized per
+        (strategy, backend, query set).  A *widened* demand solve
+        drained every statement, so its result is the exhaustive
+        fixpoint: it is promoted into the result cache and persisted to
+        the store like a full solve.
+        """
+        from .core.demand import query_refs, solve_demand
+
+        if backend is None:
+            backend = self.backend
+        refs = query_refs(self.program, queries)
+        key = self._key(strategy, False, worklist, backend)
+        dkey = (key, tuple(sorted(repr(r) for r in refs)))
+        cached = self._demand_cache.get(dkey)
+        if cached is not None:
+            self.solve_cache_hits += 1
+            return cached
+        dres = solve_demand(
+            self.program, strategy, refs,
+            max_facts=self.max_facts,
+            assume_valid_pointers=self.assume_valid_pointers,
+            worklist=worklist, backend=backend,
+            diagnostics=self.diagnostics,
+        )
+        self._demand_cache[dkey] = dres
+        if dres.widened:
+            if key not in self._results:
+                self._results[key] = dres.result
+                self._warm_keys.add(key)
+            if self.store is not None:
+                self.store.put(
+                    self.program, dres.result, strict=self.strict,
+                    assume_valid_pointers=self.assume_valid_pointers,
+                    diagnostics=self.diagnostics,
+                )
+        return dres
+
+    def _resolve_target(self, text: str):
+        """Parse ``name`` or ``name.field.path`` into a FieldRef.
+
+        A bare name that is not a global falls back to the unique
+        function-local spelling (``f::x`` matched by suffix) — the CLI's
+        ``-q`` convention.
+        """
+        from .ir.refs import FieldRef
+
+        parts = text.split(".")
+        name = parts[0]
+        obj = self.program.objects.lookup(name)
+        if obj is None:
+            for candidate in self.program.objects.all_objects():
+                if candidate.name.endswith(f"::{name}"):
+                    obj = candidate
+                    break
+        if obj is None:
+            raise KeyError(f"no object named {name!r} in {self.program.name}")
+        return FieldRef(obj, tuple(parts[1:]))
+
+    def query(
+        self,
+        targets,
+        strategy: Optional[Strategy] = None,
+        demand: bool = True,
+        worklist: Union[str, Worklist] = "priority",
+        backend: Union[str, PropagationBackend, None] = None,
+    ) -> Dict[str, List[str]]:
+        """Answer points-to queries the cheapest sound way available.
+
+        ``targets``: an iterable of object names / ``"name.field"``
+        paths / :class:`AbstractObject`s / refs.  Returns a mapping of
+        each target's label to the sorted reprs of its points-to set.
+        ``strategy=None`` uses the session's default
+        (common-initial-sequence, constructed once and reused so its
+        result cache is stable).
+
+        Resolution order: an already-complete cached result (free) →
+        the attached store (warm start, one load) → a demand-driven
+        solve restricted to the targets (``demand=True``, the default)
+        → the exhaustive fixpoint.  Every path returns answers equal to
+        the exhaustive fixpoint's (the demand differential and the
+        store round-trip are both gated in the test suite).
+        """
+        from .ir.objects import AbstractObject
+
+        if strategy is None:
+            strategy = self._default_strategy()
+        labeled = {}
+        for t in targets:
+            if isinstance(t, str):
+                labeled[t] = self._resolve_target(t)
+            elif isinstance(t, AbstractObject):
+                labeled[t.name] = t
+            else:
+                labeled[repr(t)] = t
+        if backend is None:
+            backend = self.backend
+        source = self._results.get(self._key(strategy, False, worklist, backend))
+        if source is None:
+            source = self.warm_start(strategy, worklist=worklist, backend=backend)
+        if source is None:
+            if demand:
+                source = self.solve_demand(
+                    strategy, list(labeled.values()),
+                    worklist=worklist, backend=backend,
+                )
+            else:
+                source = self.solve(strategy, worklist=worklist, backend=backend)
+        return {
+            label: sorted(repr(r) for r in source.points_to(ref))
+            for label, ref in labeled.items()
+        }
+
+    def _default_strategy(self) -> Strategy:
+        strategy = getattr(self, "_default_strategy_obj", None)
+        if strategy is None:
+            from .core import CommonInitialSequence
+
+            strategy = self._default_strategy_obj = CommonInitialSequence()
+        return strategy
 
     def cached_results(self) -> List[Result]:
         """The live results of every strategy solved so far."""
@@ -295,6 +529,15 @@ class AnalysisSession:
             "statements": self.program.stmt_count(),
             "solved": solved,
             "solve_cache_hits": self.solve_cache_hits,
+            "store": (
+                {
+                    "root": str(self.store.root),
+                    "hits": self.store_hits,
+                    "misses": self.store_misses,
+                }
+                if self.store is not None
+                else None
+            ),
             "diagnostics": {
                 "total": self.diagnostics.total,
                 "by_kind": self.diagnostics.kinds(),
@@ -345,6 +588,15 @@ class AnalysisSession:
         ``delta_stmts``, ``reused_graph_refs``).
         """
         added = self.program.add_statements(stmts, function=function)
+        # Warm-started / demand-widened results have no engine to
+        # re-drain and describe the *old* program: drop them (and every
+        # memoized demand answer) so the next query re-derives against
+        # the grown statement set.  The store needs no invalidation —
+        # its key is the program's content hash, which just changed.
+        for key in self._warm_keys:
+            self._results.pop(key, None)
+        self._warm_keys.clear()
+        self._demand_cache.clear()
         for engine in self._engines.values():
             engine.add_statements(added)
         return added

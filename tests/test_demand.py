@@ -1,0 +1,214 @@
+"""Demand-driven solving (:mod:`repro.core.demand`): the differential gate.
+
+The demand solver's whole contract is one sentence: for every queried
+ref, its answer equals the exhaustive fixpoint's.  This file gates that
+sentence the same way the backend layer is gated — a differential
+matrix over the entire benchmark suite, all four strategies, strict and
+lenient front ends — plus targeted tests for the two mechanisms the
+sweep alone would not distinguish:
+
+- *narrowing*: on separable programs the demand solve must install
+  strictly fewer statements than the program has (otherwise it is just
+  a slow exhaustive solve);
+- *widening*: queries that escape the demanded fragment — indirect
+  calls, address-taken function params (Assumption-1 havoc through
+  extern summaries like qsort), lenient-mode ``$havoc`` objects — must
+  flip ``widened`` and still produce exhaustive answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import analyze, program_from_c
+from repro.core import STRATEGY_BY_KEY
+from repro.core.demand import query_refs, solve_demand
+from repro.diag import DiagnosticSink
+from repro.ir.objects import ObjKind
+from repro.ir.refs import FieldRef
+from repro.suite.registry import SUITE, load_source
+
+STRATEGY_KEYS = sorted(STRATEGY_BY_KEY)
+SUITE_NAMES = [bp.name for bp in SUITE]
+
+# Parse-once / solve-once caches, keyed by (name, strict[, strategy]).
+_programs: dict = {}
+_strategies: dict = {}
+_exhaustive: dict = {}
+
+
+def _program(name: str, strict: bool):
+    prog = _programs.get((name, strict))
+    if prog is None:
+        bp = next(p for p in SUITE if p.name == name)
+        prog = _programs[(name, strict)] = program_from_c(
+            load_source(bp), name=name, strict=strict,
+            diagnostics=DiagnosticSink(),
+        )
+    return prog
+
+
+def _strategy(key: str):
+    st = _strategies.get(key)
+    if st is None:
+        st = _strategies[key] = STRATEGY_BY_KEY[key]()
+    return st
+
+
+def _exhaustive_result(name: str, strict: bool, key: str):
+    res = _exhaustive.get((name, strict, key))
+    if res is None:
+        res = _exhaustive[(name, strict, key)] = analyze(
+            _program(name, strict), _strategy(key)
+        )
+    return res
+
+
+def _queryable_objects(prog):
+    """Every object a client could name (functions point to nothing)."""
+    return [o for o in prog.objects.all_objects()
+            if o.kind is not ObjKind.FUNCTION]
+
+
+# ---------------------------------------------------------------------------
+# The gate: suite x strategies x strict/lenient, every object queried.
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("strict", [True, False], ids=["strict", "lenient"])
+@pytest.mark.parametrize("key", STRATEGY_KEYS)
+@pytest.mark.parametrize("name", SUITE_NAMES)
+def test_demand_equals_exhaustive(name, key, strict) -> None:
+    prog = _program(name, strict)
+    strategy = _strategy(key)
+    exhaustive = _exhaustive_result(name, strict, key)
+    objs = _queryable_objects(prog)
+    dres = solve_demand(prog, strategy, objs)
+    for obj in objs:
+        ref = FieldRef(obj, ())
+        assert dres.points_to(ref) == exhaustive.points_to(ref), (
+            name, key, strict, obj.name)
+
+
+@pytest.mark.parametrize("name", SUITE_NAMES)
+def test_single_pointer_queries(name) -> None:
+    """Narrow one-object demands (the common client shape) also agree."""
+    prog = _program(name, True)
+    strategy = _strategy("common_initial_sequence")
+    exhaustive = _exhaustive_result(name, True, "common_initial_sequence")
+    candidates = sorted(_queryable_objects(prog), key=lambda o: o.name)
+    picks = {candidates[0], candidates[len(candidates) // 2], candidates[-1]}
+    for obj in picks:
+        dres = solve_demand(prog, strategy, [obj])
+        ref = FieldRef(obj, ())
+        assert dres.points_to(ref) == exhaustive.points_to(ref), (name, obj.name)
+        assert dres.stats.demanded_facts == dres.facts.edge_count()
+
+
+# ---------------------------------------------------------------------------
+# Narrowing: separable programs must not pay for the other half.
+# ---------------------------------------------------------------------------
+_SEPARABLE = """
+int x, y, z;
+int *p, *q, *r;
+void main(void) {
+    p = &x;
+    q = &y;
+    r = &z;
+}
+"""
+
+
+def test_demand_installs_a_strict_subset() -> None:
+    prog = program_from_c(_SEPARABLE, name="sep.c")
+    strategy = _strategy("common_initial_sequence")
+    p = prog.objects.lookup("p")
+    dres = solve_demand(prog, strategy, [p])
+    assert not dres.widened
+    assert dres.installed < prog.stmt_count()
+    assert dres.points_to_names(FieldRef(p, ())) == {"x"}
+    # The facts the solve skipped really are absent (narrow, not lazy).
+    assert dres.facts.edge_count() < analyze(prog, strategy).facts.edge_count()
+
+
+def test_query_refs_rejects_foreign_objects() -> None:
+    prog = program_from_c(_SEPARABLE, name="sep.c")
+    other = program_from_c("int w;", name="other.c")
+    with pytest.raises(KeyError):
+        query_refs(prog, [other.objects.lookup("w")])
+
+
+# ---------------------------------------------------------------------------
+# Widening: escapes of the demanded fragment.
+# ---------------------------------------------------------------------------
+_INDIRECT = """
+int x;
+int *h(void) { return &x; }
+int *(*hp)(void);
+int *r;
+void main(void) {
+    hp = &h;
+    r = hp();
+}
+"""
+
+
+def test_indirect_call_widens() -> None:
+    prog = program_from_c(_INDIRECT, name="ind.c")
+    strategy = _strategy("common_initial_sequence")
+    exhaustive = analyze(prog, strategy)
+    r = prog.objects.lookup("r")
+    dres = solve_demand(prog, strategy, [r])
+    assert dres.widened
+    assert dres.stats.demand_widenings == 1
+    ref = FieldRef(r, ())
+    assert dres.points_to(ref) == exhaustive.points_to(ref)
+    # A widened solve IS the exhaustive fixpoint.
+    assert dres.facts.edge_count() == exhaustive.facts.edge_count()
+
+
+_ESCAPED_PARAM = """
+int x;
+void f(int **a) { *a = &x; }
+void (*fp)(int **);
+int *held;
+void main(void) {
+    fp = &f;
+    f(&held);
+}
+"""
+
+
+def test_address_taken_param_widens() -> None:
+    """Params of address-taken functions can be written through paths
+    the backward walk cannot see (indirect calls, qsort-style extern
+    summaries) — demanding one must widen, and still be exact."""
+    prog = program_from_c(_ESCAPED_PARAM, name="esc.c")
+    strategy = _strategy("common_initial_sequence")
+    exhaustive = analyze(prog, strategy)
+    param = next(o for o in prog.objects.all_objects()
+                 if o.kind is ObjKind.PARAM and o.name.startswith("f::"))
+    dres = solve_demand(prog, strategy, [param])
+    assert dres.widened
+    ref = FieldRef(param, ())
+    assert dres.points_to(ref) == exhaustive.points_to(ref)
+
+
+def test_lenient_havoc_widens() -> None:
+    """Demanding an object fed by a lenient-mode havoc object widens."""
+    from repro.ctype import types as T
+    from repro.ir.program import FunctionInfo, Program
+    from repro.ir.stmts import Copy
+
+    prog = Program("havoc")
+    int_ptr = T.PointerType(T.int_t)
+    p = prog.objects.global_var("p", int_ptr)
+    fobj = prog.objects.function("f", T.FunctionType(T.void))
+    hv = prog.objects.havoc("f", int_ptr)
+    info = FunctionInfo(name="f", obj=fobj)
+    info.stmts.append(Copy(p, FieldRef(hv, ()), fn="f"))
+    prog.add_function(info)
+    strategy = STRATEGY_BY_KEY["common_initial_sequence"]()
+    dres = solve_demand(prog, strategy, [p])
+    assert dres.widened
+    assert dres.stats.demand_widenings == 1
+    assert dres.points_to(FieldRef(p, ())) == analyze(
+        prog, strategy).points_to(FieldRef(p, ()))

@@ -364,3 +364,118 @@ class TestConfig:
     def test_bad_abi_fails_at_construction(self):
         with pytest.raises(KeyError):
             ServiceConfig(default_abi="pdp11")
+
+
+class TestQueryFootprint:
+    """The byte-budget bugfix: query-driven solves must re-measure."""
+
+    def test_query_driven_solve_grows_bytes_estimate(self):
+        app = ServiceApp(ServiceConfig(pool_size=4))
+        sid = create(app)["session"]["id"]
+        entry = app.pool.checkout(sid)
+        before = entry.bytes_estimate
+        status, _ = app.handle(
+            "GET", f"/v1/sessions/{sid}/query", {"target": "p"})
+        assert status == 200
+        assert entry.bytes_estimate > before
+
+    def test_query_driven_solve_triggers_eviction(self):
+        """A query's FIRST solve of a new strategy can push the pool
+        past its byte budget: eviction must fire on the query itself,
+        not wait for some later delta."""
+        budget = 40_000
+        app = ServiceApp(ServiceConfig(pool_size=100, byte_budget=budget))
+        ids = []
+        while app.pool.counters()["evictions"] == 0 and len(ids) < 32:
+            sid = create(app)["session"]["id"]
+            ids.append(sid)
+            status, _ = app.handle(
+                "GET", f"/v1/sessions/{sid}/query", {"target": "p"})
+            if status != 200:
+                break
+        counters = app.pool.counters()
+        assert counters["evictions"] >= 1
+        assert counters["bytes_live"] <= budget
+
+    def test_failed_query_still_remeasures(self):
+        """A 4xx out of the handler (unknown target) must not skip the
+        re-measurement the triggering solve made necessary."""
+        app = ServiceApp(ServiceConfig(pool_size=4))
+        sid = create(app)["session"]["id"]
+        entry = app.pool.checkout(sid)
+        before = entry.bytes_estimate
+        status, payload = app.handle(
+            "GET", f"/v1/sessions/{sid}/query", {"target": "no_such_var"})
+        assert status == 422
+        assert payload["error"]["kind"] == "unknown-object"
+        # The solve ran (and grew the session) before the target failed
+        # to resolve; the footprint must reflect it anyway.
+        assert entry.bytes_estimate > before
+
+
+class TestDemandQueries:
+    def test_demand_points_to_matches_exhaustive(self):
+        app = ServiceApp(ServiceConfig(pool_size=4))
+        sid = create(app)["session"]["id"]
+        status, full = app.handle(
+            "GET", f"/v1/sessions/{sid}/query", {"target": "p"})
+        sid2 = create(app)["session"]["id"]
+        status2, dem = app.handle(
+            "GET", f"/v1/sessions/{sid2}/query",
+            {"target": "p", "demand": "1"})
+        assert status == status2 == 200
+        assert dem["points_to"] == full["points_to"]
+        assert dem["names"] == full["names"]
+        assert dem["demand"]["demanded_facts"] > 0
+        assert "demand" not in full
+
+    def test_demand_alias_round_trip(self):
+        app = ServiceApp(ServiceConfig(pool_size=4))
+        sid = create(app)["session"]["id"]
+        status, payload = app.handle(
+            "GET", f"/v1/sessions/{sid}/query",
+            {"kind": "alias", "a": "p", "b": "s.s1", "demand": "true"})
+        assert status == 200, payload
+        assert payload["may_point_to_same"] is True
+        assert "demand" in payload
+
+    def test_demand_ignored_for_whole_program_kinds(self):
+        app = ServiceApp(ServiceConfig(pool_size=4))
+        sid = create(app)["session"]["id"]
+        status, payload = app.handle(
+            "GET", f"/v1/sessions/{sid}/query",
+            {"kind": "callgraph", "demand": "1"})
+        assert status == 200
+        assert "demand" not in payload
+
+    def test_demand_bad_target_is_structured(self):
+        app = ServiceApp(ServiceConfig(pool_size=4))
+        sid = create(app)["session"]["id"]
+        status, payload = app.handle(
+            "GET", f"/v1/sessions/{sid}/query",
+            {"target": "ghost", "demand": "1"})
+        assert status == 422
+        assert payload["error"]["kind"] == "unknown-object"
+
+
+class TestServiceStore:
+    def test_sessions_share_the_store_across_processes(self, tmp_path):
+        """Simulated restart: a second app over the same store directory
+        warm-starts the same program instead of re-solving."""
+        config = ServiceConfig(pool_size=4, store=str(tmp_path))
+        app1 = ServiceApp(config)
+        sid = create(app1)["session"]["id"]
+        status, cold = app1.handle(
+            "GET", f"/v1/sessions/{sid}/query", {"target": "p"})
+        assert status == 200
+
+        app2 = ServiceApp(ServiceConfig(pool_size=4, store=str(tmp_path)))
+        sid2 = create(app2)["session"]["id"]
+        status, warm = app2.handle(
+            "GET", f"/v1/sessions/{sid2}/query", {"target": "p"})
+        assert status == 200
+        assert warm["points_to"] == cold["points_to"]
+        entry = app2.pool.checkout(sid2)
+        assert entry.session.store_hits == 1
+        doc = app2.handle("GET", f"/v1/sessions/{sid2}")[1]["session"]
+        assert doc["store"]["hits"] == 1

@@ -166,3 +166,41 @@ class TestWorklistPolicies:
         result = analyze(program, CommonInitialSequence(), worklist=FifoWorklist())
         p = result.program.objects.lookup("p")
         assert result.points_to_names(p) == {"x"}
+
+
+class TestBackendPinning:
+    """The session resolves its backend ONCE, at construction: a
+    mid-process change of $REPRO_BACKEND must not let one session mix
+    backends across solves."""
+
+    def test_env_backend_resolved_at_construction(self, monkeypatch):
+        from repro.core.backend import ENV_VAR
+
+        monkeypatch.setenv(ENV_VAR, "bigint")
+        session = AnalysisSession.from_c(SRC)
+        assert session.backend == "bigint"
+        monkeypatch.setenv(ENV_VAR, "diffprop")
+        result = session.solve(CommonInitialSequence())
+        assert result.stats.backend == "bigint"
+        # A second strategy on the same session: still the pinned one.
+        result2 = session.solve(CollapseAlways())
+        assert result2.stats.backend == "bigint"
+
+    def test_default_resolves_to_concrete_name(self, monkeypatch):
+        from repro.core.backend import DEFAULT_BACKEND, ENV_VAR
+
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        session = AnalysisSession.from_c(SRC)
+        assert session.backend == DEFAULT_BACKEND
+
+    def test_explicit_name_still_wins_per_solve(self):
+        session = AnalysisSession.from_c(SRC, backend="bigint")
+        result = session.solve(CommonInitialSequence(), backend="diffprop")
+        assert result.stats.backend == "diffprop"
+
+    def test_bad_env_backend_fails_at_construction(self, monkeypatch):
+        from repro.core.backend import ENV_VAR
+
+        monkeypatch.setenv(ENV_VAR, "nope")
+        with pytest.raises(KeyError):
+            AnalysisSession.from_c(SRC)
